@@ -1,0 +1,43 @@
+//! Criterion benchmark for Fig. 13: exact curator valuation (O(M^K)) vs. a
+//! fixed-budget seller-permutation MC, sweeping the seller count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnshap_core::composite::GameForm;
+use knnshap_core::curator::{curator_class_shapley_single, curator_mc_shapley, Ownership};
+use knnshap_core::mc::{IncKnnUtility, StoppingRule};
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_knn::weights::WeightFn;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curator");
+    group.sample_size(10);
+    let spec = EmbeddingSpec::mnist_like(500);
+    let train = spec.generate();
+    let test = spec.queries(1);
+    let q = test.x.row(0);
+    let k = 2usize;
+    for m in [20usize, 50, 100] {
+        let own = Ownership::round_robin(train.len(), m);
+        group.bench_with_input(BenchmarkId::new("exact_thm8", m), &m, |b, _| {
+            b.iter(|| {
+                curator_class_shapley_single(
+                    &train,
+                    &own,
+                    q,
+                    test.y[0],
+                    k,
+                    WeightFn::Uniform,
+                    GameForm::DataOnly,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mc_100perm", m), &m, |b, _| {
+            let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+            b.iter(|| curator_mc_shapley(&mut inc, &own, StoppingRule::Fixed(100), 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark for the retrieval substrate: full argsort (exact
+//! Theorem 1's dominant cost) vs. partial selection (Theorem 2's) vs. heap
+//! top-K vs. an LSH probe, at 10⁵ points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::{argsort_by_distance, partial_k_nearest, top_k};
+use knnshap_lsh::index::{LshIndex, LshParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_search");
+    group.sample_size(10);
+    let n = 100_000usize;
+    let spec = EmbeddingSpec::mnist_like(n);
+    let train = spec.generate();
+    let test = spec.queries(1);
+    let q = test.x.row(0);
+
+    group.bench_function("argsort_full", |b| {
+        b.iter(|| argsort_by_distance(&train.x, q, Metric::SquaredL2))
+    });
+    group.bench_function("partial_k10", |b| {
+        b.iter(|| partial_k_nearest(&train.x, q, 10, Metric::SquaredL2))
+    });
+    group.bench_function("heap_top_k10", |b| {
+        b.iter(|| top_k(&train.x, q, 10, Metric::SquaredL2))
+    });
+    let index = LshIndex::build(&train.x, LshParams::new(8, 10, 4.0, 3));
+    group.bench_function("lsh_query_k10", |b| b.iter(|| index.query(q, 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

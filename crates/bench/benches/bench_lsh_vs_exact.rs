@@ -1,0 +1,40 @@
+//! Criterion benchmark for Fig. 7: per-test-point valuation cost, exact sort
+//! vs. LSH candidate retrieval + truncated recursion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnshap_core::exact_unweighted::knn_class_shapley_single;
+use knnshap_core::lsh_approx::{lsh_class_shapley_single, plan_index_params};
+use knnshap_core::truncated::k_star;
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_datasets::{contrast, normalize};
+use knnshap_lsh::index::LshIndex;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_vs_exact");
+    group.sample_size(10);
+    let (k, eps, delta) = (1usize, 0.1, 0.1);
+    for n in [10_000usize, 50_000] {
+        let spec = EmbeddingSpec::cifar10_like().scaled(n);
+        let mut train = spec.generate();
+        let mut test = spec.queries(4);
+        let factor = normalize::scale_to_unit_dmean(&mut train.x, 2000, 3);
+        normalize::apply_scale(&mut test.x, factor);
+        let q = test.x.row(0);
+        let label = test.y[0];
+
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| knn_class_shapley_single(&train, q, label, k))
+        });
+
+        let est = contrast::estimate(&train.x, &test.x, k_star(k, eps), 4, 64, 5);
+        let params = plan_index_params(n, &est, k, eps, delta, 1.0, 24, 17);
+        let index = LshIndex::build(&train.x, params);
+        group.bench_with_input(BenchmarkId::new("lsh_query", n), &n, |b, _| {
+            b.iter(|| lsh_class_shapley_single(&index, &train, q, label, k, eps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark for the Fig. 11 machinery: cost of solving the
+//! Bennett budget equation (eq. 32) and of a single improved-MC permutation
+//! at growing N (the per-permutation cost that multiplies each budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnshap_core::bounds::{bennett_permutations, hoeffding_permutations, knn_class_phi_bound};
+use knnshap_core::mc::{mc_shapley_improved, IncKnnUtility, StoppingRule};
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_knn::weights::WeightFn;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_bounds");
+    group.sample_size(10);
+    let k = 5usize;
+    let r = knn_class_phi_bound(k);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("bennett_solver", n), &n, |b, &n| {
+            b.iter(|| bennett_permutations(n, k, 0.1 * r, 0.1, r))
+        });
+        group.bench_with_input(BenchmarkId::new("hoeffding_formula", n), &n, |b, &n| {
+            b.iter(|| hoeffding_permutations(n, 0.1 * r, 0.1, r))
+        });
+    }
+    for n in [10_000usize, 100_000] {
+        let spec = EmbeddingSpec::mnist_like(n);
+        let train = spec.generate();
+        let test = spec.queries(1);
+        group.bench_with_input(BenchmarkId::new("improved_mc_1perm", n), &n, |b, _| {
+            let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+            b.iter(|| mc_shapley_improved(&mut inc, StoppingRule::Fixed(1), 3, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

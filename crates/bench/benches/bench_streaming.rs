@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the §3.1 streaming scenario: per-query cost
+//! of the three [`OnlineValuator`] backends (exact argsort vs. truncated
+//! partial selection vs. LSH retrieval) as the corpus grows — the per-query
+//! view of the Fig. 6 comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnshap_core::lsh_approx::plan_index_params;
+use knnshap_core::streaming::{OnlineValuator, StreamBackend};
+use knnshap_core::truncated::k_star;
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_datasets::{contrast, normalize};
+use knnshap_lsh::index::LshIndex;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_per_query");
+    group.sample_size(10);
+    let (k, eps, delta) = (3usize, 0.1f64, 0.1f64);
+    for n in [5_000usize, 50_000] {
+        let spec = EmbeddingSpec::deep_like(n);
+        let mut train = spec.generate();
+        let mut queries = spec.queries(64);
+        let factor = normalize::scale_to_unit_dmean(&mut train.x, 1000, 1);
+        normalize::apply_scale(&mut queries.x, factor);
+
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            let mut v = OnlineValuator::new(&train, k, StreamBackend::Exact);
+            let mut j = 0usize;
+            b.iter(|| {
+                v.observe(queries.x.row(j % queries.len()), queries.y[j % queries.len()]);
+                j += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("truncated", n), &n, |b, _| {
+            let mut v = OnlineValuator::new(&train, k, StreamBackend::Truncated { eps });
+            let mut j = 0usize;
+            b.iter(|| {
+                v.observe(queries.x.row(j % queries.len()), queries.y[j % queries.len()]);
+                j += 1;
+            })
+        });
+        let ks = k_star(k, eps);
+        let est = contrast::estimate(&train.x, &queries.x, ks, 16, 64, 7);
+        let params = plan_index_params(train.len(), &est, k, eps, delta, 1.0, 32, 13);
+        let index = LshIndex::build(&train.x, params);
+        let mut v = OnlineValuator::new(&train, k, StreamBackend::Lsh { index, eps });
+        let mut j = 0usize;
+        group.bench_with_input(BenchmarkId::new("lsh", n), &n, |b, _| {
+            b.iter(|| {
+                v.observe(queries.x.row(j % queries.len()), queries.y[j % queries.len()]);
+                j += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks for the headline comparison (paper Fig. 6):
+//! exact Theorem 1 vs. truncated Theorem 2 vs. one baseline-MC permutation
+//! vs. one improved-MC permutation, on a fixed mid-sized dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnshap_core::exact_unweighted::knn_class_shapley_single;
+use knnshap_core::mc::{mc_shapley_baseline, mc_shapley_improved, IncKnnUtility, StoppingRule};
+use knnshap_core::truncated::truncated_class_shapley_single;
+use knnshap_core::utility::KnnClassUtility;
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_knn::weights::WeightFn;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sv_methods");
+    group.sample_size(10);
+    let k = 5usize;
+    for n in [2_000usize, 20_000] {
+        let spec = EmbeddingSpec::mnist_like(n);
+        let train = spec.generate();
+        let test = spec.queries(1);
+        let q = test.x.row(0);
+        let label = test.y[0];
+
+        group.bench_with_input(BenchmarkId::new("exact_thm1", n), &n, |b, _| {
+            b.iter(|| knn_class_shapley_single(&train, q, label, k))
+        });
+        group.bench_with_input(BenchmarkId::new("truncated_eps0.1", n), &n, |b, _| {
+            b.iter(|| truncated_class_shapley_single(&train, q, label, k, 0.1))
+        });
+        let u = KnnClassUtility::unweighted(&train, &test, k);
+        group.bench_with_input(BenchmarkId::new("baseline_mc_1perm", n), &n, |b, _| {
+            b.iter(|| mc_shapley_baseline(&u, StoppingRule::Fixed(1), 3, None))
+        });
+        group.bench_with_input(BenchmarkId::new("improved_mc_1perm", n), &n, |b, _| {
+            let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+            b.iter(|| mc_shapley_improved(&mut inc, StoppingRule::Fixed(1), 3, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark for Fig. 12: exact weighted-KNN valuation (O(N^K))
+//! vs. one improved-MC permutation, across N and K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnshap_core::exact_weighted::weighted_knn_class_shapley_single;
+use knnshap_core::mc::{mc_shapley_improved, IncKnnUtility, StoppingRule};
+use knnshap_datasets::synth::dogfish::{self, DogFishConfig};
+use knnshap_knn::weights::WeightFn;
+
+const INV: WeightFn = WeightFn::InverseDistance { eps: 1e-6 };
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted");
+    group.sample_size(10);
+    for (n, k) in [(50usize, 2usize), (50, 3), (100, 2), (100, 3)] {
+        let cfg = DogFishConfig {
+            n_train_per_class: n / 2,
+            n_test_per_class: 1,
+            ..Default::default()
+        };
+        let (train, test) = dogfish::generate(&cfg);
+        let q = test.x.row(0);
+        let id = format!("n{n}_k{k}");
+        group.bench_with_input(BenchmarkId::new("exact_thm7", &id), &n, |b, _| {
+            b.iter(|| weighted_knn_class_shapley_single(&train, q, test.y[0], k, INV))
+        });
+        let single = test.gather(&[0]);
+        group.bench_with_input(BenchmarkId::new("improved_mc_100perm", &id), &n, |b, _| {
+            let mut inc = IncKnnUtility::classification(&train, &single, k, INV);
+            b.iter(|| mc_shapley_improved(&mut inc, StoppingRule::Fixed(100), 3, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation (beyond the paper): multi-probe LSH vs. adding hash tables.
+//!
+//! Theorem 3 buys success probability with tables — each a full copy of the
+//! index. Multi-probe (Lv et al. 2007) buys it with extra bucket visits at
+//! zero memory. This ablation fixes the dataset and sweeps both axes,
+//! reporting recall@K*, candidate volume and per-query latency, so a user
+//! can judge when probes substitute for tables.
+//!
+//! Usage: `cargo run --release -p knnshap-bench --bin ablation_multiprobe [smoke|small|paper]`
+
+use knnshap_bench::util::Table;
+use knnshap_bench::Scale;
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_datasets::normalize;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::partial_k_nearest;
+use knnshap_lsh::index::{LshIndex, LshParams};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    let n = scale.pick(5_000, 50_000, 500_000);
+    let n_queries = scale.pick(20, 50, 100);
+    let k = 10usize; // K* for (K = 2, ε = 0.2)
+
+    let spec = EmbeddingSpec::deep_like(n);
+    let mut train = spec.generate();
+    let mut queries = spec.queries(n_queries);
+    let factor = normalize::scale_to_unit_dmean(&mut train.x, 1000, 1);
+    normalize::apply_scale(&mut queries.x, factor);
+
+    // Ground truth for recall.
+    let truth: Vec<Vec<u32>> = (0..queries.len())
+        .map(|j| {
+            partial_k_nearest(&train.x, queries.x.row(j), k, Metric::SquaredL2)
+                .iter()
+                .map(|nb| nb.index)
+                .collect()
+        })
+        .collect();
+
+    let mut t = Table::new(&[
+        "tables", "probes/table", "recall@10", "mean candidates", "query latency",
+    ]);
+    for &(tables, probes) in &[
+        (16usize, 1usize), // the Theorem 3 recipe: memory buys recall
+        (8, 1),
+        (4, 1),
+        (2, 1),
+        (2, 4), // …probes buy it back at 1/8 the memory
+        (2, 16),
+        (2, 64),
+    ] {
+        let sub = LshIndex::build(&train.x, LshParams::new(6, tables, 1.0, 77));
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut cands = 0usize;
+        let t0 = Instant::now();
+        for (j, truth_j) in truth.iter().enumerate() {
+            let r = sub.query_multiprobe(queries.x.row(j), k, probes);
+            cands += r.candidates;
+            let got: Vec<u32> = r.neighbors.iter().map(|nb| nb.index).collect();
+            hits += truth_j.iter().filter(|i| got.contains(i)).count();
+            total += truth_j.len();
+        }
+        let dt = t0.elapsed() / queries.len() as u32;
+        t.row(&[
+            tables.to_string(),
+            probes.to_string(),
+            format!("{:.3}", hits as f64 / total as f64),
+            format!("{:.0}", cands as f64 / queries.len() as f64),
+            format!("{dt:.2?}"),
+        ]);
+    }
+
+    println!(
+        "## Ablation — multi-probe LSH vs. table count (N = {n}, K* = {k})\n\n{}\n\
+         Reading: moving down from 16 tables to 2 drops recall; adding probes at\n\
+         2 tables recovers it with ~8× less index memory, at a modest latency\n\
+         cost per extra bucket visit. Probes substitute for tables whenever\n\
+         memory, not query latency, is the binding constraint (e.g. the paper's\n\
+         10⁷-point Yahoo sweep).",
+        t.render()
+    );
+}

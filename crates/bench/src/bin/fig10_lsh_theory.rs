@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper; see the module docs of
+//! `knnshap_bench::experiments::fig10_lsh_theory`. Usage: `cargo run --release -p
+//! knnshap-bench --bin fig10_lsh_theory [smoke|small|paper]`.
+
+fn main() {
+    let scale = knnshap_bench::Scale::from_env_or_args();
+    println!("{}", knnshap_bench::experiments::fig10_lsh_theory::run(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper; see the module docs of
+//! `knnshap_bench::experiments::fig11_permutations`. Usage: `cargo run --release -p
+//! knnshap-bench --bin fig11_permutations [smoke|small|paper]`.
+
+fn main() {
+    let scale = knnshap_bench::Scale::from_env_or_args();
+    println!("{}", knnshap_bench::experiments::fig11_permutations::run(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper; see the module docs of
+//! `knnshap_bench::experiments::fig16_logreg_proxy`. Usage: `cargo run --release -p
+//! knnshap-bench --bin fig16_logreg_proxy [smoke|small|paper]`.
+
+fn main() {
+    let scale = knnshap_bench::Scale::from_env_or_args();
+    println!("{}", knnshap_bench::experiments::fig16_logreg_proxy::run(scale));
+}

@@ -1,0 +1,44 @@
+//! Runs the full experiment battery — every table and figure of the paper's
+//! evaluation — at the chosen scale, printing each report and a wall-clock
+//! accounting at the end.
+//!
+//! Usage: `cargo run --release -p knnshap-bench --bin run_all [smoke|small|paper]`
+
+use knnshap_bench::experiments as exp;
+use knnshap_bench::{Experiment, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    println!("# knnshap experiment battery (scale: {scale:?})\n");
+    let experiments: Vec<Experiment> = vec![
+        ("tab_complexity", exp::tab_complexity::run),
+        ("fig05_convergence", exp::fig05_convergence::run),
+        ("fig06_runtime", exp::fig06_runtime::run),
+        ("fig07_lsh_table", exp::fig07_lsh_table::run),
+        ("fig08_accuracy", exp::fig08_accuracy::run),
+        ("fig09_lsh_contrast", exp::fig09_lsh_contrast::run),
+        ("fig10_lsh_theory", exp::fig10_lsh_theory::run),
+        ("fig11_permutations", exp::fig11_permutations::run),
+        ("fig12_weighted", exp::fig12_weighted::run),
+        ("fig13_curator", exp::fig13_curator::run),
+        ("fig14_dogfish", exp::fig14_dogfish::run),
+        ("fig15_composite", exp::fig15_composite::run),
+        ("fig16_logreg_proxy", exp::fig16_logreg_proxy::run),
+    ];
+    let mut timings = Vec::new();
+    for (name, f) in experiments {
+        let start = Instant::now();
+        let report = f(scale);
+        let dt = start.elapsed();
+        println!("{report}");
+        println!("_[{name} completed in {:.1}s]_\n", dt.as_secs_f64());
+        timings.push((name, dt));
+    }
+    println!("## Wall-clock summary");
+    for (name, dt) in &timings {
+        println!("- {name}: {:.1}s", dt.as_secs_f64());
+    }
+    let total: f64 = timings.iter().map(|(_, d)| d.as_secs_f64()).sum();
+    println!("- total: {total:.1}s");
+}

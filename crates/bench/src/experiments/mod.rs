@@ -1,0 +1,15 @@
+//! One module per paper table/figure. Each exposes `run(scale) -> String`.
+
+pub mod fig05_convergence;
+pub mod fig06_runtime;
+pub mod fig07_lsh_table;
+pub mod fig08_accuracy;
+pub mod fig09_lsh_contrast;
+pub mod fig10_lsh_theory;
+pub mod fig11_permutations;
+pub mod fig12_weighted;
+pub mod fig13_curator;
+pub mod fig14_dogfish;
+pub mod fig15_composite;
+pub mod fig16_logreg_proxy;
+pub mod tab_complexity;

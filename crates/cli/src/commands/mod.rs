@@ -1,0 +1,145 @@
+//! One module per subcommand; each exposes `run(&Args) -> Result<String, CliError>`.
+
+pub mod audit;
+pub mod contrast;
+pub mod synth;
+pub mod value;
+
+use crate::args::Args;
+use crate::CliError;
+use knnshap_core::pipeline::Method;
+use knnshap_core::mc::StoppingRule;
+use knnshap_datasets::ClassDataset;
+use knnshap_knn::weights::WeightFn;
+use std::path::Path;
+
+/// Loads the `--train`/`--test` CSV pair shared by value/audit/contrast.
+pub(crate) fn load_pair(args: &Args) -> Result<(ClassDataset, ClassDataset), CliError> {
+    let train = knnshap_datasets::io::load_class_csv(Path::new(args.require("train")?))?;
+    let test = knnshap_datasets::io::load_class_csv(Path::new(args.require("test")?))?;
+    if train.dim() != test.dim() {
+        return Err(CliError::Invalid(format!(
+            "train has {} features but test has {}",
+            train.dim(),
+            test.dim()
+        )));
+    }
+    Ok((train, test))
+}
+
+/// Resolves `--method`/`--eps`/`--delta`/`--seed` into a pipeline [`Method`].
+pub(crate) fn parse_method(args: &Args) -> Result<Method, CliError> {
+    let eps = args.f64_or("eps", 0.1)?;
+    let delta = args.f64_or("delta", 0.1)?;
+    let seed = args.u64_or("seed", 42)?;
+    match args.str("method").unwrap_or("exact") {
+        "exact" => Ok(Method::Exact),
+        "truncated" => Ok(Method::Truncated { eps }),
+        "lsh" => Ok(Method::Lsh { eps, delta, max_tables: args.usize_or("max-tables", 64)? }),
+        "mc-baseline" => Ok(Method::McBaseline {
+            rule: StoppingRule::Heuristic { threshold: eps / 50.0, max: 50_000 },
+            seed,
+        }),
+        "mc-improved" => Ok(Method::McImproved {
+            rule: StoppingRule::Heuristic { threshold: eps / 50.0, max: 200_000 },
+            seed,
+        }),
+        other => Err(CliError::Invalid(format!(
+            "unknown method '{other}' (exact, truncated, lsh, mc-baseline, mc-improved)"
+        ))),
+    }
+}
+
+/// Resolves `--weight`/`--weight-param` into a [`WeightFn`].
+pub(crate) fn parse_weight(args: &Args) -> Result<WeightFn, CliError> {
+    match args.str("weight").unwrap_or("uniform") {
+        "uniform" => Ok(WeightFn::Uniform),
+        "inverse" => Ok(WeightFn::InverseDistance {
+            eps: args.f64_or("weight-param", 1e-3)? as f32,
+        }),
+        "exponential" => Ok(WeightFn::Exponential {
+            beta: args.f64_or("weight-param", 1.0)? as f32,
+        }),
+        other => Err(CliError::Invalid(format!(
+            "unknown weight '{other}' (uniform, inverse, exponential)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+    use std::path::PathBuf;
+
+    /// Writes a small train/test CSV pair into the temp dir; returns paths.
+    pub fn csv_pair(tag: &str, n: usize, n_test: usize) -> (PathBuf, PathBuf) {
+        let cfg = BlobConfig {
+            n,
+            dim: 4,
+            n_classes: 2,
+            cluster_std: 0.5,
+            center_scale: 3.0,
+            seed: 11,
+        };
+        let train = blobs::generate(&cfg);
+        let test = blobs::queries(&cfg, n_test, 23);
+        let dir = std::env::temp_dir();
+        let tpath = dir.join(format!("knnshap-cli-{}-{tag}-train.csv", std::process::id()));
+        let qpath = dir.join(format!("knnshap-cli-{}-{tag}-test.csv", std::process::id()));
+        knnshap_datasets::io::save_class_csv(&tpath, &train).unwrap();
+        knnshap_datasets::io::save_class_csv(&qpath, &test).unwrap();
+        (tpath, qpath)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parsing_covers_all_variants() {
+        for (name, ok) in [
+            ("exact", true),
+            ("truncated", true),
+            ("lsh", true),
+            ("mc-baseline", true),
+            ("mc-improved", true),
+            ("bogus", false),
+        ] {
+            let args = Args::parse(["value", "--method", name]).unwrap();
+            assert_eq!(parse_method(&args).is_ok(), ok, "{name}");
+        }
+    }
+
+    #[test]
+    fn weight_parsing_covers_all_variants() {
+        let args = Args::parse(["value", "--weight", "inverse", "--weight-param", "0.01"]).unwrap();
+        assert!(matches!(
+            parse_weight(&args).unwrap(),
+            WeightFn::InverseDistance { .. }
+        ));
+        let args = Args::parse(["value", "--weight", "nope"]).unwrap();
+        assert!(parse_weight(&args).is_err());
+        let args = Args::parse(["value"]).unwrap();
+        assert!(matches!(parse_weight(&args).unwrap(), WeightFn::Uniform));
+    }
+
+    #[test]
+    fn load_pair_validates_dimensions() {
+        let (tpath, _) = testutil::csv_pair("dim-a", 20, 5);
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("knnshap-cli-{}-dim-bad.csv", std::process::id()));
+        std::fs::write(&bad, "1.0,2.0,0\n3.0,4.0,1\n").unwrap();
+        let args = Args::parse([
+            "value",
+            "--train",
+            tpath.to_str().unwrap(),
+            "--test",
+            bad.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = load_pair(&args).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
+        std::fs::remove_file(&bad).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! `knnshap synth` — generate the DESIGN.md stand-in datasets as CSV.
+
+use crate::args::Args;
+use crate::CliError;
+use knnshap_datasets::synth::blobs::{self, BlobConfig};
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_datasets::synth::dogfish::{self, DogFishConfig};
+use knnshap_datasets::synth::iris::iris_like;
+use knnshap_datasets::ClassDataset;
+use std::path::Path;
+
+const ALLOWED: &[&str] = &[
+    "kind", "out", "n", "dim", "classes", "std", "seed", "queries", "queries-out",
+];
+
+pub fn run(args: &Args) -> Result<String, CliError> {
+    args.expect_only(ALLOWED)?;
+    let kind = args.str("kind").unwrap_or("blobs");
+    let out = Path::new(args.require("out")?);
+    let n = args.usize_or("n", 1000)?;
+    let seed = args.u64_or("seed", 7)?;
+    let n_queries = args.usize_or("queries", 0)?;
+
+    let (train, queries) = match kind {
+        "blobs" => {
+            let cfg = BlobConfig {
+                n,
+                dim: args.usize_or("dim", 16)?,
+                n_classes: args.usize_or("classes", 3)? as u32,
+                cluster_std: args.f64_or("std", 0.6)?,
+                center_scale: 3.0,
+                seed,
+            };
+            let q = (n_queries > 0).then(|| blobs::queries(&cfg, n_queries, seed ^ 0x9E37));
+            (blobs::generate(&cfg), q)
+        }
+        "dogfish" => {
+            let cfg = DogFishConfig {
+                n_train_per_class: n / 2,
+                n_test_per_class: (n_queries / 2).max(1),
+                seed,
+                ..Default::default()
+            };
+            let (train, test) = dogfish::generate(&cfg);
+            (train, (n_queries > 0).then_some(test))
+        }
+        "iris" => {
+            let d = iris_like(n / 3, seed);
+            let q = (n_queries > 0).then(|| iris_like(n_queries.div_ceil(3), seed ^ 0x51));
+            (d, q)
+        }
+        "deep" | "gist" | "mnist" => {
+            let spec = match kind {
+                "deep" => EmbeddingSpec::deep_like(n),
+                "gist" => EmbeddingSpec::gist_like(n),
+                _ => EmbeddingSpec::mnist_like(n),
+            };
+            let q = (n_queries > 0).then(|| spec.queries(n_queries));
+            (spec.generate(), q)
+        }
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown kind '{other}' (blobs, dogfish, iris, deep, gist, mnist)"
+            )))
+        }
+    };
+
+    knnshap_datasets::io::save_class_csv(out, &train)?;
+    let mut report = format!(
+        "wrote {} ({} points × {} features, {} classes)\n",
+        out.display(),
+        train.len(),
+        train.dim(),
+        train.n_classes
+    );
+    if let Some(q) = queries {
+        let qpath = Path::new(args.require("queries-out").map_err(|_| {
+            CliError::Invalid("--queries given but --queries-out missing".into())
+        })?);
+        save_queries(qpath, &q)?;
+        report.push_str(&format!(
+            "wrote {} ({} query points)\n",
+            qpath.display(),
+            q.len()
+        ));
+    }
+    Ok(report)
+}
+
+fn save_queries(path: &Path, q: &ClassDataset) -> Result<(), CliError> {
+    knnshap_datasets::io::save_class_csv(path, q)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("knnshap-cli-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn blobs_roundtrip_through_csv() {
+        let out = tmp("synth-blobs.csv");
+        let report = crate::run([
+            "synth", "--kind", "blobs", "--n", "60", "--dim", "5", "--classes", "2", "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("60 points × 5 features"));
+        let back = knnshap_datasets::io::load_class_csv(&out).unwrap();
+        assert_eq!(back.len(), 60);
+        assert_eq!(back.dim(), 5);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn queries_require_queries_out() {
+        let out = tmp("synth-noq.csv");
+        let err = crate::run([
+            "synth", "--kind", "blobs", "--n", "20", "--queries", "5", "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("queries-out"));
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn dogfish_writes_both_files() {
+        let out = tmp("synth-df-train.csv");
+        let qout = tmp("synth-df-test.csv");
+        let report = crate::run([
+            "synth", "--kind", "dogfish", "--n", "40", "--queries", "10", "--out",
+            out.to_str().unwrap(), "--queries-out", qout.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("query points"));
+        assert!(out.exists() && qout.exists());
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&qout).ok();
+    }
+
+    #[test]
+    fn iris_and_embedding_kinds_generate() {
+        for kind in ["iris", "deep", "gist", "mnist"] {
+            let out = tmp(&format!("synth-{kind}.csv"));
+            let report = crate::run([
+                "synth", "--kind", kind, "--n", "90", "--out", out.to_str().unwrap(),
+            ])
+            .unwrap();
+            assert!(report.contains("points ×"), "{kind}: {report}");
+            std::fs::remove_file(&out).ok();
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = crate::run(["synth", "--kind", "martian", "--out", "/tmp/x.csv"]).unwrap_err();
+        assert!(err.to_string().contains("unknown kind"));
+    }
+}

@@ -1,0 +1,146 @@
+//! # knnshap-cli — data valuation from the command line
+//!
+//! A thin, scriptable front end over the workspace: bring a training and a
+//! test CSV (features…, integer label — the `knnshap_datasets::io` format),
+//! get per-point Shapley values, audits and LSH feasibility reports back.
+//!
+//! ```text
+//! knnshap synth    --kind blobs --n 2000 --out train.csv --queries 100 --queries-out test.csv
+//! knnshap value    --train train.csv --test test.csv --k 3 --method exact --out values.csv
+//! knnshap value    --train train.csv --test test.csv --k 3 --revenue 10000 --base-fee 500
+//! knnshap audit    --train train.csv --test test.csv --k 3 --inspect 25
+//! knnshap contrast --train train.csv --test test.csv --k 1 --eps 0.1
+//! ```
+//!
+//! Every command is a pure function from parsed arguments to a report
+//! string (plus optional CSV side effects), so the whole surface is unit-
+//! tested without spawning processes.
+
+pub mod args;
+pub mod commands;
+pub mod report;
+
+use args::{ArgError, Args};
+
+/// Top-level CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Dataset file problems.
+    Io(knnshap_datasets::io::IoError),
+    /// Valuation pipeline configuration problems.
+    Pipeline(knnshap_core::pipeline::PipelineError),
+    /// Anything command-specific (bad enum value, inconsistent datasets…).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command '{c}' (try: value, audit, contrast, synth)")
+            }
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<knnshap_datasets::io::IoError> for CliError {
+    fn from(e: knnshap_datasets::io::IoError) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<knnshap_core::pipeline::PipelineError> for CliError {
+    fn from(e: knnshap_core::pipeline::PipelineError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+/// Usage text printed on `help` or argument errors.
+pub const USAGE: &str = "\
+knnshap — efficient task-specific data valuation for nearest neighbors
+         (Jia et al., VLDB 2019)
+
+USAGE: knnshap <command> [--option value]...
+
+COMMANDS
+  value     compute per-point Shapley values of a training CSV
+            --train FILE --test FILE [--k 1] [--method exact|truncated|lsh|
+            mc-baseline|mc-improved] [--eps 0.1] [--delta 0.1]
+            [--weight uniform|inverse|exponential] [--weight-param X]
+            [--threads N] [--top 10] [--out FILE]
+            [--revenue A --base-fee B]   (affine §7 payout mapping)
+  audit     rank suspicious (lowest-value) points; optionally score the
+            ranking against known-bad indices
+            --train FILE --test FILE [--k 1] [--method ...] [--eps 0.1]
+            [--inspect 20] [--flagged FILE]
+  contrast  estimate relative contrast C_K* and the LSH feasibility report
+            --train FILE --test FILE [--k 1] [--eps 0.1] [--delta 0.1]
+  synth     generate synthetic datasets (see DESIGN.md substitutions)
+            --kind blobs|dogfish|iris|deep|gist|mnist --out FILE
+            [--n 1000] [--dim 16] [--classes 3] [--std 0.6] [--seed 7]
+            [--queries N --queries-out FILE]
+  help      print this text
+
+Dataset format: CSV, one point per row, features then integer label last.
+";
+
+/// Parses `argv` (without program name) and runs the matching command,
+/// returning the printable report.
+pub fn run<I, S>(argv: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(argv)?;
+    match args.subcommand() {
+        "value" => commands::value::run(&args),
+        "audit" => commands::audit::run(&args),
+        "contrast" => commands::contrast::run(&args),
+        "synth" => commands::synth::run(&args),
+        "help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = run(["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("contrast"));
+    }
+
+    #[test]
+    fn arg_errors_bubble_up() {
+        assert!(matches!(
+            run(Vec::<String>::new()).unwrap_err(),
+            CliError::Args(ArgError::MissingSubcommand)
+        ));
+    }
+}

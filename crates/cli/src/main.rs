@@ -1,0 +1,15 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match knnshap_cli::run(argv) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", knnshap_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

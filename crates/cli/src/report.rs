@@ -1,0 +1,116 @@
+//! Plain-text report building: aligned tables and key/value sections.
+
+/// A column-aligned text table (right-aligned numeric feel, left-aligned
+/// header rule), rendered with `render`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row; panics if the cell count differs from the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with two-space gutters and a dashed rule under the header.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..*w {
+                    out.push(' ');
+                }
+            }
+            // trim trailing pad
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: Vec<String> = (0..ncol).map(|i| "-".repeat(widths[i])).collect();
+        emit(&mut out, &rule);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float for reports: fixed 6 decimals for ordinary magnitudes,
+/// scientific for very small/large non-zero values.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e-4 && v.abs() < 1e7 {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["idx", "value"]);
+        t.row(["1", "0.5"]).row(["10", "-0.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "idx  value");
+        assert_eq!(lines[1], "---  -----");
+        assert_eq!(lines[2], "1    0.5");
+        assert_eq!(lines[3], "10   -0.25");
+    }
+
+    #[test]
+    fn wide_cells_stretch_columns() {
+        let mut t = Table::new(["a"]);
+        t.row(["longer-than-header"]);
+        let s = t.render();
+        assert!(s.lines().nth(1).unwrap().len() >= "longer-than-header".len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting_modes() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.5), "0.500000");
+        assert_eq!(fmt_f64(-3.25e-7), "-3.250e-7");
+        assert_eq!(fmt_f64(1.0e9), "1.000e9");
+    }
+}

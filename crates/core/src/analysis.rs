@@ -1,0 +1,325 @@
+//! Applications of the computed values (paper §7): monetary payouts, data
+//! debugging (noisy-label / poisoning audits) and per-class value summaries.
+//!
+//! The paper motivates the Shapley value as the revenue-sharing rule of a
+//! data marketplace, and observes (§7, "Implications of Task-Specific Data
+//! Valuation") that mislabeled or adversarial training points "naturally
+//! have low SVs because they contribute little to boosting the performance
+//! of the model". This module turns those observations into operational
+//! tools:
+//!
+//! * [`monetary_payout`] — the §7 affine map from utility shares to dollars;
+//! * [`DetectionCurve`] — inspect points in ascending-value order and track
+//!   how quickly a known-bad subset is recovered (the standard evaluation of
+//!   value-based data debugging);
+//! * [`per_class_summary`] — aggregate values by class label, the analysis
+//!   behind Fig. 14(b)/(c) ("the KNN SV assigns more values to dog images
+//!   than fish images").
+
+use crate::types::ShapleyValues;
+use knnshap_numerics::stats;
+
+/// Per-contributor monetary reward under the §7 affine revenue model
+/// `R(S) = a·ν(S) + b·1[S ≠ ∅]`.
+///
+/// The utility-proportional part follows from additivity:
+/// `s(a·ν, i) = a·s(ν, i)`. The flat participation fee `b` is a symmetric
+/// game (every non-empty coalition is worth `b`), whose Shapley share is the
+/// equal split `b/N`. Payouts therefore sum to `a·ν(I) + b` exactly — the
+/// group-rationality axiom carried over to dollars.
+///
+/// ```
+/// use knnshap_core::analysis::monetary_payout;
+/// use knnshap_core::ShapleyValues;
+///
+/// let sv = ShapleyValues::new(vec![0.6, 0.3, 0.1]); // ν(I) = 1.0
+/// let pay = monetary_payout(&sv, 9_000.0, 300.0);   // $9k utility-linked + $300 fee
+/// assert_eq!(pay, vec![5_500.0, 2_800.0, 1_000.0]);
+/// assert!((pay.iter().sum::<f64>() - 9_300.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn monetary_payout(values: &ShapleyValues, a: f64, b: f64) -> Vec<f64> {
+    assert!(!values.is_empty(), "no contributors to pay");
+    let flat = b / values.len() as f64;
+    values.as_slice().iter().map(|&s| a * s + flat).collect()
+}
+
+/// How fast does inspecting points in *ascending* value order recover a
+/// known-bad subset (flipped labels, poisoned points)?
+///
+/// A perfect valuation ranks every bad point below every clean one, giving a
+/// curve that climbs to recall 1 after inspecting `|bad|` points; a random
+/// ordering climbs along the diagonal. [`DetectionCurve::auc`] summarizes
+/// this: 1.0 for a perfect audit, ≈0.5 for an uninformative one.
+///
+/// ```
+/// use knnshap_core::analysis::DetectionCurve;
+/// use knnshap_core::ShapleyValues;
+///
+/// // two corrupted points carry the lowest values — a perfect audit
+/// let sv = ShapleyValues::new(vec![0.4, -0.2, 0.3, -0.1]);
+/// let curve = DetectionCurve::new(&sv, &[false, true, false, true]);
+/// assert_eq!(curve.recall_at(2), 1.0);
+/// assert_eq!(curve.precision_at(2), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionCurve {
+    /// `recall[m]` = fraction of bad points found within the `m` first
+    /// inspections (index 0 = none inspected, so `recall[0] = 0`).
+    recall: Vec<f64>,
+    n_bad: usize,
+}
+
+impl DetectionCurve {
+    /// Ranks `values` ascending and sweeps the inspection budget.
+    ///
+    /// `is_bad[i]` marks training point `i` as belonging to the ground-truth
+    /// bad subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or no point is marked bad.
+    pub fn new(values: &ShapleyValues, is_bad: &[bool]) -> Self {
+        assert_eq!(values.len(), is_bad.len(), "length mismatch");
+        let n_bad = is_bad.iter().filter(|&&b| b).count();
+        assert!(n_bad > 0, "ground-truth bad subset is empty");
+        // ascending value = descending suspicion
+        let mut order = values.ranking();
+        order.reverse();
+        let mut recall = Vec::with_capacity(order.len() + 1);
+        recall.push(0.0);
+        let mut found = 0usize;
+        for &i in &order {
+            if is_bad[i] {
+                found += 1;
+            }
+            recall.push(found as f64 / n_bad as f64);
+        }
+        Self { recall, n_bad }
+    }
+
+    /// Number of ground-truth bad points.
+    pub fn n_bad(&self) -> usize {
+        self.n_bad
+    }
+
+    /// Fraction of bad points found after inspecting the `m` lowest-valued
+    /// points (`m` is clamped to the dataset size).
+    pub fn recall_at(&self, m: usize) -> f64 {
+        self.recall[m.min(self.recall.len() - 1)]
+    }
+
+    /// Fraction of the first `m` inspected points that are actually bad.
+    pub fn precision_at(&self, m: usize) -> f64 {
+        let m = m.min(self.recall.len() - 1);
+        if m == 0 {
+            return 0.0;
+        }
+        self.recall[m] * self.n_bad as f64 / m as f64
+    }
+
+    /// Area under the inspected-fraction → recall curve (trapezoidal).
+    /// 1.0 = every bad point ranked below every clean point; ≈0.5 = random.
+    pub fn auc(&self) -> f64 {
+        let n = self.recall.len() - 1;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        for w in self.recall.windows(2) {
+            area += (w[0] + w[1]) / 2.0;
+        }
+        area / n as f64
+    }
+
+    /// `(inspected fraction, recall)` pairs, one per inspection step — the
+    /// series a plot would consume.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = (self.recall.len() - 1).max(1);
+        self.recall
+            .iter()
+            .enumerate()
+            .map(|(m, &r)| (m as f64 / n as f64, r))
+            .collect()
+    }
+}
+
+/// Value statistics of one class (see [`per_class_summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassValueSummary {
+    pub class: u32,
+    pub count: usize,
+    pub total: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Aggregates values per class label — the Fig. 14(b) analysis in which dog
+/// training images collect more value than fish images because fish points
+/// sit closer to dog queries and mislead them.
+///
+/// Classes with no training points get `count = 0` and zeroed statistics.
+///
+/// # Panics
+///
+/// Panics if lengths differ or a label is `≥ n_classes`.
+pub fn per_class_summary(
+    values: &ShapleyValues,
+    labels: &[u32],
+    n_classes: u32,
+) -> Vec<ClassValueSummary> {
+    assert_eq!(values.len(), labels.len(), "length mismatch");
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_classes as usize];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < n_classes, "label {l} out of range");
+        buckets[l as usize].push(values.get(i));
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(c, vals)| {
+            if vals.is_empty() {
+                ClassValueSummary {
+                    class: c as u32,
+                    count: 0,
+                    total: 0.0,
+                    mean: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                }
+            } else {
+                ClassValueSummary {
+                    class: c as u32,
+                    count: vals.len(),
+                    total: vals.iter().sum(),
+                    mean: stats::mean(&vals),
+                    min: vals.iter().copied().fold(f64::INFINITY, f64::min),
+                    max: vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Rank agreement between two valuations of the same training set —
+/// Spearman correlation of the value vectors (the Fig. 14(b)/Fig. 16
+/// comparison statistic).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rank_agreement(a: &ShapleyValues, b: &ShapleyValues) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    stats::spearman(a.as_slice(), b.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payout_distributes_revenue_exactly() {
+        let sv = ShapleyValues::new(vec![0.5, 0.3, 0.2]);
+        let pay = monetary_payout(&sv, 100.0, 30.0);
+        assert_eq!(pay.len(), 3);
+        assert!((pay.iter().sum::<f64>() - (100.0 * 1.0 + 30.0)).abs() < 1e-12);
+        assert!((pay[0] - (50.0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payout_flat_fee_is_equal_split() {
+        let sv = ShapleyValues::zeros(4);
+        let pay = monetary_payout(&sv, 7.0, 12.0);
+        for p in pay {
+            assert!((p - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no contributors")]
+    fn payout_rejects_empty() {
+        monetary_payout(&ShapleyValues::zeros(0), 1.0, 0.0);
+    }
+
+    #[test]
+    fn perfect_detection_has_auc_one() {
+        // bad points hold the strictly lowest values
+        let sv = ShapleyValues::new(vec![0.9, -0.5, 0.8, -0.4, 0.7]);
+        let bad = vec![false, true, false, true, false];
+        let c = DetectionCurve::new(&sv, &bad);
+        assert_eq!(c.recall_at(2), 1.0);
+        assert_eq!(c.precision_at(2), 1.0);
+        // AUC = 1 - (area lost before full recall) = for n=5, m_bad=2:
+        // recall steps 0, .5, 1, 1, 1, 1 → trapezoid = (0.25+0.75+1+1+1)/5
+        assert!((c.auc() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_detection_is_worst_case() {
+        // bad points hold the highest values → found last
+        let sv = ShapleyValues::new(vec![0.9, 0.8, -0.1, -0.2]);
+        let bad = vec![true, true, false, false];
+        let c = DetectionCurve::new(&sv, &bad);
+        assert_eq!(c.recall_at(2), 0.0);
+        assert_eq!(c.recall_at(4), 1.0);
+        assert!(c.auc() < 0.5);
+    }
+
+    #[test]
+    fn recall_monotone_and_clamped() {
+        let sv = ShapleyValues::new(vec![0.1, 0.2, 0.3, 0.0]);
+        let bad = vec![true, false, true, false];
+        let c = DetectionCurve::new(&sv, &bad);
+        let mut prev = -1.0;
+        for m in 0..=6 {
+            let r = c.recall_at(m);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(c.recall_at(100), 1.0);
+        assert_eq!(c.points().len(), 5);
+        assert_eq!(c.points()[0], (0.0, 0.0));
+        assert_eq!(c.points()[4], (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad subset is empty")]
+    fn detection_requires_some_bad_points() {
+        let sv = ShapleyValues::zeros(3);
+        DetectionCurve::new(&sv, &[false, false, false]);
+    }
+
+    #[test]
+    fn precision_at_zero_is_zero() {
+        let sv = ShapleyValues::new(vec![0.0, 1.0]);
+        let c = DetectionCurve::new(&sv, &[true, false]);
+        assert_eq!(c.precision_at(0), 0.0);
+    }
+
+    #[test]
+    fn class_summary_aggregates() {
+        let sv = ShapleyValues::new(vec![0.1, 0.2, -0.1, 0.4]);
+        let labels = vec![0u32, 1, 0, 1];
+        let s = per_class_summary(&sv, &labels, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].count, 2);
+        assert!((s[0].total - 0.0).abs() < 1e-12);
+        assert!((s[0].min - -0.1).abs() < 1e-12);
+        assert!((s[1].mean - 0.3).abs() < 1e-12);
+        assert_eq!(s[2].count, 0);
+        assert_eq!(s[2].total, 0.0);
+    }
+
+    #[test]
+    fn rank_agreement_of_identical_orderings_is_one() {
+        let a = ShapleyValues::new(vec![0.1, 0.5, 0.3]);
+        let b = ShapleyValues::new(vec![1.0, 5.0, 3.0]);
+        assert!((rank_agreement(&a, &b) - 1.0).abs() < 1e-12);
+        let c = ShapleyValues::new(vec![5.0, 1.0, 3.0]);
+        assert!(rank_agreement(&a, &c) < 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Shapley axiom checkers (§2.1 of the paper).
+//!
+//! The Shapley value is the *unique* allocation satisfying group rationality
+//! (efficiency), fairness (symmetry + null player) and additivity. These
+//! checkers turn the axioms into executable assertions; the property-based
+//! test suite runs them against every algorithm in the crate, and examples
+//! use them to demonstrate that the produced valuations are bona fide
+//! Shapley values.
+
+use crate::types::ShapleyValues;
+use crate::utility::Utility;
+
+/// Result of checking one axiom; `violation` is a human-readable witness.
+#[derive(Debug, Clone)]
+pub struct AxiomCheck {
+    pub holds: bool,
+    pub violation: Option<String>,
+}
+
+impl AxiomCheck {
+    fn ok() -> Self {
+        Self {
+            holds: true,
+            violation: None,
+        }
+    }
+
+    fn fail(msg: String) -> Self {
+        Self {
+            holds: false,
+            violation: Some(msg),
+        }
+    }
+}
+
+/// Group rationality / efficiency: `Σ_i s_i = ν(I) − ν(∅)`.
+pub fn check_efficiency<U: Utility + ?Sized>(
+    sv: &ShapleyValues,
+    u: &U,
+    tol: f64,
+) -> AxiomCheck {
+    let want = u.grand() - u.eval(&[]);
+    let got = sv.total();
+    if (got - want).abs() <= tol {
+        AxiomCheck::ok()
+    } else {
+        AxiomCheck::fail(format!("Σs = {got}, ν(I) − ν(∅) = {want}"))
+    }
+}
+
+/// Symmetry: if `ν(S∪{i}) = ν(S∪{j})` for every `S ⊆ I\{i,j}`, then
+/// `s_i = s_j`. Checks the premise by exhaustive enumeration, so `n ≤ 20`.
+pub fn check_symmetry<U: Utility + ?Sized>(
+    sv: &ShapleyValues,
+    u: &U,
+    i: usize,
+    j: usize,
+    tol: f64,
+) -> AxiomCheck {
+    let n = u.n();
+    assert!(n <= 20, "symmetry premise check is O(2^N)");
+    assert!(i < n && j < n && i != j);
+    let mut members: Vec<usize> = Vec::with_capacity(n);
+    for mask in 0..(1usize << n) {
+        if mask & (1 << i) != 0 || mask & (1 << j) != 0 {
+            continue;
+        }
+        members.clear();
+        for p in 0..n {
+            if mask & (1 << p) != 0 {
+                members.push(p);
+            }
+        }
+        members.push(i);
+        members.sort_unstable();
+        let with_i = u.eval(&members);
+        members.retain(|&p| p != i);
+        members.push(j);
+        members.sort_unstable();
+        let with_j = u.eval(&members);
+        if (with_i - with_j).abs() > tol {
+            // premise fails; the axiom imposes nothing
+            return AxiomCheck::ok();
+        }
+    }
+    if (sv[i] - sv[j]).abs() <= tol {
+        AxiomCheck::ok()
+    } else {
+        AxiomCheck::fail(format!(
+            "players {i},{j} are interchangeable but s_{i}={} ≠ s_{j}={}",
+            sv[i], sv[j]
+        ))
+    }
+}
+
+/// Null player: if `ν(S∪{i}) = ν(S)` for every `S`, then `s_i = 0`.
+/// Premise checked exhaustively, so `n ≤ 20`.
+pub fn check_null_player<U: Utility + ?Sized>(
+    sv: &ShapleyValues,
+    u: &U,
+    i: usize,
+    tol: f64,
+) -> AxiomCheck {
+    let n = u.n();
+    assert!(n <= 20, "null-player premise check is O(2^N)");
+    assert!(i < n);
+    let mut members: Vec<usize> = Vec::with_capacity(n);
+    for mask in 0..(1usize << n) {
+        if mask & (1 << i) != 0 {
+            continue;
+        }
+        members.clear();
+        for p in 0..n {
+            if mask & (1 << p) != 0 {
+                members.push(p);
+            }
+        }
+        let without = u.eval(&members);
+        members.push(i);
+        members.sort_unstable();
+        let with = u.eval(&members);
+        if (with - without).abs() > tol {
+            return AxiomCheck::ok(); // not a null player
+        }
+    }
+    if sv[i].abs() <= tol {
+        AxiomCheck::ok()
+    } else {
+        AxiomCheck::fail(format!("player {i} is null but s_{i} = {}", sv[i]))
+    }
+}
+
+/// The pointwise sum of two games, for additivity checks:
+/// `s(ν₁ + ν₂, i) = s(ν₁, i) + s(ν₂, i)`.
+pub struct SumUtility<'a, A: Utility + ?Sized, B: Utility + ?Sized> {
+    pub a: &'a A,
+    pub b: &'a B,
+}
+
+impl<A: Utility + ?Sized, B: Utility + ?Sized> Utility for SumUtility<'_, A, B> {
+    fn n(&self) -> usize {
+        debug_assert_eq!(self.a.n(), self.b.n());
+        self.a.n()
+    }
+
+    fn eval(&self, subset: &[usize]) -> f64 {
+        self.a.eval(subset) + self.b.eval(subset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_enum::shapley_enumeration;
+
+    struct Additive {
+        w: Vec<f64>,
+    }
+
+    impl Utility for Additive {
+        fn n(&self) -> usize {
+            self.w.len()
+        }
+        fn eval(&self, subset: &[usize]) -> f64 {
+            subset.iter().map(|&i| self.w[i]).sum()
+        }
+    }
+
+    #[test]
+    fn efficiency_detects_violation() {
+        let g = Additive {
+            w: vec![1.0, 2.0],
+        };
+        let good = ShapleyValues::new(vec![1.0, 2.0]);
+        assert!(check_efficiency(&good, &g, 1e-12).holds);
+        let bad = ShapleyValues::new(vec![1.0, 1.0]);
+        let chk = check_efficiency(&bad, &g, 1e-12);
+        assert!(!chk.holds);
+        assert!(chk.violation.unwrap().contains("Σs"));
+    }
+
+    #[test]
+    fn symmetry_holds_for_equal_weights() {
+        let g = Additive {
+            w: vec![0.5, 0.5, 2.0],
+        };
+        let sv = shapley_enumeration(&g);
+        assert!(check_symmetry(&sv, &g, 0, 1, 1e-12).holds);
+        // premise false for (0, 2): axiom imposes nothing => ok
+        assert!(check_symmetry(&sv, &g, 0, 2, 1e-12).holds);
+        // violated claim
+        let bad = ShapleyValues::new(vec![0.4, 0.6, 2.0]);
+        assert!(!check_symmetry(&bad, &g, 0, 1, 1e-12).holds);
+    }
+
+    #[test]
+    fn null_player_detection() {
+        let g = Additive {
+            w: vec![0.0, 1.0],
+        };
+        let sv = shapley_enumeration(&g);
+        assert!(check_null_player(&sv, &g, 0, 1e-12).holds);
+        let bad = ShapleyValues::new(vec![0.3, 0.7]);
+        assert!(!check_null_player(&bad, &g, 0, 1e-12).holds);
+        // player 1 is not null: check passes vacuously
+        assert!(check_null_player(&bad, &g, 1, 1e-12).holds);
+    }
+
+    #[test]
+    fn additivity_through_sum_utility() {
+        let a = Additive {
+            w: vec![1.0, -1.0, 0.5],
+        };
+        let b = Additive {
+            w: vec![0.25, 0.25, 0.25],
+        };
+        let sum = SumUtility { a: &a, b: &b };
+        let sa = shapley_enumeration(&a);
+        let sb = shapley_enumeration(&b);
+        let ssum = shapley_enumeration(&sum);
+        for i in 0..3 {
+            assert!((ssum[i] - (sa[i] + sb[i])).abs() < 1e-12);
+        }
+    }
+}

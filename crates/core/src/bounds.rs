@@ -1,0 +1,217 @@
+//! Permutation-sample-complexity bounds for Monte Carlo Shapley estimation.
+//!
+//! * **Hoeffding** (baseline, §2.2, after Maleki et al.): to get an
+//!   (ε, δ)-approximation, `T ≥ ((b−a)²/(2ε²)) ln(2N/δ)` permutations
+//!   suffice, where `b−a` is the width of the interval containing the
+//!   utility differences `φ_i`.
+//! * **Bennett** (Theorem 5): exploiting that `φ_i = 0` whenever adding point
+//!   `i` does not change the K-nearest set — which for the rank-`i` point
+//!   happens with probability `q_i = (i−K)/i` (eq. 33) — the variance of
+//!   `φ_i` is at most `(1−q_i²) r²` and the required `T*` solves
+//!   `Σ_i exp(−T(1−q_i²) h(ε/((1−q_i²) r))) = δ/2` (eq. 32).
+//! * **Approximate Bennett** (Appendix H): `T̃ = (1/h(ε/r)) ln(2K/δ)`
+//!   (eq. 134), lower-bounded by `(r²/ε²) ln(2K/δ)` (eq. 35) and notably
+//!   *independent of N* — the key qualitative claim of Fig. 11.
+//!
+//! ### Range convention
+//!
+//! The paper uses `r` for both "the range of the utility differences" (§2.2)
+//! and "the range `[−r, r]`" (Theorem 5); for the unweighted KNN classifier
+//! it states `r = 1/K`, which is the *almost-sure bound* `|φ_i| ≤ 1/K`
+//! (adding a point swaps at most one vote of weight 1/K). To keep the two
+//! bounds comparable, every function here takes `phi_bound` = the a.s. bound
+//! on `|φ_i|` (1/K for unweighted KNN classification); Hoeffding then uses
+//! interval width `2·phi_bound` and Bennett uses `r = phi_bound`, matching
+//! Theorem 5 exactly.
+
+use knnshap_numerics::roots::bisect_with_growing_bracket;
+use knnshap_numerics::special::bennett_h;
+
+/// A.s. bound on the utility difference `|φ_i|` for the unweighted KNN
+/// classifier utility (paper: `r = 1/K`).
+pub fn knn_class_phi_bound(k: usize) -> f64 {
+    assert!(k >= 1);
+    1.0 / k as f64
+}
+
+/// Hoeffding permutation budget `T = ⌈((2·phi_bound)²/(2ε²)) ln(2N/δ)⌉`.
+///
+/// ```
+/// use knnshap_core::bounds::{bennett_permutations, hoeffding_permutations};
+///
+/// // Fig. 11's headline: the Hoeffding budget keeps growing with N while the
+/// // Bennett budget (which sees the collapsing per-point variance, eq. 33)
+/// // stays flat — and sits far below it.
+/// let r = 1.0; // K = 1 ⇒ φ ∈ [−1, 1]
+/// let (h1, h2) = (
+///     hoeffding_permutations(1_000, 0.1, 0.1, r),
+///     hoeffding_permutations(100_000, 0.1, 0.1, r),
+/// );
+/// let (b1, b2) = (
+///     bennett_permutations(1_000, 1, 0.1, 0.1, r),
+///     bennett_permutations(100_000, 1, 0.1, 0.1, r),
+/// );
+/// assert!(h2 > h1);
+/// assert_eq!(b1, b2);
+/// assert!(b1 < h1 / 2);
+/// ```
+pub fn hoeffding_permutations(n: usize, eps: f64, delta: f64, phi_bound: f64) -> usize {
+    assert!(n >= 1 && eps > 0.0 && phi_bound > 0.0);
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    let width = 2.0 * phi_bound;
+    let t = width * width / (2.0 * eps * eps) * (2.0 * n as f64 / delta).ln();
+    t.ceil().max(1.0) as usize
+}
+
+/// `q_i`: probability that the rank-`i` (1-based) point leaves the utility
+/// unchanged when inserted at a uniformly random position (eq. 33).
+pub fn q_i(i: usize, k: usize) -> f64 {
+    assert!(i >= 1);
+    if i <= k {
+        0.0
+    } else {
+        (i - k) as f64 / i as f64
+    }
+}
+
+/// Exact Bennett budget `T*`: the root of eq. (32), found by bisection with a
+/// geometrically growing bracket (the LHS is strictly decreasing in `T`).
+///
+/// Cost is O(N) per function evaluation; the per-rank exponents are
+/// precomputed so the bisection loop is a pure `exp`-sum.
+pub fn bennett_permutations(n: usize, k: usize, eps: f64, delta: f64, phi_bound: f64) -> usize {
+    assert!(n >= 1 && k >= 1 && eps > 0.0 && phi_bound > 0.0);
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    let r = phi_bound;
+    // a_i = (1 − q_i²)·h(ε / ((1 − q_i²)·r)); Σ_i exp(−T·a_i) = δ/2.
+    // Ranks 1..=K share q = 0 and are folded into one weighted term.
+    let a_of = |q: f64| {
+        let v = 1.0 - q * q;
+        v * bennett_h(eps / (v * r))
+    };
+    let mut exponents: Vec<(f64, f64)> = Vec::with_capacity(n.saturating_sub(k) + 1);
+    exponents.push((k.min(n) as f64, a_of(0.0)));
+    for i in (k + 1)..=n {
+        exponents.push((1.0, a_of(q_i(i, k))));
+    }
+    let target = delta / 2.0;
+    let f = |t: f64| {
+        exponents
+            .iter()
+            .map(|&(mult, a)| mult * (-t * a).exp())
+            .sum::<f64>()
+            - target
+    };
+    // f(0) = N − δ/2 > 0; f decreases to −δ/2.
+    let t_star = bisect_with_growing_bracket(f, 0.0, 16.0, 1e-6);
+    t_star.ceil().max(1.0) as usize
+}
+
+/// Approximate Bennett budget `T̃ = ⌈(1/h(ε/r)) ln(2K/δ)⌉` (eq. 134) — the
+/// closed-form, N-free approximation of `T*` from Appendix H.
+pub fn bennett_permutations_approx(k: usize, eps: f64, delta: f64, phi_bound: f64) -> usize {
+    assert!(k >= 1 && eps > 0.0 && phi_bound > 0.0);
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    let t = (2.0 * k as f64 / delta).ln() / bennett_h(eps / phi_bound);
+    t.ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_i_shape() {
+        assert_eq!(q_i(1, 3), 0.0);
+        assert_eq!(q_i(3, 3), 0.0);
+        assert!((q_i(4, 3) - 0.25).abs() < 1e-12);
+        assert!((q_i(100, 3) - 0.97).abs() < 1e-12);
+        // monotone increasing beyond K
+        let mut prev = 0.0;
+        for i in 4..200 {
+            let q = q_i(i, 3);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn hoeffding_grows_logarithmically_with_n() {
+        let t1 = hoeffding_permutations(1_000, 0.1, 0.1, 1.0);
+        let t2 = hoeffding_permutations(1_000_000, 0.1, 0.1, 1.0);
+        assert!(t2 > t1);
+        // ratio should be ln(2e6/0.1)/ln(2e4/0.1) ≈ 1.55, far below 1000x
+        assert!((t2 as f64 / t1 as f64) < 2.0);
+    }
+
+    #[test]
+    fn bennett_below_hoeffding() {
+        // The whole point of Theorem 5: for the same guarantee, Bennett needs
+        // fewer permutations than Hoeffding, with the gap widening in N.
+        let k = 5;
+        let r = knn_class_phi_bound(k);
+        let mut prev_gap = 0.0;
+        for n in [1_000usize, 10_000, 100_000] {
+            let hoeff = hoeffding_permutations(n, 0.1 * r, 0.1, r);
+            let benn = bennett_permutations(n, k, 0.1 * r, 0.1, r);
+            assert!(benn < hoeff, "n={n}: bennett={benn} hoeffding={hoeff}");
+            let gap = hoeff as f64 / benn as f64;
+            assert!(gap >= prev_gap, "gap should widen with n");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn bennett_saturates_in_n() {
+        // Fig. 11: the Bennett budget becomes N-independent for large N.
+        let k = 3;
+        let r = knn_class_phi_bound(k);
+        let t1 = bennett_permutations(10_000, k, 0.05 * r, 0.1, r);
+        let t2 = bennett_permutations(100_000, k, 0.05 * r, 0.1, r);
+        let ratio = t2 as f64 / t1 as f64;
+        assert!(ratio < 1.3, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn bennett_solves_eq32() {
+        // Substitute T* back into the LHS of eq. (32): must be ≤ δ/2 and the
+        // value at T*−2 must exceed it (root bracketing sanity).
+        let (n, k, eps, delta, r) = (500usize, 2usize, 0.05, 0.1, 0.5);
+        let t_star = bennett_permutations(n, k, eps, delta, r);
+        let lhs = |t: f64| -> f64 {
+            (1..=n)
+                .map(|i| {
+                    let q = q_i(i, k);
+                    let v = 1.0 - q * q;
+                    (-t * v * bennett_h(eps / (v * r))).exp()
+                })
+                .sum()
+        };
+        assert!(lhs(t_star as f64) <= delta / 2.0 + 1e-6);
+        assert!(lhs((t_star as f64 - 2.0).max(0.0)) >= delta / 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn approx_bennett_close_to_exact_for_large_n() {
+        let k = 4;
+        let r = knn_class_phi_bound(k);
+        let approx = bennett_permutations_approx(k, 0.05 * r, 0.1, r);
+        let exact = bennett_permutations(50_000, k, 0.05 * r, 0.1, r);
+        let ratio = exact as f64 / approx as f64;
+        assert!(ratio > 0.5 && ratio < 2.0, "approx={approx} exact={exact}");
+    }
+
+    #[test]
+    fn budgets_scale_inverse_quadratically_in_eps() {
+        let t1 = hoeffding_permutations(1000, 0.1, 0.1, 1.0);
+        let t2 = hoeffding_permutations(1000, 0.05, 0.1, 1.0);
+        let ratio = t2 as f64 / t1 as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn knn_phi_bound_is_one_over_k() {
+        assert_eq!(knn_class_phi_bound(1), 1.0);
+        assert_eq!(knn_class_phi_bound(4), 0.25);
+    }
+}

@@ -1,0 +1,567 @@
+//! Theorem 8 (Appendix E.3) and Theorem 12 (Appendix E.4.4): exact Shapley
+//! values when each curator (seller) contributes *multiple* data points,
+//! in O(M^K) per test point — for the data-only game and for the composite
+//! game that also pays the analyst.
+//!
+//! The enumeration is over *canonical coalitions*: seller subsets `S̃` with
+//! `|S̃| ≤ K` in which every seller contributes at least one point to the
+//! top-K of the pooled data (`h(S) = S̃` in the paper's notation). Every
+//! seller coalition `T̃` decomposes uniquely as such a canonical core plus
+//! "padding" sellers from `G(S, j)` whose *closest* point ranks beyond the
+//! farthest member of the top-K set; padding never alters the utility, so it
+//! only contributes binomial multiplicities (eq. 84 / eq. 96):
+//!
+//! ```text
+//! data-only:  s_j = (1/M)     Σ_{S∈A\j} Σ_k C(|G|,k)/C(M−1, |h(S)|+k)   [ν(D(h(S)∪{j})) − ν(S)]
+//! composite:  s_j = (1/(M+1)) Σ_{S∈A\j} Σ_k C(|G|,k)/C(M,   |h(S)|+k+1) [ν(D(h(S)∪{j})) − ν(S)]
+//! ```
+//!
+//! Both sums are restricted to sellers whose closest point intrudes into the
+//! entry's top-K (otherwise the marginal is identically zero), which is what
+//! keeps the constant practical. For `K = 1` the computation degenerates to
+//! the single-data-per-seller case on each seller's closest point, matching
+//! the paper's observation that 1-NN curator valuation is `O(M log M)`.
+
+use crate::composite::GameForm;
+use crate::types::ShapleyValues;
+use crate::utility::Utility;
+use knnshap_datasets::ClassDataset;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::argsort_by_distance;
+use knnshap_knn::weights::WeightFn;
+use knnshap_numerics::binom::{Combinations, LogFactorialTable};
+
+/// Ownership map: `owners[i]` is the seller owning training point `i`.
+#[derive(Debug, Clone)]
+pub struct Ownership {
+    pub owners: Vec<u32>,
+    pub n_sellers: usize,
+}
+
+impl Ownership {
+    pub fn new(owners: Vec<u32>, n_sellers: usize) -> Self {
+        assert!(n_sellers >= 1, "need at least one seller");
+        if let Some(&bad) = owners.iter().find(|&&o| o as usize >= n_sellers) {
+            panic!("owner {bad} out of range for {n_sellers} sellers");
+        }
+        Self { owners, n_sellers }
+    }
+
+    /// Evenly partition `n` points over `m` sellers (round-robin) — the
+    /// assignment used in the paper's Fig. 13 experiment.
+    pub fn round_robin(n: usize, m: usize) -> Self {
+        Self::new((0..n).map(|i| (i % m) as u32).collect(), m)
+    }
+
+    /// Points of each seller.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut g = vec![Vec::new(); self.n_sellers];
+        for (i, &o) in self.owners.iter().enumerate() {
+            g[o as usize].push(i);
+        }
+        g
+    }
+}
+
+/// The seller-level cooperative game: ν̃(S̃) = point-utility of the pooled
+/// data of the sellers in S̃. Used as the enumeration ground truth and by the
+/// Monte Carlo path.
+pub struct SellerUtility<'a, U: Utility> {
+    pub point_utility: &'a U,
+    pub ownership: &'a Ownership,
+}
+
+impl<U: Utility> Utility for SellerUtility<'_, U> {
+    fn n(&self) -> usize {
+        self.ownership.n_sellers
+    }
+
+    fn eval(&self, sellers: &[usize]) -> f64 {
+        let mut points: Vec<usize> = Vec::new();
+        for (i, &o) in self.ownership.owners.iter().enumerate() {
+            if sellers.contains(&(o as usize)) {
+                points.push(i);
+            }
+        }
+        self.point_utility.eval(&points)
+    }
+}
+
+/// Exact curator SVs for a single test point, unweighted or weighted KNN
+/// classification. Returns one value per *seller*.
+pub fn curator_class_shapley_single(
+    train: &ClassDataset,
+    ownership: &Ownership,
+    query: &[f32],
+    test_label: u32,
+    k: usize,
+    weight: WeightFn,
+    form: GameForm,
+) -> ShapleyValues {
+    assert_eq!(train.len(), ownership.owners.len(), "ownership size mismatch");
+    assert!(k >= 1, "K must be at least 1");
+    let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+    // Work in rank space: rank r (0-based) has a distance, label, owner.
+    let dists: Vec<f32> = ranked.iter().map(|r| r.dist.sqrt()).collect();
+    let correct: Vec<bool> = ranked
+        .iter()
+        .map(|r| train.y[r.index as usize] == test_label)
+        .collect();
+    let rank_owner: Vec<u32> = ranked
+        .iter()
+        .map(|r| ownership.owners[r.index as usize])
+        .collect();
+    let nu = |ranks: &[usize]| -> f64 {
+        if ranks.is_empty() {
+            return 0.0;
+        }
+        let d: Vec<f32> = ranks.iter().map(|&r| dists[r]).collect();
+        let w = weight.weights(&d, k);
+        ranks
+            .iter()
+            .zip(&w)
+            .filter(|(&r, _)| correct[r])
+            .map(|(_, &wk)| wk)
+            .sum()
+    };
+    curator_shapley_ranked(&rank_owner, ownership.n_sellers, k, &nu, form)
+}
+
+/// Exact curator SVs averaged over a test set.
+pub fn curator_class_shapley(
+    train: &ClassDataset,
+    ownership: &Ownership,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    form: GameForm,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    let mut acc = ShapleyValues::zeros(ownership.n_sellers);
+    for j in 0..test.len() {
+        acc.add_assign(&curator_class_shapley_single(
+            train,
+            ownership,
+            test.x.row(j),
+            test.y[j],
+            k,
+            weight,
+            form,
+        ));
+    }
+    acc.scale(1.0 / test.len() as f64);
+    acc
+}
+
+/// Core driver in rank space. `rank_owner[r]` is the seller of the rank-`r`
+/// point; `nu` evaluates the point utility of a sorted rank set (|set| ≤ K).
+fn curator_shapley_ranked(
+    rank_owner: &[u32],
+    m: usize,
+    k: usize,
+    nu: &dyn Fn(&[usize]) -> f64,
+    form: GameForm,
+) -> ShapleyValues {
+    let n = rank_owner.len();
+    assert!(n >= 1);
+    // Per-seller rank lists, ascending (closest first).
+    let mut seller_ranks: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (r, &o) in rank_owner.iter().enumerate() {
+        seller_ranks[o as usize].push(r);
+    }
+    // first_rank[j]: rank of seller j's closest point (usize::MAX if none).
+    let first_rank: Vec<usize> = seller_ranks
+        .iter()
+        .map(|l| l.first().copied().unwrap_or(usize::MAX))
+        .collect();
+    // Sellers sorted by first_rank for the |G| counting.
+    let mut sellers_by_first: Vec<usize> = (0..m).collect();
+    sellers_by_first.sort_by_key(|&j| first_rank[j]);
+    let firsts_sorted: Vec<usize> = sellers_by_first.iter().map(|&j| first_rank[j]).collect();
+    // count of sellers whose first rank is strictly greater than `rank`
+    let count_first_gt = |rank: usize| -> usize {
+        m - firsts_sorted.partition_point(|&fr| fr <= rank)
+    };
+
+    let lf = LogFactorialTable::new(m + 1);
+    // Memoized padding-weight sums, keyed by (|G|, |h(S)|).
+    let mut weight_memo: Vec<f64> = vec![f64::NAN; (m + 1) * (k + 1)];
+    let mut weight_sum = |g: usize, c: usize| -> f64 {
+        let slot = g * (k + 1) + c;
+        if weight_memo[slot].is_nan() {
+            let mut acc = 0.0;
+            for kk in 0..=g {
+                acc += match form {
+                    GameForm::DataOnly => lf.binomial_ratio(g, kk, m - 1, c + kk),
+                    GameForm::Composite => lf.binomial_ratio(g, kk, m, c + kk + 1),
+                };
+            }
+            weight_memo[slot] = acc;
+        }
+        weight_memo[slot]
+    };
+    let prefactor = match form {
+        GameForm::DataOnly => 1.0 / m as f64,
+        GameForm::Composite => 1.0 / (m + 1) as f64,
+    };
+
+    // Top-K (by rank) of a union of sellers, as sorted ranks.
+    let topk_of = |sellers: &[usize]| -> Vec<usize> {
+        let mut ranks: Vec<usize> = Vec::with_capacity(k * sellers.len());
+        for &s in sellers {
+            ranks.extend(seller_ranks[s].iter().take(k));
+        }
+        ranks.sort_unstable();
+        ranks.truncate(k);
+        ranks
+    };
+
+    // Enumerate canonical entries A: seller subsets of size 1..=min(K, M)
+    // where every member contributes to the pooled top-K.
+    struct Entry {
+        sellers: Vec<usize>,
+        ranks: Vec<usize>,
+        max_rank: usize,
+        nu_val: f64,
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+    let active: Vec<usize> = (0..m).filter(|&j| !seller_ranks[j].is_empty()).collect();
+    for size in 1..=k.min(active.len()) {
+        let mut combos = Combinations::new(active.len(), size);
+        while let Some(c) = combos.next_combination() {
+            let sellers: Vec<usize> = c.iter().map(|&ci| active[ci]).collect();
+            let ranks = topk_of(&sellers);
+            // canonical iff every seller owns ≥ 1 point of the top-K
+            let mut contributes = vec![false; size];
+            for &r in &ranks {
+                if let Some(pos) = sellers.iter().position(|&s| s == rank_owner[r] as usize) {
+                    contributes[pos] = true;
+                }
+            }
+            if contributes.iter().all(|&b| b) {
+                let max_rank = *ranks.last().expect("nonempty");
+                let nu_val = nu(&ranks);
+                entries.push(Entry {
+                    sellers,
+                    ranks,
+                    max_rank,
+                    nu_val,
+                });
+            }
+        }
+    }
+
+    let mut sv = vec![0.0f64; m];
+    let n_empty = m - active.len();
+
+    // Empty-core coalitions: T̃ consists only of point-less sellers (top-K
+    // set ∅, canonical core ∅). Joining any of them, j's marginal is
+    // ν(top-K of j's own data); the padding multiplicity ranges over the
+    // empty sellers.
+    for j in 0..m {
+        if seller_ranks[j].is_empty() {
+            continue;
+        }
+        let own = topk_of(&[j]);
+        let base = nu(&own);
+        sv[j] += prefactor * base * weight_sum(n_empty, 0);
+    }
+
+    // Canonical-entry contributions.
+    let mut merged: Vec<usize> = Vec::with_capacity(2 * k);
+    for e in &entries {
+        let entry_short = e.ranks.len() < k;
+        // Padding sellers must not alter the entry's top-K set: when the set
+        // already holds K points that means "closest point beyond max_rank";
+        // when it is short (the pool has < K points) *any* owned point would
+        // enter it, so only point-less sellers can pad.
+        let g_base = if entry_short {
+            n_empty
+        } else {
+            count_first_gt(e.max_rank)
+        };
+        for j in 0..m {
+            if seller_ranks[j].is_empty() || e.sellers.contains(&j) {
+                continue;
+            }
+            // Only sellers whose closest point intrudes below max_rank can
+            // have a nonzero marginal (anyone, when the entry is short).
+            let intrudes = first_rank[j] < e.max_rank || entry_short;
+            if !intrudes {
+                continue;
+            }
+            // D(h(S) ∪ {j}): merge the entry's top-K with j's closest K.
+            merged.clear();
+            merged.extend_from_slice(&e.ranks);
+            merged.extend(seller_ranks[j].iter().take(k));
+            merged.sort_unstable();
+            merged.truncate(k);
+            let with_j = nu(&merged);
+            let diff = with_j - e.nu_val;
+            if diff == 0.0 {
+                continue;
+            }
+            let g = if entry_short {
+                g_base
+            } else {
+                g_base - usize::from(first_rank[j] > e.max_rank)
+            };
+            sv[j] += prefactor * weight_sum(g, e.sellers.len()) * diff;
+        }
+    }
+
+    ShapleyValues::new(sv)
+}
+
+/// Monte Carlo estimation of seller values via Algorithm 2's incremental
+/// utility: permutations are drawn over *sellers*, and each seller's marginal
+/// is the utility change from inserting all of their points.
+pub fn curator_mc_shapley(
+    inc: &mut crate::mc::IncKnnUtility,
+    ownership: &Ownership,
+    rule: crate::mc::StoppingRule,
+    seed: u64,
+) -> crate::mc::McResult {
+    use knnshap_numerics::sampling::shuffle_in_place;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert_eq!(inc.n(), ownership.owners.len(), "ownership size mismatch");
+    let m = ownership.n_sellers;
+    let groups = ownership.groups();
+    let budget = rule.budget(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..m).collect();
+    let mut sums = vec![0.0f64; m];
+    let mut t = 0usize;
+    let threshold = match rule {
+        crate::mc::StoppingRule::Heuristic { threshold, .. } => Some(threshold),
+        _ => None,
+    };
+    while t < budget {
+        shuffle_in_place(&mut rng, &mut perm);
+        inc.reset();
+        let mut prev = 0.0f64;
+        let mut max_update = 0.0f64;
+        for &s in &perm {
+            for &p in &groups[s] {
+                inc.insert(p);
+            }
+            let cur = inc.current();
+            let phi = cur - prev;
+            prev = cur;
+            let old_est = if t == 0 { 0.0 } else { sums[s] / t as f64 };
+            sums[s] += phi;
+            max_update = max_update.max((sums[s] / (t + 1) as f64 - old_est).abs());
+        }
+        t += 1;
+        if let Some(th) = threshold {
+            if t >= 2 && max_update < th {
+                break;
+            }
+        }
+    }
+    crate::mc::McResult {
+        values: ShapleyValues::new(sums.iter().map(|s| s / t.max(1) as f64).collect()),
+        permutations: t,
+        snapshots: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_enum::shapley_enumeration;
+    use crate::exact_unweighted::knn_class_shapley_single;
+    use crate::utility::KnnClassUtility;
+    use knnshap_datasets::Features;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_owned(
+        seed: u64,
+        n: usize,
+        m: usize,
+    ) -> (ClassDataset, ClassDataset, Ownership) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let train = ClassDataset::new(Features::new(feats, 2), labels, 2);
+        let test = ClassDataset::new(
+            Features::new(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], 2),
+            vec![rng.gen_range(0..2)],
+            2,
+        );
+        let owners: Vec<u32> = (0..n).map(|_| rng.gen_range(0..m as u32)).collect();
+        (train, test, Ownership::new(owners, m))
+    }
+
+    #[test]
+    fn matches_seller_enumeration_data_only() {
+        for seed in 0..6u64 {
+            for k in [1usize, 2, 3] {
+                let (train, test, own) = random_owned(seed, 10, 5);
+                let point_u = KnnClassUtility::unweighted(&train, &test, k);
+                let seller_u = SellerUtility {
+                    point_utility: &point_u,
+                    ownership: &own,
+                };
+                let truth = shapley_enumeration(&seller_u);
+                let fast = curator_class_shapley_single(
+                    &train,
+                    &own,
+                    test.x.row(0),
+                    test.y[0],
+                    k,
+                    WeightFn::Uniform,
+                    GameForm::DataOnly,
+                );
+                assert!(
+                    fast.max_abs_diff(&truth) < 1e-9,
+                    "seed={seed} k={k} err={}",
+                    fast.max_abs_diff(&truth)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_seller_enumeration_weighted() {
+        let w = WeightFn::InverseDistance { eps: 1e-3 };
+        for seed in [1u64, 4] {
+            let (train, test, own) = random_owned(seed, 9, 4);
+            let point_u = KnnClassUtility::new(&train, &test, 2, w);
+            let seller_u = SellerUtility {
+                point_utility: &point_u,
+                ownership: &own,
+            };
+            let truth = shapley_enumeration(&seller_u);
+            let fast = curator_class_shapley_single(
+                &train,
+                &own,
+                test.x.row(0),
+                test.y[0],
+                2,
+                w,
+                GameForm::DataOnly,
+            );
+            assert!(fast.max_abs_diff(&truth) < 1e-9, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn composite_matches_composite_enumeration() {
+        use crate::composite::CompositeUtility;
+        for seed in [0u64, 2] {
+            let (train, test, own) = random_owned(seed, 8, 4);
+            let point_u = KnnClassUtility::unweighted(&train, &test, 2);
+            let seller_u = SellerUtility {
+                point_utility: &point_u,
+                ownership: &own,
+            };
+            let comp = CompositeUtility::new(&seller_u);
+            let truth = shapley_enumeration(&comp); // M+1 players
+            let fast = curator_class_shapley_single(
+                &train,
+                &own,
+                test.x.row(0),
+                test.y[0],
+                2,
+                WeightFn::Uniform,
+                GameForm::Composite,
+            );
+            for j in 0..own.n_sellers {
+                assert!(
+                    (fast[j] - truth[j]).abs() < 1e-9,
+                    "seed={seed} seller {j}: {} vs {}",
+                    fast[j],
+                    truth[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_point_per_seller_reduces_to_point_game() {
+        let (train, test, _) = random_owned(7, 9, 3);
+        let own = Ownership::new((0..9).map(|i| i as u32).collect(), 9);
+        let per_seller = curator_class_shapley_single(
+            &train,
+            &own,
+            test.x.row(0),
+            test.y[0],
+            2,
+            WeightFn::Uniform,
+            GameForm::DataOnly,
+        );
+        let per_point = knn_class_shapley_single(&train, test.x.row(0), test.y[0], 2);
+        assert!(per_seller.max_abs_diff(&per_point) < 1e-9);
+    }
+
+    #[test]
+    fn group_rationality_seller_game() {
+        let (train, test, own) = random_owned(3, 12, 4);
+        let point_u = KnnClassUtility::unweighted(&train, &test, 3);
+        let sv = curator_class_shapley_single(
+            &train,
+            &own,
+            test.x.row(0),
+            test.y[0],
+            3,
+            WeightFn::Uniform,
+            GameForm::DataOnly,
+        );
+        assert!((sv.total() - point_u.grand()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_seller_gets_zero() {
+        let (train, test, _) = random_owned(5, 8, 4);
+        // seller 3 owns nothing
+        let own = Ownership::new(vec![0, 0, 1, 1, 2, 2, 0, 1], 4);
+        let sv = curator_class_shapley_single(
+            &train,
+            &own,
+            test.x.row(0),
+            test.y[0],
+            2,
+            WeightFn::Uniform,
+            GameForm::DataOnly,
+        );
+        assert_eq!(sv[3], 0.0);
+    }
+
+    #[test]
+    fn round_robin_partition() {
+        let own = Ownership::round_robin(7, 3);
+        assert_eq!(own.owners, vec![0, 1, 2, 0, 1, 2, 0]);
+        let groups = own.groups();
+        assert_eq!(groups[0], vec![0, 3, 6]);
+        assert_eq!(groups[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn mc_converges_to_exact_seller_values() {
+        let (train, test, own) = random_owned(9, 12, 4);
+        let exact = curator_class_shapley(
+            &train,
+            &own,
+            &test,
+            2,
+            WeightFn::Uniform,
+            GameForm::DataOnly,
+        );
+        let mut inc =
+            crate::mc::IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        let mc = curator_mc_shapley(
+            &mut inc,
+            &own,
+            crate::mc::StoppingRule::Fixed(4000),
+            11,
+        );
+        assert!(
+            exact.max_abs_diff(&mc.values) < 0.05,
+            "err={}",
+            exact.max_abs_diff(&mc.values)
+        );
+    }
+}

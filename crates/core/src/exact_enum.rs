@@ -1,0 +1,222 @@
+//! Brute-force Shapley computation — the test suite's ground truth.
+//!
+//! Evaluates the definition (paper eq. 2) directly:
+//! `s_i = (1/N) Σ_{S ⊆ I\{i}} [ν(S∪{i}) − ν(S)] / C(N−1, |S|)`.
+//!
+//! Exponential in `N` (every one of the `2^N` coalitions is evaluated once),
+//! so it is gated to `N ≤ 24`. A permutation-based variant over all `N!`
+//! orders (eq. 3) cross-checks the subset form for tiny `N`.
+
+use crate::types::ShapleyValues;
+use crate::utility::Utility;
+use knnshap_numerics::binom::binomial_u128;
+
+/// Maximum `N` accepted by [`shapley_enumeration`] (2^24 × 8 bytes = 128 MiB
+/// of cached utilities).
+pub const MAX_ENUM_N: usize = 24;
+
+/// Exact Shapley values by subset enumeration (eq. 2).
+pub fn shapley_enumeration<U: Utility + ?Sized>(u: &U) -> ShapleyValues {
+    let n = u.n();
+    assert!(n >= 1, "need at least one player");
+    assert!(
+        n <= MAX_ENUM_N,
+        "enumeration is O(2^N); N={n} exceeds the {MAX_ENUM_N} cap"
+    );
+
+    // Cache ν for every coalition bitmask.
+    let mut nu = vec![0.0f64; 1usize << n];
+    let mut members: Vec<usize> = Vec::with_capacity(n);
+    for (mask, slot) in nu.iter_mut().enumerate() {
+        members.clear();
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                members.push(i);
+            }
+        }
+        *slot = u.eval(&members);
+    }
+
+    // Per-size weight 1 / (N · C(N−1, s)).
+    let weights: Vec<f64> = (0..n)
+        .map(|s| 1.0 / (n as f64 * binomial_u128((n - 1) as u64, s as u64) as f64))
+        .collect();
+
+    let mut sv = vec![0.0f64; n];
+    for mask in 0..(1usize << n) {
+        let size = (mask as u64).count_ones() as usize;
+        for (i, s) in sv.iter_mut().enumerate() {
+            if mask & (1 << i) == 0 {
+                *s += weights[size] * (nu[mask | (1 << i)] - nu[mask]);
+            }
+        }
+    }
+    ShapleyValues::new(sv)
+}
+
+/// Exact Shapley values by full permutation enumeration (eq. 3); `N ≤ 9`.
+pub fn shapley_permutation_enumeration<U: Utility + ?Sized>(u: &U) -> ShapleyValues {
+    let n = u.n();
+    assert!((1..=9).contains(&n), "permutation enumeration is O(N!·N); N ≤ 9");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sv = vec![0.0f64; n];
+    let mut count = 0u64;
+
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    let process = |perm: &[usize], sv: &mut [f64]| {
+        let mut prefix: Vec<usize> = Vec::with_capacity(n);
+        let mut prev = u.eval(&prefix);
+        for &p in perm {
+            prefix.push(p);
+            let cur = u.eval(&prefix);
+            sv[p] += cur - prev;
+            prev = cur;
+        }
+    };
+    process(&perm, &mut sv);
+    count += 1;
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            process(&perm, &mut sv);
+            count += 1;
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+
+    for s in &mut sv {
+        *s /= count as f64;
+    }
+    ShapleyValues::new(sv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple additive game: ν(S) = Σ_{i∈S} w_i. Shapley values are the
+    /// weights themselves.
+    struct Additive {
+        w: Vec<f64>,
+    }
+
+    impl Utility for Additive {
+        fn n(&self) -> usize {
+            self.w.len()
+        }
+        fn eval(&self, subset: &[usize]) -> f64 {
+            subset.iter().map(|&i| self.w[i]).sum()
+        }
+    }
+
+    /// The glove game: player 0 holds a left glove, players 1 and 2 right
+    /// gloves; a pair is worth 1. Known SVs: (2/3, 1/6, 1/6).
+    struct Glove;
+
+    impl Utility for Glove {
+        fn n(&self) -> usize {
+            3
+        }
+        fn eval(&self, subset: &[usize]) -> f64 {
+            let left = subset.contains(&0);
+            let right = subset.iter().any(|&i| i == 1 || i == 2);
+            if left && right {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    /// Majority game: ν(S) = 1 iff |S| > n/2. Symmetric, so s_i = 1/n.
+    struct Majority {
+        n: usize,
+    }
+
+    impl Utility for Majority {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn eval(&self, subset: &[usize]) -> f64 {
+            if 2 * subset.len() > self.n {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn additive_game_recovers_weights() {
+        let g = Additive {
+            w: vec![1.0, -0.5, 3.25, 0.0],
+        };
+        let sv = shapley_enumeration(&g);
+        for (got, want) in sv.as_slice().iter().zip(&g.w) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn glove_game_known_values() {
+        let sv = shapley_enumeration(&Glove);
+        assert!((sv[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((sv[1] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((sv[2] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_game_symmetric() {
+        let g = Majority { n: 5 };
+        let sv = shapley_enumeration(&g);
+        for i in 0..5 {
+            assert!((sv[i] - 0.2).abs() < 1e-12);
+        }
+        assert!((sv.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_holds() {
+        let g = Additive {
+            w: vec![0.3, 0.7, -0.1],
+        };
+        let sv = shapley_enumeration(&g);
+        assert!((sv.total() - (g.grand() - g.eval(&[]))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_form_matches_subset_form() {
+        for game in [
+            Additive {
+                w: vec![2.0, -1.0, 0.5, 0.25],
+            },
+            Additive {
+                w: vec![1.0],
+            },
+        ] {
+            let a = shapley_enumeration(&game);
+            let b = shapley_permutation_enumeration(&game);
+            assert!(a.max_abs_diff(&b) < 1e-12);
+        }
+        let a = shapley_enumeration(&Glove);
+        let b = shapley_permutation_enumeration(&Glove);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_large_n() {
+        let g = Majority { n: 30 };
+        shapley_enumeration(&g);
+    }
+}

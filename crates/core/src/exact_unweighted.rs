@@ -1,0 +1,268 @@
+//! Theorem 1 / Algorithm 1: exact Shapley values for the unweighted KNN
+//! classifier in O(N log N) per test point.
+//!
+//! For one test point `(x_test, y_test)`, sort training points by distance
+//! (`α_i` = index of the i-th nearest). Then:
+//!
+//! ```text
+//! s_{α_N} = 1[y_{α_N} = y_test] / N
+//! s_{α_i} = s_{α_{i+1}} + (1[y_{α_i} = y_test] − 1[y_{α_{i+1}} = y_test]) / K · min(K, i) / i
+//! ```
+//!
+//! The multi-test value (utility eq. 8) is the average of per-test values by
+//! the additivity axiom (Algorithm 1 lines 8–10). Test points are sharded
+//! across threads; each worker owns a private accumulator that is summed at
+//! the end, so the hot recursion never touches shared state.
+
+use crate::types::ShapleyValues;
+use knnshap_datasets::ClassDataset;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::argsort_by_distance;
+
+/// Exact SVs w.r.t. a single test point (Theorem 1).
+pub fn knn_class_shapley_single(
+    train: &ClassDataset,
+    query: &[f32],
+    test_label: u32,
+    k: usize,
+) -> ShapleyValues {
+    let mut out = ShapleyValues::zeros(train.len());
+    accumulate_single(train, query, test_label, k, out.as_mut_slice());
+    out
+}
+
+/// Adds the single-test SVs into `acc` (the shard-local accumulator of the
+/// multi-test driver).
+fn accumulate_single(
+    train: &ClassDataset,
+    query: &[f32],
+    test_label: u32,
+    k: usize,
+    acc: &mut [f64],
+) {
+    let n = train.len();
+    assert!(n >= 1, "need at least one training point");
+    assert!(k >= 1, "K must be at least 1");
+    let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+
+    let correct = |rank: usize| -> f64 {
+        let idx = ranked[rank].index as usize;
+        f64::from(train.y[idx] == test_label)
+    };
+
+    // Backward recursion over ranks (1-based `i` in the paper, 0-based here).
+    // The paper states the base as 1[y_{α_N} = y_test]/N, which assumes K < N;
+    // re-deriving eq. (15)–(17) without that assumption gives
+    // s_{α_N} = 1[...] · min(K, N)/(N·K), which the enumeration ground truth
+    // confirms (with K ≥ N the game is additive and every correct point is
+    // worth exactly 1/K).
+    let mut s = correct(n - 1) * k.min(n) as f64 / (n as f64 * k as f64);
+    acc[ranked[n - 1].index as usize] += s;
+    for i in (0..n.saturating_sub(1)).rev() {
+        let rank1 = i + 1; // paper's 1-based rank of element `i`
+        s += (correct(i) - correct(i + 1)) / k as f64 * (k.min(rank1) as f64 / rank1 as f64);
+        acc[ranked[i].index as usize] += s;
+    }
+}
+
+/// Exact SVs w.r.t. a whole test set (utility eq. 8): the average of the
+/// per-test-point SVs, computed with `threads` workers.
+pub fn knn_class_shapley_with_threads(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    threads: usize,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
+    let n = train.len();
+    let n_test = test.len();
+    let threads = threads.max(1).min(n_test);
+
+    let mut total = if threads == 1 {
+        let mut acc = vec![0.0f64; n];
+        for j in 0..n_test {
+            accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
+        }
+        acc
+    } else {
+        let chunk = n_test.div_ceil(threads);
+        let partials: Vec<Vec<f64>> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_test);
+                handles.push(scope.spawn(move |_| {
+                    let mut acc = vec![0.0f64; n];
+                    for j in lo..hi {
+                        accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
+                    }
+                    acc
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("valuation scope");
+        let mut acc = vec![0.0f64; n];
+        for p in partials {
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        acc
+    };
+
+    for v in &mut total {
+        *v /= n_test as f64;
+    }
+    ShapleyValues::new(total)
+}
+
+/// [`knn_class_shapley_with_threads`] with one worker per available core.
+///
+/// ```
+/// use knnshap_core::exact_unweighted::knn_class_shapley;
+/// use knnshap_core::utility::{KnnClassUtility, Utility};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 150, dim: 4, n_classes: 3, ..Default::default() };
+/// let train = blobs::generate(&cfg);
+/// let test = blobs::queries(&cfg, 10, 42);
+/// let sv = knn_class_shapley(&train, &test, 5);
+/// // group rationality: the values distribute exactly the model's utility
+/// let u = KnnClassUtility::unweighted(&train, &test, 5);
+/// assert!((sv.total() - u.grand()).abs() < 1e-9);
+/// ```
+pub fn knn_class_shapley(train: &ClassDataset, test: &ClassDataset, k: usize) -> ShapleyValues {
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    knn_class_shapley_with_threads(train, test, k, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_enum::shapley_enumeration;
+    use crate::utility::{KnnClassUtility, Utility};
+    use knnshap_datasets::Features;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(seed: u64, n: usize, classes: u32) -> (ClassDataset, ClassDataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+        let train = ClassDataset::new(Features::new(feats, 2), labels, classes);
+        let tfeats: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let tlabels: Vec<u32> = (0..3).map(|_| rng.gen_range(0..classes)).collect();
+        let test = ClassDataset::new(Features::new(tfeats, 2), tlabels, classes);
+        (train, test)
+    }
+
+    #[test]
+    fn matches_enumeration_single_test() {
+        for seed in 0..8u64 {
+            for k in [1usize, 2, 3, 7, 12] {
+                let (train, test) = random_instance(seed, 9, 3);
+                let single = ClassDataset::new(
+                    Features::new(test.x.row(0).to_vec(), 2),
+                    vec![test.y[0]],
+                    3,
+                );
+                let fast = knn_class_shapley_single(&train, test.x.row(0), test.y[0], k);
+                let truth = shapley_enumeration(&KnnClassUtility::unweighted(&train, &single, k));
+                assert!(
+                    fast.max_abs_diff(&truth) < 1e-10,
+                    "seed={seed} k={k}: {:?} vs {:?}",
+                    fast.as_slice(),
+                    truth.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_multi_test() {
+        for seed in [3u64, 17, 99] {
+            let (train, test) = random_instance(seed, 8, 2);
+            let fast = knn_class_shapley_with_threads(&train, &test, 2, 1);
+            let truth = shapley_enumeration(&KnnClassUtility::unweighted(&train, &test, 2));
+            assert!(fast.max_abs_diff(&truth) < 1e-10, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (train, test) = random_instance(5, 40, 3);
+        let serial = knn_class_shapley_with_threads(&train, &test, 3, 1);
+        let par = knn_class_shapley_with_threads(&train, &test, 3, 4);
+        assert!(serial.max_abs_diff(&par) < 1e-12);
+    }
+
+    #[test]
+    fn group_rationality() {
+        // Σ s_i = ν(I) (classification has ν(∅) = 0).
+        let (train, test) = random_instance(11, 25, 3);
+        for k in [1usize, 4, 25, 40] {
+            let sv = knn_class_shapley_with_threads(&train, &test, k, 2);
+            let u = KnnClassUtility::unweighted(&train, &test, k);
+            assert!(
+                (sv.total() - u.grand()).abs() < 1e-9,
+                "k={k}: {} vs {}",
+                sv.total(),
+                u.grand()
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_correct_point_is_most_valuable_k1() {
+        // With K=1 and a single test point, the nearest correct-label point
+        // must receive the largest SV.
+        let train = ClassDataset::new(
+            Features::new(vec![0.1, 0.9, 2.0, 3.0], 1),
+            vec![1, 0, 1, 0],
+            2,
+        );
+        let sv = knn_class_shapley_single(&train, &[0.0], 1, 1);
+        let ranking = sv.ranking();
+        assert_eq!(ranking[0], 0);
+    }
+
+    #[test]
+    fn farthest_point_value_formula() {
+        // s_{α_N} = 1[y_{α_N} = y_test] / N exactly.
+        let train = ClassDataset::new(
+            Features::new(vec![0.0, 1.0, 10.0], 1),
+            vec![0, 0, 0],
+            1,
+        );
+        let sv = knn_class_shapley_single(&train, &[0.0], 0, 2);
+        assert!((sv[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_training_point() {
+        let train = ClassDataset::new(Features::new(vec![0.5], 1), vec![1], 2);
+        let sv = knn_class_shapley_single(&train, &[0.0], 1, 3);
+        // ν({0}) = 1/K = 1/3; s_0 = 1/3 (efficiency with one player)
+        assert!((sv[0] - 1.0 / 3.0).abs() < 1e-12);
+        let sv_wrong = knn_class_shapley_single(&train, &[0.0], 0, 3);
+        assert_eq!(sv_wrong[0], 0.0);
+    }
+
+    #[test]
+    fn wrong_label_points_never_exceed_correct_at_same_rank() {
+        // All-same-distance degenerate case: ties broken by index; just check
+        // the recursion runs and values are finite and bounded by 1/K.
+        let train = ClassDataset::new(
+            Features::new(vec![1.0; 6], 1),
+            vec![0, 1, 0, 1, 0, 1],
+            2,
+        );
+        let sv = knn_class_shapley_single(&train, &[1.0], 0, 2);
+        for i in 0..6 {
+            assert!(sv[i].abs() <= 0.5 + 1e-12);
+            assert!(sv[i].is_finite());
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Monte Carlo Shapley estimators: the baseline of §2.2 and the improved
+//! estimator of Algorithm 2.
+//!
+//! Both regard eq. (3) as an expectation over random permutations and average
+//! the marginal contribution `φ_i = ν(P_i^π ∪ {i}) − ν(P_i^π)`:
+//!
+//! * [`mc_shapley_baseline`] re-evaluates ν from scratch at every prefix —
+//!   `O(N)` utility evaluations per permutation, each `O(|S|·K)` here (the
+//!   paper's baseline sorts, `O(|S| log |S|)`; we charge the cheaper
+//!   selection cost, which only *helps* the baseline).
+//! * [`mc_shapley_improved`] (Algorithm 2) streams each permutation through a
+//!   bounded max-heap per test point and recomputes the utility **only when
+//!   the K-nearest set changes** — expected `O(K log N)` changes per
+//!   permutation instead of `N`.
+//!
+//! Stopping is governed by [`StoppingRule`]: a fixed budget, the Hoeffding or
+//! Bennett bounds of [`crate::bounds`], or the paper's §6.2.2 heuristic
+//! ("terminate when the change of the SV estimates in two consecutive
+//! iterations is below [ε/50]").
+
+use crate::types::ShapleyValues;
+use crate::utility::{DistMatrix, Utility};
+use knnshap_datasets::{ClassDataset, RegDataset};
+use knnshap_knn::heap::KnnHeap;
+use knnshap_knn::weights::WeightFn;
+use knnshap_numerics::sampling::shuffle_in_place;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// When to stop drawing permutations.
+#[derive(Debug, Clone, Copy)]
+pub enum StoppingRule {
+    /// Exactly this many permutations.
+    Fixed(usize),
+    /// The Hoeffding budget of the baseline method (§2.2).
+    Hoeffding { eps: f64, delta: f64, range: f64 },
+    /// The Bennett budget of Theorem 5 (requires K for the q_i profile).
+    Bennett {
+        eps: f64,
+        delta: f64,
+        range: f64,
+        k: usize,
+    },
+    /// Stop once `max_i |ŝ_i^{(t)} − ŝ_i^{(t−1)}| < threshold` (the paper
+    /// uses ε/50), bounded by `max` permutations.
+    Heuristic { threshold: f64, max: usize },
+}
+
+impl StoppingRule {
+    /// The a-priori permutation budget (for [`StoppingRule::Heuristic`] this
+    /// is its `max`; the run may stop earlier).
+    pub fn budget(&self, n: usize) -> usize {
+        match *self {
+            StoppingRule::Fixed(t) => t,
+            StoppingRule::Hoeffding { eps, delta, range } => {
+                crate::bounds::hoeffding_permutations(n, eps, delta, range)
+            }
+            StoppingRule::Bennett {
+                eps,
+                delta,
+                range,
+                k,
+            } => crate::bounds::bennett_permutations(n, k, eps, delta, range),
+            StoppingRule::Heuristic { max, .. } => max,
+        }
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        match *self {
+            StoppingRule::Heuristic { threshold, .. } => Some(threshold),
+            _ => None,
+        }
+    }
+}
+
+/// Output of a Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    pub values: ShapleyValues,
+    /// Permutations actually consumed.
+    pub permutations: usize,
+    /// `(t, running estimate)` pairs recorded every `snapshot_every`
+    /// permutations (empty unless requested).
+    pub snapshots: Vec<(usize, ShapleyValues)>,
+}
+
+/// The baseline estimator (§2.2): full utility re-evaluation per prefix.
+pub fn mc_shapley_baseline<U: Utility + ?Sized>(
+    u: &U,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+) -> McResult {
+    let n = u.n();
+    let budget = rule.budget(n);
+    let threshold = rule.threshold();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sums = vec![0.0f64; n];
+    let mut snapshots = Vec::new();
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    let nu_empty = u.eval(&[]);
+    let mut t = 0usize;
+    while t < budget {
+        shuffle_in_place(&mut rng, &mut perm);
+        prefix.clear();
+        let mut prev = nu_empty;
+        let mut max_update = 0.0f64;
+        for &p in &perm {
+            prefix.push(p);
+            let cur = u.eval(&prefix);
+            let phi = cur - prev;
+            prev = cur;
+            // running-mean update; track the largest estimate movement for
+            // the heuristic rule
+            let old_est = if t == 0 { 0.0 } else { sums[p] / t as f64 };
+            sums[p] += phi;
+            let new_est = sums[p] / (t + 1) as f64;
+            max_update = max_update.max((new_est - old_est).abs());
+        }
+        t += 1;
+        if let Some(every) = snapshot_every {
+            if t.is_multiple_of(every) {
+                let est: Vec<f64> = sums.iter().map(|s| s / t as f64).collect();
+                snapshots.push((t, ShapleyValues::new(est)));
+            }
+        }
+        if let Some(th) = threshold {
+            if t >= 2 && max_update < th {
+                break;
+            }
+        }
+    }
+    let values: Vec<f64> = sums.iter().map(|s| s / t.max(1) as f64).collect();
+    McResult {
+        values: ShapleyValues::new(values),
+        permutations: t,
+        snapshots,
+    }
+}
+
+/// A KNN utility that supports the streaming-insertion access pattern of
+/// Algorithm 2 (lines 13–20): `insert` returns the new total utility only
+/// when some test point's K-nearest set changed.
+pub struct IncKnnUtility {
+    dist: DistMatrix,
+    k: usize,
+    weight: WeightFn,
+    task: IncTask,
+    heaps: Vec<KnnHeap>,
+    /// Per-test current utility contribution.
+    per_test: Vec<f64>,
+    /// Current total (mean over tests).
+    total: f64,
+}
+
+enum IncTask {
+    Class { labels: Vec<u32>, test_labels: Vec<u32> },
+    Reg { targets: Vec<f64>, test_targets: Vec<f64> },
+}
+
+impl IncKnnUtility {
+    pub fn classification(
+        train: &ClassDataset,
+        test: &ClassDataset,
+        k: usize,
+        weight: WeightFn,
+    ) -> Self {
+        assert!(k >= 1 && !test.is_empty());
+        let n_test = test.len();
+        Self {
+            dist: DistMatrix::build(&train.x, &test.x),
+            k,
+            weight,
+            task: IncTask::Class {
+                labels: train.y.clone(),
+                test_labels: test.y.clone(),
+            },
+            heaps: (0..n_test).map(|_| KnnHeap::new(k)).collect(),
+            per_test: vec![0.0; n_test],
+            total: 0.0,
+        }
+    }
+
+    pub fn regression(train: &RegDataset, test: &RegDataset, k: usize, weight: WeightFn) -> Self {
+        assert!(k >= 1 && !test.is_empty());
+        let n_test = test.len();
+        Self {
+            dist: DistMatrix::build(&train.x, &test.x),
+            k,
+            weight,
+            task: IncTask::Reg {
+                targets: train.y.clone(),
+                test_targets: test.y.clone(),
+            },
+            heaps: (0..n_test).map(|_| KnnHeap::new(k)).collect(),
+            per_test: vec![0.0; n_test],
+            total: 0.0,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        match &self.task {
+            IncTask::Class { labels, .. } => labels.len(),
+            IncTask::Reg { targets, .. } => targets.len(),
+        }
+    }
+
+    fn n_test(&self) -> usize {
+        self.per_test.len()
+    }
+
+    /// Start a fresh permutation (paper line 13: empty heap).
+    pub fn reset(&mut self) {
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        for v in &mut self.per_test {
+            // ν(∅) = 0 for both task conventions (see crate::utility docs).
+            *v = 0.0;
+        }
+        self.total = 0.0;
+    }
+
+    /// Recompute one test point's utility contribution from its heap.
+    fn recompute(&self, j: usize) -> f64 {
+        let heap = &self.heaps[j];
+        let members = heap.sorted();
+        let dists: Vec<f32> = members.iter().map(|&(d, _)| d).collect();
+        let w = self.weight.weights(&dists, self.k);
+        match &self.task {
+            IncTask::Class {
+                labels,
+                test_labels,
+            } => members
+                .iter()
+                .zip(&w)
+                .filter(|(&(_, i), _)| labels[i as usize] == test_labels[j])
+                .map(|(_, &wk)| wk)
+                .sum(),
+            IncTask::Reg {
+                targets,
+                test_targets,
+            } => {
+                if members.is_empty() {
+                    return 0.0;
+                }
+                let pred: f64 = members
+                    .iter()
+                    .zip(&w)
+                    .map(|(&(_, i), &wk)| wk * targets[i as usize])
+                    .sum();
+                let e = pred - test_targets[j];
+                -(e * e)
+            }
+        }
+    }
+
+    /// Insert training point `i`; `Some(total)` iff any K-NN set changed.
+    pub fn insert(&mut self, i: usize) -> Option<f64> {
+        let mut changed = false;
+        for j in 0..self.n_test() {
+            let d = self.dist.row(j)[i];
+            if self.heaps[j].insert(d, i as u32).changed() {
+                let nu = self.recompute(j);
+                self.total += (nu - self.per_test[j]) / self.n_test() as f64;
+                self.per_test[j] = nu;
+                changed = true;
+            }
+        }
+        changed.then_some(self.total)
+    }
+
+    /// Current total utility (mean over test points).
+    pub fn current(&self) -> f64 {
+        self.total
+    }
+}
+
+/// The improved estimator (Algorithm 2): heap-incremental utility updates.
+pub fn mc_shapley_improved(
+    u: &mut IncKnnUtility,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+) -> McResult {
+    let n = u.n();
+    let budget = rule.budget(n);
+    let threshold = rule.threshold();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sums = vec![0.0f64; n];
+    let mut snapshots = Vec::new();
+    let mut t = 0usize;
+    while t < budget {
+        shuffle_in_place(&mut rng, &mut perm);
+        u.reset();
+        let mut prev = 0.0f64;
+        let mut max_update = 0.0f64;
+        for &p in &perm {
+            let phi = match u.insert(p) {
+                Some(cur) => {
+                    let phi = cur - prev;
+                    prev = cur;
+                    phi
+                }
+                None => 0.0, // heap unchanged ⇒ φ = 0 (paper lines 18–19)
+            };
+            let old_est = if t == 0 { 0.0 } else { sums[p] / t as f64 };
+            sums[p] += phi;
+            let new_est = sums[p] / (t + 1) as f64;
+            max_update = max_update.max((new_est - old_est).abs());
+        }
+        t += 1;
+        if let Some(every) = snapshot_every {
+            if t.is_multiple_of(every) {
+                let est: Vec<f64> = sums.iter().map(|s| s / t as f64).collect();
+                snapshots.push((t, ShapleyValues::new(est)));
+            }
+        }
+        if let Some(th) = threshold {
+            if t >= 2 && max_update < th {
+                break;
+            }
+        }
+    }
+    let values: Vec<f64> = sums.iter().map(|s| s / t.max(1) as f64).collect();
+    McResult {
+        values: ShapleyValues::new(values),
+        permutations: t,
+        snapshots,
+    }
+}
+
+/// Empirical "ground truth" permutation demand (Fig. 11): the first `t` at
+/// which the running estimate is within `eps` of `reference` in `‖·‖_∞`.
+/// Returns `None` if `max_t` permutations never reach it.
+pub fn permutations_until_error(
+    u: &mut IncKnnUtility,
+    reference: &ShapleyValues,
+    eps: f64,
+    max_t: usize,
+    seed: u64,
+) -> Option<usize> {
+    let n = u.n();
+    assert_eq!(reference.len(), n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sums = vec![0.0f64; n];
+    for t in 1..=max_t {
+        shuffle_in_place(&mut rng, &mut perm);
+        u.reset();
+        let mut prev = 0.0f64;
+        for &p in &perm {
+            if let Some(cur) = u.insert(p) {
+                sums[p] += cur - prev;
+                prev = cur;
+            }
+        }
+        let worst = sums
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(s, r)| (s / t as f64 - r).abs())
+            .fold(0.0f64, f64::max);
+        if worst <= eps {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Verify the `nearest_in_subset` selection agrees with the heap-based
+/// incremental path; exposed for integration tests.
+#[doc(hidden)]
+pub fn incremental_matches_batch(
+    inc: &mut IncKnnUtility,
+    batch: &dyn Utility,
+    order: &[usize],
+) -> bool {
+    inc.reset();
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut current = 0.0;
+    for &p in order {
+        prefix.push(p);
+        if let Some(nu) = inc.insert(p) {
+            current = nu;
+        }
+        let want = batch.eval(&prefix);
+        if (current - want).abs() > 1e-9 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_unweighted::knn_class_shapley_with_threads;
+    use crate::utility::{KnnClassUtility, KnnRegUtility};
+    use knnshap_datasets::Features;
+    use rand::Rng;
+
+    fn small_class(seed: u64, n: usize) -> (ClassDataset, ClassDataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let train = ClassDataset::new(Features::new(feats, 2), labels, 2);
+        let test = ClassDataset::new(
+            Features::new(vec![0.1, -0.2, 0.4, 0.3], 2),
+            vec![0, 1],
+            2,
+        );
+        (train, test)
+    }
+
+    #[test]
+    fn incremental_equals_batch_eval_class() {
+        let (train, test) = small_class(1, 15);
+        for weight in [WeightFn::Uniform, WeightFn::InverseDistance { eps: 1e-3 }] {
+            let batch = KnnClassUtility::new(&train, &test, 3, weight);
+            let mut inc = IncKnnUtility::classification(&train, &test, 3, weight);
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..10 {
+                let mut order: Vec<usize> = (0..train.len()).collect();
+                shuffle_in_place(&mut rng, &mut order);
+                assert!(incremental_matches_batch(&mut inc, &batch, &order));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_batch_eval_reg() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 12;
+        let train = RegDataset::new(
+            Features::new((0..n * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), 2),
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let test = RegDataset::new(Features::new(vec![0.0, 0.0], 2), vec![0.3]);
+        for weight in [WeightFn::Uniform, WeightFn::Exponential { beta: 1.0 }] {
+            let batch = KnnRegUtility::new(&train, &test, 2, weight);
+            let mut inc = IncKnnUtility::regression(&train, &test, 2, weight);
+            for seed in 0..6u64 {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut r2 = StdRng::seed_from_u64(seed);
+                shuffle_in_place(&mut r2, &mut order);
+                assert!(incremental_matches_batch(&mut inc, &batch, &order));
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_converges_to_exact() {
+        let (train, test) = small_class(3, 10);
+        let exact = knn_class_shapley_with_threads(&train, &test, 2, 1);
+        let u = KnnClassUtility::unweighted(&train, &test, 2);
+        let res = mc_shapley_baseline(&u, StoppingRule::Fixed(4000), 7, None);
+        assert!(
+            exact.max_abs_diff(&res.values) < 0.03,
+            "err={}",
+            exact.max_abs_diff(&res.values)
+        );
+        assert_eq!(res.permutations, 4000);
+    }
+
+    #[test]
+    fn improved_converges_to_exact() {
+        let (train, test) = small_class(4, 12);
+        let exact = knn_class_shapley_with_threads(&train, &test, 3, 1);
+        let mut inc = IncKnnUtility::classification(&train, &test, 3, WeightFn::Uniform);
+        let res = mc_shapley_improved(&mut inc, StoppingRule::Fixed(4000), 11, None);
+        assert!(
+            exact.max_abs_diff(&res.values) < 0.03,
+            "err={}",
+            exact.max_abs_diff(&res.values)
+        );
+    }
+
+    #[test]
+    fn improved_and_baseline_agree_statistically() {
+        let (train, test) = small_class(5, 10);
+        let u = KnnClassUtility::unweighted(&train, &test, 2);
+        let mut inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        let a = mc_shapley_baseline(&u, StoppingRule::Fixed(3000), 1, None);
+        let b = mc_shapley_improved(&mut inc, StoppingRule::Fixed(3000), 2, None);
+        assert!(a.values.max_abs_diff(&b.values) < 0.05);
+    }
+
+    #[test]
+    fn heuristic_stops_early() {
+        let (train, test) = small_class(6, 10);
+        let mut inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        let res = mc_shapley_improved(
+            &mut inc,
+            StoppingRule::Heuristic {
+                threshold: 1e-3,
+                max: 100_000,
+            },
+            3,
+            None,
+        );
+        assert!(res.permutations < 100_000, "never stopped");
+        assert!(res.permutations >= 2);
+    }
+
+    #[test]
+    fn snapshots_are_recorded() {
+        let (train, test) = small_class(7, 8);
+        let u = KnnClassUtility::unweighted(&train, &test, 1);
+        let res = mc_shapley_baseline(&u, StoppingRule::Fixed(50), 1, Some(10));
+        assert_eq!(res.snapshots.len(), 5);
+        assert_eq!(res.snapshots[0].0, 10);
+        assert_eq!(res.snapshots.last().unwrap().0, 50);
+        // last snapshot equals final values
+        assert!(res.snapshots.last().unwrap().1.max_abs_diff(&res.values) < 1e-12);
+    }
+
+    #[test]
+    fn permutations_until_error_reaches_target() {
+        let (train, test) = small_class(8, 10);
+        let exact = knn_class_shapley_with_threads(&train, &test, 2, 1);
+        let mut inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        let t = permutations_until_error(&mut inc, &exact, 0.1, 50_000, 3);
+        assert!(t.is_some());
+        let loose = permutations_until_error(&mut inc, &exact, 0.5, 50_000, 3).unwrap();
+        assert!(loose <= t.unwrap());
+    }
+
+    #[test]
+    fn stopping_rule_budgets() {
+        let r = StoppingRule::Hoeffding {
+            eps: 0.1,
+            delta: 0.1,
+            range: 1.0,
+        };
+        assert_eq!(r.budget(100), crate::bounds::hoeffding_permutations(100, 0.1, 0.1, 1.0));
+        assert_eq!(StoppingRule::Fixed(7).budget(10), 7);
+        assert_eq!(
+            StoppingRule::Heuristic {
+                threshold: 0.1,
+                max: 42
+            }
+            .budget(10),
+            42
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Appendix F: the *piecewise utility difference* generalization.
+//!
+//! All of the paper's exact algorithms exploit one structural property
+//! (§4 "Comments on the Proof Techniques", eq. 29): for a pair of players
+//! `(i, j)`, the utility difference decomposes over a small number of
+//! coalition groups,
+//!
+//! ```text
+//! ν(S∪{i}) − ν(S∪{j}) = Σ_{t=1}^{T} C_ij^{(t)} · 1[S ∈ S_t],
+//! ```
+//!
+//! turning Lemma 1's exponential sum into a counting problem (eq. 31):
+//!
+//! ```text
+//! s_i − s_j = 1/(N−1) Σ_t C_ij^{(t)} Σ_k |{S ∈ S_t : |S| = k}| / C(N−2, k)
+//! ```
+//!
+//! This module makes that recipe executable: a game describes its piecewise
+//! structure through [`PiecewiseDifference`] (the constants `C^{(t)}` and the
+//! per-size group counts `|{S ∈ S_t, |S| = k}|`), and
+//! [`shapley_from_piecewise`] assembles exact Shapley values in
+//! `O(N·T·N_count)` where `N_count` is the cost of one counting query.
+//!
+//! The unweighted KNN classifier is provided as the canonical instance
+//! (`T = 1`, eqs. 99–100): the group `S_1` is "coalitions with fewer than K
+//! members ranked closer than `i`", whose size-k count is the hypergeometric
+//! sum the paper collapses via the binomial identity. Its values match
+//! Theorem 1's recursion bit-for-bit, which is exactly the claim of
+//! Appendix F — and our test suite proves it.
+
+use crate::types::ShapleyValues;
+use knnshap_numerics::binom::LogFactorialTable;
+
+/// A cooperative game exposing the piecewise structure of eq. (29) for
+/// *adjacent* players under some fixed player ordering (the KNN games order
+/// players by distance rank; adjacency is all the paper's recursions need).
+pub trait PiecewiseDifference {
+    /// Number of players.
+    fn n(&self) -> usize;
+
+    /// The piecewise terms for the adjacent pair `(rank, rank+1)`:
+    /// each `(C^{(t)}, counts)` where `counts[k]` is
+    /// `|{S ⊆ I\{i,j} : S ∈ S_t, |S| = k}|` for `k = 0..=N−2`.
+    ///
+    /// Counts may be returned in any compact form; they are consumed by
+    /// [`shapley_from_piecewise`] weighted by `1/C(N−2, k)`.
+    fn adjacent_terms(&self, rank: usize) -> Vec<PiecewiseTerm>;
+
+    /// The value of the last-ranked player (the recursion base), `s_{α_N}`.
+    fn base_value(&self) -> f64;
+
+    /// Map a rank back to the player's external index (identity by default).
+    fn player_of_rank(&self, rank: usize) -> usize {
+        rank
+    }
+}
+
+/// One `(C^{(t)}, S_t)` group of eq. (29).
+#[derive(Debug, Clone)]
+pub struct PiecewiseTerm {
+    /// The constant `C_ij^{(t)}`.
+    pub coefficient: f64,
+    /// `counts[k] = |{S ∈ S_t : |S| = k}|` for `k = 0..=N−2`.
+    pub counts_by_size: Vec<f64>,
+}
+
+/// Assemble exact Shapley values from a piecewise description (eq. 31).
+pub fn shapley_from_piecewise<G: PiecewiseDifference>(game: &G) -> ShapleyValues {
+    let n = game.n();
+    assert!(n >= 1, "need at least one player");
+    let mut out = ShapleyValues::zeros(n);
+    if n == 1 {
+        out.as_mut_slice()[game.player_of_rank(0)] = game.base_value();
+        return out;
+    }
+    let lf = LogFactorialTable::new(n);
+    // Precompute 1/C(N−2, k).
+    let inv_binom: Vec<f64> = (0..=n - 2).map(|k| 1.0 / lf.binomial(n - 2, k)).collect();
+
+    let mut s = game.base_value();
+    out.as_mut_slice()[game.player_of_rank(n - 1)] = s;
+    for rank in (0..n - 1).rev() {
+        let mut diff = 0.0;
+        for term in game.adjacent_terms(rank) {
+            debug_assert!(term.counts_by_size.len() < n);
+            let weighted: f64 = term
+                .counts_by_size
+                .iter()
+                .zip(&inv_binom)
+                .map(|(c, w)| c * w)
+                .sum();
+            diff += term.coefficient * weighted;
+        }
+        s += diff / (n - 1) as f64;
+        out.as_mut_slice()[game.player_of_rank(rank)] = s;
+    }
+    out
+}
+
+/// The unweighted KNN classification game in piecewise form (eqs. 99–100):
+/// one group per adjacent pair with coefficient
+/// `(1[y_i = y] − 1[y_{i+1} = y])/K` and counts
+/// `|{S : |S ∩ closer(i)| < K, |S| = k}| = Σ_{m<K} C(i−1, m)·C(N−i−1, k−m)`.
+pub struct KnnClassPiecewise {
+    /// 1 if the rank-r point's label matches the test label.
+    correct: Vec<bool>,
+    /// External index of each rank.
+    rank_to_index: Vec<usize>,
+    k: usize,
+    lf: LogFactorialTable,
+}
+
+impl KnnClassPiecewise {
+    /// Build from a distance-sorted view: `correct[r]` and
+    /// `rank_to_index[r]` describe the rank-`r` nearest point.
+    pub fn new(correct: Vec<bool>, rank_to_index: Vec<usize>, k: usize) -> Self {
+        assert_eq!(correct.len(), rank_to_index.len());
+        assert!(k >= 1, "K must be at least 1");
+        let n = correct.len();
+        Self {
+            correct,
+            rank_to_index,
+            k,
+            lf: LogFactorialTable::new(n.max(2)),
+        }
+    }
+}
+
+impl PiecewiseDifference for KnnClassPiecewise {
+    fn n(&self) -> usize {
+        self.correct.len()
+    }
+
+    fn adjacent_terms(&self, rank: usize) -> Vec<PiecewiseTerm> {
+        let n = self.n();
+        let coefficient = (f64::from(self.correct[rank]) - f64::from(self.correct[rank + 1]))
+            / self.k as f64;
+        if coefficient == 0.0 {
+            return Vec::new();
+        }
+        // counts[k] = Σ_{m=0}^{min(K−1, k)} C(i−1, m)·C(N−i−1, k−m),
+        // with i the 1-based rank of the nearer element.
+        let i1 = rank + 1;
+        let closer = i1 - 1; // points ranked strictly closer than i
+        let farther = n - i1 - 1; // points ranked beyond i+1
+        let mut counts = vec![0.0f64; n - 1];
+        for (kk, slot) in counts.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for m in 0..=kk.min(self.k - 1) {
+                if m > closer || kk - m > farther {
+                    continue;
+                }
+                acc += (self.lf.ln_binomial(closer, m) + self.lf.ln_binomial(farther, kk - m))
+                    .exp();
+            }
+            *slot = acc;
+        }
+        vec![PiecewiseTerm {
+            coefficient,
+            counts_by_size: counts,
+        }]
+    }
+
+    fn base_value(&self) -> f64 {
+        let n = self.n();
+        // Same generalized base as Theorem 1 (see exact_unweighted.rs).
+        f64::from(self.correct[n - 1]) * self.k.min(n) as f64 / (n as f64 * self.k as f64)
+    }
+
+    fn player_of_rank(&self, rank: usize) -> usize {
+        self.rank_to_index[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_unweighted::knn_class_shapley_single;
+    use knnshap_datasets::{ClassDataset, Features};
+    use knnshap_knn::distance::Metric;
+    use knnshap_knn::neighbors::argsort_by_distance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn piecewise_of(train: &ClassDataset, query: &[f32], label: u32, k: usize) -> ShapleyValues {
+        let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+        let correct: Vec<bool> = ranked
+            .iter()
+            .map(|r| train.y[r.index as usize] == label)
+            .collect();
+        let idx: Vec<usize> = ranked.iter().map(|r| r.index as usize).collect();
+        shapley_from_piecewise(&KnnClassPiecewise::new(correct, idx, k))
+    }
+
+    #[test]
+    fn matches_theorem1_on_random_instances() {
+        // Appendix F's claim: the generic counting solver reproduces the
+        // specialized Theorem 1 recursion exactly.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..30);
+            let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let train = ClassDataset::new(Features::new(feats, 2), labels, 3);
+            let q = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+            let label = rng.gen_range(0..3);
+            for k in [1usize, 2, 5, n, n + 3] {
+                let a = piecewise_of(&train, &q, label, k);
+                let b = knn_class_shapley_single(&train, &q, label, k);
+                assert!(
+                    a.max_abs_diff(&b) < 1e-9,
+                    "n={n} k={k}: err={}",
+                    a.max_abs_diff(&b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coefficient_pairs_emit_no_terms() {
+        let g = KnnClassPiecewise::new(vec![true, true, false], vec![0, 1, 2], 1);
+        assert!(g.adjacent_terms(0).is_empty()); // same label => no group
+        assert_eq!(g.adjacent_terms(1).len(), 1);
+    }
+
+    #[test]
+    fn counting_identity_matches_closed_form() {
+        // The paper collapses the counts via
+        // Σ_k (1/C(N−2,k)) Σ_m C(i−1,m)C(N−i−1,k−m) = min(K,i)(N−1)/i (eq. 13).
+        let n = 12;
+        let k = 3;
+        let lf = LogFactorialTable::new(n);
+        for i1 in 1..n {
+            let g = KnnClassPiecewise::new(
+                (0..n).map(|r| r == i1 - 1).collect(), // only rank i correct
+                (0..n).collect(),
+                k,
+            );
+            let terms = g.adjacent_terms(i1 - 1);
+            assert_eq!(terms.len(), 1);
+            let lhs: f64 = terms[0]
+                .counts_by_size
+                .iter()
+                .enumerate()
+                .map(|(kk, c)| c / lf.binomial(n - 2, kk))
+                .sum();
+            let rhs = (k.min(i1) * (n - 1)) as f64 / i1 as f64;
+            assert!((lhs - rhs).abs() < 1e-9, "i={i1}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn single_player_base() {
+        let g = KnnClassPiecewise::new(vec![true], vec![0], 4);
+        let sv = shapley_from_piecewise(&g);
+        assert!((sv[0] - 0.25).abs() < 1e-12);
+    }
+}

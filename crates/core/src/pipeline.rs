@@ -1,0 +1,674 @@
+//! High-level valuation pipeline — the crate's front door.
+//!
+//! [`KnnShapley`] wires dataset statistics, method selection and threading
+//! into one builder, dispatching to the right algorithm for the
+//! configuration, mirroring the decision guide in the paper's §6.2 "Remarks":
+//! exact for default use, truncated/LSH when a moderate ε is acceptable and K
+//! is small, Monte Carlo for weighted models where the exact algorithm is
+//! O(N^K).
+//!
+//! ```
+//! use knnshap_core::pipeline::{KnnShapley, Method};
+//! use knnshap_datasets::synth::blobs::{self, BlobConfig};
+//!
+//! let cfg = BlobConfig { n: 300, dim: 8, n_classes: 3, ..Default::default() };
+//! let train = blobs::generate(&cfg);
+//! let test = blobs::queries(&cfg, 10, 7);
+//! let sv = KnnShapley::new(&train, &test)
+//!     .k(3)
+//!     .method(Method::Exact)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(sv.len(), 300);
+//! ```
+
+use crate::composite::GameForm;
+use crate::curator::{curator_class_shapley, Ownership};
+use crate::mc::{IncKnnUtility, StoppingRule};
+use crate::types::ShapleyValues;
+use knnshap_datasets::{contrast, ClassDataset, RegDataset};
+use knnshap_knn::weights::WeightFn;
+use knnshap_lsh::index::LshIndex;
+
+/// Valuation algorithm selection.
+#[derive(Debug, Clone, Copy)]
+pub enum Method {
+    /// Theorem 1 (unweighted, O(N log N)/test) or Theorem 7 (weighted,
+    /// O(N^K)/test), chosen by the configured weight function.
+    Exact,
+    /// Theorem 2: (ε, 0)-approximation with exact partial retrieval.
+    /// Unweighted classification only.
+    Truncated { eps: f64 },
+    /// Theorem 2 with kd-tree retrieval — the paper's §3.2 tree-based
+    /// alternative to LSH. Same (ε, 0) guarantee as [`Method::Truncated`]
+    /// (the tree returns exact neighbors); sub-scan query cost in low to
+    /// moderate dimensions, degrading toward the linear scan as the
+    /// dimension grows. Unweighted classification only.
+    TruncatedTree { eps: f64 },
+    /// Theorem 4: (ε, δ)-approximation with LSH retrieval; index parameters
+    /// planned from measured dataset statistics. Unweighted classification
+    /// only (the paper's LSH analysis is confined to this case).
+    Lsh { eps: f64, delta: f64, max_tables: usize },
+    /// Baseline permutation sampling (§2.2) over the configured utility.
+    McBaseline { rule: StoppingRule, seed: u64 },
+    /// Algorithm 2: heap-incremental permutation sampling.
+    McImproved { rule: StoppingRule, seed: u64 },
+}
+
+/// Configuration errors surfaced by [`KnnShapley::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Train/test feature dimensionality differs.
+    DimensionMismatch,
+    /// The test set is empty.
+    EmptyTestSet,
+    /// The training set is empty.
+    EmptyTrainSet,
+    /// The selected method only supports uniform weights.
+    WeightedUnsupported(&'static str),
+    /// A feature value is NaN or infinite; distance comparisons would panic
+    /// deep inside the valuation sorts. `(which, row)` identifies the first
+    /// offending row in `"train"` or `"test"`.
+    NonFiniteFeature {
+        which: &'static str,
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::DimensionMismatch => write!(f, "train/test dimension mismatch"),
+            PipelineError::EmptyTestSet => write!(f, "test set is empty"),
+            PipelineError::EmptyTrainSet => write!(f, "training set is empty"),
+            PipelineError::WeightedUnsupported(m) => {
+                write!(f, "{m} supports only unweighted KNN (WeightFn::Uniform)")
+            }
+            PipelineError::NonFiniteFeature { which, row } => {
+                write!(f, "{which} row {row} contains a NaN/infinite feature")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Builder for classification-task data valuation.
+pub struct KnnShapley<'a> {
+    train: &'a ClassDataset,
+    test: &'a ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    method: Method,
+    threads: usize,
+}
+
+impl<'a> KnnShapley<'a> {
+    /// Start a pipeline with the paper's defaults: K = 1, unweighted, exact,
+    /// one worker per core.
+    pub fn new(train: &'a ClassDataset, test: &'a ClassDataset) -> Self {
+        Self {
+            train,
+            test,
+            k: 1,
+            weight: WeightFn::Uniform,
+            method: Method::Exact,
+            threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+        }
+    }
+
+    pub fn k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        self.k = k;
+        self
+    }
+
+    pub fn weight(mut self, weight: WeightFn) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.train.is_empty() {
+            return Err(PipelineError::EmptyTrainSet);
+        }
+        if self.test.is_empty() {
+            return Err(PipelineError::EmptyTestSet);
+        }
+        if self.train.dim() != self.test.dim() {
+            return Err(PipelineError::DimensionMismatch);
+        }
+        check_finite(&self.train.x, &self.test.x)?;
+        Ok(())
+    }
+
+    /// Execute the configured valuation.
+    pub fn run(&self) -> Result<ShapleyValues, PipelineError> {
+        self.validate()?;
+        let uniform = matches!(self.weight, WeightFn::Uniform);
+        match self.method {
+            Method::Exact => {
+                if uniform {
+                    Ok(crate::exact_unweighted::knn_class_shapley_with_threads(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.threads,
+                    ))
+                } else {
+                    Ok(crate::exact_weighted::weighted_knn_class_shapley(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                        self.threads,
+                    ))
+                }
+            }
+            Method::Truncated { eps } => {
+                if !uniform {
+                    return Err(PipelineError::WeightedUnsupported("Truncated"));
+                }
+                Ok(crate::truncated::truncated_class_shapley(
+                    self.train, self.test, self.k, eps,
+                ))
+            }
+            Method::TruncatedTree { eps } => {
+                if !uniform {
+                    return Err(PipelineError::WeightedUnsupported("TruncatedTree"));
+                }
+                let tree = knnshap_knn::kdtree::KdTree::build(&self.train.x);
+                let mut acc = ShapleyValues::zeros(self.train.len());
+                for j in 0..self.test.len() {
+                    acc.add_assign(&crate::truncated::truncated_class_shapley_with_kdtree(
+                        &tree,
+                        self.train,
+                        self.test.x.row(j),
+                        self.test.y[j],
+                        self.k,
+                        eps,
+                    ));
+                }
+                acc.scale(1.0 / self.test.len() as f64);
+                Ok(acc)
+            }
+            Method::Lsh {
+                eps,
+                delta,
+                max_tables,
+            } => {
+                if !uniform {
+                    return Err(PipelineError::WeightedUnsupported("Lsh"));
+                }
+                let ks = crate::truncated::k_star(self.k, eps).min(self.train.len());
+                let est = contrast::estimate(
+                    &self.train.x,
+                    &self.test.x,
+                    ks,
+                    16.min(self.test.len()),
+                    64,
+                    0xC0_FFEE,
+                );
+                let params = crate::lsh_approx::plan_index_params(
+                    self.train.len(),
+                    &est,
+                    self.k,
+                    eps,
+                    delta,
+                    1.0,
+                    max_tables,
+                    0x5EED,
+                );
+                let index = LshIndex::build(&self.train.x, params);
+                Ok(crate::lsh_approx::lsh_class_shapley(
+                    &index, self.train, self.test, self.k, eps,
+                ))
+            }
+            Method::McBaseline { rule, seed } => {
+                let u = crate::utility::KnnClassUtility::new(
+                    self.train,
+                    self.test,
+                    self.k,
+                    self.weight,
+                );
+                Ok(crate::mc::mc_shapley_baseline(&u, rule, seed, None).values)
+            }
+            Method::McImproved { rule, seed } => {
+                let mut inc = IncKnnUtility::classification(
+                    self.train,
+                    self.test,
+                    self.k,
+                    self.weight,
+                );
+                Ok(crate::mc::mc_shapley_improved(&mut inc, rule, seed, None).values)
+            }
+        }
+    }
+
+    /// Value *sellers* instead of points given an ownership map
+    /// (Theorem 8 / Theorem 12). Exact only.
+    pub fn run_curator(
+        &self,
+        ownership: &Ownership,
+        form: GameForm,
+    ) -> Result<ShapleyValues, PipelineError> {
+        self.validate()?;
+        if ownership.owners.len() != self.train.len() {
+            return Err(PipelineError::DimensionMismatch);
+        }
+        Ok(curator_class_shapley(
+            self.train, ownership, self.test, self.k, self.weight, form,
+        ))
+    }
+}
+
+/// Shared NaN/inf screening for both pipeline front doors.
+fn check_finite(
+    train: &knnshap_datasets::Features,
+    test: &knnshap_datasets::Features,
+) -> Result<(), PipelineError> {
+    if let Some(row) = train.first_non_finite_row() {
+        return Err(PipelineError::NonFiniteFeature {
+            which: "train",
+            row,
+        });
+    }
+    if let Some(row) = test.first_non_finite_row() {
+        return Err(PipelineError::NonFiniteFeature { which: "test", row });
+    }
+    Ok(())
+}
+
+/// Valuation algorithm selection for regression tasks.
+///
+/// The retrieval-based approximations (Theorems 2/4) are classification-only
+/// in the paper ("the application of the LSH-based approximation is still
+/// confined to the classification case", §1 C1.2), so the regression builder
+/// offers exact and Monte Carlo paths only.
+#[derive(Debug, Clone, Copy)]
+pub enum RegMethod {
+    /// Theorem 6 (unweighted, O(N log N)/test) or Theorem 7 (weighted,
+    /// O(N^K)/test), chosen by the configured weight function.
+    Exact,
+    /// Baseline permutation sampling (§2.2) over the regression utility.
+    McBaseline { rule: StoppingRule, seed: u64 },
+    /// Algorithm 2: heap-incremental permutation sampling.
+    McImproved { rule: StoppingRule, seed: u64 },
+}
+
+/// Builder for regression-task data valuation (negative-MSE utility,
+/// eq. 25/27).
+///
+/// ```
+/// use knnshap_core::pipeline::{RegShapley, RegMethod};
+/// use knnshap_datasets::synth::regression::{self, RegressionConfig};
+///
+/// let cfg = RegressionConfig { n: 200, ..Default::default() };
+/// let train = regression::generate(&cfg);
+/// let test = regression::queries(&cfg, 10);
+/// let sv = RegShapley::new(&train, &test).k(3).run().unwrap();
+/// assert_eq!(sv.len(), 200);
+/// ```
+pub struct RegShapley<'a> {
+    train: &'a RegDataset,
+    test: &'a RegDataset,
+    k: usize,
+    weight: WeightFn,
+    method: RegMethod,
+    threads: usize,
+}
+
+impl<'a> RegShapley<'a> {
+    /// Start a regression pipeline: K = 1, unweighted, exact, one worker per
+    /// core.
+    pub fn new(train: &'a RegDataset, test: &'a RegDataset) -> Self {
+        Self {
+            train,
+            test,
+            k: 1,
+            weight: WeightFn::Uniform,
+            method: RegMethod::Exact,
+            threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+        }
+    }
+
+    pub fn k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        self.k = k;
+        self
+    }
+
+    pub fn weight(mut self, weight: WeightFn) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn method(mut self, method: RegMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.train.is_empty() {
+            return Err(PipelineError::EmptyTrainSet);
+        }
+        if self.test.is_empty() {
+            return Err(PipelineError::EmptyTestSet);
+        }
+        if self.train.dim() != self.test.dim() {
+            return Err(PipelineError::DimensionMismatch);
+        }
+        check_finite(&self.train.x, &self.test.x)?;
+        Ok(())
+    }
+
+    /// Execute the configured valuation.
+    pub fn run(&self) -> Result<ShapleyValues, PipelineError> {
+        self.validate()?;
+        let uniform = matches!(self.weight, WeightFn::Uniform);
+        match self.method {
+            RegMethod::Exact => {
+                if uniform {
+                    Ok(crate::exact_regression::knn_reg_shapley_with_threads(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.threads,
+                    ))
+                } else {
+                    Ok(crate::exact_weighted::weighted_knn_reg_shapley(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                        self.threads,
+                    ))
+                }
+            }
+            RegMethod::McBaseline { rule, seed } => {
+                let u = crate::utility::KnnRegUtility::new(
+                    self.train,
+                    self.test,
+                    self.k,
+                    self.weight,
+                );
+                Ok(crate::mc::mc_shapley_baseline(&u, rule, seed, None).values)
+            }
+            RegMethod::McImproved { rule, seed } => {
+                let mut inc =
+                    IncKnnUtility::regression(self.train, self.test, self.k, self.weight);
+                Ok(crate::mc::mc_shapley_improved(&mut inc, rule, seed, None).values)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+    use knnshap_datasets::Features;
+
+    fn data() -> (ClassDataset, ClassDataset) {
+        let cfg = BlobConfig {
+            n: 120,
+            dim: 6,
+            n_classes: 3,
+            cluster_std: 0.6,
+            center_scale: 3.0,
+            seed: 2,
+        };
+        (blobs::generate(&cfg), blobs::queries(&cfg, 6, 3))
+    }
+
+    #[test]
+    fn exact_default_runs() {
+        let (train, test) = data();
+        let sv = KnnShapley::new(&train, &test).k(3).run().unwrap();
+        assert_eq!(sv.len(), 120);
+    }
+
+    #[test]
+    fn truncated_close_to_exact() {
+        let (train, test) = data();
+        let exact = KnnShapley::new(&train, &test).k(2).run().unwrap();
+        let approx = KnnShapley::new(&train, &test)
+            .k(2)
+            .method(Method::Truncated { eps: 0.1 })
+            .run()
+            .unwrap();
+        assert!(exact.max_abs_diff(&approx) <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn truncated_tree_matches_truncated_scan() {
+        // the kd-tree returns exact neighbors, so the two retrieval paths
+        // must agree bit-for-bit
+        let (train, test) = data();
+        let scan = KnnShapley::new(&train, &test)
+            .k(2)
+            .method(Method::Truncated { eps: 0.15 })
+            .run()
+            .unwrap();
+        let tree = KnnShapley::new(&train, &test)
+            .k(2)
+            .method(Method::TruncatedTree { eps: 0.15 })
+            .run()
+            .unwrap();
+        assert!(scan.max_abs_diff(&tree) < 1e-12);
+    }
+
+    #[test]
+    fn lsh_runs_and_is_bounded() {
+        let (train, test) = data();
+        let exact = KnnShapley::new(&train, &test).k(1).run().unwrap();
+        let approx = KnnShapley::new(&train, &test)
+            .k(1)
+            .method(Method::Lsh {
+                eps: 0.15,
+                delta: 0.1,
+                max_tables: 32,
+            })
+            .run()
+            .unwrap();
+        // allow the δ failure slack
+        assert!(exact.max_abs_diff(&approx) <= 0.3);
+    }
+
+    #[test]
+    fn mc_methods_run() {
+        let (train, test) = data();
+        let a = KnnShapley::new(&train, &test)
+            .k(2)
+            .method(Method::McBaseline {
+                rule: StoppingRule::Fixed(30),
+                seed: 1,
+            })
+            .run()
+            .unwrap();
+        let b = KnnShapley::new(&train, &test)
+            .k(2)
+            .method(Method::McImproved {
+                rule: StoppingRule::Fixed(200),
+                seed: 1,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(a.len(), 120);
+        assert_eq!(b.len(), 120);
+    }
+
+    #[test]
+    fn weighted_exact_dispatches() {
+        let (train, test) = data();
+        let small_train = train.gather(&(0..40).collect::<Vec<_>>());
+        let sv = KnnShapley::new(&small_train, &test)
+            .k(2)
+            .weight(WeightFn::InverseDistance { eps: 1e-3 })
+            .run()
+            .unwrap();
+        assert_eq!(sv.len(), 40);
+    }
+
+    #[test]
+    fn weighted_rejected_for_retrieval_methods() {
+        let (train, test) = data();
+        let err = KnnShapley::new(&train, &test)
+            .weight(WeightFn::InverseDistance { eps: 1e-3 })
+            .method(Method::Truncated { eps: 0.1 })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, PipelineError::WeightedUnsupported("Truncated"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (train, test) = data();
+        let empty = ClassDataset::new(Features::new(vec![], 6), vec![], 3);
+        assert_eq!(
+            KnnShapley::new(&train, &empty).run().unwrap_err(),
+            PipelineError::EmptyTestSet
+        );
+        assert_eq!(
+            KnnShapley::new(&empty, &test).run().unwrap_err(),
+            PipelineError::EmptyTrainSet
+        );
+        let wrong_dim = ClassDataset::new(Features::new(vec![0.0; 4], 2), vec![0, 1], 3);
+        assert_eq!(
+            KnnShapley::new(&train, &wrong_dim).run().unwrap_err(),
+            PipelineError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected_not_panicked() {
+        let (train, test) = data();
+        let mut poisoned_test = test.clone();
+        poisoned_test.x.row_mut(3)[2] = f32::NAN;
+        assert_eq!(
+            KnnShapley::new(&train, &poisoned_test).run().unwrap_err(),
+            PipelineError::NonFiniteFeature {
+                which: "test",
+                row: 3
+            }
+        );
+        let mut poisoned_train = train.clone();
+        poisoned_train.x.row_mut(7)[0] = f32::INFINITY;
+        assert_eq!(
+            KnnShapley::new(&poisoned_train, &test).run().unwrap_err(),
+            PipelineError::NonFiniteFeature {
+                which: "train",
+                row: 7
+            }
+        );
+    }
+
+    #[test]
+    fn curator_path() {
+        let (train, test) = data();
+        let own = Ownership::round_robin(train.len(), 10);
+        let sv = KnnShapley::new(&train, &test)
+            .k(2)
+            .run_curator(&own, GameForm::DataOnly)
+            .unwrap();
+        assert_eq!(sv.len(), 10);
+    }
+
+    mod regression {
+        use super::*;
+        use knnshap_datasets::synth::regression::{self, RegressionConfig};
+
+        fn reg_data() -> (RegDataset, RegDataset) {
+            let cfg = RegressionConfig {
+                n: 80,
+                ..Default::default()
+            };
+            (regression::generate(&cfg), regression::queries(&cfg, 6))
+        }
+
+        #[test]
+        fn exact_unweighted_runs_and_distributes_utility() {
+            let (train, test) = reg_data();
+            let sv = RegShapley::new(&train, &test).k(3).run().unwrap();
+            assert_eq!(sv.len(), 80);
+            let u = crate::utility::KnnRegUtility::unweighted(&train, &test, 3);
+            use crate::utility::Utility;
+            assert!((sv.total() - u.grand()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn weighted_exact_dispatches() {
+            let (train, test) = reg_data();
+            let small = train.gather(&(0..30).collect::<Vec<_>>());
+            let sv = RegShapley::new(&small, &test)
+                .k(2)
+                .weight(WeightFn::Exponential { beta: 0.5 })
+                .run()
+                .unwrap();
+            assert_eq!(sv.len(), 30);
+        }
+
+        #[test]
+        fn mc_improved_tracks_exact() {
+            let (train, test) = reg_data();
+            let exact = RegShapley::new(&train, &test).k(2).run().unwrap();
+            let mc = RegShapley::new(&train, &test)
+                .k(2)
+                .method(RegMethod::McImproved {
+                    rule: StoppingRule::Fixed(4000),
+                    seed: 3,
+                })
+                .run()
+                .unwrap();
+            // statistical agreement: generous but non-vacuous envelope
+            let spread = exact
+                .as_slice()
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
+                .max(1e-9);
+            assert!(exact.max_abs_diff(&mc) < 0.5 * spread + 0.05);
+        }
+
+        #[test]
+        fn mc_baseline_runs() {
+            let (train, test) = reg_data();
+            let sv = RegShapley::new(&train, &test)
+                .method(RegMethod::McBaseline {
+                    rule: StoppingRule::Fixed(20),
+                    seed: 5,
+                })
+                .run()
+                .unwrap();
+            assert_eq!(sv.len(), 80);
+        }
+
+        #[test]
+        fn validation_errors() {
+            let (train, test) = reg_data();
+            let empty = RegDataset::new(Features::new(vec![], train.dim()), vec![]);
+            assert_eq!(
+                RegShapley::new(&train, &empty).run().unwrap_err(),
+                PipelineError::EmptyTestSet
+            );
+            assert_eq!(
+                RegShapley::new(&empty, &test).run().unwrap_err(),
+                PipelineError::EmptyTrainSet
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Online valuation over a stream of test points (§3.1, C1.2).
+//!
+//! The paper motivates the sublinear approximation with workloads such as
+//! document retrieval, where "test points could arrive sequentially and the
+//! values of each training point need to get updated and accumulated on the
+//! fly, which makes it impossible to complete sorting offline".
+//!
+//! [`OnlineValuator`] owns the running per-point accumulator: each
+//! [`observe`](OnlineValuator::observe) folds one test point's single-query
+//! Shapley game into the sum, and [`values`](OnlineValuator::values) returns
+//! the average over everything seen so far — by the additivity axiom this
+//! *equals* the batch value of the utility (eq. 8) over the observed test
+//! set. Three interchangeable backends trade accuracy for per-query cost:
+//!
+//! | backend | per-query cost | guarantee |
+//! |---|---|---|
+//! | [`StreamBackend::Exact`] | O(N log N) | exact (Theorem 1) |
+//! | [`StreamBackend::Truncated`] | O(N + K* log K*) | (ε, 0) (Theorem 2) |
+//! | [`StreamBackend::Lsh`] | sublinear | (ε, δ) (Theorem 4) |
+
+use crate::exact_unweighted::knn_class_shapley_single;
+use crate::lsh_approx::lsh_class_shapley_single;
+use crate::truncated::truncated_class_shapley_single;
+use crate::types::ShapleyValues;
+use knnshap_datasets::ClassDataset;
+use knnshap_lsh::index::LshIndex;
+
+/// Per-query valuation strategy for [`OnlineValuator`].
+pub enum StreamBackend<'a> {
+    /// Theorem 1: full argsort per query.
+    Exact,
+    /// Theorem 2: exact partial retrieval of K* = max{K, ⌈1/ε⌉} neighbors.
+    Truncated { eps: f64 },
+    /// Theorem 4: approximate retrieval from a prebuilt p-stable LSH index
+    /// over the *same* training matrix.
+    Lsh { index: LshIndex<'a>, eps: f64 },
+}
+
+impl std::fmt::Debug for StreamBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamBackend::Exact => write!(f, "Exact"),
+            StreamBackend::Truncated { eps } => write!(f, "Truncated {{ eps: {eps} }}"),
+            StreamBackend::Lsh { index, eps } => write!(
+                f,
+                "Lsh {{ tables: {}, eps: {eps} }}",
+                index.num_tables()
+            ),
+        }
+    }
+}
+
+/// Accumulates training-point values as test points arrive.
+///
+/// ```
+/// use knnshap_core::streaming::{OnlineValuator, StreamBackend};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 100, dim: 4, n_classes: 2, ..Default::default() };
+/// let train = blobs::generate(&cfg);
+/// let stream = blobs::queries(&cfg, 20, 11);
+/// let mut online = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+/// for j in 0..stream.len() {
+///     online.observe(stream.x.row(j), stream.y[j]);
+/// }
+/// let sv = online.values();
+/// assert_eq!(sv.len(), 100);
+/// assert_eq!(online.queries_seen(), 20);
+/// ```
+pub struct OnlineValuator<'a> {
+    train: &'a ClassDataset,
+    k: usize,
+    backend: StreamBackend<'a>,
+    sum: ShapleyValues,
+    n_queries: usize,
+}
+
+impl<'a> OnlineValuator<'a> {
+    /// Starts an empty accumulator over `train` with the given `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty or `k == 0`.
+    pub fn new(train: &'a ClassDataset, k: usize, backend: StreamBackend<'a>) -> Self {
+        assert!(!train.is_empty(), "training set is empty");
+        assert!(k >= 1, "K must be at least 1");
+        Self {
+            train,
+            k,
+            backend,
+            sum: ShapleyValues::zeros(train.len()),
+            n_queries: 0,
+        }
+    }
+
+    /// Folds one labeled test point into the running values and returns that
+    /// query's own single-test Shapley vector (useful for per-query
+    /// diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimensionality.
+    pub fn observe(&mut self, query: &[f32], label: u32) -> ShapleyValues {
+        assert_eq!(query.len(), self.train.dim(), "query dimension mismatch");
+        let per_query = match &self.backend {
+            StreamBackend::Exact => {
+                knn_class_shapley_single(self.train, query, label, self.k)
+            }
+            StreamBackend::Truncated { eps } => {
+                truncated_class_shapley_single(self.train, query, label, self.k, *eps)
+            }
+            StreamBackend::Lsh { index, eps } => {
+                lsh_class_shapley_single(index, self.train, query, label, self.k, *eps)
+            }
+        };
+        self.sum.add_assign(&per_query);
+        self.n_queries += 1;
+        per_query
+    }
+
+    /// Number of test points observed so far.
+    pub fn queries_seen(&self) -> usize {
+        self.n_queries
+    }
+
+    /// Running values: the average of the per-query games (zeros before the
+    /// first observation).
+    pub fn values(&self) -> ShapleyValues {
+        let mut avg = self.sum.clone();
+        if self.n_queries > 0 {
+            avg.scale(1.0 / self.n_queries as f64);
+        }
+        avg
+    }
+
+    /// Merges another accumulator over the *same* training set (e.g. a
+    /// shard processed by another worker). Panics on size mismatch.
+    pub fn merge(&mut self, other: &OnlineValuator<'_>) {
+        assert_eq!(self.sum.len(), other.sum.len(), "training set mismatch");
+        assert_eq!(self.k, other.k, "K mismatch");
+        self.sum.add_assign(&other.sum);
+        self.n_queries += other.n_queries;
+    }
+
+    /// Discards the accumulated state, keeping train/K/backend.
+    pub fn reset(&mut self) {
+        self.sum = ShapleyValues::zeros(self.train.len());
+        self.n_queries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_unweighted::knn_class_shapley_with_threads;
+    use crate::lsh_approx::plan_index_params;
+    use crate::truncated::k_star;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+    use knnshap_datasets::{contrast, normalize};
+
+    fn data(n: usize, n_test: usize) -> (ClassDataset, ClassDataset) {
+        let cfg = BlobConfig {
+            n,
+            dim: 6,
+            n_classes: 3,
+            cluster_std: 0.5,
+            center_scale: 3.0,
+            seed: 77,
+        };
+        (blobs::generate(&cfg), blobs::queries(&cfg, n_test, 5))
+    }
+
+    #[test]
+    fn exact_stream_equals_batch() {
+        let (train, test) = data(150, 12);
+        let mut online = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+        for j in 0..test.len() {
+            online.observe(test.x.row(j), test.y[j]);
+        }
+        let batch = knn_class_shapley_with_threads(&train, &test, 3, 1);
+        assert!(online.values().max_abs_diff(&batch) < 1e-12);
+        assert_eq!(online.queries_seen(), 12);
+    }
+
+    #[test]
+    fn truncated_stream_within_eps_of_batch() {
+        let (train, test) = data(200, 10);
+        let eps = 0.1;
+        let mut online = OnlineValuator::new(&train, 2, StreamBackend::Truncated { eps });
+        for j in 0..test.len() {
+            online.observe(test.x.row(j), test.y[j]);
+        }
+        let batch = knn_class_shapley_with_threads(&train, &test, 2, 1);
+        assert!(online.values().max_abs_diff(&batch) <= eps + 1e-12);
+    }
+
+    #[test]
+    fn lsh_stream_runs_and_is_bounded() {
+        let (mut train, mut test) = data(400, 8);
+        let factor = normalize::scale_to_unit_dmean(&mut train.x, 200, 3);
+        normalize::apply_scale(&mut test.x, factor);
+        let (k, eps, delta) = (1usize, 0.2f64, 0.2f64);
+        let ks = k_star(k, eps);
+        let est = contrast::estimate(&train.x, &test.x, ks, 8, 32, 5);
+        let params = plan_index_params(train.len(), &est, k, eps, delta, 1.0, 24, 7);
+        let index = LshIndex::build(&train.x, params);
+        let mut online = OnlineValuator::new(&train, k, StreamBackend::Lsh { index, eps });
+        for j in 0..test.len() {
+            online.observe(test.x.row(j), test.y[j]);
+        }
+        let batch = knn_class_shapley_with_threads(&train, &test, k, 1);
+        // δ-probability failures allowed; generous envelope.
+        assert!(online.values().max_abs_diff(&batch) <= 0.5);
+    }
+
+    #[test]
+    fn per_query_vector_is_returned() {
+        let (train, test) = data(50, 1);
+        let mut online = OnlineValuator::new(&train, 1, StreamBackend::Exact);
+        let pq = online.observe(test.x.row(0), test.y[0]);
+        // single query: running average equals the per-query game
+        assert!(online.values().max_abs_diff(&pq) < 1e-15);
+    }
+
+    #[test]
+    fn values_before_any_query_are_zero() {
+        let (train, _) = data(30, 1);
+        let online = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        assert_eq!(online.values().total(), 0.0);
+        assert_eq!(online.queries_seen(), 0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let (train, test) = data(80, 10);
+        let mut whole = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        for j in 0..test.len() {
+            whole.observe(test.x.row(j), test.y[j]);
+        }
+        let mut left = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        let mut right = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        for j in 0..5 {
+            left.observe(test.x.row(j), test.y[j]);
+        }
+        for j in 5..10 {
+            right.observe(test.x.row(j), test.y[j]);
+        }
+        left.merge(&right);
+        assert_eq!(left.queries_seen(), 10);
+        assert!(left.values().max_abs_diff(&whole.values()) < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (train, test) = data(40, 3);
+        let mut online = OnlineValuator::new(&train, 1, StreamBackend::Exact);
+        for j in 0..3 {
+            online.observe(test.x.row(j), test.y[j]);
+        }
+        online.reset();
+        assert_eq!(online.queries_seen(), 0);
+        assert_eq!(online.values().total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn observe_rejects_wrong_dim() {
+        let (train, _) = data(20, 1);
+        let mut online = OnlineValuator::new(&train, 1, StreamBackend::Exact);
+        online.observe(&[0.0, 0.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn new_rejects_empty_train() {
+        let empty = ClassDataset::new(knnshap_datasets::Features::new(vec![], 4), vec![], 2);
+        OnlineValuator::new(&empty, 1, StreamBackend::Exact);
+    }
+}

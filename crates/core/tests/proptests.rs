@@ -1,0 +1,166 @@
+//! Property-based tests for the §7 analysis tools and the streaming
+//! valuator: structural invariants that must hold for *any* value vector,
+//! mask, or query order — complementing the fixed-instance unit tests inside
+//! the modules.
+
+use knnshap_core::analysis::{
+    monetary_payout, per_class_summary, rank_agreement, DetectionCurve,
+};
+use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
+use knnshap_core::streaming::{OnlineValuator, StreamBackend};
+use knnshap_core::types::ShapleyValues;
+use knnshap_datasets::{ClassDataset, Features};
+use proptest::prelude::*;
+
+/// A small random classification instance: features in [-1, 1]², labels in
+/// `0..classes`, plus a query set.
+fn instance_strategy() -> impl Strategy<Value = (ClassDataset, ClassDataset, usize)> {
+    (4usize..24, 1u32..4, 1usize..6, any::<u64>()).prop_map(|(n, classes, k, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+        let train = ClassDataset::new(Features::new(feats, 2), labels, classes);
+        let nq = rng.gen_range(1..6);
+        let qfeats: Vec<f32> = (0..nq * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qlabels: Vec<u32> = (0..nq).map(|_| rng.gen_range(0..classes)).collect();
+        let test = ClassDataset::new(Features::new(qfeats, 2), qlabels, classes);
+        (train, test, k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Payout conservation: Σ payout = a·Σ value + b, each payout is the
+    /// affine image of its value.
+    #[test]
+    fn payout_conserves_revenue(
+        values in proptest::collection::vec(-1.0f64..1.0, 1..50),
+        a in -100.0f64..100.0,
+        b in 0.0f64..1000.0,
+    ) {
+        let sv = ShapleyValues::new(values.clone());
+        let pay = monetary_payout(&sv, a, b);
+        let paid: f64 = pay.iter().sum();
+        prop_assert!((paid - (a * sv.total() + b)).abs() < 1e-6 * (1.0 + paid.abs()));
+        let flat = b / values.len() as f64;
+        for (p, v) in pay.iter().zip(&values) {
+            prop_assert!((p - (a * v + flat)).abs() < 1e-9);
+        }
+    }
+
+    /// DetectionCurve structural invariants: recall is monotone from 0 to 1,
+    /// AUC ∈ [0, 1], and precision·m = recall·n_bad at every budget.
+    #[test]
+    fn detection_curve_invariants(
+        values in proptest::collection::vec(-1.0f64..1.0, 2..60),
+        bad_seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = values.len();
+        let mut rng = StdRng::seed_from_u64(bad_seed);
+        let mut is_bad: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+        if !is_bad.iter().any(|&b| b) {
+            is_bad[rng.gen_range(0..n)] = true;
+        }
+        let n_bad = is_bad.iter().filter(|&&b| b).count();
+        let sv = ShapleyValues::new(values);
+        let curve = DetectionCurve::new(&sv, &is_bad);
+        prop_assert_eq!(curve.n_bad(), n_bad);
+        let mut prev = 0.0;
+        for m in 0..=n {
+            let r = curve.recall_at(m);
+            prop_assert!(r >= prev - 1e-15);
+            prop_assert!((0.0..=1.0 + 1e-15).contains(&r));
+            if m > 0 {
+                let p = curve.precision_at(m);
+                prop_assert!((p * m as f64 - r * n_bad as f64).abs() < 1e-9);
+            }
+            prev = r;
+        }
+        prop_assert_eq!(curve.recall_at(n), 1.0);
+        let auc = curve.auc();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&auc));
+    }
+
+    /// Class summaries partition the total: counts sum to N and per-class
+    /// totals sum to the grand total; min ≤ mean ≤ max within each class.
+    #[test]
+    fn class_summary_partitions(
+        pairs in proptest::collection::vec((-1.0f64..1.0, 0u32..5), 1..60),
+    ) {
+        let (values, labels): (Vec<f64>, Vec<u32>) = pairs.into_iter().unzip();
+        let sv = ShapleyValues::new(values);
+        let summaries = per_class_summary(&sv, &labels, 5);
+        prop_assert_eq!(summaries.len(), 5);
+        let count: usize = summaries.iter().map(|s| s.count).sum();
+        prop_assert_eq!(count, labels.len());
+        let total: f64 = summaries.iter().map(|s| s.total).sum();
+        prop_assert!((total - sv.total()).abs() < 1e-9);
+        for s in &summaries {
+            if s.count > 0 {
+                prop_assert!(s.min <= s.mean + 1e-12 && s.mean <= s.max + 1e-12);
+            }
+        }
+    }
+
+    /// Rank agreement is symmetric, bounded by [-1, 1], and exactly 1 against
+    /// any strictly increasing transform.
+    #[test]
+    fn rank_agreement_properties(
+        values in proptest::collection::vec(-10.0f64..10.0, 3..40),
+        scale in 0.1f64..10.0,
+        shift in -5.0f64..5.0,
+    ) {
+        let a = ShapleyValues::new(values.clone());
+        let b = ShapleyValues::new(values.iter().map(|v| scale * v + shift).collect());
+        let ab = rank_agreement(&a, &b);
+        prop_assert!((ab - 1.0).abs() < 1e-9, "monotone transform must preserve ranks: {ab}");
+        let c = ShapleyValues::new(values.iter().rev().cloned().collect());
+        let ac = rank_agreement(&a, &c);
+        let ca = rank_agreement(&c, &a);
+        prop_assert!((ac - ca).abs() < 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ac));
+    }
+
+    /// Streaming with the exact backend equals the batch valuation on random
+    /// instances, in any prefix: after observing the first q queries, the
+    /// running values equal the batch values over those q queries.
+    #[test]
+    fn streaming_prefix_equals_batch((train, test, k) in instance_strategy()) {
+        let mut online = OnlineValuator::new(&train, k, StreamBackend::Exact);
+        for q in 0..test.len() {
+            online.observe(test.x.row(q), test.y[q]);
+            let prefix = test.gather(&(0..=q).collect::<Vec<_>>());
+            let batch = knn_class_shapley_with_threads(&train, &prefix, k, 1);
+            prop_assert!(online.values().max_abs_diff(&batch) < 1e-12);
+        }
+    }
+
+    /// Splitting the stream at any point and merging the two accumulators
+    /// reproduces the single-pass result.
+    #[test]
+    fn streaming_split_merge_equals_single_pass(
+        (train, test, k) in instance_strategy(),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((test.len() as f64) * split_frac) as usize;
+        let mut whole = OnlineValuator::new(&train, k, StreamBackend::Exact);
+        let mut left = OnlineValuator::new(&train, k, StreamBackend::Exact);
+        let mut right = OnlineValuator::new(&train, k, StreamBackend::Exact);
+        for q in 0..test.len() {
+            whole.observe(test.x.row(q), test.y[q]);
+            if q < split {
+                left.observe(test.x.row(q), test.y[q]);
+            } else {
+                right.observe(test.x.row(q), test.y[q]);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.queries_seen(), whole.queries_seen());
+        prop_assert!(left.values().max_abs_diff(&whole.values()) < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Relative-contrast estimation.
+//!
+//! Theorem 3 of the paper characterizes LSH difficulty through the *K-th
+//! relative contrast* `C_K = D_mean / D_K`, where `D_mean` is the expected
+//! query-to-random-training-point distance and `D_K` the expected distance
+//! from a query to its K-th nearest neighbor (eqs. 21–22). Both are estimated
+//! here by sampling, exactly as an experimenter would on a 10⁷-point set
+//! where exact expectations are unaffordable.
+
+use crate::features::Features;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Squared L2 distance between two rows (kept local to avoid a dependency
+/// cycle with the `knn` crate, which depends on this one).
+#[inline]
+fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Estimated contrast quantities for one `(dataset, queries, K)` triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContrastEstimate {
+    /// `D_mean`: mean distance from a query to a random training point.
+    pub d_mean: f64,
+    /// `D_K`: mean distance from a query to its K-th nearest neighbor.
+    pub d_k: f64,
+    /// `C_K = D_mean / D_K` (≥ 1 whenever neighbors are closer than random
+    /// points, which holds for any non-degenerate dataset).
+    pub c_k: f64,
+}
+
+/// Estimate `C_K` using at most `max_queries` query points and, for `D_mean`,
+/// `pairs_per_query` random training points per query.
+///
+/// The `D_K` term performs an exact K-th-NN scan per sampled query, so the
+/// cost is `O(max_queries · N · d)`.
+pub fn estimate(
+    train: &Features,
+    queries: &Features,
+    k: usize,
+    max_queries: usize,
+    pairs_per_query: usize,
+    seed: u64,
+) -> ContrastEstimate {
+    assert!(k >= 1, "K must be at least 1");
+    assert!(train.len() >= k, "need at least K training points");
+    assert!(!queries.is_empty(), "need at least one query");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nq = queries.len().min(max_queries);
+
+    let mut mean_acc = 0.0f64;
+    let mut mean_cnt = 0usize;
+    let mut dk_acc = 0.0f64;
+
+    // Sample queries without replacement when we can.
+    let mut qidx: Vec<usize> = (0..queries.len()).collect();
+    knnshap_numerics::sampling::shuffle_in_place(&mut rng, &mut qidx);
+    qidx.truncate(nq);
+
+    // Reusable buffer of the K smallest squared distances (simple insertion
+    // into a sorted array: K is small in every use of this estimator).
+    let mut best = vec![f32::INFINITY; k];
+    for &qi in &qidx {
+        let q = queries.row(qi);
+        for b in best.iter_mut() {
+            *b = f32::INFINITY;
+        }
+        for t in train.rows() {
+            let d = sq_l2(q, t);
+            if d < best[k - 1] {
+                // insertion sort step
+                let mut pos = k - 1;
+                while pos > 0 && best[pos - 1] > d {
+                    best[pos] = best[pos - 1];
+                    pos -= 1;
+                }
+                best[pos] = d;
+            }
+        }
+        dk_acc += (best[k - 1] as f64).sqrt();
+        for _ in 0..pairs_per_query {
+            let ti = rng.gen_range(0..train.len());
+            mean_acc += (sq_l2(q, train.row(ti)) as f64).sqrt();
+            mean_cnt += 1;
+        }
+    }
+
+    let d_mean = mean_acc / mean_cnt as f64;
+    let d_k = dk_acc / nq as f64;
+    ContrastEstimate {
+        d_mean,
+        d_k,
+        c_k: d_mean / d_k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::blobs::{self, BlobConfig};
+
+    fn clustered(std: f64) -> (Features, Features) {
+        let cfg = BlobConfig {
+            n: 600,
+            dim: 8,
+            n_classes: 3,
+            cluster_std: std,
+            center_scale: 5.0,
+            seed: 5,
+        };
+        let train = blobs::generate(&cfg);
+        let q = blobs::queries(&cfg, 30, 77);
+        (train.x, q.x)
+    }
+
+    #[test]
+    fn tight_clusters_have_higher_contrast() {
+        let (t1, q1) = clustered(0.2);
+        let (t2, q2) = clustered(2.0);
+        let c_tight = estimate(&t1, &q1, 5, 20, 50, 1);
+        let c_loose = estimate(&t2, &q2, 5, 20, 50, 1);
+        assert!(
+            c_tight.c_k > c_loose.c_k,
+            "tight {} loose {}",
+            c_tight.c_k,
+            c_loose.c_k
+        );
+        assert!(c_tight.c_k > 1.0);
+    }
+
+    #[test]
+    fn contrast_decreases_with_k() {
+        // D_K grows with K, so C_K shrinks — this is Fig. 9(a).
+        let (t, q) = clustered(1.0);
+        let c2 = estimate(&t, &q, 2, 20, 50, 2);
+        let c50 = estimate(&t, &q, 50, 20, 50, 2);
+        assert!(c2.c_k > c50.c_k, "c2 {} c50 {}", c2.c_k, c50.c_k);
+    }
+
+    #[test]
+    fn exact_on_degenerate_data() {
+        // All training points identical: D_mean == D_K => C_K == 1.
+        let train = Features::new(vec![1.0; 40], 4);
+        let q = Features::new(vec![0.0; 8], 4);
+        let c = estimate(&train, &q, 3, 2, 10, 3);
+        assert!((c.c_k - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least K")]
+    fn rejects_k_larger_than_train() {
+        let train = Features::new(vec![1.0; 4], 4);
+        let q = Features::new(vec![0.0; 4], 4);
+        estimate(&train, &q, 2, 1, 1, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dataset substrate for the `knnshap` workspace.
+//!
+//! The paper evaluates on deep-feature embeddings of MNIST, CIFAR-10,
+//! ImageNet, a 10M-photo subset of Yahoo Flickr Creative Commons 100M,
+//! `dog-fish` (Inception features) and Iris. Those embeddings are not
+//! available offline, so this crate builds synthetic stand-ins that preserve
+//! the properties the paper's algorithms actually interact with:
+//!
+//! * **size** `N` and dimensionality `d` (runtime scaling, Figs. 6–7),
+//! * **relative contrast** `C_K = D_mean / D_K` (the quantity that governs
+//!   LSH behaviour in Theorems 3–4 and Figs. 9–10),
+//! * **class-cluster geometry** (which drives which points receive high or
+//!   low Shapley values, Figs. 14–16).
+//!
+//! See `DESIGN.md` §2 for the substitution rationale.
+
+pub mod bootstrap;
+pub mod contrast;
+pub mod dataset;
+pub mod features;
+pub mod io;
+pub mod noise;
+pub mod normalize;
+pub mod split;
+pub mod synth;
+
+pub use contrast::ContrastEstimate;
+pub use dataset::{ClassDataset, RegDataset};
+pub use features::Features;
+pub use synth::{
+    blobs::BlobConfig, deepfeat::EmbeddingSpec, dogfish::DogFishConfig, iris::iris_like,
+    regression::RegressionConfig,
+};

@@ -1,0 +1,211 @@
+//! Label-noise injection.
+//!
+//! Jia et al. motivate the Shapley value partly as a defense against noisy or
+//! adversarial contributions: "noisy images tend to have lower SVs than the
+//! high-fidelity ones" (§2.1) and "'bad' training points will naturally have
+//! low SVs" (§7). The `label_noise_audit` example and several tests flip a
+//! known subset of labels and assert the valuation ranks them at the bottom.
+
+use crate::dataset::ClassDataset;
+use knnshap_numerics::sampling::shuffle_in_place;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flip the labels of a uniformly random `fraction` of points to a uniformly
+/// random *different* class. Returns the modified dataset and the sorted
+/// indices of the corrupted points.
+pub fn flip_labels(d: &ClassDataset, fraction: f64, seed: u64) -> (ClassDataset, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    assert!(
+        d.n_classes >= 2 || fraction == 0.0,
+        "cannot flip labels with a single class"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_flip = ((d.len() as f64) * fraction).round() as usize;
+    let mut idx: Vec<usize> = (0..d.len()).collect();
+    shuffle_in_place(&mut rng, &mut idx);
+    idx.truncate(n_flip);
+    idx.sort_unstable();
+
+    let mut out = d.clone();
+    for &i in &idx {
+        let old = out.y[i];
+        let mut new = rng.gen_range(0..d.n_classes - 1);
+        if new >= old {
+            new += 1;
+        }
+        out.y[i] = new;
+    }
+    (out, idx)
+}
+
+/// Inject `n_poison` adversarially-placed training points: each clones a
+/// random *target* query's features (plus a small jitter of relative scale
+/// `jitter`) and carries a deliberately wrong label — the most damaging
+/// attack against a KNN consumer, since the poison lands at rank ≈ 1 for its
+/// target.
+///
+/// Returns the augmented dataset (poison appended at the end) and the sorted
+/// indices of the poison points. The §7 defense claim — "the 'bad' training
+/// points will naturally have low SVs" — is exercised against exactly this
+/// generator in `examples/label_noise_audit.rs` and the test suite.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty (nowhere to aim), the dataset has a single
+/// class (no wrong label exists), or the dimensions disagree.
+pub fn inject_poison(
+    d: &ClassDataset,
+    targets: &ClassDataset,
+    n_poison: usize,
+    jitter: f64,
+    seed: u64,
+) -> (ClassDataset, Vec<usize>) {
+    assert!(!targets.is_empty(), "need at least one target query");
+    assert!(d.n_classes >= 2, "cannot poison a single-class dataset");
+    assert_eq!(d.dim(), targets.dim(), "dimension mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = d.dim();
+
+    let mut feats = d.x.as_slice().to_vec();
+    let mut labels = d.y.clone();
+    feats.reserve(n_poison * dim);
+    labels.reserve(n_poison);
+    for _ in 0..n_poison {
+        let t = rng.gen_range(0..targets.len());
+        let base = targets.x.row(t);
+        for &v in base {
+            let noise = (rng.gen_range(-1.0f64..1.0) * jitter) as f32;
+            feats.push(v + noise * v.abs().max(1.0));
+        }
+        // any label other than the target's true label misleads the query
+        let truth = targets.y[t];
+        let mut wrong = rng.gen_range(0..d.n_classes - 1);
+        if wrong >= truth {
+            wrong += 1;
+        }
+        labels.push(wrong);
+    }
+    let poisoned = ClassDataset::new(
+        crate::features::Features::new(feats, dim),
+        labels,
+        d.n_classes,
+    );
+    let idx: Vec<usize> = (d.len()..d.len() + n_poison).collect();
+    (poisoned, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Features;
+
+    fn ds() -> ClassDataset {
+        ClassDataset::new(
+            Features::new(vec![0.0; 100], 1),
+            (0..100).map(|i| (i % 4) as u32).collect(),
+            4,
+        )
+    }
+
+    #[test]
+    fn flips_exactly_requested_fraction() {
+        let d = ds();
+        let (noisy, flipped) = flip_labels(&d, 0.2, 1);
+        assert_eq!(flipped.len(), 20);
+        let mut changed = 0;
+        for i in 0..d.len() {
+            if noisy.y[i] != d.y[i] {
+                changed += 1;
+                assert!(flipped.contains(&i));
+            }
+        }
+        assert_eq!(changed, 20); // every flip changes the label
+    }
+
+    #[test]
+    fn flipped_labels_stay_in_range() {
+        let d = ds();
+        let (noisy, _) = flip_labels(&d, 1.0, 2);
+        for &l in &noisy.y {
+            assert!(l < 4);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let d = ds();
+        let (noisy, flipped) = flip_labels(&d, 0.0, 3);
+        assert!(flipped.is_empty());
+        assert_eq!(noisy.y, d.y);
+    }
+
+    #[test]
+    #[should_panic(expected = "single class")]
+    fn rejects_single_class_flip() {
+        let d = ClassDataset::new(Features::new(vec![0.0; 4], 1), vec![0; 4], 1);
+        flip_labels(&d, 0.5, 0);
+    }
+
+    fn targets() -> ClassDataset {
+        ClassDataset::new(
+            Features::new(vec![10.0, 20.0, 30.0], 1),
+            vec![0, 1, 2],
+            4,
+        )
+    }
+
+    #[test]
+    fn poison_appends_points_near_targets_with_wrong_labels() {
+        let d = ds();
+        let t = targets();
+        let (poisoned, idx) = inject_poison(&d, &t, 12, 0.01, 9);
+        assert_eq!(poisoned.len(), 112);
+        assert_eq!(idx, (100..112).collect::<Vec<_>>());
+        // clean prefix untouched
+        assert_eq!(&poisoned.y[..100], &d.y[..]);
+        for &i in &idx {
+            let x = poisoned.x.row(i)[0];
+            // each poison point hugs one of the targets (10/20/30 ± 1%·|v|)
+            let near = [10.0f32, 20.0, 30.0]
+                .iter()
+                .any(|&c| (x - c).abs() <= 0.011 * c.max(1.0));
+            assert!(near, "poison feature {x} not near any target");
+            // and its label differs from that target's true label
+            let closest = [10.0f32, 20.0, 30.0]
+                .iter()
+                .enumerate()
+                .min_by(|a, b| (x - a.1).abs().partial_cmp(&(x - b.1).abs()).unwrap())
+                .unwrap()
+                .0;
+            assert_ne!(poisoned.y[i], t.y[closest]);
+        }
+    }
+
+    #[test]
+    fn poison_zero_count_is_identity_append() {
+        let d = ds();
+        let (poisoned, idx) = inject_poison(&d, &targets(), 0, 0.1, 1);
+        assert_eq!(poisoned.len(), d.len());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-class")]
+    fn poison_rejects_single_class() {
+        let d = ClassDataset::new(Features::new(vec![0.0; 4], 1), vec![0; 4], 1);
+        let t = ClassDataset::new(Features::new(vec![0.0], 1), vec![0], 1);
+        inject_poison(&d, &t, 1, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn poison_rejects_empty_targets() {
+        let d = ds();
+        let t = ClassDataset::new(Features::new(vec![], 1), vec![], 4);
+        inject_poison(&d, &t, 1, 0.1, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Feature normalization.
+//!
+//! The paper normalizes datasets "such that `D_mean = 1`" before the LSH
+//! experiments (§6.2.1, Fig. 9) — the p-stable projection width `r` is only
+//! meaningful relative to the distance scale. We implement that plus
+//! conventional per-dimension standardization.
+
+use crate::features::Features;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Estimate the mean pairwise distance among `samples` random pairs of rows.
+pub fn mean_pairwise_distance(x: &Features, samples: usize, seed: u64) -> f64 {
+    assert!(x.len() >= 2, "need at least two rows");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0.0f64;
+    for _ in 0..samples {
+        let i = rng.gen_range(0..x.len());
+        let mut j = rng.gen_range(0..x.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let d: f32 = x
+            .row(i)
+            .iter()
+            .zip(x.row(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        acc += (d as f64).sqrt();
+    }
+    acc / samples as f64
+}
+
+/// Scale every feature (in place) by `1 / D_mean` so that the mean pairwise
+/// distance becomes ≈ 1. Returns the scale factor applied.
+///
+/// When several matrices must share one coordinate system (train + queries),
+/// compute the factor on the training set and apply it to both via
+/// [`apply_scale`].
+pub fn scale_to_unit_dmean(x: &mut Features, samples: usize, seed: u64) -> f64 {
+    let d_mean = mean_pairwise_distance(x, samples, seed);
+    assert!(d_mean > 0.0, "degenerate dataset: D_mean = 0");
+    let factor = 1.0 / d_mean;
+    apply_scale(x, factor);
+    factor
+}
+
+/// Multiply all entries by `factor`.
+pub fn apply_scale(x: &mut Features, factor: f64) {
+    let f = factor as f32;
+    for v in x.as_mut_slice() {
+        *v *= f;
+    }
+}
+
+/// Per-dimension standardization statistics computed on a training matrix.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    pub means: Vec<f64>,
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means and standard deviations per dimension.
+    pub fn fit(x: &Features) -> Self {
+        let d = x.dim();
+        let n = x.len().max(1) as f64;
+        let mut means = vec![0.0f64; d];
+        for row in x.rows() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; d];
+        for row in x.rows() {
+            for ((var, &v), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let c = v as f64 - m;
+                *var += c * c;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-12))
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Apply `(x − mean) / std` in place.
+    pub fn transform(&self, x: &mut Features) {
+        assert_eq!(x.dim(), self.means.len(), "dimension mismatch");
+        for i in 0..x.len() {
+            let row = x.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = ((*v as f64 - m) / s) as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_dmean_after_scaling() {
+        let mut x = Features::new(
+            (0..400).map(|i| (i as f32) * 0.37).collect::<Vec<_>>(),
+            4,
+        );
+        scale_to_unit_dmean(&mut x, 4000, 1);
+        let after = mean_pairwise_distance(&x, 4000, 2);
+        assert!((after - 1.0).abs() < 0.05, "got {after}");
+    }
+
+    #[test]
+    fn apply_scale_is_linear() {
+        let mut x = Features::new(vec![1.0, 2.0, 3.0, 4.0], 2);
+        apply_scale(&mut x, 0.5);
+        assert_eq!(x.as_slice(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_constant_dataset() {
+        let mut x = Features::new(vec![3.0; 20], 2);
+        scale_to_unit_dmean(&mut x, 100, 0);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let mut x = Features::new(
+            (0..300).map(|i| ((i * 7919) % 100) as f32 * 0.13 + 5.0).collect::<Vec<_>>(),
+            3,
+        );
+        let st = Standardizer::fit(&x);
+        st.transform(&mut x);
+        let refit = Standardizer::fit(&x);
+        for f in 0..3 {
+            assert!(refit.means[f].abs() < 1e-5);
+            assert!((refit.stds[f] - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_dimension() {
+        let x = Features::new(vec![2.0, 1.0, 2.0, 3.0, 2.0, 5.0], 2);
+        let st = Standardizer::fit(&x);
+        assert!(st.stds[0] >= 1e-12); // clamped, no division by zero
+        let mut y = x.clone();
+        st.transform(&mut y);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,165 @@
+//! Deep-feature embedding stand-ins for the paper's large-scale datasets.
+//!
+//! The paper's large-scale experiments (Figs. 6–8, 17) run on deep features of
+//! CIFAR-10 (6·10⁴), ImageNet (10⁶) and Yahoo10m (10⁷). What those algorithms
+//! "see" of a dataset is its size, its dimensionality, and its relative
+//! contrast `C_K`; [`EmbeddingSpec`] presets match the sizes exactly and are
+//! tuned so the measured contrast is in the neighborhood of the paper's
+//! estimates (Fig. 7: CIFAR-10 ≈ 1.28, ImageNet ≈ 1.22, Yahoo10m ≈ 1.35;
+//! Fig. 9: deep ≈ 1.57, gist ≈ 1.48 at K* = 100). Dimensions are reduced from
+//! 2048 to 32–128 to fit laptop-class memory at N = 10⁷ (see DESIGN.md).
+
+use crate::dataset::ClassDataset;
+use crate::synth::blobs::{self, BlobConfig};
+
+/// A named synthetic embedding specification.
+#[derive(Debug, Clone)]
+pub struct EmbeddingSpec {
+    /// Human-readable dataset name used in experiment output.
+    pub name: &'static str,
+    pub cfg: BlobConfig,
+}
+
+impl EmbeddingSpec {
+    /// MNIST-like: 10 classes; `n` is configurable because the paper
+    /// bootstraps MNIST to various sizes (Fig. 6).
+    pub fn mnist_like(n: usize) -> Self {
+        Self {
+            name: "mnist",
+            cfg: BlobConfig {
+                n,
+                dim: 32,
+                n_classes: 10,
+                cluster_std: 1.0,
+                center_scale: 1.6,
+                seed: 0x3357,
+            },
+        }
+    }
+
+    /// CIFAR-10-like: 6·10⁴ points, 10 classes, moderate contrast.
+    pub fn cifar10_like() -> Self {
+        Self {
+            name: "cifar10",
+            cfg: BlobConfig {
+                n: 60_000,
+                dim: 64,
+                n_classes: 10,
+                cluster_std: 1.0,
+                center_scale: 1.1,
+                seed: 0xC1FA,
+            },
+        }
+    }
+
+    /// ImageNet-like: 10⁶ points, 1000 classes.
+    pub fn imagenet_like() -> Self {
+        Self {
+            name: "imagenet",
+            cfg: BlobConfig {
+                n: 1_000_000,
+                dim: 64,
+                n_classes: 1000,
+                cluster_std: 1.0,
+                center_scale: 0.9,
+                seed: 0x1A6E,
+            },
+        }
+    }
+
+    /// Yahoo10m-like: 10⁷ points, 100 pseudo-classes, highest contrast of the
+    /// three large sets.
+    pub fn yahoo10m_like() -> Self {
+        Self {
+            name: "yahoo10m",
+            cfg: BlobConfig {
+                n: 10_000_000,
+                dim: 32,
+                n_classes: 100,
+                cluster_std: 1.0,
+                center_scale: 1.5,
+                seed: 0xA400,
+            },
+        }
+    }
+
+    /// "deep"-features-like (Fig. 9): high relative contrast.
+    pub fn deep_like(n: usize) -> Self {
+        Self {
+            name: "deep",
+            cfg: BlobConfig {
+                n,
+                dim: 32,
+                n_classes: 10,
+                cluster_std: 0.7,
+                center_scale: 2.2,
+                seed: 0xDEE9,
+            },
+        }
+    }
+
+    /// "gist"-features-like (Fig. 9): contrast between `deep` and `dog-fish`.
+    pub fn gist_like(n: usize) -> Self {
+        Self {
+            name: "gist",
+            cfg: BlobConfig {
+                n,
+                dim: 48,
+                n_classes: 10,
+                cluster_std: 1.0,
+                center_scale: 1.9,
+                seed: 0x6157,
+            },
+        }
+    }
+
+    /// Materialize the training set.
+    pub fn generate(&self) -> ClassDataset {
+        blobs::generate(&self.cfg)
+    }
+
+    /// Materialize `n` held-out queries from the same mixture.
+    pub fn queries(&self, n: usize) -> ClassDataset {
+        blobs::queries(&self.cfg, n, self.cfg.seed ^ 0x5EED_CAFE)
+    }
+
+    /// A smaller copy (same geometry, fewer points) — used by smoke-scale
+    /// experiment runs.
+    pub fn scaled(&self, n: usize) -> Self {
+        let mut s = self.clone();
+        s.cfg.n = n;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_sizes() {
+        assert_eq!(EmbeddingSpec::cifar10_like().cfg.n, 60_000);
+        assert_eq!(EmbeddingSpec::imagenet_like().cfg.n, 1_000_000);
+        assert_eq!(EmbeddingSpec::yahoo10m_like().cfg.n, 10_000_000);
+    }
+
+    #[test]
+    fn scaled_changes_only_n() {
+        let spec = EmbeddingSpec::cifar10_like().scaled(500);
+        assert_eq!(spec.cfg.n, 500);
+        assert_eq!(spec.cfg.dim, 64);
+        let d = spec.generate();
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn queries_are_disjoint_stream() {
+        let spec = EmbeddingSpec::deep_like(100);
+        let train = spec.generate();
+        let q = spec.queries(10);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.dim(), train.dim());
+        // astronomically unlikely to coincide if streams differ
+        assert_ne!(train.x.row(0), q.x.row(0));
+    }
+}

@@ -1,0 +1,11 @@
+//! Synthetic dataset generators.
+//!
+//! Each generator mimics one of the paper's evaluation datasets (DESIGN.md
+//! documents the substitutions). All generators are deterministic given a
+//! seed so experiments are reproducible.
+
+pub mod blobs;
+pub mod deepfeat;
+pub mod dogfish;
+pub mod iris;
+pub mod regression;

@@ -1,0 +1,113 @@
+//! Property-based tests for the dataset substrate.
+
+use knnshap_datasets::bootstrap::bootstrap_class;
+use knnshap_datasets::noise::flip_labels;
+use knnshap_datasets::normalize::{mean_pairwise_distance, scale_to_unit_dmean, Standardizer};
+use knnshap_datasets::split::train_test_split;
+use knnshap_datasets::{ClassDataset, Features};
+use proptest::prelude::*;
+
+fn dataset(vals: &[f32], labels: &[u32]) -> ClassDataset {
+    let n = labels.len();
+    ClassDataset::new(
+        Features::new(vals[..n * 2].to_vec(), 2),
+        labels.to_vec(),
+        labels.iter().copied().max().unwrap_or(0) + 1,
+    )
+}
+
+proptest! {
+    #[test]
+    fn split_is_a_partition(
+        vals in prop::collection::vec(-5.0f32..5.0, 40),
+        labels in prop::collection::vec(0u32..3, 20),
+        frac in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let d = dataset(&vals, &labels);
+        let (tr, te) = train_test_split(&d, frac, seed);
+        prop_assert_eq!(tr.len() + te.len(), d.len());
+        // every (row, label) pair appears exactly as often as in the source
+        let mut all: Vec<(Vec<u8>, u32)> = Vec::new();
+        for (ds, len) in [(&tr, tr.len()), (&te, te.len())] {
+            for i in 0..len {
+                let bytes: Vec<u8> = ds.x.row(i).iter().flat_map(|v| v.to_le_bytes()).collect();
+                all.push((bytes, ds.y[i]));
+            }
+        }
+        let mut src: Vec<(Vec<u8>, u32)> = (0..d.len())
+            .map(|i| {
+                let bytes: Vec<u8> = d.x.row(i).iter().flat_map(|v| v.to_le_bytes()).collect();
+                (bytes, d.y[i])
+            })
+            .collect();
+        all.sort();
+        src.sort();
+        prop_assert_eq!(all, src);
+    }
+
+    #[test]
+    fn bootstrap_rows_always_come_from_source(
+        vals in prop::collection::vec(-5.0f32..5.0, 20),
+        labels in prop::collection::vec(0u32..2, 10),
+        m in 1usize..40,
+        seed in 0u64..50,
+    ) {
+        let d = dataset(&vals, &labels);
+        let b = bootstrap_class(&d, m, seed);
+        prop_assert_eq!(b.len(), m);
+        for i in 0..b.len() {
+            let found = (0..d.len())
+                .any(|j| d.x.row(j) == b.x.row(i) && d.y[j] == b.y[i]);
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn flip_labels_changes_exactly_the_reported_points(
+        vals in prop::collection::vec(-5.0f32..5.0, 40),
+        frac in 0.0f64..1.0,
+        seed in 0u64..50,
+    ) {
+        let labels: Vec<u32> = (0..20).map(|i| (i % 3) as u32).collect();
+        let d = dataset(&vals, &labels);
+        let (noisy, flipped) = flip_labels(&d, frac, seed);
+        for i in 0..d.len() {
+            if flipped.binary_search(&i).is_ok() {
+                prop_assert_ne!(noisy.y[i], d.y[i]);
+            } else {
+                prop_assert_eq!(noisy.y[i], d.y[i]);
+            }
+            prop_assert!(noisy.y[i] < d.n_classes);
+        }
+    }
+
+    #[test]
+    fn unit_dmean_normalization_converges(
+        vals in prop::collection::vec(-100.0f32..100.0, 60),
+    ) {
+        // need non-degenerate data
+        let spread = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            - vals.iter().cloned().fold(f32::INFINITY, f32::min);
+        prop_assume!(spread > 1.0);
+        let mut x = Features::new(vals.clone(), 3);
+        scale_to_unit_dmean(&mut x, 3000, 1);
+        let after = mean_pairwise_distance(&x, 3000, 2);
+        prop_assert!((after - 1.0).abs() < 0.1, "after = {after}");
+    }
+
+    #[test]
+    fn standardizer_is_idempotent_up_to_tolerance(
+        vals in prop::collection::vec(-10.0f32..10.0, 60),
+    ) {
+        let mut x = Features::new(vals.clone(), 3);
+        let st = Standardizer::fit(&x);
+        st.transform(&mut x);
+        let st2 = Standardizer::fit(&x);
+        for f in 0..3 {
+            prop_assert!(st2.means[f].abs() < 1e-4);
+            // constant dims stay clamped; others must be ≈1
+            prop_assert!(st2.stds[f] <= 1.0 + 1e-4);
+        }
+    }
+}

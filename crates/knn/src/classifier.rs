@@ -1,0 +1,172 @@
+//! KNN classification with the paper's utility semantics.
+//!
+//! The unweighted classifier outputs `P[x_test → y_test] = (1/K) Σ_k 1[y_αk =
+//! y_test]` (paper §3.1); the per-test utility eq. (5) divides by `K` even
+//! when fewer than `K` training points are available. The weighted classifier
+//! scores classes by `Σ_k w_αk 1[y_αk = c]` (eq. 26).
+
+use crate::distance::Metric;
+use crate::neighbors::{par_map_queries, top_k, Neighbor};
+use crate::weights::WeightFn;
+use knnshap_datasets::ClassDataset;
+
+/// A (lazy, index-free) KNN classifier over a borrowed training set.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnClassifier<'a> {
+    pub train: &'a ClassDataset,
+    pub k: usize,
+    pub metric: Metric,
+    pub weight: WeightFn,
+}
+
+impl<'a> KnnClassifier<'a> {
+    /// Unweighted K-NN under squared L2.
+    pub fn unweighted(train: &'a ClassDataset, k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        Self {
+            train,
+            k,
+            metric: Metric::SquaredL2,
+            weight: WeightFn::Uniform,
+        }
+    }
+
+    /// Weighted K-NN under squared L2.
+    pub fn weighted(train: &'a ClassDataset, k: usize, weight: WeightFn) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        Self {
+            train,
+            k,
+            metric: Metric::SquaredL2,
+            weight,
+        }
+    }
+
+    /// Class scores for a query given its retrieved neighbors.
+    ///
+    /// For [`WeightFn::Uniform`] these are the paper's likelihoods
+    /// `(1/K) Σ 1[y = c]`; otherwise normalized weighted votes.
+    pub fn scores_from_neighbors(&self, neighbors: &[Neighbor]) -> Vec<f64> {
+        let dists: Vec<f32> = neighbors
+            .iter()
+            .map(|n| self.metric.to_l2(n.dist))
+            .collect();
+        let w = self.weight.weights(&dists, self.k.max(dists.len()));
+        let mut scores = vec![0.0f64; self.train.n_classes as usize];
+        for (n, &wk) in neighbors.iter().zip(&w) {
+            scores[self.train.y[n.index as usize] as usize] += wk;
+        }
+        scores
+    }
+
+    /// Class scores for a raw query point.
+    pub fn scores(&self, query: &[f32]) -> Vec<f64> {
+        let neighbors = top_k(&self.train.x, query, self.k, self.metric);
+        self.scores_from_neighbors(&neighbors)
+    }
+
+    /// Predicted class (argmax score; ties broken toward the smaller label).
+    pub fn predict(&self, query: &[f32]) -> u32 {
+        let scores = self.scores(query);
+        let mut best = 0usize;
+        for (c, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = c;
+            }
+        }
+        best as u32
+    }
+
+    /// The paper's per-test likelihood-of-correct-label utility:
+    /// `P[x_test → y_test]`.
+    pub fn correct_label_likelihood(&self, query: &[f32], label: u32) -> f64 {
+        self.scores(query)[label as usize]
+    }
+
+    /// 0/1 accuracy over a test set, computed with `threads` workers.
+    pub fn accuracy(&self, test: &ClassDataset, threads: usize) -> f64 {
+        assert_eq!(test.dim(), self.train.dim(), "dimension mismatch");
+        if test.is_empty() {
+            return 0.0;
+        }
+        let hits = par_map_queries(&test.x, threads, |qi, q| {
+            u32::from(self.predict(q) == test.y[qi])
+        });
+        hits.iter().copied().sum::<u32>() as f64 / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_datasets::Features;
+
+    fn train() -> ClassDataset {
+        // class 0 around x=0, class 1 around x=10
+        ClassDataset::new(
+            Features::new(vec![0.0, 0.5, 1.0, 9.0, 9.5, 10.0], 1),
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn predicts_dominant_cluster() {
+        let t = train();
+        let clf = KnnClassifier::unweighted(&t, 3);
+        assert_eq!(clf.predict(&[0.2]), 0);
+        assert_eq!(clf.predict(&[9.7]), 1);
+    }
+
+    #[test]
+    fn likelihood_matches_eq5() {
+        let t = train();
+        let clf = KnnClassifier::unweighted(&t, 3);
+        // neighbors of 8.0: 9.0, 9.5, 10.0 => all class 1
+        assert!((clf.correct_label_likelihood(&[8.0], 1) - 1.0).abs() < 1e-12);
+        // neighbors of 5.0: 1.0 (c0), 9.0 (c1), 0.5 (c0) => 2/3 for class 0
+        let p0 = clf.correct_label_likelihood(&[5.0], 0);
+        assert!((p0 - 2.0 / 3.0).abs() < 1e-12, "{p0}");
+    }
+
+    #[test]
+    fn k_larger_than_n_divides_by_k() {
+        let t = train();
+        let clf = KnnClassifier::unweighted(&t, 10);
+        // all 6 points retrieved, 3 of class 0, utility = 3/10 (eq. 5 semantics)
+        let p0 = clf.correct_label_likelihood(&[5.0], 0);
+        assert!((p0 - 0.3).abs() < 1e-12, "{p0}");
+    }
+
+    #[test]
+    fn weighted_prefers_closest_class() {
+        // query between clusters but nearer class 0: inverse-distance weighting
+        // should boost class 0 relative to unweighted voting.
+        let t = train();
+        let wclf =
+            KnnClassifier::weighted(&t, 4, WeightFn::InverseDistance { eps: 1e-6 });
+        let scores = wclf.scores(&[2.0]);
+        assert!(scores[0] > scores[1]);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_on_separated_clusters_is_one() {
+        let t = train();
+        let test = ClassDataset::new(
+            Features::new(vec![0.3, 0.8, 9.3, 9.9], 1),
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let clf = KnnClassifier::unweighted(&t, 1);
+        assert_eq!(clf.accuracy(&test, 2), 1.0);
+        assert_eq!(clf.accuracy(&test, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_test_set_accuracy_zero() {
+        let t = train();
+        let empty = ClassDataset::new(Features::new(vec![], 1), vec![], 2);
+        assert_eq!(KnnClassifier::unweighted(&t, 1).accuracy(&empty, 2), 0.0);
+    }
+}

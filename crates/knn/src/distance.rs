@@ -1,0 +1,161 @@
+//! Distance metrics.
+//!
+//! Squared L2 is the workhorse: it induces the same neighbor ordering as L2
+//! (monotone transform) while skipping the square root, and the paper's KNN
+//! utilities depend only on the *ordering* of training points by distance.
+//! True L2 is exposed for the LSH theory quantities (`D_mean`, `D_K`), which
+//! are defined on actual distances.
+
+/// Supported metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance (order-equivalent to L2, cheapest).
+    #[default]
+    SquaredL2,
+    /// Euclidean distance.
+    L2,
+    /// Cosine distance `1 − cos(a, b)`; degenerate zero-norm inputs are
+    /// treated as maximally distant (distance 1).
+    Cosine,
+}
+
+/// Squared Euclidean distance with a manually unrolled accumulator.
+///
+/// Four independent accumulators let LLVM vectorize without violating
+/// float-associativity; on 2048-dim paper-scale features this roughly
+/// quadruples throughput over the naive loop.
+#[inline]
+pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        for l in 0..4 {
+            let d = a[j + l] - b[j + l];
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    squared_l2(a, b).sqrt()
+}
+
+/// Cosine distance `1 − a·b / (‖a‖‖b‖)`.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na.sqrt() * nb.sqrt())
+}
+
+impl Metric {
+    /// Evaluate the metric on a pair of rows.
+    #[inline]
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::SquaredL2 => squared_l2(a, b),
+            Metric::L2 => l2(a, b),
+            Metric::Cosine => cosine(a, b),
+        }
+    }
+
+    /// Convert a distance under this metric to a true L2 distance when
+    /// possible (needed by distance-based weight functions which are defined
+    /// on real distances). Cosine passes through unchanged.
+    #[inline]
+    pub fn to_l2(self, d: f32) -> f32 {
+        match self {
+            Metric::SquaredL2 => d.sqrt(),
+            Metric::L2 | Metric::Cosine => d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_l2_matches_naive() {
+        // exercise both the unrolled body and the tail for several lengths
+        for len in [1usize, 3, 4, 7, 8, 17, 64, 129] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.5).cos()).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!((squared_l2(&a, &b) - naive).abs() < 1e-4, "len={len}");
+        }
+    }
+
+    #[test]
+    fn metric_axioms_on_samples() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 6.0, 3.0];
+        let c = [0.0f32, 0.0, 0.0];
+        for m in [Metric::SquaredL2, Metric::L2, Metric::Cosine] {
+            assert!(m.eval(&a, &a).abs() < 1e-6, "identity for {m:?}");
+            assert!((m.eval(&a, &b) - m.eval(&b, &a)).abs() < 1e-6, "symmetry");
+            assert!(m.eval(&a, &b) >= 0.0, "non-negativity");
+        }
+        // triangle inequality for true L2
+        assert!(l2(&a, &b) <= l2(&a, &c) + l2(&c, &b) + 1e-6);
+    }
+
+    #[test]
+    fn l2_is_sqrt_of_squared() {
+        let a = [3.0f32, 0.0];
+        let b = [0.0f32, 4.0];
+        assert!((squared_l2(&a, &b) - 25.0).abs() < 1e-6);
+        assert!((l2(&a, &b) - 5.0).abs() < 1e-6);
+        assert!((Metric::SquaredL2.to_l2(25.0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let x = [1.0f32, 0.0];
+        let y = [0.0f32, 1.0];
+        let z = [2.0f32, 0.0];
+        assert!((cosine(&x, &y) - 1.0).abs() < 1e-6); // orthogonal
+        assert!(cosine(&x, &z).abs() < 1e-6); // parallel, scale-invariant
+        assert!((cosine(&x, &[0.0, 0.0]) - 1.0).abs() < 1e-6); // zero-norm guard
+        let neg = [-1.0f32, 0.0];
+        assert!((cosine(&x, &neg) - 2.0).abs() < 1e-6); // antiparallel
+    }
+
+    #[test]
+    fn orderings_agree_between_l2_and_squared_l2() {
+        let q = [0.5f32, -0.2, 1.0];
+        let pts = [
+            [1.0f32, 0.0, 0.0],
+            [0.4, -0.3, 1.2],
+            [5.0, 5.0, 5.0],
+            [0.5, -0.2, 1.0],
+        ];
+        let mut by_sq: Vec<usize> = (0..pts.len()).collect();
+        let mut by_l2 = by_sq.clone();
+        by_sq.sort_by(|&i, &j| {
+            squared_l2(&q, &pts[i]).partial_cmp(&squared_l2(&q, &pts[j])).unwrap()
+        });
+        by_l2.sort_by(|&i, &j| l2(&q, &pts[i]).partial_cmp(&l2(&q, &pts[j])).unwrap());
+        assert_eq!(by_sq, by_l2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Bounded max-heap with change detection — the core data structure of the
+//! improved Monte Carlo estimator (paper Algorithm 2).
+//!
+//! Algorithm 2 scans a random permutation, inserting each training point into
+//! a "length-K max-heap to maintain the KNN" and recomputes the utility only
+//! `if H changes` (lines 13–20). This type makes that contract explicit:
+//! [`KnnHeap::insert`] returns whether the K-nearest set changed, and exposes
+//! the evicted element so utilities can be updated incrementally in O(1)
+//! instead of re-evaluated in O(K).
+
+/// Outcome of inserting one element into the bounded heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insertion {
+    /// The element entered the heap while it was still below capacity.
+    Added,
+    /// The element displaced the previous worst; `evicted` carries the old
+    /// `(dist, payload)` pair.
+    Replaced { evicted_dist: f32, evicted_payload: u32 },
+    /// The element was farther than the current worst and was discarded; the
+    /// K-nearest set did not change.
+    Rejected,
+}
+
+impl Insertion {
+    /// Did the K-nearest set change (paper: "if H changes")?
+    #[inline]
+    pub fn changed(self) -> bool {
+        !matches!(self, Insertion::Rejected)
+    }
+}
+
+/// A max-heap holding at most `k` `(dist, payload)` pairs, keyed by `dist`
+/// with the *largest* distance at the root.
+#[derive(Debug, Clone)]
+pub struct KnnHeap {
+    k: usize,
+    items: Vec<(f32, u32)>,
+}
+
+impl KnnHeap {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "K must be positive");
+        Self {
+            k,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.k
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Current worst (largest) distance, if any.
+    #[inline]
+    pub fn worst_dist(&self) -> Option<f32> {
+        self.items.first().map(|&(d, _)| d)
+    }
+
+    /// Insert one candidate. O(log K).
+    pub fn insert(&mut self, dist: f32, payload: u32) -> Insertion {
+        if self.items.len() < self.k {
+            self.items.push((dist, payload));
+            self.sift_up(self.items.len() - 1);
+            Insertion::Added
+        } else if dist < self.items[0].0 {
+            let (evicted_dist, evicted_payload) = self.items[0];
+            self.items[0] = (dist, payload);
+            self.sift_down(0);
+            Insertion::Replaced {
+                evicted_dist,
+                evicted_payload,
+            }
+        } else {
+            Insertion::Rejected
+        }
+    }
+
+    /// Iterate over current contents in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (f32, u32)> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Contents sorted ascending by distance.
+    pub fn sorted(&self) -> Vec<(f32, u32)> {
+        let mut v = self.items.clone();
+        v.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN dist"));
+        v
+    }
+
+    /// Remove all contents, keeping capacity (workhorse reuse between
+    /// permutations in the MC loop).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].0 > self.items[parent].0 {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.items.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && self.items[l].0 > self.items[largest].0 {
+                largest = l;
+            }
+            if r < n && self.items[r].0 > self.items[largest].0 {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.items.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_replaces_then_rejects() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.insert(5.0, 0), Insertion::Added);
+        assert_eq!(h.insert(3.0, 1), Insertion::Added);
+        assert!(h.is_full());
+        // 4.0 displaces 5.0
+        assert_eq!(
+            h.insert(4.0, 2),
+            Insertion::Replaced {
+                evicted_dist: 5.0,
+                evicted_payload: 0
+            }
+        );
+        // 6.0 is worse than the current worst (4.0)
+        assert_eq!(h.insert(6.0, 3), Insertion::Rejected);
+        assert_eq!(h.sorted(), vec![(3.0, 1), (4.0, 2)]);
+    }
+
+    #[test]
+    fn changed_flag_matches_semantics() {
+        assert!(Insertion::Added.changed());
+        assert!(Insertion::Replaced {
+            evicted_dist: 0.0,
+            evicted_payload: 0
+        }
+        .changed());
+        assert!(!Insertion::Rejected.changed());
+    }
+
+    #[test]
+    fn tracks_k_smallest_of_stream() {
+        // Insert a permuted stream; heap must end with the k smallest.
+        let k = 5;
+        let mut h = KnnHeap::new(k);
+        let stream = [
+            9.0f32, 2.0, 7.5, 0.5, 3.3, 8.1, 1.1, 6.6, 4.4, 5.5, 0.1, 2.2,
+        ];
+        for (i, &d) in stream.iter().enumerate() {
+            h.insert(d, i as u32);
+        }
+        let mut expect: Vec<f32> = stream.to_vec();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got: Vec<f32> = h.sorted().iter().map(|&(d, _)| d).collect();
+        assert_eq!(got, &expect[..k]);
+    }
+
+    #[test]
+    fn worst_dist_is_root() {
+        let mut h = KnnHeap::new(3);
+        assert_eq!(h.worst_dist(), None);
+        h.insert(1.0, 0);
+        h.insert(9.0, 1);
+        h.insert(5.0, 2);
+        assert_eq!(h.worst_dist(), Some(9.0));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut h = KnnHeap::new(4);
+        for i in 0..4 {
+            h.insert(i as f32, i);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.capacity(), 4);
+        assert_eq!(h.insert(0.5, 9), Insertion::Added);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        KnnHeap::new(0);
+    }
+}

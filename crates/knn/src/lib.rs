@@ -1,0 +1,33 @@
+//! K-nearest-neighbor substrate for the `knnshap` workspace.
+//!
+//! Provides everything the valuation algorithms need from a KNN system:
+//!
+//! * distance metrics ([`distance`]);
+//! * brute-force neighbor retrieval in three flavors ([`neighbors`]):
+//!   full argsort (the exact Shapley recursion of Theorem 1 consumes the
+//!   complete distance ranking), partial selection of the `K*` nearest (the
+//!   truncated approximation of Theorem 2), and heap-based top-K;
+//! * a bounded max-heap with change detection ([`heap`]) — the data structure
+//!   at the core of the improved Monte Carlo estimator (Algorithm 2), which
+//!   only re-evaluates the utility when the K-nearest set actually changes;
+//! * unweighted and weighted KNN classifiers/regressors with the exact
+//!   utility semantics of the paper's eqs. (5), (25), (26), (27)
+//!   ([`classifier`], [`regressor`], [`weights`]);
+//! * an exact kd-tree index ([`kdtree`]) — the paper's named alternative to
+//!   LSH for neighbor retrieval, effective in low/moderate dimensions.
+
+pub mod classifier;
+pub mod distance;
+pub mod heap;
+pub mod kdtree;
+pub mod neighbors;
+pub mod regressor;
+pub mod weights;
+
+pub use classifier::KnnClassifier;
+pub use distance::{squared_l2, Metric};
+pub use heap::KnnHeap;
+pub use kdtree::KdTree;
+pub use neighbors::{argsort_by_distance, top_k, Neighbor};
+pub use regressor::KnnRegressor;
+pub use weights::WeightFn;

@@ -1,0 +1,263 @@
+//! Brute-force nearest-neighbor retrieval.
+//!
+//! Three access patterns, matching the three algorithm families in the paper:
+//!
+//! * [`argsort_by_distance`] — the complete distance ranking, O(N·d + N log N)
+//!   per query; consumed by the exact Shapley recursions (Theorems 1 & 6,
+//!   Algorithm 1 line 2).
+//! * [`partial_k_nearest`] — the `K*` nearest in sorted order via
+//!   `select_nth_unstable`, O(N·d + N + K* log K*); consumed by the truncated
+//!   (ε, 0)-approximation (Theorem 2), which never needs the full ranking.
+//! * [`top_k`] — heap-based top-K used for plain prediction and candidate
+//!   re-ranking inside the LSH index.
+//!
+//! Batched variants shard queries across threads with `crossbeam::scope`;
+//! per-test-point valuation is embarrassingly parallel.
+
+use crate::distance::Metric;
+use knnshap_datasets::Features;
+
+/// One retrieved neighbor: training-set index plus distance under the metric
+/// used for the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub index: u32,
+    pub dist: f32,
+}
+
+/// Total order on distances with index tiebreak, so every retrieval function
+/// produces one deterministic ranking even in the presence of exact ties
+/// (duplicated points are common after bootstrap resampling).
+#[inline]
+fn cmp_dist_idx(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.dist
+        .partial_cmp(&b.dist)
+        .expect("NaN distance")
+        .then(a.index.cmp(&b.index))
+}
+
+/// Rank all training rows by ascending distance to `query`.
+pub fn argsort_by_distance(train: &Features, query: &[f32], metric: Metric) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = train
+        .rows()
+        .enumerate()
+        .map(|(i, row)| Neighbor {
+            index: i as u32,
+            dist: metric.eval(query, row),
+        })
+        .collect();
+    all.sort_unstable_by(cmp_dist_idx);
+    all
+}
+
+/// The `k` nearest rows in ascending order, without sorting the rest.
+///
+/// Uses `select_nth_unstable` (expected O(N)) and then sorts only the `k`
+/// selected entries. When `k >= N` this degenerates to a full sort.
+pub fn partial_k_nearest(
+    train: &Features,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Vec<Neighbor> {
+    let n = train.len();
+    let mut all: Vec<Neighbor> = train
+        .rows()
+        .enumerate()
+        .map(|(i, row)| Neighbor {
+            index: i as u32,
+            dist: metric.eval(query, row),
+        })
+        .collect();
+    if k >= n {
+        all.sort_unstable_by(cmp_dist_idx);
+        return all;
+    }
+    all.select_nth_unstable_by(k, cmp_dist_idx);
+    all.truncate(k);
+    all.sort_unstable_by(cmp_dist_idx);
+    all
+}
+
+/// Heap-based top-`k`: maintains a bounded max-heap while streaming the rows.
+/// Preferable to [`partial_k_nearest`] when the candidate set is much smaller
+/// than the full training set (LSH re-ranking).
+pub fn top_k(train: &Features, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+    top_k_of_candidates(train, (0..train.len() as u32).collect::<Vec<_>>().as_slice(), query, k, metric)
+}
+
+/// Top-`k` restricted to the given candidate indices.
+pub fn top_k_of_candidates(
+    train: &Features,
+    candidates: &[u32],
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Bounded max-heap on (dist, index); the root is the current worst.
+    let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for &c in candidates {
+        let n = Neighbor {
+            index: c,
+            dist: metric.eval(query, train.row(c as usize)),
+        };
+        if heap.len() < k {
+            heap.push(n);
+            sift_up(&mut heap);
+        } else if cmp_dist_idx(&n, &heap[0]).is_lt() {
+            heap[0] = n;
+            sift_down(&mut heap);
+        }
+    }
+    heap.sort_unstable_by(cmp_dist_idx);
+    heap
+}
+
+fn sift_up(heap: &mut [Neighbor]) {
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if cmp_dist_idx(&heap[i], &heap[parent]).is_gt() {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn sift_down(heap: &mut [Neighbor]) {
+    let n = heap.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut largest = i;
+        if l < n && cmp_dist_idx(&heap[l], &heap[largest]).is_gt() {
+            largest = l;
+        }
+        if r < n && cmp_dist_idx(&heap[r], &heap[largest]).is_gt() {
+            largest = r;
+        }
+        if largest == i {
+            return;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+/// Apply `f` to every query row in parallel, collecting results in query
+/// order. `f` must be cheap to share (it is called from multiple threads).
+pub fn par_map_queries<T, F>(queries: &Features, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[f32]) -> T + Sync,
+{
+    let nq = queries.len();
+    let threads = threads.max(1).min(nq.max(1));
+    if threads <= 1 || nq <= 1 {
+        return (0..nq).map(|i| f(i, queries.row(i))).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..nq).map(|_| None).collect();
+    let chunk = nq.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = t * chunk;
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let qi = base + off;
+                    *slot = Some(f(qi, queries.row(qi)));
+                }
+            });
+        }
+    })
+    .expect("query worker panicked");
+    results.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Default worker count: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Features {
+        // 1-D points 0, 1, 2, ..., 9
+        Features::new((0..10).map(|i| i as f32).collect(), 1)
+    }
+
+    #[test]
+    fn argsort_ranks_correctly() {
+        let f = matrix();
+        let ranked = argsort_by_distance(&f, &[3.2], Metric::SquaredL2);
+        let order: Vec<u32> = ranked.iter().map(|n| n.index).collect();
+        assert_eq!(order, vec![3, 4, 2, 5, 1, 6, 0, 7, 8, 9]);
+        assert!(ranked.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let f = Features::new(vec![1.0, 1.0, 1.0, 5.0], 1);
+        let ranked = argsort_by_distance(&f, &[1.0], Metric::SquaredL2);
+        assert_eq!(
+            ranked.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn partial_matches_full_prefix() {
+        let f = matrix();
+        let full = argsort_by_distance(&f, &[6.7], Metric::SquaredL2);
+        for k in [1usize, 3, 5, 10, 15] {
+            let part = partial_k_nearest(&f, &[6.7], k, Metric::SquaredL2);
+            assert_eq!(part.len(), k.min(10));
+            assert_eq!(&full[..part.len()], part.as_slice(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_matches_argsort_prefix() {
+        let f = matrix();
+        for k in [0usize, 1, 4, 10, 12] {
+            let a = argsort_by_distance(&f, &[2.9], Metric::SquaredL2);
+            let t = top_k(&f, &[2.9], k, Metric::SquaredL2);
+            assert_eq!(t.len(), k.min(10));
+            assert_eq!(&a[..t.len()], t.as_slice(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_of_candidates_respects_subset() {
+        let f = matrix();
+        let t = top_k_of_candidates(&f, &[9, 0, 5], &[4.0], 2, Metric::SquaredL2);
+        assert_eq!(t.iter().map(|n| n.index).collect::<Vec<_>>(), vec![5, 0]);
+    }
+
+    #[test]
+    fn par_map_matches_serial() {
+        let f = matrix();
+        let queries = Features::new(vec![0.1, 3.3, 8.8, 5.0, 2.0], 1);
+        let serial: Vec<u32> = (0..queries.len())
+            .map(|i| argsort_by_distance(&f, queries.row(i), Metric::SquaredL2)[0].index)
+            .collect();
+        let par = par_map_queries(&queries, 4, |_, q| {
+            argsort_by_distance(&f, q, Metric::SquaredL2)[0].index
+        });
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_map_single_thread_path() {
+        let queries = Features::new(vec![1.0], 1);
+        let out = par_map_queries(&queries, 8, |i, _| i);
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! KNN regression with the paper's utility semantics.
+//!
+//! The unweighted regressor predicts `ŷ = (1/K) Σ_k y_αk` and the paper's
+//! regression utility is the negative squared error
+//! `U(S) = −((1/K) Σ y_αk(S) − y_test)²` (eq. 25) — note the `1/K` divisor is
+//! used even when `|S| < K`, mirroring the classification utility. The
+//! weighted variant uses `ŷ = Σ_k w_αk y_αk` (eq. 27).
+
+use crate::distance::Metric;
+use crate::neighbors::{par_map_queries, top_k, Neighbor};
+use crate::weights::WeightFn;
+use knnshap_datasets::RegDataset;
+
+/// A (lazy, index-free) KNN regressor over a borrowed training set.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnRegressor<'a> {
+    pub train: &'a RegDataset,
+    pub k: usize,
+    pub metric: Metric,
+    pub weight: WeightFn,
+}
+
+impl<'a> KnnRegressor<'a> {
+    pub fn unweighted(train: &'a RegDataset, k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        Self {
+            train,
+            k,
+            metric: Metric::SquaredL2,
+            weight: WeightFn::Uniform,
+        }
+    }
+
+    pub fn weighted(train: &'a RegDataset, k: usize, weight: WeightFn) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        Self {
+            train,
+            k,
+            metric: Metric::SquaredL2,
+            weight,
+        }
+    }
+
+    /// Prediction from already-retrieved neighbors.
+    pub fn predict_from_neighbors(&self, neighbors: &[Neighbor]) -> f64 {
+        let dists: Vec<f32> = neighbors
+            .iter()
+            .map(|n| self.metric.to_l2(n.dist))
+            .collect();
+        let w = self.weight.weights(&dists, self.k.max(dists.len()));
+        neighbors
+            .iter()
+            .zip(&w)
+            .map(|(n, &wk)| wk * self.train.y[n.index as usize])
+            .sum()
+    }
+
+    /// Point prediction for a query.
+    pub fn predict(&self, query: &[f32]) -> f64 {
+        let neighbors = top_k(&self.train.x, query, self.k, self.metric);
+        self.predict_from_neighbors(&neighbors)
+    }
+
+    /// The paper's per-test utility: `−(ŷ − y_test)²`.
+    pub fn neg_squared_error(&self, query: &[f32], target: f64) -> f64 {
+        let e = self.predict(query) - target;
+        -(e * e)
+    }
+
+    /// Negative mean squared error over a test set.
+    pub fn neg_mse(&self, test: &RegDataset, threads: usize) -> f64 {
+        assert_eq!(test.dim(), self.train.dim(), "dimension mismatch");
+        if test.is_empty() {
+            return 0.0;
+        }
+        let errs = par_map_queries(&test.x, threads, |qi, q| {
+            let e = self.predict(q) - test.y[qi];
+            e * e
+        });
+        -errs.iter().sum::<f64>() / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_datasets::Features;
+
+    fn train() -> RegDataset {
+        RegDataset::new(
+            Features::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], 1),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn unweighted_averages_neighbors() {
+        let t = train();
+        let r = KnnRegressor::unweighted(&t, 2);
+        // neighbors of 0.6: x=1 and x=0 => mean(1, 0) = 0.5
+        assert!((r.predict(&[0.6]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_interpolates_toward_closer() {
+        let t = train();
+        let r = KnnRegressor::weighted(&t, 2, WeightFn::InverseDistance { eps: 1e-9 });
+        // query at 0.9: neighbors y=1 (dist .1) and y=0 (dist .9)
+        let p = r.predict(&[0.9]);
+        assert!(p > 0.85 && p < 1.0, "{p}");
+    }
+
+    #[test]
+    fn neg_mse_zero_on_memorized_points() {
+        let t = train();
+        let r = KnnRegressor::unweighted(&t, 1);
+        let test = train();
+        assert!((r.neg_mse(&test, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neg_squared_error_is_negative_quadratic() {
+        let t = train();
+        let r = KnnRegressor::unweighted(&t, 1);
+        // prediction at 0.1 is y=0; target 2 => -(0-2)^2 = -4
+        assert!((r.neg_squared_error(&[0.1], 2.0) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_with_small_sets_divides_by_k() {
+        // 2 points, K=3: eq. (25) semantics => sum(y)/K, not mean.
+        let t = RegDataset::new(Features::new(vec![0.0, 1.0], 1), vec![3.0, 6.0]);
+        let r = KnnRegressor::unweighted(&t, 3);
+        assert!((r.predict(&[0.5]) - 3.0).abs() < 1e-12); // (3+6)/3
+    }
+}

@@ -1,0 +1,101 @@
+//! Weight functions for weighted KNN (paper §4, Appendix E.2).
+//!
+//! "The weight assigned to a neighbor in the weighted KNN estimate often
+//! varies with the neighbor-to-test distance so that the evidence from more
+//! nearby neighbors is weighted more heavily [Dud76]." The paper's Fig. 14
+//! experiment uses inverse-distance weighting; we also provide the uniform
+//! weighting (which must recover unweighted KNN exactly — a property test
+//! relies on this) and an exponential kernel.
+
+/// A weighting scheme mapping neighbor distances to (normalized) weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightFn {
+    /// `w_k = 1/K` — recovers the unweighted estimators of eqs. (5)/(25).
+    Uniform,
+    /// `w_k ∝ 1/(d_k + eps)` (Dudani-style inverse distance), normalized to
+    /// sum to one over the retrieved neighbors.
+    InverseDistance {
+        /// Additive smoothing to keep weights finite at distance 0.
+        eps: f32,
+    },
+    /// `w_k ∝ exp(−beta · d_k)`, normalized to sum to one.
+    Exponential { beta: f32 },
+}
+
+impl WeightFn {
+    /// The unnormalized weight for one neighbor distance.
+    #[inline]
+    pub fn raw(&self, dist: f32) -> f64 {
+        match *self {
+            WeightFn::Uniform => 1.0,
+            WeightFn::InverseDistance { eps } => 1.0 / (dist as f64 + eps as f64),
+            WeightFn::Exponential { beta } => (-(beta as f64) * dist as f64).exp(),
+        }
+    }
+
+    /// Normalized weights for a list of neighbor distances.
+    ///
+    /// For [`WeightFn::Uniform`] the normalizer is the *capacity* `k`, not the
+    /// list length: the paper's unweighted utility (eq. 5) divides by `K` even
+    /// when `|S| < K`, and weighted KNN must degenerate to it exactly.
+    pub fn weights(&self, dists: &[f32], k: usize) -> Vec<f64> {
+        assert!(k >= dists.len(), "more neighbors than capacity");
+        match *self {
+            WeightFn::Uniform => vec![1.0 / k as f64; dists.len()],
+            _ => {
+                let raw: Vec<f64> = dists.iter().map(|&d| self.raw(d)).collect();
+                let total: f64 = raw.iter().sum();
+                if total <= 0.0 {
+                    // All weights underflowed (e.g. huge beta): fall back to uniform
+                    // over the retrieved set to preserve a valid distribution.
+                    return vec![1.0 / dists.len().max(1) as f64; dists.len()];
+                }
+                raw.into_iter().map(|w| w / total).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_divides_by_capacity() {
+        let w = WeightFn::Uniform.weights(&[0.1, 0.2], 5);
+        assert_eq!(w, vec![0.2, 0.2]); // 1/K with K=5, not 1/2
+    }
+
+    #[test]
+    fn inverse_distance_prefers_near() {
+        let w = WeightFn::InverseDistance { eps: 1e-6 }.weights(&[0.1, 1.0, 10.0], 3);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_prefers_near_and_normalizes() {
+        let w = WeightFn::Exponential { beta: 2.0 }.weights(&[0.0, 0.5, 2.0], 3);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underflow_falls_back_to_uniform() {
+        let w = WeightFn::Exponential { beta: 1e30 }.weights(&[1.0, 2.0], 2);
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn zero_distance_is_finite() {
+        let w = WeightFn::InverseDistance { eps: 1e-3 }.weights(&[0.0, 1.0], 2);
+        assert!(w.iter().all(|x| x.is_finite()));
+        assert!(w[0] > w[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_overfull_neighbor_list() {
+        WeightFn::Uniform.weights(&[0.0; 4], 3);
+    }
+}

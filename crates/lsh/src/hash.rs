@@ -1,0 +1,212 @@
+//! p-stable hash function bundles.
+//!
+//! One [`PStableHash`] carries the `m` projections of a single hash table:
+//! `h_j(x) = ⌊(w_jᵀ x + b_j) / r⌋` for `j = 1..m` (paper §3.2). The
+//! concatenated `m` integers form the bucket signature; two points land in the
+//! same bucket iff all `m` hashes agree, which happens with probability
+//! `f_h(‖x−y‖)^m`.
+
+use knnshap_numerics::sampling::GaussianSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The `m` projections of one hash table.
+#[derive(Debug, Clone)]
+pub struct PStableHash {
+    /// Row-major `m × dim` projection matrix with `N(0,1)` entries.
+    w: Vec<f32>,
+    /// `m` offsets, uniform in `[0, r)`.
+    b: Vec<f32>,
+    /// Projection width `r` (the paper's grid-searched parameter, Fig. 10b).
+    r: f32,
+    dim: usize,
+}
+
+impl PStableHash {
+    /// Sample a fresh bundle of `m` projections for `dim`-dimensional data.
+    pub fn sample(dim: usize, m: usize, r: f32, seed: u64) -> Self {
+        assert!(dim > 0 && m > 0, "dim and m must be positive");
+        assert!(r > 0.0, "projection width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = GaussianSampler::new();
+        let w: Vec<f32> = (0..m * dim).map(|_| gauss.sample(&mut rng) as f32).collect();
+        let b: Vec<f32> = (0..m).map(|_| rng.gen::<f32>() * r).collect();
+        Self { w, b, r, dim }
+    }
+
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.b.len()
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    pub fn width(&self) -> f32 {
+        self.r
+    }
+
+    /// Write the `m` integer hashes of `x` into `out`.
+    pub fn signature_into(&self, x: &[f32], out: &mut [i32]) {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert_eq!(out.len(), self.m());
+        for (j, o) in out.iter_mut().enumerate() {
+            let row = &self.w[j * self.dim..(j + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (&wi, &xi) in row.iter().zip(x) {
+                dot += wi * xi;
+            }
+            *o = ((dot + self.b[j]) / self.r).floor() as i32;
+        }
+    }
+
+    /// The 64-bit bucket key of `x`: FNV-1a over the signature bytes.
+    ///
+    /// Collisions of the *key* (as opposed to the signature) merely add a few
+    /// false-positive candidates, which the exact re-ranking step removes, so
+    /// a fast non-cryptographic hash is the right trade-off.
+    pub fn bucket_key(&self, x: &[f32], scratch: &mut [i32]) -> u64 {
+        self.signature_into(x, scratch);
+        fnv1a_i32(scratch)
+    }
+
+    /// Like [`signature_into`](Self::signature_into), but also writes each
+    /// projection's fractional position inside its bucket into `frac`
+    /// (`0.0` = on the lower boundary, `→1.0` = on the upper boundary).
+    ///
+    /// Multi-probe LSH uses these residuals to rank perturbed buckets: a
+    /// query sitting near a boundary is likely to find its neighbors one
+    /// bucket over on that coordinate.
+    pub fn signature_with_residuals(&self, x: &[f32], out: &mut [i32], frac: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert_eq!(out.len(), self.m());
+        debug_assert_eq!(frac.len(), self.m());
+        for j in 0..self.m() {
+            let row = &self.w[j * self.dim..(j + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (&wi, &xi) in row.iter().zip(x) {
+                dot += wi * xi;
+            }
+            let scaled = (dot + self.b[j]) / self.r;
+            let cell = scaled.floor();
+            out[j] = cell as i32;
+            frac[j] = (scaled - cell).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// FNV-1a over a slice of i32, treating each value as 4 little-endian bytes.
+#[inline]
+pub fn fnv1a_i32(sig: &[i32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &v in sig {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PStableHash::sample(8, 4, 1.0, 7);
+        let b = PStableHash::sample(8, 4, 1.0, 7);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let mut sa = vec![0i32; 4];
+        let mut sb = vec![0i32; 4];
+        a.signature_into(&x, &mut sa);
+        b.signature_into(&x, &mut sb);
+        assert_eq!(sa, sb);
+        assert_ne!(
+            {
+                let c = PStableHash::sample(8, 4, 1.0, 8);
+                let mut sc = vec![0i32; 4];
+                c.signature_into(&x, &mut sc);
+                sc
+            },
+            sa
+        );
+    }
+
+    #[test]
+    fn identical_points_collide() {
+        let h = PStableHash::sample(4, 6, 2.0, 1);
+        let x = [0.5f32, -1.0, 2.0, 0.0];
+        let mut s = vec![0i32; 6];
+        assert_eq!(h.bucket_key(&x, &mut s), h.bucket_key(&x, &mut s));
+    }
+
+    #[test]
+    fn near_points_collide_more_than_far_points() {
+        // Empirical check of the p-stable property: collision probability is
+        // monotonically decreasing in distance (eq. 20).
+        let dim = 16;
+        let trials = 400;
+        let mut near = 0;
+        let mut far = 0;
+        for seed in 0..trials {
+            let h = PStableHash::sample(dim, 1, 4.0, seed);
+            let x = vec![0.0f32; dim];
+            let mut y_near = vec![0.0f32; dim];
+            let mut y_far = vec![0.0f32; dim];
+            y_near[0] = 0.5;
+            y_far[0] = 8.0;
+            let mut s = vec![0i32; 1];
+            let kx = h.bucket_key(&x, &mut s);
+            if h.bucket_key(&y_near, &mut s) == kx {
+                near += 1;
+            }
+            if h.bucket_key(&y_far, &mut s) == kx {
+                far += 1;
+            }
+        }
+        assert!(near > far + trials as i32 / 10, "near={near} far={far}");
+    }
+
+    #[test]
+    fn more_projections_reduce_collisions() {
+        let dim = 8;
+        let trials = 300;
+        let mut m1 = 0;
+        let mut m8 = 0;
+        for seed in 0..trials {
+            let x = vec![0.0f32; dim];
+            let mut y = vec![0.0f32; dim];
+            y[0] = 2.0;
+            let h1 = PStableHash::sample(dim, 1, 2.0, seed);
+            let h8 = PStableHash::sample(dim, 8, 2.0, seed);
+            let mut s1 = vec![0i32; 1];
+            let mut s8 = vec![0i32; 8];
+            if h1.bucket_key(&x, &mut s1) == h1.bucket_key(&y, &mut s1) {
+                m1 += 1;
+            }
+            if h8.bucket_key(&x, &mut s8) == h8.bucket_key(&y, &mut s8) {
+                m8 += 1;
+            }
+        }
+        assert!(m1 > m8, "m1={m1} m8={m8}");
+    }
+
+    #[test]
+    fn fnv_distinguishes_signatures() {
+        assert_ne!(fnv1a_i32(&[0, 1]), fnv1a_i32(&[1, 0]));
+        assert_ne!(fnv1a_i32(&[0]), fnv1a_i32(&[0, 0]));
+        assert_eq!(fnv1a_i32(&[-3, 7]), fnv1a_i32(&[-3, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_width() {
+        PStableHash::sample(4, 2, 0.0, 0);
+    }
+}

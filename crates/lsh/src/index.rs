@@ -1,0 +1,334 @@
+//! The multi-table LSH index: build, probe, re-rank.
+//!
+//! Queries take the union of the query's buckets across all `l` tables and
+//! exactly re-rank the candidates (Gionis et al.'s strategy, which the paper
+//! follows). The sublinearity claim of Theorem 4 rests on the candidate union
+//! staying `O(N^g)` with `g < 1` for datasets of sufficient relative contrast.
+
+use crate::hash::PStableHash;
+use crate::table::HashTable;
+use knnshap_datasets::Features;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::{top_k_of_candidates, Neighbor};
+use std::collections::HashSet;
+
+/// Tunable parameters of an [`LshIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshParams {
+    /// Projections per table (`m`).
+    pub projections: usize,
+    /// Number of tables (`l`).
+    pub tables: usize,
+    /// Projection width (`r`).
+    pub width: f32,
+    /// Seed for the projection streams (table `t` uses `seed + t`).
+    pub seed: u64,
+}
+
+impl LshParams {
+    pub fn new(projections: usize, tables: usize, width: f32, seed: u64) -> Self {
+        assert!(projections > 0 && tables > 0, "m and l must be positive");
+        assert!(width > 0.0, "width must be positive");
+        Self {
+            projections,
+            tables,
+            width,
+            seed,
+        }
+    }
+}
+
+/// Result of a single query, including the diagnostics Fig. 9 plots.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Re-ranked nearest neighbors (ascending distance, at most `k`).
+    pub neighbors: Vec<Neighbor>,
+    /// Distinct candidates examined (the paper's "number of returned points").
+    pub candidates: usize,
+}
+
+/// A built multi-table index over a borrowed feature matrix.
+pub struct LshIndex<'a> {
+    data: &'a Features,
+    tables: Vec<HashTable>,
+    params: LshParams,
+}
+
+impl<'a> LshIndex<'a> {
+    /// Build `params.tables` hash tables over `data`, in parallel.
+    pub fn build(data: &'a Features, params: LshParams) -> Self {
+        let hashes: Vec<PStableHash> = (0..params.tables)
+            .map(|t| {
+                PStableHash::sample(
+                    data.dim(),
+                    params.projections,
+                    params.width,
+                    params.seed.wrapping_add(t as u64),
+                )
+            })
+            .collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let tables: Vec<HashTable> = if params.tables == 1 || threads == 1 {
+            hashes.into_iter().map(|h| HashTable::build(h, data)).collect()
+        } else {
+            let mut slots: Vec<Option<HashTable>> = (0..params.tables).map(|_| None).collect();
+            let chunk = params.tables.div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (slot_chunk, hash_chunk) in
+                    slots.chunks_mut(chunk).zip(hashes.chunks(chunk))
+                {
+                    scope.spawn(move |_| {
+                        for (slot, h) in slot_chunk.iter_mut().zip(hash_chunk.iter()) {
+                            *slot = Some(HashTable::build(h.clone(), data));
+                        }
+                    });
+                }
+            })
+            .expect("table build worker panicked");
+            slots.into_iter().map(|s| s.expect("table built")).collect()
+        };
+        Self {
+            data,
+            tables,
+            params,
+        }
+    }
+
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Distinct candidate indices across all tables for `query`.
+    pub fn candidates(&self, query: &[f32]) -> Vec<u32> {
+        let mut scratch = vec![0i32; self.params.projections];
+        let mut seen: HashSet<u32> = HashSet::new();
+        for t in &self.tables {
+            for &i in t.probe(query, &mut scratch) {
+                seen.insert(i);
+            }
+        }
+        let mut v: Vec<u32> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Approximate `k`-nearest-neighbor query: candidate union + exact
+    /// re-rank. May return fewer than `k` neighbors if the buckets are too
+    /// sparse — callers needing a guarantee should check
+    /// [`QueryResult::neighbors`]`.len()` (the valuation layer treats a short
+    /// list as "remaining points have negligible value", per Theorem 2).
+    pub fn query(&self, query: &[f32], k: usize) -> QueryResult {
+        let cands = self.candidates(query);
+        let neighbors = top_k_of_candidates(self.data, &cands, query, k, Metric::SquaredL2);
+        QueryResult {
+            neighbors,
+            candidates: cands.len(),
+        }
+    }
+
+    /// Query using only the first `tables` tables (Fig. 9(b) sweeps table
+    /// count without rebuilding the index).
+    pub fn query_with_tables(&self, query: &[f32], k: usize, tables: usize) -> QueryResult {
+        let use_tables = tables.min(self.tables.len());
+        let mut scratch = vec![0i32; self.params.projections];
+        let mut seen: HashSet<u32> = HashSet::new();
+        for t in &self.tables[..use_tables] {
+            for &i in t.probe(query, &mut scratch) {
+                seen.insert(i);
+            }
+        }
+        let mut cands: Vec<u32> = seen.into_iter().collect();
+        cands.sort_unstable();
+        let neighbors = top_k_of_candidates(self.data, &cands, query, k, Metric::SquaredL2);
+        QueryResult {
+            neighbors,
+            candidates: cands.len(),
+        }
+    }
+
+    /// Mean candidates per query over a query matrix (cost diagnostic: the
+    /// effective per-query scan length, which Theorem 4 predicts is O(N^g)).
+    pub fn mean_candidates(&self, queries: &Features) -> f64 {
+        if queries.is_empty() {
+            return 0.0;
+        }
+        let total: usize = queries.rows().map(|q| self.candidates(q).len()).sum();
+        total as f64 / queries.len() as f64
+    }
+
+    /// Multi-probe query (Lv et al. 2007; see [`crate::multiprobe`]): per
+    /// table, visit the query's own bucket plus the `probes − 1` cheapest
+    /// perturbed buckets, then exactly re-rank the candidate union.
+    ///
+    /// With `probes == 1` this degenerates to [`query`](Self::query). Extra
+    /// probes buy recall without extra tables (i.e. without extra memory);
+    /// see `recall_with_fewer_tables_improves` for the measured effect.
+    pub fn query_multiprobe(&self, query: &[f32], k: usize, probes: usize) -> QueryResult {
+        assert!(probes >= 1, "need at least the query's own bucket");
+        let mut seen: HashSet<u32> = HashSet::new();
+        for t in &self.tables {
+            let mut seq = crate::multiprobe::ProbeSequence::new(&t.hash, query);
+            let mut visited = 0;
+            while visited < probes {
+                match seq.next() {
+                    Some(key) => {
+                        for &i in t.probe_by_key(key) {
+                            seen.insert(i);
+                        }
+                        visited += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        let mut cands: Vec<u32> = seen.into_iter().collect();
+        cands.sort_unstable();
+        let neighbors = top_k_of_candidates(self.data, &cands, query, k, Metric::SquaredL2);
+        QueryResult {
+            neighbors,
+            candidates: cands.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+    use knnshap_knn::neighbors::argsort_by_distance;
+
+    fn clustered() -> (Features, Features) {
+        let cfg = BlobConfig {
+            n: 400,
+            dim: 8,
+            n_classes: 4,
+            cluster_std: 0.3,
+            center_scale: 4.0,
+            seed: 11,
+        };
+        (blobs::generate(&cfg).x, blobs::queries(&cfg, 12, 99).x)
+    }
+
+    #[test]
+    fn finds_true_nearest_on_easy_data() {
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(4, 12, 4.0, 1));
+        let mut hits = 0;
+        for q in queries.rows() {
+            let truth = argsort_by_distance(&train, q, Metric::SquaredL2)[0].index;
+            let got = idx.query(q, 1);
+            if got.neighbors.first().map(|n| n.index) == Some(truth) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 11, "recall@1 too low: {hits}/12");
+    }
+
+    #[test]
+    fn neighbors_sorted_and_within_k() {
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(4, 4, 2.0, 2));
+        for q in queries.rows() {
+            let r = idx.query(q, 5);
+            assert!(r.neighbors.len() <= 5);
+            assert!(r.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+            assert!(r.candidates >= r.neighbors.len());
+        }
+    }
+
+    #[test]
+    fn more_tables_more_candidates() {
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(8, 12, 1.0, 3));
+        let q = queries.row(0);
+        let few = idx.query_with_tables(q, 3, 1);
+        let many = idx.query_with_tables(q, 3, 12);
+        assert!(many.candidates >= few.candidates);
+        let full = idx.query(q, 3);
+        assert_eq!(full.candidates, many.candidates);
+    }
+
+    #[test]
+    fn mean_candidates_counts() {
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(4, 2, 2.0, 4));
+        let m = idx.mean_candidates(&queries);
+        assert!(m > 0.0 && m <= train.len() as f64);
+    }
+
+    #[test]
+    fn multiprobe_one_probe_equals_plain_query() {
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(6, 4, 1.0, 21));
+        for q in queries.rows() {
+            let plain = idx.query(q, 5);
+            let mp = idx.query_multiprobe(q, 5, 1);
+            assert_eq!(plain.candidates, mp.candidates);
+            assert_eq!(
+                plain.neighbors.iter().map(|n| n.index).collect::<Vec<_>>(),
+                mp.neighbors.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn more_probes_never_lose_candidates() {
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(8, 2, 0.75, 5));
+        for q in queries.rows() {
+            let one = idx.query_multiprobe(q, 3, 1);
+            let four = idx.query_multiprobe(q, 3, 4);
+            let sixteen = idx.query_multiprobe(q, 3, 16);
+            assert!(four.candidates >= one.candidates);
+            assert!(sixteen.candidates >= four.candidates);
+        }
+    }
+
+    #[test]
+    fn recall_with_fewer_tables_improves() {
+        // 2 tables + 16 probes should find strictly more true nearest
+        // neighbors than 2 tables + 1 probe — the memory-for-probes trade.
+        // Parameters sit deliberately in the partial-recall regime: tight
+        // enough that the own bucket misses often, wide enough that the
+        // neighbor is usually one cell away on a single coordinate.
+        let (train, queries) = clustered();
+        let idx = LshIndex::build(&train, LshParams::new(4, 2, 1.5, 17));
+        let mut plain_hits = 0usize;
+        let mut probed_hits = 0usize;
+        for q in queries.rows() {
+            let truth = argsort_by_distance(&train, q, Metric::SquaredL2)[0].index;
+            if idx.query_multiprobe(q, 1, 1).neighbors.first().map(|n| n.index) == Some(truth) {
+                plain_hits += 1;
+            }
+            if idx.query_multiprobe(q, 1, 16).neighbors.first().map(|n| n.index) == Some(truth) {
+                probed_hits += 1;
+            }
+        }
+        assert!(
+            probed_hits >= plain_hits,
+            "probing lost recall: {probed_hits} < {plain_hits}"
+        );
+        assert!(
+            probed_hits > plain_hits || plain_hits == queries.len(),
+            "16 probes bought nothing: {probed_hits} vs {plain_hits} of {}",
+            queries.len()
+        );
+        assert!(probed_hits >= 8, "multiprobe recall@1 too low: {probed_hits}/12");
+    }
+
+    #[test]
+    fn build_parallel_matches_serial() {
+        // Same params must give identical tables regardless of threading,
+        // because each table's RNG stream is seeded independently.
+        let (train, queries) = clustered();
+        let a = LshIndex::build(&train, LshParams::new(4, 6, 1.5, 9));
+        let b = LshIndex::build(&train, LshParams::new(4, 6, 1.5, 9));
+        for q in queries.rows() {
+            assert_eq!(a.candidates(q), b.candidates(q));
+        }
+    }
+}

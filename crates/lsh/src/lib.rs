@@ -1,0 +1,32 @@
+//! Locality-sensitive hashing substrate for the `knnshap` workspace.
+//!
+//! Implements the p-stable (Gaussian, p = 2) LSH scheme of Datar et al. that
+//! the paper builds its sublinear approximation on (§3.2):
+//! `h(x) = ⌊(wᵀx + b)/r⌋` with `w ~ N(0, I)` and `b ~ U[0, r)`.
+//!
+//! * [`hash`]: projection bundles and bucket signatures;
+//! * [`table`]: one hash table mapping signatures to training indices;
+//! * [`index`]: the multi-table index with candidate-union queries and exact
+//!   re-ranking;
+//! * [`theory`]: the analytical quantities of Theorems 3–4 — the collision
+//!   probability `f_h(c)` (eq. 20, evaluated by adaptive quadrature over the
+//!   half-normal density), the difficulty exponent
+//!   `g(C_K) = ln f_h(1/C_K) / ln f_h(1)`, and the parameter selection rules
+//!   (`m = α ln N / ln f_h(D_mean)⁻¹` following Gionis et al.; table count
+//!   `l ≥ p_nn^{−m} ln(K/δ)` from the proof of Theorem 3);
+//! * [`recall`]: empirical recall@K against brute force, the quantity on the
+//!   x-axis of Fig. 9(d);
+//! * [`multiprobe`]: an extension beyond the paper — Lv et al.'s multi-probe
+//!   querying, trading extra bucket visits for hash tables (memory); see the
+//!   `ablation_multiprobe` bench binary for the measured trade-off.
+
+pub mod hash;
+pub mod index;
+pub mod multiprobe;
+pub mod recall;
+pub mod table;
+pub mod theory;
+
+pub use hash::PStableHash;
+pub use index::{LshIndex, LshParams};
+pub use theory::{collision_prob, g_exponent};

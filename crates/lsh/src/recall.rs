@@ -1,0 +1,79 @@
+//! Empirical recall of the LSH index against brute force.
+//!
+//! Fig. 9(d) of the paper plots the Shapley approximation error against the
+//! recall of the underlying nearest-neighbor retrieval; this module computes
+//! that recall (fraction of the true K nearest present in the retrieved set).
+
+use crate::index::LshIndex;
+use knnshap_datasets::Features;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::partial_k_nearest;
+
+/// Recall@K of a single query's retrieved list vs. ground truth indices.
+pub fn recall_of(retrieved: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = truth.iter().filter(|t| retrieved.contains(t)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Mean recall@K of the index over a query set, probing `tables` tables.
+pub fn mean_recall(
+    index: &LshIndex<'_>,
+    train: &Features,
+    queries: &Features,
+    k: usize,
+    tables: usize,
+) -> f64 {
+    assert!(!queries.is_empty(), "need at least one query");
+    let mut acc = 0.0;
+    for q in queries.rows() {
+        let truth: Vec<u32> = partial_k_nearest(train, q, k, Metric::SquaredL2)
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        let got: Vec<u32> = index
+            .query_with_tables(q, k, tables)
+            .neighbors
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        acc += recall_of(&got, &truth);
+    }
+    acc / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::LshParams;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+
+    #[test]
+    fn recall_of_basic() {
+        assert_eq!(recall_of(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(recall_of(&[1, 9, 8], &[1, 2, 3]), 1.0 / 3.0);
+        assert_eq!(recall_of(&[], &[1]), 0.0);
+        assert_eq!(recall_of(&[5], &[]), 1.0);
+    }
+
+    #[test]
+    fn recall_monotone_in_tables() {
+        let cfg = BlobConfig {
+            n: 500,
+            dim: 8,
+            n_classes: 5,
+            cluster_std: 0.5,
+            center_scale: 3.0,
+            seed: 21,
+        };
+        let train = blobs::generate(&cfg).x;
+        let queries = blobs::queries(&cfg, 15, 5).x;
+        let idx = LshIndex::build(&train, LshParams::new(3, 10, 4.0, 0));
+        let r1 = mean_recall(&idx, &train, &queries, 5, 1);
+        let r10 = mean_recall(&idx, &train, &queries, 5, 10);
+        assert!(r10 >= r1, "recall dropped with more tables: {r1} -> {r10}");
+        assert!(r10 > 0.6, "ten tables should retrieve most neighbors: {r10}");
+    }
+}

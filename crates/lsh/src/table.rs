@@ -1,0 +1,140 @@
+//! A single LSH hash table.
+
+use crate::hash::PStableHash;
+use knnshap_datasets::Features;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Trivial pass-through hasher for bucket keys.
+///
+/// Bucket keys are already FNV-1a digests ([`crate::hash::fnv1a_i32`]), i.e.
+/// well mixed 64-bit values; re-hashing them with SipHash (the std default)
+/// would only burn cycles in the hot build/query path.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher is only used with u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type BucketMap = HashMap<u64, Vec<u32>, BuildHasherDefault<IdentityHasher>>;
+
+/// One hash table: an `m`-projection bundle plus its populated buckets.
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    pub hash: PStableHash,
+    buckets: BucketMap,
+}
+
+impl HashTable {
+    /// Hash every row of `data` into buckets.
+    pub fn build(hash: PStableHash, data: &Features) -> Self {
+        assert_eq!(hash.dim(), data.dim(), "hash/data dimension mismatch");
+        let mut buckets: BucketMap = HashMap::default();
+        let mut scratch = vec![0i32; hash.m()];
+        for (i, row) in data.rows().enumerate() {
+            let key = hash.bucket_key(row, &mut scratch);
+            buckets.entry(key).or_default().push(i as u32);
+        }
+        Self { hash, buckets }
+    }
+
+    /// Indices sharing the query's bucket (empty slice if the bucket is new).
+    pub fn probe(&self, query: &[f32], scratch: &mut [i32]) -> &[u32] {
+        let key = self.hash.bucket_key(query, scratch);
+        self.buckets.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Indices stored under a precomputed bucket key (multi-probe visits
+    /// perturbed buckets by key).
+    pub fn probe_by_key(&self, key: u64) -> &[u32] {
+        self.buckets.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Size of the largest bucket (diagnostic: a degenerate `r` collapses all
+    /// points into one bucket and the "sublinear" query becomes linear).
+    pub fn max_bucket(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total stored entries (equals the number of indexed rows).
+    pub fn entry_count(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Features {
+        // two tight clusters far apart
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            v.extend_from_slice(&[100.0 + i as f32 * 0.01, 0.0]);
+        }
+        Features::new(v, 2)
+    }
+
+    #[test]
+    fn build_indexes_every_row() {
+        let t = HashTable::build(PStableHash::sample(2, 2, 1.0, 3), &data());
+        assert_eq!(t.entry_count(), 20);
+        assert!(t.bucket_count() >= 2); // the two clusters cannot share a bucket
+    }
+
+    #[test]
+    fn probe_returns_own_cluster() {
+        let d = data();
+        let t = HashTable::build(PStableHash::sample(2, 2, 1.0, 3), &d);
+        let mut scratch = vec![0i32; 2];
+        let hits = t.probe(&[0.05, 0.0], &mut scratch);
+        // all candidates must come from the first cluster
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|&i| i < 10), "{hits:?}");
+    }
+
+    #[test]
+    fn probe_unknown_bucket_is_empty() {
+        let d = data();
+        let t = HashTable::build(PStableHash::sample(2, 4, 0.5, 3), &d);
+        let mut scratch = vec![0i32; 4];
+        let hits = t.probe(&[5000.0, -5000.0], &mut scratch);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn wide_r_collapses_buckets() {
+        let d = data();
+        let narrow = HashTable::build(PStableHash::sample(2, 1, 0.1, 5), &d);
+        let wide = HashTable::build(PStableHash::sample(2, 1, 1e6, 5), &d);
+        assert!(wide.bucket_count() <= narrow.bucket_count());
+        assert_eq!(wide.max_bucket(), 20); // everything in one bucket
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_dim_mismatch() {
+        HashTable::build(PStableHash::sample(3, 2, 1.0, 0), &data());
+    }
+}

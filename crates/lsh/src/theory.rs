@@ -1,0 +1,200 @@
+//! The analytical quantities of Theorems 3–4.
+//!
+//! * `f_h(c) = ∫_0^r (1/c) f_2(z/c) (1 − z/r) dz` — the probability that two
+//!   points at L2 distance `c` collide under one projection (eq. 20), with
+//!   `f_2` the density of the absolute value of a 2-stable (standard normal)
+//!   variable;
+//! * `g(C_K) = ln f_h(1/C_K) / ln f_h(1)` — the query-complexity exponent:
+//!   LSH retrieval costs `O(N^g)` and is sublinear exactly when `C_K` is
+//!   large enough that `g < 1`;
+//! * the parameter-selection rules used in §6.1: `m = α ln N / ln f_h(D_mean)⁻¹`
+//!   (Gionis et al.) and `l ≥ p_nn^{−m} ln(K/δ)` (from the proof of
+//!   Theorem 3, eq. 57).
+
+use knnshap_numerics::integrate::adaptive_simpson;
+use knnshap_numerics::special::half_normal_pdf;
+
+/// Collision probability `f_h(c)` for one hash of width `r` at distance `c`.
+///
+/// Monotonically decreasing in `c/r`; `f_h(0) = 1` by continuity (identical
+/// points always collide).
+pub fn collision_prob(c: f64, r: f64) -> f64 {
+    assert!(c >= 0.0, "distance must be non-negative");
+    assert!(r > 0.0, "width must be positive");
+    if c == 0.0 {
+        return 1.0;
+    }
+    let f = move |z: f64| (1.0 / c) * half_normal_pdf(z / c) * (1.0 - z / r);
+    // The integrand's support is [0, r]; it decays on the scale of c, so the
+    // adaptive splitter resolves both the c << r and c >> r regimes.
+    adaptive_simpson(f, 0.0, r, 1e-12).clamp(0.0, 1.0)
+}
+
+/// The difficulty exponent `g(C) = ln f_h(1/C) / ln f_h(1)` (Theorem 3).
+///
+/// `C` is the relative contrast after normalizing distances so `D_mean = 1`
+/// (then `D_K = 1/C`). `g < 1` iff `C > 1`.
+///
+/// ```
+/// use knnshap_lsh::theory::g_exponent;
+/// // healthy contrast ⇒ sublinear retrieval…
+/// assert!(g_exponent(2.0, 2.0) < 1.0);
+/// // …no contrast ⇒ the query degenerates to a linear scan
+/// assert!((g_exponent(1.0, 2.0) - 1.0).abs() < 1e-9);
+/// // and harder datasets (smaller C) always have larger g
+/// assert!(g_exponent(1.5, 2.0) > g_exponent(3.0, 2.0));
+/// ```
+pub fn g_exponent(contrast: f64, r: f64) -> f64 {
+    assert!(contrast > 0.0, "contrast must be positive");
+    let p_nn = collision_prob(1.0 / contrast, r);
+    let p_rand = collision_prob(1.0, r);
+    debug_assert!(p_nn > 0.0 && p_rand > 0.0 && p_rand < 1.0);
+    p_nn.ln() / p_rand.ln()
+}
+
+/// Projections per table: `m = α ln N / ln(1/f_h(D_mean))` (§6.1, following
+/// Gionis et al.'s rule `N · p_rand^m = O(1)` at α = 1). Clamped to ≥ 1.
+pub fn projections_for(n: usize, p_rand: f64, alpha: f64) -> usize {
+    assert!((0.0..1.0).contains(&p_rand), "p_rand must be in (0, 1)");
+    assert!(alpha > 0.0);
+    let m = alpha * (n as f64).ln() / (1.0 / p_rand).ln();
+    (m.round() as usize).max(1)
+}
+
+/// Tables needed for `P[all K true neighbors retrieved] ≥ 1 − δ`:
+/// `l ≥ p_nn^{−m} ln(K/δ)` (eq. 57 in the proof of Theorem 3).
+pub fn tables_for(p_nn: f64, m: usize, k: usize, delta: f64) -> usize {
+    assert!((0.0..=1.0).contains(&p_nn) && p_nn > 0.0, "p_nn in (0, 1]");
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0, 1)");
+    assert!(k >= 1);
+    let l = p_nn.powi(-(m as i32)) * (k as f64 / delta).ln();
+    (l.ceil() as usize).max(1)
+}
+
+/// Sweep `r` over a log-spaced grid and return the width minimizing
+/// `g(contrast, r)` together with the attained exponent (Fig. 10(b): "for ε
+/// not too small, we can choose r to be the value at which g(C_K*) is
+/// minimized").
+pub fn optimal_width(contrast: f64, r_lo: f64, r_hi: f64, steps: usize) -> (f64, f64) {
+    assert!(r_lo > 0.0 && r_hi > r_lo, "need 0 < r_lo < r_hi");
+    assert!(steps >= 2);
+    let ratio = (r_hi / r_lo).powf(1.0 / (steps - 1) as f64);
+    let mut best = (r_lo, f64::INFINITY);
+    let mut r = r_lo;
+    for _ in 0..steps {
+        let g = g_exponent(contrast, r);
+        if g < best.1 {
+            best = (r, g);
+        }
+        r *= ratio;
+    }
+    best
+}
+
+/// Theoretical asymptotic query complexity `N^g` (the paper's shorthand for
+/// the LSH time bound, up to log factors).
+pub fn query_cost_estimate(n: usize, g: f64) -> f64 {
+    (n as f64).powf(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_prob_monotone_decreasing_in_distance() {
+        let r = 4.0;
+        let mut prev = collision_prob(0.0, r);
+        assert!((prev - 1.0).abs() < 1e-12);
+        for i in 1..30 {
+            let c = i as f64 * 0.3;
+            let p = collision_prob(c, r);
+            assert!(p < prev + 1e-12, "not decreasing at c={c}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn collision_prob_increasing_in_width() {
+        for c in [0.5, 1.0, 2.0] {
+            let narrow = collision_prob(c, 1.0);
+            let wide = collision_prob(c, 8.0);
+            assert!(wide > narrow, "c={c}");
+        }
+    }
+
+    #[test]
+    fn collision_prob_closed_form_check() {
+        // Datar et al. give p(c) = 1 - 2*Phi(-r/c) - (2c/(sqrt(2pi) r)) (1 - exp(-r^2/(2c^2))).
+        // Verify the quadrature against the closed form.
+        let closed = |c: f64, r: f64| {
+            let t = r / c;
+            1.0 - 2.0 * knnshap_numerics::special::normal_cdf(-t)
+                - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t)
+                    * (1.0 - (-t * t / 2.0).exp())
+        };
+        for (c, r) in [(0.5, 1.0), (1.0, 1.0), (1.0, 4.0), (3.0, 2.0)] {
+            let got = collision_prob(c, r);
+            let want = closed(c, r);
+            assert!((got - want).abs() < 1e-6, "c={c} r={r}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn g_below_one_iff_contrast_above_one() {
+        let r = 3.0;
+        assert!(g_exponent(1.5, r) < 1.0);
+        assert!(g_exponent(1.01, r) < 1.0);
+        assert!((g_exponent(1.0, r) - 1.0).abs() < 1e-9);
+        assert!(g_exponent(0.8, r) > 1.0);
+    }
+
+    #[test]
+    fn g_decreasing_in_contrast() {
+        let r = 3.0;
+        let mut prev = g_exponent(1.0, r);
+        for i in 1..20 {
+            let c = 1.0 + i as f64 * 0.1;
+            let g = g_exponent(c, r);
+            assert!(g < prev, "not decreasing at C={c}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn projections_rule_matches_formula() {
+        let p_rand = 0.3;
+        let m = projections_for(10_000, p_rand, 1.0);
+        let want = ((10_000f64).ln() / (1.0 / 0.3f64).ln()).round() as usize;
+        assert_eq!(m, want);
+        assert_eq!(projections_for(2, 0.999, 1.0).max(1), projections_for(2, 0.999, 1.0));
+    }
+
+    #[test]
+    fn tables_rule_sane() {
+        // Higher p_nn => fewer tables; more neighbors/confidence => more tables.
+        assert!(tables_for(0.9, 5, 1, 0.1) < tables_for(0.5, 5, 1, 0.1));
+        assert!(tables_for(0.7, 5, 10, 0.1) > tables_for(0.7, 5, 1, 0.1));
+        assert!(tables_for(0.7, 5, 1, 0.01) > tables_for(0.7, 5, 1, 0.1));
+        assert!(tables_for(0.999999, 1, 1, 0.5) >= 1);
+    }
+
+    #[test]
+    fn optimal_width_beats_grid_ends() {
+        let (r_star, g_star) = optimal_width(1.5, 0.1, 50.0, 40);
+        assert!(g_star <= g_exponent(1.5, 0.1) + 1e-12);
+        assert!(g_star <= g_exponent(1.5, 50.0) + 1e-12);
+        assert!((0.1..=50.0).contains(&r_star));
+        assert!(g_star < 1.0);
+    }
+
+    #[test]
+    fn g_flattens_for_large_r() {
+        // Fig. 10(b): g(C) becomes insensitive to r after a certain point.
+        let c = 2.0;
+        let g1 = g_exponent(c, 20.0);
+        let g2 = g_exponent(c, 40.0);
+        assert!((g1 - g2).abs() < 0.02, "{g1} vs {g2}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the LSH substrate.
+
+use knnshap_datasets::Features;
+use knnshap_lsh::hash::PStableHash;
+use knnshap_lsh::index::{LshIndex, LshParams};
+use knnshap_lsh::theory::{collision_prob, g_exponent, projections_for, tables_for};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn signatures_are_deterministic_and_shift_sensitive(
+        x in prop::collection::vec(-5.0f32..5.0, 8),
+        seed in 0u64..1000,
+    ) {
+        let h = PStableHash::sample(8, 4, 1.0, seed);
+        let mut s1 = vec![0i32; 4];
+        let mut s2 = vec![0i32; 4];
+        h.signature_into(&x, &mut s1);
+        h.signature_into(&x, &mut s2);
+        prop_assert_eq!(&s1, &s2);
+        // a very large shift along the first projection must change something
+        let mut far = x.clone();
+        for v in far.iter_mut() { *v += 1.0e4; }
+        h.signature_into(&far, &mut s2);
+        prop_assert_ne!(&s1, &s2);
+    }
+
+    #[test]
+    fn candidates_are_valid_and_deduplicated(
+        vals in prop::collection::vec(-2.0f32..2.0, 80),
+        q in prop::collection::vec(-2.0f32..2.0, 4),
+        tables in 1usize..6,
+    ) {
+        let data = Features::new(vals.clone(), 4);
+        let index = LshIndex::build(&data, LshParams::new(3, tables, 2.0, 7));
+        let cands = index.candidates(&q);
+        prop_assert!(cands.iter().all(|&i| (i as usize) < data.len()));
+        let mut d = cands.clone();
+        d.dedup();
+        prop_assert_eq!(d.len(), cands.len()); // sorted + unique
+        // the query result is a subset of the candidates, sorted by distance
+        let res = index.query(&q, 5);
+        prop_assert!(res.neighbors.len() <= 5);
+        prop_assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+        for n in &res.neighbors {
+            prop_assert!(cands.binary_search(&n.index).is_ok());
+        }
+    }
+
+    #[test]
+    fn own_point_is_always_a_candidate(
+        vals in prop::collection::vec(-2.0f32..2.0, 40),
+        row in 0usize..10,
+    ) {
+        // A point always collides with itself in every table.
+        let data = Features::new(vals.clone(), 4);
+        let index = LshIndex::build(&data, LshParams::new(4, 3, 1.0, 3));
+        let q: Vec<f32> = data.row(row).to_vec();
+        let cands = index.candidates(&q);
+        prop_assert!(cands.binary_search(&(row as u32)).is_ok());
+    }
+
+    #[test]
+    fn collision_prob_is_a_probability_and_monotone(
+        c in 0.0f64..20.0,
+        r in 0.1f64..20.0,
+        dc in 0.01f64..5.0,
+    ) {
+        let p = collision_prob(c, r);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(collision_prob(c + dc, r) <= p + 1e-9);
+    }
+
+    #[test]
+    fn g_exponent_bounds(contrast in 1.0f64..5.0, r in 0.5f64..16.0) {
+        let g = g_exponent(contrast, r);
+        prop_assert!(g > 0.0);
+        prop_assert!(g <= 1.0 + 1e-9); // contrast ≥ 1 ⇒ sublinear or linear
+    }
+
+    #[test]
+    fn parameter_rules_are_monotone(
+        n in 100usize..1_000_000,
+        p_rand in 0.05f64..0.9,
+        p_nn in 0.5f64..0.99,
+    ) {
+        let m1 = projections_for(n, p_rand, 1.0);
+        let m2 = projections_for(n * 2, p_rand, 1.0);
+        prop_assert!(m2 >= m1); // more points ⇒ at least as many projections
+        let l1 = tables_for(p_nn, m1, 1, 0.1);
+        let l2 = tables_for(p_nn, m1 + 1, 1, 0.1);
+        prop_assert!(l2 >= l1); // more projections ⇒ at least as many tables
+    }
+
+    #[test]
+    fn probe_sequence_starts_at_home_and_never_repeats(
+        q in prop::collection::vec(-3.0f32..3.0, 6),
+        seed in 0u64..500,
+        width in 0.5f32..4.0,
+    ) {
+        use knnshap_lsh::multiprobe::ProbeSequence;
+        let h = PStableHash::sample(6, 3, width, seed);
+        let mut scratch = vec![0i32; 3];
+        let own = h.bucket_key(&q, &mut scratch);
+        let probes = ProbeSequence::new(&h, &q).take(20);
+        prop_assert_eq!(probes[0], own);
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), probes.len(), "duplicate probe keys");
+    }
+
+    #[test]
+    fn multiprobe_candidates_grow_with_probes(
+        vals in prop::collection::vec(-2.0f32..2.0, 120),
+        q in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let data = Features::new(vals, 4);
+        let index = LshIndex::build(&data, LshParams::new(4, 2, 1.0, 5));
+        let mut prev = 0usize;
+        for probes in [1usize, 2, 4, 8] {
+            let r = index.query_multiprobe(&q, 3, probes);
+            prop_assert!(r.candidates >= prev, "candidates shrank at {probes} probes");
+            prop_assert!(r.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+            prev = r.candidates;
+        }
+    }
+}

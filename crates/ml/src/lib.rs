@@ -1,0 +1,18 @@
+//! Comparator models for the `knnshap` workspace.
+//!
+//! The paper benchmarks KNN against logistic regression twice: Fig. 8
+//! (prediction accuracy of 1/2/5-NN vs. logistic regression on deep
+//! features) and Fig. 16 (KNN Shapley values as a cheap *proxy* for logistic
+//! regression Shapley values on Iris). This crate supplies the from-scratch
+//! multinomial logistic regression those experiments need ([`logreg`]), a
+//! retraining [`knnshap_core::Utility`] over it ([`logreg_utility`]) so the
+//! Monte Carlo estimators can value data w.r.t. the logistic model, and the
+//! §7 KNN-surrogate calibration ([`surrogate`]).
+
+pub mod logreg;
+pub mod logreg_utility;
+pub mod surrogate;
+
+pub use logreg::{LogisticRegression, LogRegConfig};
+pub use logreg_utility::LogRegUtility;
+pub use surrogate::calibrate_k;

@@ -1,0 +1,224 @@
+//! Multinomial (softmax) logistic regression trained by full-batch gradient
+//! descent with L2 regularization.
+//!
+//! Deliberately dependency-free and deterministic: weights start at zero and
+//! the loss is convex, so a fixed-step descent converges to the same model
+//! every run — a requirement for reproducible Shapley utilities that retrain
+//! per coalition (Fig. 16).
+
+use knnshap_datasets::ClassDataset;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRegConfig {
+    pub learning_rate: f64,
+    pub epochs: usize,
+    /// L2 penalty strength λ (applied to weights, not biases).
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.5,
+            epochs: 200,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A trained softmax classifier: `c × d` weights plus `c` biases.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>, // row-major c × d
+    bias: Vec<f64>,
+    dim: usize,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Fit on a dataset. Classes absent from the sample simply keep zero
+    /// scores, so training on single-class coalitions (common in Shapley
+    /// evaluation) is well defined.
+    pub fn fit(train: &ClassDataset, cfg: &LogRegConfig) -> Self {
+        assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        let n = train.len();
+        let d = train.dim();
+        let c = train.n_classes as usize;
+        let mut w = vec![0.0f64; c * d];
+        let mut b = vec![0.0f64; c];
+        let mut logits = vec![0.0f64; c];
+        let mut grad_w = vec![0.0f64; c * d];
+        let mut grad_b = vec![0.0f64; c];
+        let inv_n = 1.0 / n as f64;
+        for _ in 0..cfg.epochs {
+            grad_w.iter_mut().for_each(|g| *g = 0.0);
+            grad_b.iter_mut().for_each(|g| *g = 0.0);
+            for i in 0..n {
+                let x = train.x.row(i);
+                softmax_logits(&w, &b, x, &mut logits);
+                let y = train.y[i] as usize;
+                for (k, &p) in logits.iter().enumerate() {
+                    let err = p - f64::from(k == y);
+                    let gw = &mut grad_w[k * d..(k + 1) * d];
+                    for (g, &xf) in gw.iter_mut().zip(x) {
+                        *g += err * xf as f64 * inv_n;
+                    }
+                    grad_b[k] += err * inv_n;
+                }
+            }
+            for (wi, gi) in w.iter_mut().zip(&grad_w) {
+                *wi -= cfg.learning_rate * (gi + cfg.l2 * *wi);
+            }
+            for (bi, gi) in b.iter_mut().zip(&grad_b) {
+                *bi -= cfg.learning_rate * gi;
+            }
+        }
+        Self {
+            weights: w,
+            bias: b,
+            dim: d,
+            n_classes: c,
+        }
+    }
+
+    /// Class probabilities for a query.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "dimension mismatch");
+        let mut p = vec![0.0f64; self.n_classes];
+        softmax_logits(&self.weights, &self.bias, x, &mut p);
+        p
+    }
+
+    /// Predicted class (argmax probability, ties toward smaller label).
+    pub fn predict(&self, x: &[f32]) -> u32 {
+        let p = self.predict_proba(x);
+        let mut best = 0usize;
+        for (k, &v) in p.iter().enumerate() {
+            if v > p[best] {
+                best = k;
+            }
+        }
+        best as u32
+    }
+
+    /// 0/1 accuracy on a test set.
+    pub fn accuracy(&self, test: &ClassDataset) -> f64 {
+        assert_eq!(test.dim(), self.dim, "dimension mismatch");
+        if test.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..test.len())
+            .filter(|&i| self.predict(test.x.row(i)) == test.y[i])
+            .count();
+        hits as f64 / test.len() as f64
+    }
+}
+
+/// In-place softmax of `wᵀx + b` (numerically stabilized by max-shift).
+fn softmax_logits(w: &[f64], b: &[f64], x: &[f32], out: &mut [f64]) {
+    let c = b.len();
+    let d = x.len();
+    for k in 0..c {
+        let row = &w[k * d..(k + 1) * d];
+        let mut dot = b[k];
+        for (&wi, &xi) in row.iter().zip(x) {
+            dot += wi * xi as f64;
+        }
+        out[k] = dot;
+    }
+    let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in out.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in out.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+    use knnshap_datasets::synth::iris::iris_like;
+    use knnshap_datasets::Features;
+
+    #[test]
+    fn separable_clusters_reach_high_accuracy() {
+        let cfg = BlobConfig {
+            n: 300,
+            dim: 4,
+            n_classes: 3,
+            cluster_std: 0.4,
+            center_scale: 3.0,
+            seed: 1,
+        };
+        let train = blobs::generate(&cfg);
+        let test = blobs::queries(&cfg, 60, 9);
+        let m = LogisticRegression::fit(&train, &LogRegConfig::default());
+        let acc = m.accuracy(&test);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn iris_like_accuracy_reasonable() {
+        let d = iris_like(50, 4);
+        let (train, test) = knnshap_datasets::split::train_test_split(&d, 0.3, 1);
+        let m = LogisticRegression::fit(
+            &train,
+            &LogRegConfig {
+                epochs: 400,
+                ..Default::default()
+            },
+        );
+        let acc = m.accuracy(&test);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let train = ClassDataset::new(
+            Features::new(vec![0.0, 0.0, 1.0, 1.0], 2),
+            vec![0, 1],
+            2,
+        );
+        let m = LogisticRegression::fit(&train, &LogRegConfig::default());
+        let p = m.predict_proba(&[0.3, 0.7]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn single_class_training_predicts_that_class() {
+        let train = ClassDataset::new(
+            Features::new(vec![0.0, 0.5, 1.0, 1.5], 2),
+            vec![1, 1],
+            3,
+        );
+        let m = LogisticRegression::fit(&train, &LogRegConfig::default());
+        assert_eq!(m.predict(&[10.0, -3.0]), 1);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let cfg = BlobConfig {
+            n: 60,
+            dim: 3,
+            n_classes: 2,
+            ..Default::default()
+        };
+        let train = blobs::generate(&cfg);
+        let a = LogisticRegression::fit(&train, &LogRegConfig::default());
+        let b = LogisticRegression::fit(&train, &LogRegConfig::default());
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_rejected() {
+        let empty = ClassDataset::new(Features::new(vec![], 2), vec![], 2);
+        LogisticRegression::fit(&empty, &LogRegConfig::default());
+    }
+}

@@ -1,0 +1,131 @@
+//! A retraining Shapley utility over logistic regression.
+//!
+//! `ν(S)` = test accuracy of a logistic regression trained on coalition `S`
+//! (`ν(∅) = 0`: no data, no model). This is the expensive general-model path
+//! the paper contrasts its KNN algorithms against — every evaluation is a
+//! full training run — and the subject of the Fig. 16 proxy experiment.
+
+use crate::logreg::{LogRegConfig, LogisticRegression};
+use knnshap_core::utility::Utility;
+use knnshap_datasets::ClassDataset;
+
+/// How a retrained model is scored on the test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scoring {
+    /// 0/1 test accuracy.
+    Accuracy,
+    /// Mean predicted probability of the correct label — the smooth analogue
+    /// of the KNN utility (eq. 5 is itself a correct-label likelihood), which
+    /// avoids the 1/N_test quantization noise of 0/1 accuracy.
+    CorrectLabelLikelihood,
+}
+
+/// Retrains a logistic regression per coalition and scores it on a test set.
+pub struct LogRegUtility<'a> {
+    train: &'a ClassDataset,
+    test: &'a ClassDataset,
+    cfg: LogRegConfig,
+    scoring: Scoring,
+}
+
+impl<'a> LogRegUtility<'a> {
+    /// Accuracy-scored utility (the conventional model performance measure).
+    pub fn new(train: &'a ClassDataset, test: &'a ClassDataset, cfg: LogRegConfig) -> Self {
+        Self::with_scoring(train, test, cfg, Scoring::Accuracy)
+    }
+
+    pub fn with_scoring(
+        train: &'a ClassDataset,
+        test: &'a ClassDataset,
+        cfg: LogRegConfig,
+        scoring: Scoring,
+    ) -> Self {
+        assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
+        assert!(!test.is_empty(), "need at least one test point");
+        Self {
+            train,
+            test,
+            cfg,
+            scoring,
+        }
+    }
+}
+
+impl Utility for LogRegUtility<'_> {
+    fn n(&self) -> usize {
+        self.train.len()
+    }
+
+    fn eval(&self, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        let coalition = self.train.gather(subset);
+        let model = LogisticRegression::fit(&coalition, &self.cfg);
+        match self.scoring {
+            Scoring::Accuracy => model.accuracy(self.test),
+            Scoring::CorrectLabelLikelihood => {
+                let mut acc = 0.0;
+                for j in 0..self.test.len() {
+                    acc += model.predict_proba(self.test.x.row(j))[self.test.y[j] as usize];
+                }
+                acc / self.test.len() as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_core::exact_enum::shapley_enumeration;
+    use knnshap_datasets::Features;
+
+    fn tiny() -> (ClassDataset, ClassDataset) {
+        // Two separable clusters on a line.
+        let train = ClassDataset::new(
+            Features::new(vec![-1.2, -1.0, -0.8, 0.8, 1.0, 1.2], 1),
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        );
+        let test = ClassDataset::new(
+            Features::new(vec![-1.1, -0.9, 0.9, 1.1], 1),
+            vec![0, 0, 1, 1],
+            2,
+        );
+        (train, test)
+    }
+
+    #[test]
+    fn full_coalition_is_accurate() {
+        let (train, test) = tiny();
+        let u = LogRegUtility::new(&train, &test, LogRegConfig::default());
+        assert!((u.grand() - 1.0).abs() < 1e-9);
+        assert_eq!(u.eval(&[]), 0.0);
+    }
+
+    #[test]
+    fn shapley_values_favor_informative_points() {
+        let (train, test) = tiny();
+        let cfg = LogRegConfig {
+            epochs: 60,
+            ..Default::default()
+        };
+        let u = LogRegUtility::new(&train, &test, cfg);
+        let sv = shapley_enumeration(&u);
+        // every training point is helpful here; total = ν(I) = 1
+        assert!((sv.total() - 1.0).abs() < 1e-9);
+        assert!(sv.as_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn single_class_coalitions_at_least_cover_their_class() {
+        let (train, test) = tiny();
+        let u = LogRegUtility::new(&train, &test, LogRegConfig::default());
+        // Training on class-0 data only must classify the class-0 test
+        // points correctly (half the test set); depending on how the learned
+        // direction extrapolates it may also get class 1 right.
+        let v = u.eval(&[0, 1, 2]);
+        assert!(v >= 0.5 - 1e-9, "accuracy {v}");
+    }
+}

@@ -1,0 +1,86 @@
+//! KNN-as-surrogate calibration (paper §7).
+//!
+//! "For calculating the SV for general deep neural networks, we can take the
+//! deep features [...] and train a KNN classifier on the deep features. We
+//! calibrate K such that the resulting KNN mimics the performance of the
+//! original [model]." This module implements exactly that calibration: pick
+//! the `K` whose KNN test accuracy is closest to a target accuracy.
+
+use knnshap_datasets::ClassDataset;
+use knnshap_knn::classifier::KnnClassifier;
+
+/// Choose `K` from `candidates` whose unweighted-KNN accuracy on `test` is
+/// closest to `target_accuracy`. Ties prefer the smaller `K` (cheaper
+/// valuation). Returns `(k, accuracy_at_k)`.
+pub fn calibrate_k(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    candidates: &[usize],
+    target_accuracy: f64,
+) -> (usize, f64) {
+    assert!(!candidates.is_empty(), "need at least one candidate K");
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let mut best: Option<(usize, f64, f64)> = None; // (k, acc, gap)
+    for &k in candidates {
+        assert!(k >= 1, "K must be at least 1");
+        let acc = KnnClassifier::unweighted(train, k).accuracy(test, threads);
+        let gap = (acc - target_accuracy).abs();
+        let better = match best {
+            None => true,
+            Some((bk, _, bgap)) => gap < bgap - 1e-12 || (gap < bgap + 1e-12 && k < bk),
+        };
+        if better {
+            best = Some((k, acc, gap));
+        }
+    }
+    let (k, acc, _) = best.expect("candidates nonempty");
+    (k, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+
+    #[test]
+    fn picks_k_matching_target() {
+        let cfg = BlobConfig {
+            n: 400,
+            dim: 6,
+            n_classes: 4,
+            cluster_std: 1.2,
+            center_scale: 2.0,
+            seed: 5,
+        };
+        let train = blobs::generate(&cfg);
+        let test = blobs::queries(&cfg, 80, 11);
+        // calibrate to the best achievable accuracy: must return a K whose
+        // accuracy is within the candidate set's achievable range
+        let accs: Vec<f64> = [1usize, 3, 5, 9]
+            .iter()
+            .map(|&k| KnnClassifier::unweighted(&train, k).accuracy(&test, 2))
+            .collect();
+        let target = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (k, acc) = calibrate_k(&train, &test, &[1, 3, 5, 9], target);
+        assert!((acc - target).abs() < 1e-12);
+        assert!([1usize, 3, 5, 9].contains(&k));
+    }
+
+    #[test]
+    fn tie_prefers_smaller_k() {
+        let cfg = BlobConfig {
+            n: 100,
+            dim: 4,
+            n_classes: 2,
+            cluster_std: 0.1,
+            center_scale: 5.0,
+            seed: 6,
+        };
+        let train = blobs::generate(&cfg);
+        let test = blobs::queries(&cfg, 30, 12);
+        // perfectly separable: every K achieves accuracy 1.0 => pick smallest
+        let (k, acc) = calibrate_k(&train, &test, &[5, 1, 3], 1.0);
+        assert_eq!(k, 1);
+        assert_eq!(acc, 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the logistic-regression comparator: structural
+//! invariants that must hold for any training data and query, independent of
+//! convergence quality.
+
+use knnshap_datasets::{ClassDataset, Features};
+use knnshap_ml::logreg::{LogRegConfig, LogisticRegression};
+use proptest::prelude::*;
+
+/// Random small classification instances (features bounded, labels valid).
+fn instance() -> impl Strategy<Value = (ClassDataset, Vec<f32>)> {
+    (2usize..30, 1u32..4, any::<u64>()).prop_map(|(n, classes, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 3;
+        let feats: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+        let query: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        (
+            ClassDataset::new(Features::new(feats, dim), labels, classes),
+            query,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Predicted probabilities are a distribution for any model state.
+    #[test]
+    fn probabilities_form_a_distribution((train, query) in instance()) {
+        let m = LogisticRegression::fit(&train, &LogRegConfig {
+            epochs: 20, learning_rate: 0.3, l2: 1e-3,
+        });
+        let p = m.predict_proba(&query);
+        prop_assert_eq!(p.len(), train.n_classes as usize);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // argmax consistency
+        let pred = m.predict(&query) as usize;
+        prop_assert!(p.iter().all(|&v| v <= p[pred] + 1e-15));
+    }
+
+    /// Training is deterministic: same data, same config, same weights —
+    /// the property the Fig. 16 retraining utility depends on (ν(S) must be
+    /// a *function* of S).
+    #[test]
+    fn fit_is_deterministic((train, query) in instance()) {
+        let cfg = LogRegConfig { epochs: 15, learning_rate: 0.5, l2: 1e-4 };
+        let a = LogisticRegression::fit(&train, &cfg);
+        let b = LogisticRegression::fit(&train, &cfg);
+        prop_assert_eq!(a.predict_proba(&query), b.predict_proba(&query));
+    }
+
+    /// Accuracy is always a valid frequency, and perfect on the training set
+    /// of a single-class problem.
+    #[test]
+    fn accuracy_is_a_frequency((train, _q) in instance()) {
+        let m = LogisticRegression::fit(&train, &LogRegConfig {
+            epochs: 10, learning_rate: 0.3, l2: 1e-3,
+        });
+        let acc = m.accuracy(&train);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// Label permutation equivariance: relabeling classes consistently
+    /// permutes the predicted distribution (zero-initialized GD has no
+    /// class-order bias).
+    #[test]
+    fn class_relabeling_permutes_probabilities((train, query) in instance()) {
+        prop_assume!(train.n_classes == 2);
+        let swapped = ClassDataset::new(
+            train.x.clone(),
+            train.y.iter().map(|&l| 1 - l).collect(),
+            2,
+        );
+        let cfg = LogRegConfig { epochs: 25, learning_rate: 0.4, l2: 1e-3 };
+        let m1 = LogisticRegression::fit(&train, &cfg);
+        let m2 = LogisticRegression::fit(&swapped, &cfg);
+        let p1 = m1.predict_proba(&query);
+        let p2 = m2.predict_proba(&query);
+        prop_assert!((p1[0] - p2[1]).abs() < 1e-9, "{p1:?} vs {p2:?}");
+        prop_assert!((p1[1] - p2[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Log-space factorials and binomial coefficients.
+//!
+//! The Shapley recursions for weighted KNN (paper Theorem 7) and
+//! multi-data-per-curator games (Theorem 8) evaluate sums of the form
+//! `Σ_k C(a, k) / C(b, c + k)`. Both numerator and denominator overflow `f64`
+//! around `n ≈ 1030`, so every ratio is computed as `exp(ln C(a,k) − ln C(b,c+k))`.
+
+/// Precomputed table of `ln(n!)` for `0 ≤ n ≤ max_n`.
+///
+/// Construction is O(max_n); every subsequent query is O(1). The table is the
+/// workhorse behind [`LogFactorialTable::ln_binomial`] and
+/// [`LogFactorialTable::binomial_ratio`].
+#[derive(Debug, Clone)]
+pub struct LogFactorialTable {
+    ln_fact: Vec<f64>,
+}
+
+impl LogFactorialTable {
+    /// Build a table covering factorials up to `max_n!`.
+    pub fn new(max_n: usize) -> Self {
+        let mut ln_fact = Vec::with_capacity(max_n + 1);
+        ln_fact.push(0.0); // ln(0!) = 0
+        let mut acc = 0.0f64;
+        for n in 1..=max_n {
+            acc += (n as f64).ln();
+            ln_fact.push(acc);
+        }
+        Self { ln_fact }
+    }
+
+    /// Largest `n` for which `ln(n!)` is available.
+    pub fn max_n(&self) -> usize {
+        self.ln_fact.len() - 1
+    }
+
+    /// `ln(n!)`. Panics if `n` exceeds the table size.
+    #[inline]
+    pub fn ln_factorial(&self, n: usize) -> f64 {
+        self.ln_fact[n]
+    }
+
+    /// `ln C(n, k)`; returns `f64::NEG_INFINITY` when `k > n` (the binomial
+    /// coefficient is zero there, matching the empty-sum convention in the
+    /// paper's eq. (84)).
+    #[inline]
+    pub fn ln_binomial(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_fact[n] - self.ln_fact[k] - self.ln_fact[n - k]
+    }
+
+    /// `C(n, k)` as `f64` (may be `inf` for very large arguments; callers that
+    /// need exactness should stay in log space).
+    #[inline]
+    pub fn binomial(&self, n: usize, k: usize) -> f64 {
+        self.ln_binomial(n, k).exp()
+    }
+
+    /// `C(an, ak) / C(bn, bk)` evaluated stably in log space.
+    #[inline]
+    pub fn binomial_ratio(&self, an: usize, ak: usize, bn: usize, bk: usize) -> f64 {
+        let num = self.ln_binomial(an, ak);
+        if num == f64::NEG_INFINITY {
+            return 0.0;
+        }
+        (num - self.ln_binomial(bn, bk)).exp()
+    }
+}
+
+/// Exact `C(n, k)` for small arguments using u128 arithmetic.
+///
+/// Panics on overflow; intended for tests and tiny-N ground-truth paths where
+/// exactness matters (the O(2^N) Shapley enumeration).
+pub fn binomial_u128(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc
+            .checked_mul((n - i) as u128)
+            .expect("binomial_u128 overflow");
+        acc /= (i + 1) as u128;
+    }
+    acc
+}
+
+/// Iterator over all `k`-subsets of `0..n` in lexicographic order.
+///
+/// Used by the weighted-KNN exact algorithm (Theorem 7) to enumerate the
+/// `B_k(i)` families, and by the brute-force Shapley enumerator. Yields
+/// `&[usize]` views into an internal buffer to avoid per-subset allocation.
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    indices: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            n,
+            k,
+            indices: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
+    }
+
+    /// Advance to the next combination, returning a view of it.
+    ///
+    /// This is a lending iterator (the standard `Iterator` trait cannot return
+    /// borrows of the iterator itself), hence the explicit method.
+    pub fn next_combination(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.indices);
+        }
+        // Find the rightmost index that can be incremented.
+        let k = self.k;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] != i + self.n - k {
+                break;
+            }
+        }
+        self.indices[i] += 1;
+        for j in i + 1..k {
+            self.indices[j] = self.indices[j - 1] + 1;
+        }
+        Some(&self.indices)
+    }
+
+    /// Collect every combination into owned vectors (test/diagnostic helper).
+    pub fn collect_all(mut self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.next_combination() {
+            out.push(c.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        let t = LogFactorialTable::new(20);
+        let mut fact = 1.0f64;
+        for n in 1..=20usize {
+            fact *= n as f64;
+            assert!((t.ln_factorial(n) - fact.ln()).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact_small() {
+        let t = LogFactorialTable::new(60);
+        for n in 0..=60u64 {
+            for k in 0..=n {
+                let exact = binomial_u128(n, k) as f64;
+                let approx = t.binomial(n as usize, k as usize);
+                assert!(
+                    (approx - exact).abs() / exact.max(1.0) < 1e-9,
+                    "C({n},{k}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_out_of_range_is_zero() {
+        let t = LogFactorialTable::new(10);
+        assert_eq!(t.binomial(5, 6), 0.0);
+        assert_eq!(t.ln_binomial(5, 6), f64::NEG_INFINITY);
+        assert_eq!(binomial_u128(5, 6), 0);
+    }
+
+    #[test]
+    fn binomial_ratio_is_stable_for_large_n() {
+        // C(2000, 1000) overflows f64 but the ratio C(2000,1000)/C(2000,999)
+        // equals (2000-999)/1000 = 1001/1000.
+        let t = LogFactorialTable::new(2000);
+        let r = t.binomial_ratio(2000, 1000, 2000, 999);
+        assert!((r - 1001.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_identity_pascal() {
+        let t = LogFactorialTable::new(100);
+        for n in 1..40usize {
+            for k in 1..n {
+                let lhs = t.binomial(n, k);
+                let rhs = t.binomial(n - 1, k - 1) + t.binomial(n - 1, k);
+                assert!((lhs - rhs).abs() / lhs < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_enumerates_all() {
+        let all = Combinations::new(5, 3).collect_all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0], vec![0, 1, 2]);
+        assert_eq!(all[9], vec![2, 3, 4]);
+        // lexicographic & strictly increasing inside each subset
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(Combinations::new(4, 0).collect_all(), vec![Vec::<usize>::new()]);
+        assert_eq!(Combinations::new(0, 0).collect_all().len(), 1);
+        assert!(Combinations::new(3, 4).collect_all().is_empty());
+        assert_eq!(Combinations::new(4, 4).collect_all(), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        for n in 0..9usize {
+            for k in 0..=n {
+                let cnt = Combinations::new(n, k).collect_all().len() as u128;
+                assert_eq!(cnt, binomial_u128(n as u64, k as u64), "n={n} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! One-dimensional quadrature: composite and adaptive Simpson rules.
+//!
+//! The LSH theory path (paper Theorem 3, eq. 20) evaluates
+//! `f_h(c) = ∫_0^r (1/c) f_2(z/c)(1 − z/r) dz` for many values of `c` while
+//! sweeping the projection width `r` (Fig. 10). The integrand is smooth, so
+//! Simpson quadrature converges at O(h⁴) and an adaptive splitter keeps the
+//! cost low for the peaked small-`c` cases.
+
+/// Composite Simpson rule with `n` subintervals (`n` is rounded up to even).
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(b >= a, "integration bounds must satisfy b >= a");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n.is_multiple_of(2) { n.max(2) } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        acc += if i % 2 == 1 { 4.0 * f(x) } else { 2.0 * f(x) };
+    }
+    acc * h / 3.0
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+///
+/// Recursion depth is capped at 50, which bounds the subinterval width at
+/// `(b−a)/2⁵⁰`; for the smooth integrands used here the estimate converges
+/// long before the cap.
+pub fn adaptive_simpson<F: Fn(f64) -> f64 + Copy>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(b >= a, "integration bounds must satisfy b >= a");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    adaptive_rec(f, a, b, fa, fb, fm, whole, tol, 50)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_rec<F: Fn(f64) -> f64 + Copy>(
+    f: F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fm: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation term improves the estimate by one order.
+        left + right + delta / 15.0
+    } else {
+        adaptive_rec(f, a, m, fa, fm, flm, left, tol / 2.0, depth - 1)
+            + adaptive_rec(f, m, b, fm, fb, frm, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact for cubics.
+        let f = |x: f64| 3.0 * x * x * x - x + 2.0;
+        let got = simpson(f, -1.0, 2.0, 2);
+        let want = |x: f64| 0.75 * x.powi(4) - 0.5 * x * x + 2.0 * x;
+        assert!((got - (want(2.0) - want(-1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_handles_odd_n_and_degenerate_range() {
+        let f = |x: f64| x.sin();
+        let even = simpson(f, 0.0, 1.0, 100);
+        let odd = simpson(f, 0.0, 1.0, 99); // silently bumped to 100
+        assert!((even - odd).abs() < 1e-12);
+        assert_eq!(simpson(f, 1.0, 1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn adaptive_matches_known_integrals() {
+        // (integrand, lower, upper, closed form)
+        type Case = (fn(f64) -> f64, f64, f64, f64);
+        let cases: [Case; 3] = [
+            (|x| x.exp(), 0.0, 1.0, std::f64::consts::E - 1.0),
+            (|x| x.sin(), 0.0, std::f64::consts::PI, 2.0),
+            (|x| 1.0 / (1.0 + x * x), 0.0, 1.0, std::f64::consts::FRAC_PI_4),
+        ];
+        for (f, a, b, want) in cases {
+            let got = adaptive_simpson(f, a, b, 1e-12);
+            assert!((got - want).abs() < 1e-10, "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn adaptive_peaked_integrand() {
+        // Narrow Gaussian: naive low-n Simpson would miss the peak.
+        let f = |x: f64| (-(x - 0.5) * (x - 0.5) / (2.0 * 1e-4)).exp();
+        let got = adaptive_simpson(f, 0.0, 1.0, 1e-12);
+        let want = (2.0 * std::f64::consts::PI * 1e-4).sqrt(); // full mass inside [0,1]
+        assert!((got - want).abs() < 1e-8, "got {got} want {want}");
+    }
+}

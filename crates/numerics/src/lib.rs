@@ -1,0 +1,35 @@
+//! Numerical substrate for the `knnshap` workspace.
+//!
+//! This crate implements, from scratch, every piece of numerical machinery the
+//! paper's algorithms need:
+//!
+//! * log-space factorials and binomial coefficients ([`binom`]) — the weighted
+//!   KNN (Theorem 7) and curator (Theorem 8) Shapley recursions weight utility
+//!   differences by ratios of binomial coefficients that overflow `f64` for
+//!   moderate `N`, so they are evaluated in log space;
+//! * special functions ([`special`]) — the Gaussian/half-normal densities used
+//!   by the p-stable LSH collision probability (eq. 20 of the paper) and the
+//!   Bennett function `h(u) = (1+u)ln(1+u) − u` from Theorem 5;
+//! * adaptive quadrature ([`integrate`]) — evaluates the collision-probability
+//!   integral `f_h(c)`;
+//! * root finding ([`roots`]) — solves eq. (32) for the Bennett permutation
+//!   budget `T*`;
+//! * descriptive statistics and correlation ([`stats`]) — used by the
+//!   experiment harness (Figs. 14–16 report correlations between valuations);
+//! * random sampling ([`sampling`]) — Box–Muller Gaussians for synthetic
+//!   embeddings and LSH projections, and Fisher–Yates permutations for the
+//!   Monte Carlo estimators.
+
+pub mod binom;
+pub mod integrate;
+pub mod roots;
+pub mod sampling;
+pub mod special;
+pub mod stats;
+
+pub use binom::LogFactorialTable;
+pub use integrate::{adaptive_simpson, simpson};
+pub use roots::{bisect, brent};
+pub use sampling::{gaussian_vec, sample_permutation, GaussianSampler};
+pub use special::{bennett_h, half_normal_pdf, normal_cdf, normal_pdf};
+pub use stats::Summary;

@@ -1,0 +1,178 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Theorem 5 of the paper defines the Bennett permutation budget `T*` as the
+//! root of `Σ_i exp(−T(1−q_i²) h(ε/((1−q_i²)r))) − δ/2 = 0` (eq. 32), which is
+//! strictly decreasing in `T`, so a bracketing method is guaranteed to
+//! converge. Brent's method is used where derivative-free superlinear
+//! convergence pays off (LSH width grid refinement).
+
+/// Find a root of `f` in `[a, b]` by bisection.
+///
+/// Requires `f(a)` and `f(b)` to have opposite signs (or one of them to be
+/// zero). Returns the midpoint once the bracket is narrower than `tol` or
+/// after `max_iter` halvings.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter: u32) -> f64 {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    assert!(
+        fa.signum() != fb.signum(),
+        "bisect requires a sign change over [{a}, {b}] (f(a)={fa}, f(b)={fb})"
+    );
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        if (b - a) < tol {
+            return m;
+        }
+        let fm = f(m);
+        if fm == 0.0 {
+            return m;
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Expand `b` geometrically until `f` changes sign, then bisect.
+///
+/// Convenience for monotonically decreasing objectives like eq. (32) where no
+/// a-priori upper bound on `T*` is known.
+pub fn bisect_with_growing_bracket<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    mut b: f64,
+    tol: f64,
+) -> f64 {
+    let fa = f(a);
+    if fa == 0.0 {
+        return a;
+    }
+    let mut fb = f(b);
+    let mut guard = 0;
+    while fb.signum() == fa.signum() {
+        b *= 2.0;
+        fb = f(b);
+        guard += 1;
+        assert!(guard < 200, "failed to bracket a root (f may not change sign)");
+    }
+    bisect(f, a, b, tol, 200)
+}
+
+/// Brent's method: inverse-quadratic interpolation with bisection fallback.
+pub fn brent<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter: u32) -> f64 {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    assert!(
+        fa.signum() != fb.signum(),
+        "brent requires a sign change over [{a}, {b}]"
+    );
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return b;
+        }
+        let mut s = if fa != fc && fb != fc {
+            // inverse quadratic interpolation
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // secant
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && (!mflag || (s - b).abs() < (b - c).abs() / 2.0)
+            && (mflag || (s - b).abs() < d.abs() / 2.0));
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c - b;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign change")]
+    fn bisect_panics_without_bracket() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 50);
+    }
+
+    #[test]
+    fn growing_bracket_handles_distant_roots() {
+        // root at x = 1000, initial bracket [0, 1]
+        let r = bisect_with_growing_bracket(|x| 1000.0 - x, 0.0, 1.0, 1e-9);
+        assert!((r - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn brent_matches_bisect_but_faster_convergence() {
+        let f = |x: f64| x.powi(3) - 2.0 * x - 5.0; // classic Brent test, root ~2.0945514815
+        let r = brent(f, 2.0, 3.0, 1e-13, 100);
+        assert!((r - 2.0945514815423265).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn brent_on_monotone_exponential() {
+        // Shape mirrors the Bennett budget equation: exp(-kT) - target.
+        let target = 1e-3;
+        let r = brent(|t| (-0.01 * t).exp() - target, 0.0, 1e6, 1e-9, 200);
+        assert!((r - (-target.ln()) / 0.01).abs() < 1e-5);
+    }
+}

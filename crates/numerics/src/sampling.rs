@@ -1,0 +1,145 @@
+//! Random sampling utilities: Gaussian variates (Box–Muller) and uniform
+//! random permutations (Fisher–Yates).
+//!
+//! The workspace deliberately keeps `rand` as its only RNG dependency and
+//! derives Gaussians itself: synthetic "deep feature" embeddings, the p-stable
+//! LSH projection vectors, and noise injection all draw from
+//! [`GaussianSampler`], while the Monte Carlo Shapley estimators draw
+//! permutations from [`sample_permutation`].
+
+use rand::Rng;
+
+/// Standard-normal sampler using the Box–Muller transform with caching of the
+/// second variate, so amortized cost is one `ln`/`sqrt`/`sincos` pair per two
+/// samples.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw one `N(0, 1)` sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draw one `N(mean, std²)` sample.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample(rng)
+    }
+}
+
+/// Fill a fresh vector with `n` iid standard Gaussians.
+pub fn gaussian_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    let mut g = GaussianSampler::new();
+    (0..n).map(|_| g.sample(rng)).collect()
+}
+
+/// Same as [`gaussian_vec`] but producing `f32` (feature matrices are `f32`).
+pub fn gaussian_vec_f32<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f32> {
+    let mut g = GaussianSampler::new();
+    (0..n).map(|_| g.sample(rng) as f32).collect()
+}
+
+/// Uniformly random permutation of `0..n` via Fisher–Yates.
+///
+/// This is the sampling primitive of both Monte Carlo Shapley estimators
+/// (paper eq. 4 and Algorithm 2): each permutation must be drawn uniformly
+/// from the `n!` possibilities for the estimator to be unbiased.
+pub fn sample_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    shuffle_in_place(rng, &mut p);
+    p
+}
+
+/// In-place Fisher–Yates shuffle (reuses the caller's buffer; the improved MC
+/// estimator re-shuffles one workhorse vector per permutation to avoid
+/// allocating in its hot loop).
+pub fn shuffle_in_place<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
+    let n = xs.len();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = gaussian_vec(&mut rng, 200_000);
+        let m = crate::stats::mean(&xs);
+        let v = crate::stats::variance(&xs);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "variance {v}");
+    }
+
+    #[test]
+    fn gaussian_sampler_uses_spare() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = GaussianSampler::new();
+        let _ = g.sample(&mut rng);
+        assert!(g.spare.is_some());
+        let _ = g.sample(&mut rng);
+        assert!(g.spare.is_none());
+    }
+
+    #[test]
+    fn sample_with_scales() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = GaussianSampler::new();
+        let xs: Vec<f64> = (0..100_000).map(|_| g.sample_with(&mut rng, 5.0, 0.5)).collect();
+        assert!((crate::stats::mean(&xs) - 5.0).abs() < 0.02);
+        assert!((crate::stats::std_dev(&xs) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [0usize, 1, 2, 17, 100] {
+            let p = sample_permutation(&mut rng, n);
+            let mut seen = vec![false; n];
+            for &x in &p {
+                assert!(!seen[x]);
+                seen[x] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn permutation_positions_are_uniformish() {
+        // Element 0 should land in every slot with probability ~1/n.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 5;
+        let trials = 50_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            let p = sample_permutation(&mut rng, n);
+            let pos = p.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.2).abs() < 0.02, "freq {freq}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Special functions: Gaussian density/CDF, half-normal density, the error
+//! function, and the Bennett function from Theorem 5 of the paper.
+
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// Standard normal probability density `φ(x)`.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * PI).sqrt()
+}
+
+/// Density of `|Z|` where `Z ~ N(0,1)` — the "absolute value of a 2-stable
+/// random variable" appearing in the paper's collision probability
+/// `f_h(c) = ∫_0^r (1/c) f_2(z/c) (1 − z/r) dz` (eq. 20).
+#[inline]
+pub fn half_normal_pdf(x: f64) -> f64 {
+    if x < 0.0 {
+        0.0
+    } else {
+        2.0 * normal_pdf(x)
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation,
+/// accurate to ~1.5e-7 absolute error — far below the tolerances the LSH
+/// theory calculations need.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x * FRAC_1_SQRT_2))
+}
+
+/// The Bennett function `h(u) = (1 + u) ln(1 + u) − u` (paper Theorem 5).
+///
+/// Defined for `u > −1`; strictly increasing and convex on `u ≥ 0`.
+#[inline]
+pub fn bennett_h(u: f64) -> f64 {
+    debug_assert!(u > -1.0, "bennett_h domain is u > -1, got {u}");
+    (1.0 + u) * (1.0 + u).ln() - u
+}
+
+/// Lower bound `h(u) ≥ u² / (2 + u)` used in Appendix H to derive the
+/// closed-form approximation `T̃ ≥ (r²/ε²) ln(2K/δ)` (eq. 34/35).
+#[inline]
+pub fn bennett_h_lower_bound(u: f64) -> f64 {
+    u * u / (2.0 + u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((normal_pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+        for x in [0.1, 0.7, 1.5, 3.0] {
+            assert!((normal_pdf(x) - normal_pdf(-x)).abs() < 1e-15);
+            assert!(normal_pdf(x) < normal_pdf(0.0));
+        }
+    }
+
+    #[test]
+    fn half_normal_integrates_to_one() {
+        let integral = crate::integrate::simpson(half_normal_pdf, 0.0, 10.0, 10_000);
+        assert!((integral - 1.0).abs() < 1e-8, "got {integral}");
+    }
+
+    #[test]
+    fn half_normal_zero_below_zero() {
+        assert_eq!(half_normal_pdf(-0.5), 0.0);
+        assert!((half_normal_pdf(0.0) - 2.0 * normal_pdf(0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_properties() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn bennett_h_basic_shape() {
+        assert!((bennett_h(0.0)).abs() < 1e-15);
+        // increasing on u >= 0
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let u = i as f64 * 0.1;
+            let v = bennett_h(u);
+            assert!(v > prev);
+            prev = v;
+        }
+        // h(u) >= u^2/(2+u)
+        for i in 0..100 {
+            let u = i as f64 * 0.05;
+            assert!(bennett_h(u) + 1e-12 >= bennett_h_lower_bound(u));
+        }
+        // h(u) <= u^2 for small u (used in Appendix H upper bound direction)
+        for u in [0.01, 0.1, 0.5, 1.0] {
+            assert!(bennett_h(u) <= u * u + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # knnshap — efficient task-specific data valuation for nearest neighbors
+//!
+//! A Rust implementation of *Jia et al., "Efficient Task-Specific Data
+//! Valuation for Nearest Neighbor Algorithms"* (VLDB 2019 / arXiv:1908.08619):
+//! exact O(N log N) Shapley values for unweighted KNN classifiers and
+//! regressors, an LSH-backed sublinear (ε, δ)-approximation, O(N^K)/O(M^K)
+//! exact algorithms for weighted KNN and multi-data curators, composite games
+//! that also value the analyst's computation, and Monte Carlo estimators with
+//! Hoeffding/Bennett sample bounds.
+//!
+//! This crate is a facade: it re-exports the workspace member crates under
+//! stable module names. Start with [`valuation::KnnShapley`] (classification)
+//! or [`valuation::RegShapley`] (regression), or the `examples/quickstart.rs`
+//! walkthrough. Streams of test points fold into a running valuation via
+//! `valuation::streaming::OnlineValuator`; the §7 marketplace analyses
+//! (payouts, audits, per-class summaries) live in `valuation::analysis`; a
+//! scriptable front end ships as the `knnshap` binary in `crates/cli`.
+//!
+//! ```
+//! use knnshap::datasets::synth::blobs::{self, BlobConfig};
+//! use knnshap::valuation::exact_unweighted::knn_class_shapley;
+//!
+//! let cfg = BlobConfig { n: 200, n_classes: 2, dim: 8, ..Default::default() };
+//! let train = blobs::generate(&cfg);
+//! let test = blobs::queries(&cfg, 10, 99);
+//! let sv = knn_class_shapley(&train, &test, 3);
+//! assert_eq!(sv.len(), 200);
+//! ```
+
+/// Numerical substrate: special functions, quadrature, roots, statistics.
+pub use knnshap_numerics as numerics;
+
+/// Dataset substrate: feature matrices, synthetic generators, contrast.
+pub use knnshap_datasets as datasets;
+
+/// KNN substrate: metrics, top-K search, classifiers/regressors.
+pub use knnshap_knn as knn;
+
+/// LSH substrate: p-stable hashing, theory-driven parameters, recall.
+pub use knnshap_lsh as lsh;
+
+/// The paper's valuation algorithms (exact, LSH-approximate, Monte Carlo,
+/// weighted, curator, composite).
+pub use knnshap_core as valuation;
+
+/// Comparator models (logistic regression) and retraining utilities.
+pub use knnshap_ml as ml;

@@ -1,0 +1,164 @@
+//! Cross-crate integration: Shapley axioms hold for the produced valuations,
+//! and every approximation respects its advertised error bound.
+
+use knnshap::datasets::synth::blobs::{self, BlobConfig};
+use knnshap::datasets::{contrast, normalize, ClassDataset, Features};
+use knnshap::knn::WeightFn;
+use knnshap::lsh::index::LshIndex;
+use knnshap::valuation::axioms::{check_efficiency, check_null_player, check_symmetry};
+use knnshap::valuation::exact_unweighted::{knn_class_shapley_single, knn_class_shapley_with_threads};
+use knnshap::valuation::lsh_approx::{lsh_class_shapley, plan_index_params};
+use knnshap::valuation::mc::{mc_shapley_improved, IncKnnUtility, StoppingRule};
+use knnshap::valuation::truncated::{k_star, truncated_class_shapley};
+use knnshap::valuation::utility::KnnClassUtility;
+use proptest::prelude::*;
+
+fn blob_instance(n: usize, seed: u64) -> (ClassDataset, ClassDataset) {
+    let cfg = BlobConfig {
+        n,
+        dim: 6,
+        n_classes: 3,
+        cluster_std: 1.0,
+        center_scale: 2.0,
+        seed,
+    };
+    (blobs::generate(&cfg), blobs::queries(&cfg, 6, seed ^ 0xFF))
+}
+
+#[test]
+fn efficiency_across_methods_and_k() {
+    let (train, test) = blob_instance(150, 3);
+    for k in [1usize, 3, 10, 150, 200] {
+        let sv = knn_class_shapley_with_threads(&train, &test, k, 2);
+        let u = KnnClassUtility::unweighted(&train, &test, k);
+        let chk = check_efficiency(&sv, &u, 1e-9);
+        assert!(chk.holds, "k={k}: {:?}", chk.violation);
+    }
+}
+
+#[test]
+fn duplicate_points_receive_equal_values() {
+    // Symmetry in practice: two identical training points (same features,
+    // same label) are interchangeable, so their SVs must coincide.
+    let train = ClassDataset::new(
+        Features::new(vec![0.5, 0.5, 0.5, 0.5, 2.0, 2.0, -1.0, 3.0], 2),
+        vec![1, 1, 0, 1],
+        2,
+    );
+    let test = ClassDataset::new(Features::new(vec![0.4, 0.6], 2), vec![1], 2);
+    let sv = knn_class_shapley_single(&train, test.x.row(0), 1, 2);
+    assert!(
+        (sv[0] - sv[1]).abs() < 1e-12,
+        "duplicates valued differently: {} vs {}",
+        sv[0],
+        sv[1]
+    );
+    let u = KnnClassUtility::unweighted(&train, &test, 2);
+    assert!(check_symmetry(&sv, &u, 0, 1, 1e-9).holds);
+}
+
+#[test]
+fn truncation_error_bound_is_respected_everywhere() {
+    for seed in [1u64, 2, 3] {
+        let (train, test) = blob_instance(200, seed);
+        for eps in [0.3, 0.1, 0.02] {
+            for k in [1usize, 4] {
+                let exact = knn_class_shapley_with_threads(&train, &test, k, 2);
+                let approx = truncated_class_shapley(&train, &test, k, eps);
+                let err = exact.max_abs_diff(&approx);
+                assert!(err <= eps + 1e-12, "seed={seed} eps={eps} k={k}: err={err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_dataset_to_lsh_valuation() {
+    // dataset → normalization → contrast estimation → planned index →
+    // valuation → error audit, across crates.
+    let cfg = BlobConfig {
+        n: 800,
+        dim: 16,
+        n_classes: 4,
+        cluster_std: 0.5,
+        center_scale: 3.0,
+        seed: 17,
+    };
+    let mut train = blobs::generate(&cfg);
+    let mut test = blobs::queries(&cfg, 10, 5);
+    let factor = normalize::scale_to_unit_dmean(&mut train.x, 2000, 1);
+    normalize::apply_scale(&mut test.x, factor);
+    let (k, eps, delta) = (2usize, 0.1, 0.1);
+    let est = contrast::estimate(&train.x, &test.x, k_star(k, eps), 8, 64, 3);
+    assert!(est.c_k > 1.0, "clustered data must have contrast > 1");
+    let params = plan_index_params(train.len(), &est, k, eps, delta, 1.0, 64, 7);
+    let index = LshIndex::build(&train.x, params);
+    let exact = knn_class_shapley_with_threads(&train, &test, k, 2);
+    let approx = lsh_class_shapley(&index, &train, &test, k, eps);
+    let err = exact.max_abs_diff(&approx);
+    assert!(err <= 1.5 * eps, "LSH valuation error {err} (ε = {eps})");
+}
+
+#[test]
+fn improved_mc_converges_and_stops() {
+    let (train, test) = blob_instance(60, 9);
+    let exact = knn_class_shapley_with_threads(&train, &test, 3, 2);
+    let mut inc = IncKnnUtility::classification(&train, &test, 3, WeightFn::Uniform);
+    let res = mc_shapley_improved(
+        &mut inc,
+        StoppingRule::Heuristic {
+            threshold: 1e-4,
+            max: 100_000,
+        },
+        5,
+        None,
+    );
+    assert!(res.permutations < 100_000, "heuristic never fired");
+    assert!(
+        exact.max_abs_diff(&res.values) < 0.05,
+        "err={}",
+        exact.max_abs_diff(&res.values)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn far_away_points_are_near_null(
+        labels in prop::collection::vec(0u32..2, 6),
+        k in 1usize..3,
+    ) {
+        // A point much farther than all others has SV magnitude ≤ 1/(K·N)
+        // · min(K,N)... — concretely, bounded by 1/N (proof of Theorem 2).
+        let n = labels.len() + 1;
+        let mut feats: Vec<f32> = (0..labels.len()).map(|i| i as f32 * 0.1).collect();
+        feats.push(1e6); // the far point
+        let mut all_labels = labels.clone();
+        all_labels.push(0);
+        let train = ClassDataset::new(Features::new(feats, 1), all_labels, 2);
+        let sv = knn_class_shapley_single(&train, &[0.0], 0, k);
+        prop_assert!(sv[n - 1].abs() <= 1.0 / (n as f64) + 1e-12);
+    }
+
+    #[test]
+    fn all_wrong_labels_give_nonpositive_total(
+        feats in prop::collection::vec(-1.0f32..1.0, 6),
+        k in 1usize..4,
+    ) {
+        // If no training point carries the test label, ν(S) = 0 for all S,
+        // so every SV must be 0 (null players).
+        let train = ClassDataset::new(
+            Features::new(feats.clone(), 1),
+            vec![0; feats.len()],
+            2,
+        );
+        let test = ClassDataset::new(Features::new(vec![0.0], 1), vec![1], 2);
+        let sv = knn_class_shapley_single(&train, test.x.row(0), 1, k);
+        for i in 0..train.len() {
+            prop_assert!(sv[i].abs() < 1e-12);
+        }
+        let u = KnnClassUtility::unweighted(&train, &test, k);
+        prop_assert!(check_null_player(&sv, &u, 0, 1e-9).holds);
+    }
+}

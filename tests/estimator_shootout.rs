@@ -1,0 +1,102 @@
+//! Every estimator in the workspace against the same game: the Theorem 1
+//! exact values as ground truth, with the truncated, improved-MC,
+//! baseline-MC and group-testing estimators each held to the accuracy their
+//! theory promises for the budget they are given. This is the integration
+//! surface of the paper's Fig. 5/6 comparisons.
+
+use knnshap::datasets::synth::blobs::{self, BlobConfig};
+use knnshap::numerics::stats::pearson;
+use knnshap::valuation::exact_unweighted::knn_class_shapley_with_threads;
+use knnshap::valuation::group_testing::group_testing_shapley;
+use knnshap::valuation::mc::{
+    mc_shapley_baseline, mc_shapley_improved, IncKnnUtility, StoppingRule,
+};
+use knnshap::valuation::truncated::truncated_class_shapley;
+use knnshap::valuation::utility::{KnnClassUtility, Utility};
+use knnshap::knn::WeightFn;
+
+fn game() -> (knnshap::datasets::ClassDataset, knnshap::datasets::ClassDataset) {
+    // label noise keeps per-point values spread out, so correlation against
+    // ground truth is a meaningful statistic
+    let cfg = BlobConfig {
+        n: 80,
+        dim: 4,
+        n_classes: 3,
+        cluster_std: 0.8,
+        center_scale: 2.5,
+        seed: 19,
+    };
+    let train = blobs::generate(&cfg);
+    let (noisy, _) = knnshap::datasets::noise::flip_labels(&train, 0.2, 3);
+    (noisy, blobs::queries(&cfg, 6, 77))
+}
+
+#[test]
+fn all_estimators_agree_with_the_exact_algorithm() {
+    let (train, test) = game();
+    let k = 3usize;
+    let exact = knn_class_shapley_with_threads(&train, &test, k, 2);
+    let u = KnnClassUtility::unweighted(&train, &test, k);
+
+    // Truncated (ε, 0): a hard, deterministic guarantee.
+    let eps = 0.05;
+    let trunc = truncated_class_shapley(&train, &test, k, eps);
+    assert!(trunc.max_abs_diff(&exact) <= eps + 1e-12);
+
+    // Improved MC (Algorithm 2): statistical, tight at this budget.
+    let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+    let imp = mc_shapley_improved(&mut inc, StoppingRule::Fixed(8_000), 5, None).values;
+    assert!(imp.max_abs_diff(&exact) < 0.03, "improved MC: {}", imp.max_abs_diff(&exact));
+    assert!(pearson(imp.as_slice(), exact.as_slice()) > 0.9);
+
+    // Baseline MC (§2.2): same estimator, far more expensive per permutation;
+    // spend fewer permutations and expect a looser result.
+    let base = mc_shapley_baseline(&u, StoppingRule::Fixed(800), 5, None).values;
+    assert!(base.max_abs_diff(&exact) < 0.08, "baseline MC: {}", base.max_abs_diff(&exact));
+    assert!(pearson(base.as_slice(), exact.as_slice()) > 0.6);
+
+    // Group testing ([JDW+19]): high-variance by construction (the Z ≈ 2 ln N
+    // factor); the loosest envelope of the family.
+    let gt = group_testing_shapley(&u, 120_000, 5).values;
+    assert!(gt.max_abs_diff(&exact) < 0.08, "group testing: {}", gt.max_abs_diff(&exact));
+    assert!(pearson(gt.as_slice(), exact.as_slice()) > 0.4);
+
+    // Every stochastic estimator still satisfies efficiency (improved MC and
+    // group testing enforce it structurally; baseline MC only in expectation,
+    // so it gets a tolerance).
+    let grand = u.grand();
+    assert!((imp.total() - grand).abs() < 0.25);
+    assert!((gt.total() - grand).abs() < 1e-9);
+}
+
+#[test]
+fn estimator_cost_ordering_matches_fig6() {
+    // The paper's Fig. 6 cost ordering at fixed accuracy: exact ≪ improved
+    // MC ≪ baseline MC — measured here as wall-clock on identical work.
+    use std::time::Instant;
+    let (train, test) = game();
+    let k = 2usize;
+
+    let t0 = Instant::now();
+    let _ = knn_class_shapley_with_threads(&train, &test, k, 1);
+    let exact_t = t0.elapsed();
+
+    let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+    let t1 = Instant::now();
+    let _ = mc_shapley_improved(&mut inc, StoppingRule::Fixed(500), 5, None);
+    let improved_t = t1.elapsed();
+
+    let u = KnnClassUtility::unweighted(&train, &test, k);
+    let t2 = Instant::now();
+    let _ = mc_shapley_baseline(&u, StoppingRule::Fixed(500), 5, None);
+    let baseline_t = t2.elapsed();
+
+    assert!(
+        exact_t < baseline_t,
+        "exact {exact_t:?} should beat baseline MC {baseline_t:?}"
+    );
+    assert!(
+        improved_t < baseline_t,
+        "improved MC {improved_t:?} should beat baseline MC {baseline_t:?} at equal permutations"
+    );
+}

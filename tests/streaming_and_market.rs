@@ -1,0 +1,216 @@
+//! End-to-end scenario tests for the streaming valuator and the §7
+//! marketplace analyses, spanning datasets → lsh → core.
+
+use knnshap::datasets::noise::{flip_labels, inject_poison};
+use knnshap::datasets::synth::blobs::{self, BlobConfig};
+use knnshap::datasets::{contrast, normalize};
+use knnshap::lsh::index::LshIndex;
+use knnshap::valuation::analysis::{
+    monetary_payout, per_class_summary, rank_agreement, DetectionCurve,
+};
+use knnshap::valuation::exact_unweighted::knn_class_shapley_with_threads;
+use knnshap::valuation::lsh_approx::plan_index_params;
+use knnshap::valuation::streaming::{OnlineValuator, StreamBackend};
+use knnshap::valuation::truncated::k_star;
+
+fn corpus(n: usize, seed: u64) -> (knnshap::datasets::ClassDataset, knnshap::datasets::ClassDataset)
+{
+    let cfg = BlobConfig {
+        n,
+        dim: 8,
+        n_classes: 3,
+        cluster_std: 0.5,
+        center_scale: 3.0,
+        seed,
+    };
+    (blobs::generate(&cfg), blobs::queries(&cfg, 30, seed ^ 0xAB))
+}
+
+/// Streaming accumulation with the exact backend reproduces the batch
+/// valuation bit-for-bit; interleaving order does not matter.
+#[test]
+fn streaming_exact_is_order_invariant_and_equals_batch() {
+    let (train, test) = corpus(200, 9);
+    let batch = knn_class_shapley_with_threads(&train, &test, 3, 2);
+
+    let mut forward = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+    for j in 0..test.len() {
+        forward.observe(test.x.row(j), test.y[j]);
+    }
+    let mut backward = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+    for j in (0..test.len()).rev() {
+        backward.observe(test.x.row(j), test.y[j]);
+    }
+    assert!(forward.values().max_abs_diff(&batch) < 1e-12);
+    assert!(backward.values().max_abs_diff(&batch) < 1e-12);
+}
+
+/// The full marketplace loop: corrupt a quarter of the labels, value the
+/// corpus with the *streaming LSH* path, and check that (a) the audit finds
+/// corrupted points far better than chance, (b) payouts conserve revenue,
+/// (c) the corrupted class analysis is consistent.
+#[test]
+fn noisy_market_audit_via_streaming_lsh() {
+    let (clean, _) = corpus(600, 31);
+    // a larger query stream so that most training points fall inside some
+    // query's K* prefix and receive a nonzero (rankable) value
+    let mut test = blobs::queries(
+        &BlobConfig {
+            n: 600,
+            dim: 8,
+            n_classes: 3,
+            cluster_std: 0.5,
+            center_scale: 3.0,
+            seed: 31,
+        },
+        120,
+        0xBEEF,
+    );
+    let (mut train, flipped) = flip_labels(&clean, 0.25, 77);
+    assert!(!flipped.is_empty());
+
+    let factor = normalize::scale_to_unit_dmean(&mut train.x, 500, 3);
+    normalize::apply_scale(&mut test.x, factor);
+
+    let (k, eps, delta) = (3usize, 0.1f64, 0.1f64);
+    let ks = k_star(k, eps);
+    let est = contrast::estimate(&train.x, &test.x, ks, 16, 64, 5);
+    let params = plan_index_params(train.len(), &est, k, eps, delta, 1.0, 48, 11);
+    let index = LshIndex::build(&train.x, params);
+
+    let mut online = OnlineValuator::new(&train, k, StreamBackend::Lsh { index, eps });
+    for j in 0..test.len() {
+        online.observe(test.x.row(j), test.y[j]);
+    }
+    let sv = online.values();
+
+    // (a) detection beats chance by a wide margin
+    let mut is_bad = vec![false; train.len()];
+    for &i in &flipped {
+        is_bad[i] = true;
+    }
+    let curve = DetectionCurve::new(&sv, &is_bad);
+    assert!(
+        curve.auc() > 0.65,
+        "mislabel detection AUC {} should be well above random 0.5",
+        curve.auc()
+    );
+    // Inspecting the |bad| lowest-valued points must beat the 25% base rate
+    // by a wide margin.
+    assert!(
+        curve.precision_at(flipped.len()) > 0.5,
+        "precision@|bad| {} vs base rate 0.25",
+        curve.precision_at(flipped.len())
+    );
+
+    // (b) affine payout conserves revenue
+    let revenue = 10_000.0;
+    let base = 600.0;
+    let pay = monetary_payout(&sv, revenue, base);
+    let paid: f64 = pay.iter().sum();
+    assert!((paid - (revenue * sv.total() + base)).abs() < 1e-6);
+
+    // (c) per-class totals add up to the overall total
+    let classes = per_class_summary(&sv, &train.y, train.n_classes);
+    let class_total: f64 = classes.iter().map(|c| c.total).sum();
+    assert!((class_total - sv.total()).abs() < 1e-9);
+    let class_count: usize = classes.iter().map(|c| c.count).sum();
+    assert_eq!(class_count, train.len());
+}
+
+/// The truncated streaming backend stays within its ε guarantee of the exact
+/// batch answer, and agrees with the exact ranking among the points it
+/// retains (points beyond every query's K* prefix are truncated to exactly
+/// zero, so *global* rank agreement is the wrong yardstick — Theorem 2 only
+/// promises rank preservation inside the prefix).
+#[test]
+fn truncated_stream_ranks_like_exact_on_retained_points() {
+    // Label noise matters here: with perfectly pure clusters every retained
+    // neighbor matches the query label, all recursion differences vanish and
+    // the (ε,0)-valid answer is identically zero — nothing to rank.
+    let (clean, test) = corpus(300, 13);
+    let (train, _) = flip_labels(&clean, 0.2, 55);
+    let eps = 0.05;
+    let mut online = OnlineValuator::new(&train, 2, StreamBackend::Truncated { eps });
+    for j in 0..test.len() {
+        online.observe(test.x.row(j), test.y[j]);
+    }
+    let exact = knn_class_shapley_with_threads(&train, &test, 2, 2);
+    let approx = online.values();
+    assert!(approx.max_abs_diff(&exact) <= eps + 1e-12);
+
+    // Restrict the comparison to points the truncation kept (nonzero value):
+    // there the orderings must agree strongly.
+    let kept: Vec<usize> = (0..train.len())
+        .filter(|&i| approx.get(i) != 0.0)
+        .collect();
+    assert!(kept.len() >= 20, "expected a healthy retained prefix");
+    let a = knnshap::valuation::ShapleyValues::new(
+        kept.iter().map(|&i| approx.get(i)).collect(),
+    );
+    let e = knnshap::valuation::ShapleyValues::new(
+        kept.iter().map(|&i| exact.get(i)).collect(),
+    );
+    assert!(
+        rank_agreement(&a, &e) > 0.8,
+        "rank agreement on retained points: {}",
+        rank_agreement(&a, &e)
+    );
+}
+
+/// The §7 defense claim, against the strongest KNN attack we can generate:
+/// poison points cloned from the test queries with wrong labels must sink to
+/// the bottom of the valuation (strongly negative values, worst ranks).
+#[test]
+fn poisoning_defense_ranks_poison_at_bottom() {
+    let (clean, test) = corpus(250, 47);
+    let n_poison = 25;
+    let (train, poison_idx) = inject_poison(&clean, &test, n_poison, 0.01, 3);
+    assert_eq!(train.len(), 275);
+
+    let sv = knn_class_shapley_with_threads(&train, &test, 3, 2);
+
+    // every poison point should be strictly harmful on average
+    let negative = poison_idx.iter().filter(|&&i| sv.get(i) < 0.0).count();
+    assert!(
+        negative >= n_poison * 9 / 10,
+        "only {negative}/{n_poison} poison points have negative value"
+    );
+
+    // and the bottom of the ranking should be dominated by poison
+    let mut is_bad = vec![false; train.len()];
+    for &i in &poison_idx {
+        is_bad[i] = true;
+    }
+    let curve = DetectionCurve::new(&sv, &is_bad);
+    assert!(
+        curve.precision_at(n_poison) >= 0.8,
+        "precision@{n_poison} = {}",
+        curve.precision_at(n_poison)
+    );
+    assert!(curve.auc() > 0.9, "AUC = {}", curve.auc());
+}
+
+/// Merging shard accumulators must commute (parallel ingestion safety).
+#[test]
+fn shard_merge_commutes() {
+    let (train, test) = corpus(120, 21);
+    let mk = || OnlineValuator::new(&train, 2, StreamBackend::Exact);
+    let mut a = mk();
+    let mut b = mk();
+    for j in 0..test.len() {
+        if j % 2 == 0 {
+            a.observe(test.x.row(j), test.y[j]);
+        } else {
+            b.observe(test.x.row(j), test.y[j]);
+        }
+    }
+    let mut ab = mk();
+    ab.merge(&a);
+    ab.merge(&b);
+    let mut ba = mk();
+    ba.merge(&b);
+    ba.merge(&a);
+    assert!(ab.values().max_abs_diff(&ba.values()) < 1e-15);
+    assert_eq!(ab.queries_seen(), test.len());
+}
