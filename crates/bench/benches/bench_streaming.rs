@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
             let mut v = OnlineValuator::new(&train, k, StreamBackend::Exact);
             let mut j = 0usize;
             b.iter(|| {
-                v.observe(queries.x.row(j % queries.len()), queries.y[j % queries.len()]);
+                v.observe(
+                    queries.x.row(j % queries.len()),
+                    queries.y[j % queries.len()],
+                );
                 j += 1;
             })
         });
@@ -34,7 +37,10 @@ fn bench(c: &mut Criterion) {
             let mut v = OnlineValuator::new(&train, k, StreamBackend::Truncated { eps });
             let mut j = 0usize;
             b.iter(|| {
-                v.observe(queries.x.row(j % queries.len()), queries.y[j % queries.len()]);
+                v.observe(
+                    queries.x.row(j % queries.len()),
+                    queries.y[j % queries.len()],
+                );
                 j += 1;
             })
         });
@@ -46,7 +52,10 @@ fn bench(c: &mut Criterion) {
         let mut j = 0usize;
         group.bench_with_input(BenchmarkId::new("lsh", n), &n, |b, _| {
             b.iter(|| {
-                v.observe(queries.x.row(j % queries.len()), queries.y[j % queries.len()]);
+                v.observe(
+                    queries.x.row(j % queries.len()),
+                    queries.y[j % queries.len()],
+                );
                 j += 1;
             })
         });

@@ -10,8 +10,8 @@
 
 use knnshap_bench::util::Table;
 use knnshap_bench::Scale;
-use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
 use knnshap_datasets::normalize;
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
 use knnshap_knn::distance::Metric;
 use knnshap_knn::neighbors::partial_k_nearest;
 use knnshap_lsh::index::{LshIndex, LshParams};
@@ -40,7 +40,11 @@ fn main() {
         .collect();
 
     let mut t = Table::new(&[
-        "tables", "probes/table", "recall@10", "mean candidates", "query latency",
+        "tables",
+        "probes/table",
+        "recall@10",
+        "mean candidates",
+        "query latency",
     ]);
     for &(tables, probes) in &[
         (16usize, 1usize), // the Theorem 3 recipe: memory buys recall

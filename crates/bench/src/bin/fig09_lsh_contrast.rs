@@ -4,5 +4,8 @@
 
 fn main() {
     let scale = knnshap_bench::Scale::from_env_or_args();
-    println!("{}", knnshap_bench::experiments::fig09_lsh_contrast::run(scale));
+    println!(
+        "{}",
+        knnshap_bench::experiments::fig09_lsh_contrast::run(scale)
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     let scale = knnshap_bench::Scale::from_env_or_args();
-    println!("{}", knnshap_bench::experiments::fig15_composite::run(scale));
+    println!(
+        "{}",
+        knnshap_bench::experiments::fig15_composite::run(scale)
+    );
 }

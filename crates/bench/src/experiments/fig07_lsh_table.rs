@@ -55,8 +55,7 @@ pub fn run(scale: Scale) -> String {
         for &k in ks_list {
             let (_, exact_t) = time_it(|| knn_class_shapley(&train, &test, k));
             let max_tables = scale.pick(8, 24, 48);
-            let params =
-                plan_index_params(train.len(), &est, k, eps, delta, 1.0, max_tables, 17);
+            let params = plan_index_params(train.len(), &est, k, eps, delta, 1.0, max_tables, 17);
             // Index build amortizes over all queries (the paper reports
             // steady-state per-query cost, the index being reusable).
             let index = LshIndex::build(&train.x, params);

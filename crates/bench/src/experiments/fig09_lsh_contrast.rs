@@ -93,7 +93,11 @@ pub fn run(scale: Scale) -> String {
         // A generic moderate index; the sweep over table prefixes plays the
         // role of the paper's table-count axis.
         let width = theory::optimal_width(1.3, 0.5, 16.0, 16).0 as f32;
-        let m = theory::projections_for(d.train.len(), theory::collision_prob(1.0, width as f64), 1.0);
+        let m = theory::projections_for(
+            d.train.len(),
+            theory::collision_prob(1.0, width as f64),
+            1.0,
+        );
         let index = LshIndex::build(&d.train.x, LshParams::new(m, max_tables, width, 9));
         let mut needed = (max_tables, f64::INFINITY);
         for tables in [1usize, 2, 4, 8, 16, 32] {
@@ -128,7 +132,11 @@ pub fn run(scale: Scale) -> String {
                 format!("{:.0}", returned as f64 / d.test.len() as f64),
                 format!("{rec:.3}"),
                 format!("{err:.4}"),
-                if err <= eps { "yes".into() } else { "no".into() },
+                if err <= eps {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]);
         }
         per_dataset_needed.push(needed);

@@ -5,11 +5,12 @@
 use crate::util::Table;
 use crate::Scale;
 use knnshap_core::bounds::{
-    bennett_permutations, bennett_permutations_approx, hoeffding_permutations,
-    knn_class_phi_bound,
+    bennett_permutations, bennett_permutations_approx, hoeffding_permutations, knn_class_phi_bound,
 };
 use knnshap_core::exact_unweighted::knn_class_shapley;
-use knnshap_core::mc::{mc_shapley_improved, permutations_until_error, IncKnnUtility, StoppingRule};
+use knnshap_core::mc::{
+    mc_shapley_improved, permutations_until_error, IncKnnUtility, StoppingRule,
+};
 use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
 use knnshap_knn::weights::WeightFn;
 

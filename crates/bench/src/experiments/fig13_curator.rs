@@ -40,8 +40,7 @@ pub fn run(scale: Scale) -> String {
             )
         });
         let (res, t_mc) = time_it(|| {
-            let mut inc =
-                IncKnnUtility::classification(&train, &test, k_a, WeightFn::Uniform);
+            let mut inc = IncKnnUtility::classification(&train, &test, k_a, WeightFn::Uniform);
             curator_mc_shapley(
                 &mut inc,
                 &own,

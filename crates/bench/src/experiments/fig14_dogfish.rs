@@ -34,8 +34,7 @@ pub fn run(scale: Scale) -> String {
 
     // (a) top-valued points for one dog query.
     let dog_query_idx = (0..test.len()).find(|&j| test.y[j] == DOG).expect("a dog");
-    let sv_single =
-        knn_class_shapley_single(&train, test.x.row(dog_query_idx), DOG, k);
+    let sv_single = knn_class_shapley_single(&train, test.x.row(dog_query_idx), DOG, k);
     let top = sv_single.top_k(5);
     let top_labels: Vec<u32> = top.iter().map(|&i| train.y[i]).collect();
 
@@ -91,7 +90,10 @@ pub fn run(scale: Scale) -> String {
     t.row(&["‖unweighted − weighted‖_∞".into(), format!("{linf:.5}")]);
     t.row(&["mean SV, dog class".into(), format!("{dog_mean:.6}")]);
     t.row(&["mean SV, fish class".into(), format!("{fish_mean:.6}")]);
-    t.row(&["misclassified test points".into(), misclassified.to_string()]);
+    t.row(&[
+        "misclassified test points".into(),
+        misclassified.to_string(),
+    ]);
     t.row(&[
         "inconsistent neighbors that are dogs".into(),
         inconsistent[DOG as usize].to_string(),

@@ -43,8 +43,7 @@ pub fn run(scale: Scale) -> String {
     // Score the retrained model by correct-label likelihood — the smooth
     // analogue of the KNN utility (eq. 5), see `Scoring` docs.
     let u = LogRegUtility::with_scoring(&train, &test, lr_cfg, Scoring::CorrectLabelLikelihood);
-    let (lr_a, lr_time) =
-        time_it(|| mc_shapley_baseline(&u, StoppingRule::Fixed(perms), 11, None));
+    let (lr_a, lr_time) = time_it(|| mc_shapley_baseline(&u, StoppingRule::Fixed(perms), 11, None));
     let lr_b = mc_shapley_baseline(&u, StoppingRule::Fixed(perms), 13, None);
     let noise_ceiling = pearson(lr_a.values.as_slice(), lr_b.values.as_slice());
     // Average the two streams for the headline comparison.

@@ -23,7 +23,13 @@ pub fn run(scale: Scale) -> String {
     };
     let k = 5usize;
 
-    let mut t = Table::new(&["algorithm", "paper bound", "sizes", "times", "log-log slope"]);
+    let mut t = Table::new(&[
+        "algorithm",
+        "paper bound",
+        "sizes",
+        "times",
+        "log-log slope",
+    ]);
 
     // Unweighted classification (Theorem 1).
     {
@@ -41,7 +47,11 @@ pub fn run(scale: Scale) -> String {
             "exact unweighted class (Thm 1)".into(),
             "O(N log N)".into(),
             format!("{sizes:?}"),
-            times.iter().map(|d| fmt_secs(*d)).collect::<Vec<_>>().join(", "),
+            times
+                .iter()
+                .map(|d| fmt_secs(*d))
+                .collect::<Vec<_>>()
+                .join(", "),
             format!("{:.2}", loglog_slope(&xs, &ys)),
         ]);
     }
@@ -66,7 +76,11 @@ pub fn run(scale: Scale) -> String {
             "exact unweighted reg (Thm 6)".into(),
             "O(N log N)".into(),
             format!("{sizes:?}"),
-            times.iter().map(|d| fmt_secs(*d)).collect::<Vec<_>>().join(", "),
+            times
+                .iter()
+                .map(|d| fmt_secs(*d))
+                .collect::<Vec<_>>()
+                .join(", "),
             format!("{:.2}", loglog_slope(&xs, &ys)),
         ]);
     }
@@ -89,7 +103,11 @@ pub fn run(scale: Scale) -> String {
             "truncated (Thm 2, ε = 0.1)".into(),
             "O(N + K* log K*)".into(),
             format!("{sizes:?}"),
-            times.iter().map(|d| fmt_secs(*d)).collect::<Vec<_>>().join(", "),
+            times
+                .iter()
+                .map(|d| fmt_secs(*d))
+                .collect::<Vec<_>>()
+                .join(", "),
             format!("{:.2}", loglog_slope(&xs, &ys)),
         ]);
     }
@@ -124,7 +142,11 @@ pub fn run(scale: Scale) -> String {
             format!("exact weighted class (Thm 7, K = {wk})"),
             "O(N^K)".into(),
             format!("{wsizes:?}"),
-            times.iter().map(|d| fmt_secs(*d)).collect::<Vec<_>>().join(", "),
+            times
+                .iter()
+                .map(|d| fmt_secs(*d))
+                .collect::<Vec<_>>()
+                .join(", "),
             format!("{:.2}", loglog_slope(&xs, &ys)),
         ]);
     }

@@ -30,7 +30,9 @@ impl Scale {
     /// Parse from the first CLI argument or the `KNNSHAP_SCALE` env var;
     /// defaults to `Small`.
     pub fn from_env_or_args() -> Self {
-        let arg = std::env::args().nth(1).or_else(|| std::env::var("KNNSHAP_SCALE").ok());
+        let arg = std::env::args()
+            .nth(1)
+            .or_else(|| std::env::var("KNNSHAP_SCALE").ok());
         match arg.as_deref() {
             Some("smoke") => Scale::Smoke,
             Some("paper") => Scale::Paper,

@@ -26,7 +26,11 @@ pub enum ArgError {
     /// Required option absent.
     Missing(String),
     /// Option value failed to parse as the requested type.
-    BadValue { key: String, value: String, expected: &'static str },
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
     /// Option name not in the command's allowlist.
     Unknown(String),
 }
@@ -37,7 +41,11 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingSubcommand => write!(f, "missing subcommand"),
             ArgError::UnexpectedToken(t) => write!(f, "unexpected token '{t}' (expected --key)"),
             ArgError::Missing(k) => write!(f, "missing required option --{k}"),
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value}: expected {expected}")
             }
             ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
@@ -109,12 +117,16 @@ impl Args {
 
     /// `usize` option with a default.
     pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ArgError> {
-        Ok(self.typed::<usize>(key, "an unsigned integer")?.unwrap_or(default))
+        Ok(self
+            .typed::<usize>(key, "an unsigned integer")?
+            .unwrap_or(default))
     }
 
     /// `u64` option with a default.
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
-        Ok(self.typed::<u64>(key, "an unsigned integer")?.unwrap_or(default))
+        Ok(self
+            .typed::<u64>(key, "an unsigned integer")?
+            .unwrap_or(default))
     }
 
     /// `f64` option with a default.
@@ -187,7 +199,10 @@ mod tests {
     #[test]
     fn required_and_badly_typed_options() {
         let a = Args::parse(["value", "--k", "three"]).unwrap();
-        assert_eq!(a.require("train").unwrap_err(), ArgError::Missing("train".into()));
+        assert_eq!(
+            a.require("train").unwrap_err(),
+            ArgError::Missing("train".into())
+        );
         assert!(matches!(a.usize_or("k", 1), Err(ArgError::BadValue { .. })));
     }
 

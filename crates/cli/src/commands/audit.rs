@@ -14,8 +14,19 @@ use knnshap_core::pipeline::KnnShapley;
 use std::path::Path;
 
 const ALLOWED: &[&str] = &[
-    "train", "test", "k", "method", "eps", "delta", "max-tables", "weight", "weight-param",
-    "threads", "inspect", "flagged", "seed",
+    "train",
+    "test",
+    "k",
+    "method",
+    "eps",
+    "delta",
+    "max-tables",
+    "weight",
+    "weight-param",
+    "threads",
+    "inspect",
+    "flagged",
+    "seed",
 ];
 
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -53,7 +64,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             fmt_f64(sv.get(i)),
         ]);
     }
-    out.push_str(&format!("{inspect} most suspicious (lowest-value) points:\n"));
+    out.push_str(&format!(
+        "{inspect} most suspicious (lowest-value) points:\n"
+    ));
     out.push_str(&table.render());
 
     // Per-class aggregation (the Fig 14(b) analysis).
@@ -151,10 +164,8 @@ mod tests {
     #[test]
     fn flagged_file_produces_detection_metrics() {
         let (t, q) = csv_pair("audit-flag", 40, 5);
-        let flagged = std::env::temp_dir().join(format!(
-            "knnshap-cli-{}-flagged.txt",
-            std::process::id()
-        ));
+        let flagged =
+            std::env::temp_dir().join(format!("knnshap-cli-{}-flagged.txt", std::process::id()));
         std::fs::write(&flagged, "# known-bad\n3\n17\n\n25\n").unwrap();
         let out = crate::run(argv(
             &t,
@@ -175,8 +186,7 @@ mod tests {
             std::process::id()
         ));
         std::fs::write(&flagged, "99\n").unwrap();
-        let err = crate::run(argv(&t, &q, &["--flagged", flagged.to_str().unwrap()]))
-            .unwrap_err();
+        let err = crate::run(argv(&t, &q, &["--flagged", flagged.to_str().unwrap()])).unwrap_err();
         assert!(err.to_string().contains("out of range"));
         std::fs::remove_file(&flagged).ok();
     }
@@ -189,8 +199,7 @@ mod tests {
             std::process::id()
         ));
         std::fs::write(&flagged, "# nothing here\n").unwrap();
-        let err = crate::run(argv(&t, &q, &["--flagged", flagged.to_str().unwrap()]))
-            .unwrap_err();
+        let err = crate::run(argv(&t, &q, &["--flagged", flagged.to_str().unwrap()])).unwrap_err();
         assert!(err.to_string().contains("no indices"));
         std::fs::remove_file(&flagged).ok();
     }

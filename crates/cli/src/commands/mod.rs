@@ -7,8 +7,8 @@ pub mod value;
 
 use crate::args::Args;
 use crate::CliError;
-use knnshap_core::pipeline::Method;
 use knnshap_core::mc::StoppingRule;
+use knnshap_core::pipeline::Method;
 use knnshap_datasets::ClassDataset;
 use knnshap_knn::weights::WeightFn;
 use std::path::Path;
@@ -35,13 +35,23 @@ pub(crate) fn parse_method(args: &Args) -> Result<Method, CliError> {
     match args.str("method").unwrap_or("exact") {
         "exact" => Ok(Method::Exact),
         "truncated" => Ok(Method::Truncated { eps }),
-        "lsh" => Ok(Method::Lsh { eps, delta, max_tables: args.usize_or("max-tables", 64)? }),
+        "lsh" => Ok(Method::Lsh {
+            eps,
+            delta,
+            max_tables: args.usize_or("max-tables", 64)?,
+        }),
         "mc-baseline" => Ok(Method::McBaseline {
-            rule: StoppingRule::Heuristic { threshold: eps / 50.0, max: 50_000 },
+            rule: StoppingRule::Heuristic {
+                threshold: eps / 50.0,
+                max: 50_000,
+            },
             seed,
         }),
         "mc-improved" => Ok(Method::McImproved {
-            rule: StoppingRule::Heuristic { threshold: eps / 50.0, max: 200_000 },
+            rule: StoppingRule::Heuristic {
+                threshold: eps / 50.0,
+                max: 200_000,
+            },
             seed,
         }),
         other => Err(CliError::Invalid(format!(
@@ -84,7 +94,10 @@ pub(crate) mod testutil {
         let train = blobs::generate(&cfg);
         let test = blobs::queries(&cfg, n_test, 23);
         let dir = std::env::temp_dir();
-        let tpath = dir.join(format!("knnshap-cli-{}-{tag}-train.csv", std::process::id()));
+        let tpath = dir.join(format!(
+            "knnshap-cli-{}-{tag}-train.csv",
+            std::process::id()
+        ));
         let qpath = dir.join(format!("knnshap-cli-{}-{tag}-test.csv", std::process::id()));
         knnshap_datasets::io::save_class_csv(&tpath, &train).unwrap();
         knnshap_datasets::io::save_class_csv(&qpath, &test).unwrap();

@@ -10,7 +10,15 @@ use knnshap_datasets::ClassDataset;
 use std::path::Path;
 
 const ALLOWED: &[&str] = &[
-    "kind", "out", "n", "dim", "classes", "std", "seed", "queries", "queries-out",
+    "kind",
+    "out",
+    "n",
+    "dim",
+    "classes",
+    "std",
+    "seed",
+    "queries",
+    "queries-out",
 ];
 
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -74,9 +82,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         train.n_classes
     );
     if let Some(q) = queries {
-        let qpath = Path::new(args.require("queries-out").map_err(|_| {
-            CliError::Invalid("--queries given but --queries-out missing".into())
-        })?);
+        let qpath =
+            Path::new(args.require("queries-out").map_err(|_| {
+                CliError::Invalid("--queries given but --queries-out missing".into())
+            })?);
         save_queries(qpath, &q)?;
         report.push_str(&format!(
             "wrote {} ({} query points)\n",
@@ -103,7 +112,16 @@ mod tests {
     fn blobs_roundtrip_through_csv() {
         let out = tmp("synth-blobs.csv");
         let report = crate::run([
-            "synth", "--kind", "blobs", "--n", "60", "--dim", "5", "--classes", "2", "--out",
+            "synth",
+            "--kind",
+            "blobs",
+            "--n",
+            "60",
+            "--dim",
+            "5",
+            "--classes",
+            "2",
+            "--out",
             out.to_str().unwrap(),
         ])
         .unwrap();
@@ -118,7 +136,14 @@ mod tests {
     fn queries_require_queries_out() {
         let out = tmp("synth-noq.csv");
         let err = crate::run([
-            "synth", "--kind", "blobs", "--n", "20", "--queries", "5", "--out",
+            "synth",
+            "--kind",
+            "blobs",
+            "--n",
+            "20",
+            "--queries",
+            "5",
+            "--out",
             out.to_str().unwrap(),
         ])
         .unwrap_err();
@@ -131,8 +156,17 @@ mod tests {
         let out = tmp("synth-df-train.csv");
         let qout = tmp("synth-df-test.csv");
         let report = crate::run([
-            "synth", "--kind", "dogfish", "--n", "40", "--queries", "10", "--out",
-            out.to_str().unwrap(), "--queries-out", qout.to_str().unwrap(),
+            "synth",
+            "--kind",
+            "dogfish",
+            "--n",
+            "40",
+            "--queries",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+            "--queries-out",
+            qout.to_str().unwrap(),
         ])
         .unwrap();
         assert!(report.contains("query points"));
@@ -146,7 +180,13 @@ mod tests {
         for kind in ["iris", "deep", "gist", "mnist"] {
             let out = tmp(&format!("synth-{kind}.csv"));
             let report = crate::run([
-                "synth", "--kind", kind, "--n", "90", "--out", out.to_str().unwrap(),
+                "synth",
+                "--kind",
+                kind,
+                "--n",
+                "90",
+                "--out",
+                out.to_str().unwrap(),
             ])
             .unwrap();
             assert!(report.contains("points ×"), "{kind}: {report}");

@@ -13,8 +13,21 @@ use std::io::Write;
 use std::path::Path;
 
 const ALLOWED: &[&str] = &[
-    "train", "test", "k", "method", "eps", "delta", "max-tables", "weight", "weight-param",
-    "threads", "top", "out", "revenue", "base-fee", "seed",
+    "train",
+    "test",
+    "k",
+    "method",
+    "eps",
+    "delta",
+    "max-tables",
+    "weight",
+    "weight-param",
+    "threads",
+    "top",
+    "out",
+    "revenue",
+    "base-fee",
+    "seed",
 ];
 
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -168,10 +181,8 @@ mod tests {
     #[test]
     fn out_writes_csv_with_header() {
         let (t, q) = csv_pair("value-out", 30, 4);
-        let out_path = std::env::temp_dir().join(format!(
-            "knnshap-cli-{}-values.csv",
-            std::process::id()
-        ));
+        let out_path =
+            std::env::temp_dir().join(format!("knnshap-cli-{}-values.csv", std::process::id()));
         crate::run(argv(&t, &q, &["--out", out_path.to_str().unwrap()])).unwrap();
         let contents = std::fs::read_to_string(&out_path).unwrap();
         let mut lines = contents.lines();

@@ -42,7 +42,10 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::UnknownCommand(c) => {
-                write!(f, "unknown command '{c}' (try: value, audit, contrast, synth)")
+                write!(
+                    f,
+                    "unknown command '{c}' (try: value, audit, contrast, synth)"
+                )
             }
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),

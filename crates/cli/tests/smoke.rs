@@ -1,0 +1,148 @@
+//! End-to-end smoke tests for the `knnshap` CLI: `synth` a tiny dataset to
+//! CSV, `value` it back through the exact pipeline, and check that the
+//! emitted Shapley values are non-empty and finite. Everything runs through
+//! `knnshap_cli::run` (the same code path as `main`), no subprocess needed.
+
+use std::path::PathBuf;
+
+/// Unique-ish temp paths per test so parallel test threads don't collide.
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("knnshap_smoke_{}_{}", std::process::id(), name));
+    p
+}
+
+struct TempFiles(Vec<PathBuf>);
+
+impl Drop for TempFiles {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[test]
+fn synth_then_value_produces_finite_shapley_values() {
+    let train = temp_path("train.csv");
+    let test = temp_path("test.csv");
+    let values = temp_path("values.csv");
+    let _cleanup = TempFiles(vec![train.clone(), test.clone(), values.clone()]);
+
+    let synth_report = knnshap_cli::run([
+        "synth",
+        "--kind",
+        "blobs",
+        "--n",
+        "60",
+        "--dim",
+        "4",
+        "--classes",
+        "2",
+        "--seed",
+        "5",
+        "--out",
+        train.to_str().unwrap(),
+        "--queries",
+        "8",
+        "--queries-out",
+        test.to_str().unwrap(),
+    ])
+    .expect("synth should succeed");
+    assert!(!synth_report.trim().is_empty());
+    assert!(train.exists(), "train CSV written");
+    assert!(test.exists(), "test CSV written");
+
+    let value_report = knnshap_cli::run([
+        "value",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--method",
+        "exact",
+        "--out",
+        values.to_str().unwrap(),
+    ])
+    .expect("value should succeed");
+    assert!(!value_report.trim().is_empty());
+
+    // The CSV side effect holds one finite value per training point, and the
+    // efficiency axiom keeps them inside [-1, 1] for a 0/1-utility game.
+    let csv = std::fs::read_to_string(&values).expect("values CSV written");
+    let mut n_rows = 0usize;
+    let mut sum = 0.0f64;
+    for line in csv.lines().skip(1) {
+        let value: f64 = line
+            .rsplit(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("non-numeric value in '{line}': {e}"));
+        assert!(value.is_finite(), "non-finite Shapley value: {value}");
+        assert!(value.abs() <= 1.0 + 1e-9, "implausible magnitude: {value}");
+        sum += value;
+        n_rows += 1;
+    }
+    assert_eq!(n_rows, 60, "one Shapley value per training point");
+    // Efficiency: values sum to v(N) − v(∅) ∈ [−1, 1], and for a dataset
+    // where KNN beats the empty predictor the sum is strictly positive.
+    assert!(
+        sum.is_finite() && sum.abs() <= 1.0 + 1e-9,
+        "efficiency violated: {sum}"
+    );
+}
+
+#[test]
+fn value_reports_summary_on_stdout_path() {
+    let train = temp_path("t2_train.csv");
+    let test = temp_path("t2_test.csv");
+    let _cleanup = TempFiles(vec![train.clone(), test.clone()]);
+
+    knnshap_cli::run([
+        "synth",
+        "--kind",
+        "blobs",
+        "--n",
+        "30",
+        "--dim",
+        "3",
+        "--classes",
+        "3",
+        "--seed",
+        "11",
+        "--out",
+        train.to_str().unwrap(),
+        "--queries",
+        "5",
+        "--queries-out",
+        test.to_str().unwrap(),
+    ])
+    .expect("synth should succeed");
+
+    let report = knnshap_cli::run([
+        "value",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "1",
+        "--method",
+        "truncated",
+        "--eps",
+        "0.1",
+    ])
+    .expect("value (truncated) should succeed");
+    assert!(!report.trim().is_empty(), "empty report");
+}
+
+#[test]
+fn bad_flags_are_rejected_not_ignored() {
+    let err = knnshap_cli::run(["synth", "--frobnicate", "yes", "--out", "/dev/null"])
+        .expect_err("unknown flag must error");
+    assert!(err.to_string().contains("frobnicate"), "got: {err}");
+}

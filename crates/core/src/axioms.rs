@@ -34,11 +34,7 @@ impl AxiomCheck {
 }
 
 /// Group rationality / efficiency: `Σ_i s_i = ν(I) − ν(∅)`.
-pub fn check_efficiency<U: Utility + ?Sized>(
-    sv: &ShapleyValues,
-    u: &U,
-    tol: f64,
-) -> AxiomCheck {
+pub fn check_efficiency<U: Utility + ?Sized>(sv: &ShapleyValues, u: &U, tol: f64) -> AxiomCheck {
     let want = u.grand() - u.eval(&[]);
     let got = sv.total();
     if (got - want).abs() <= tol {
@@ -168,9 +164,7 @@ mod tests {
 
     #[test]
     fn efficiency_detects_violation() {
-        let g = Additive {
-            w: vec![1.0, 2.0],
-        };
+        let g = Additive { w: vec![1.0, 2.0] };
         let good = ShapleyValues::new(vec![1.0, 2.0]);
         assert!(check_efficiency(&good, &g, 1e-12).holds);
         let bad = ShapleyValues::new(vec![1.0, 1.0]);
@@ -195,9 +189,7 @@ mod tests {
 
     #[test]
     fn null_player_detection() {
-        let g = Additive {
-            w: vec![0.0, 1.0],
-        };
+        let g = Additive { w: vec![0.0, 1.0] };
         let sv = shapley_enumeration(&g);
         assert!(check_null_player(&sv, &g, 0, 1e-12).holds);
         let bad = ShapleyValues::new(vec![0.3, 0.7]);

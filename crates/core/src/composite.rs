@@ -89,9 +89,8 @@ pub fn composite_knn_class_shapley_single(
     let n = train.len();
     assert!(n >= 1 && k >= 1);
     let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
-    let correct = |rank: usize| -> f64 {
-        f64::from(train.y[ranked[rank].index as usize] == test_label)
-    };
+    let correct =
+        |rank: usize| -> f64 { f64::from(train.y[ranked[rank].index as usize] == test_label) };
     let mut values = vec![0.0f64; n];
     // Base (eq. 85, stated for K < N; the min() form below also covers K ≥ N,
     // mirroring the data-only generalization — validated by enumeration):
@@ -201,8 +200,7 @@ pub fn composite_knn_reg_shapley_single(
         // paper rank i; code index ip = i−1
         let ip = i - 1;
         pref -= z[ip]; // Σ_{l ≤ i−1} z_l
-        let head = (z[ip] / kf + z[ip + 1] / kf - 2.0 * t)
-            * ((k + 1).min(i + 1) * k.min(i)) as f64
+        let head = (z[ip] / kf + z[ip + 1] / kf - 2.0 * t) * ((k + 1).min(i + 1) * k.min(i)) as f64
             / (2.0 * (i * (i + 1)) as f64);
         let pref_term = if i >= 2 {
             pref / kf * 2.0 * ((k + 1).min(i + 1) * k.min(i) * (k - 1).min(i - 1)) as f64
@@ -334,8 +332,7 @@ mod tests {
                 let base = KnnClassUtility::unweighted(&train, &test, k);
                 let comp = CompositeUtility::new(&base);
                 let truth = shapley_enumeration(&comp);
-                let fast =
-                    composite_knn_class_shapley_single(&train, test.x.row(0), test.y[0], k);
+                let fast = composite_knn_class_shapley_single(&train, test.x.row(0), test.y[0], k);
                 for i in 0..train.len() {
                     assert!(
                         (fast.sellers[i] - truth[i]).abs() < 1e-10,
@@ -444,7 +441,13 @@ mod tests {
         // Two separated clusters with clean labels (high utility) vs. the
         // same geometry with every label flipped (utility ≈ 0).
         let feats: Vec<f32> = (0..16)
-            .map(|i| if i % 2 == 0 { i as f32 * 0.01 } else { 10.0 + i as f32 * 0.01 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    i as f32 * 0.01
+                } else {
+                    10.0 + i as f32 * 0.01
+                }
+            })
             .collect();
         let labels: Vec<u32> = (0..16).map(|i| (i % 2) as u32).collect();
         let train = ClassDataset::new(Features::new(feats, 1), labels.clone(), 2);

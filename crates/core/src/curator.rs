@@ -98,7 +98,11 @@ pub fn curator_class_shapley_single(
     weight: WeightFn,
     form: GameForm,
 ) -> ShapleyValues {
-    assert_eq!(train.len(), ownership.owners.len(), "ownership size mismatch");
+    assert_eq!(
+        train.len(),
+        ownership.owners.len(),
+        "ownership size mismatch"
+    );
     assert!(k >= 1, "K must be at least 1");
     let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
     // Work in rank space: rank r (0-based) has a distance, label, owner.
@@ -179,9 +183,8 @@ fn curator_shapley_ranked(
     sellers_by_first.sort_by_key(|&j| first_rank[j]);
     let firsts_sorted: Vec<usize> = sellers_by_first.iter().map(|&j| first_rank[j]).collect();
     // count of sellers whose first rank is strictly greater than `rank`
-    let count_first_gt = |rank: usize| -> usize {
-        m - firsts_sorted.partition_point(|&fr| fr <= rank)
-    };
+    let count_first_gt =
+        |rank: usize| -> usize { m - firsts_sorted.partition_point(|&fr| fr <= rank) };
 
     let lf = LogFactorialTable::new(m + 1);
     // Memoized padding-weight sums, keyed by (|G|, |h(S)|).
@@ -377,11 +380,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_owned(
-        seed: u64,
-        n: usize,
-        m: usize,
-    ) -> (ClassDataset, ClassDataset, Ownership) {
+    fn random_owned(seed: u64, n: usize, m: usize) -> (ClassDataset, ClassDataset, Ownership) {
         let mut rng = StdRng::seed_from_u64(seed);
         let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
@@ -550,14 +549,8 @@ mod tests {
             WeightFn::Uniform,
             GameForm::DataOnly,
         );
-        let mut inc =
-            crate::mc::IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
-        let mc = curator_mc_shapley(
-            &mut inc,
-            &own,
-            crate::mc::StoppingRule::Fixed(4000),
-            11,
-        );
+        let mut inc = crate::mc::IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        let mc = curator_mc_shapley(&mut inc, &own, crate::mc::StoppingRule::Fixed(4000), 11);
         assert!(
             exact.max_abs_diff(&mc.values) < 0.05,
             "err={}",

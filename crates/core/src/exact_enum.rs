@@ -57,7 +57,10 @@ pub fn shapley_enumeration<U: Utility + ?Sized>(u: &U) -> ShapleyValues {
 /// Exact Shapley values by full permutation enumeration (eq. 3); `N ≤ 9`.
 pub fn shapley_permutation_enumeration<U: Utility + ?Sized>(u: &U) -> ShapleyValues {
     let n = u.n();
-    assert!((1..=9).contains(&n), "permutation enumeration is O(N!·N); N ≤ 9");
+    assert!(
+        (1..=9).contains(&n),
+        "permutation enumeration is O(N!·N); N ≤ 9"
+    );
     let mut perm: Vec<usize> = (0..n).collect();
     let mut sv = vec![0.0f64; n];
     let mut count = 0u64;
@@ -200,9 +203,7 @@ mod tests {
             Additive {
                 w: vec![2.0, -1.0, 0.5, 0.25],
             },
-            Additive {
-                w: vec![1.0],
-            },
+            Additive { w: vec![1.0] },
         ] {
             let a = shapley_enumeration(&game);
             let b = shapley_permutation_enumeration(&game);

@@ -140,12 +140,12 @@ pub fn knn_reg_shapley_with_threads(
         acc
     } else {
         let chunk = n_test.div_ceil(threads);
-        let partials: Vec<Vec<f64>> = crossbeam::scope(|scope| {
+        let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for tid in 0..threads {
                 let lo = tid * chunk;
                 let hi = ((tid + 1) * chunk).min(n_test);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut acc = vec![0.0f64; n];
                     for j in lo..hi {
                         accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
@@ -153,9 +153,11 @@ pub fn knn_reg_shapley_with_threads(
                     acc
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("valuation scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
         let mut acc = vec![0.0f64; n];
         for p in partials {
             for (a, v) in acc.iter_mut().zip(p) {
@@ -201,10 +203,8 @@ mod tests {
         for seed in 0..6u64 {
             for k in [1usize, 2, 3, 5, 8, 9, 15] {
                 let (train, test) = random_instance(seed, 8);
-                let single = RegDataset::new(
-                    Features::new(test.x.row(0).to_vec(), 2),
-                    vec![test.y[0]],
-                );
+                let single =
+                    RegDataset::new(Features::new(test.x.row(0).to_vec(), 2), vec![test.y[0]]);
                 let fast = knn_reg_shapley_single(&train, test.x.row(0), test.y[0], k);
                 let truth = shapley_enumeration(&KnnRegUtility::unweighted(&train, &single, k));
                 assert!(
@@ -264,10 +264,7 @@ mod tests {
     fn perfect_nearest_neighbor_gets_positive_value() {
         // A training point that exactly predicts the test target and sits
         // nearest should carry positive value under K=1.
-        let train = RegDataset::new(
-            Features::new(vec![0.1, 2.0, 3.0], 1),
-            vec![1.0, 5.0, -4.0],
-        );
+        let train = RegDataset::new(Features::new(vec![0.1, 2.0, 3.0], 1), vec![1.0, 5.0, -4.0]);
         let sv = knn_reg_shapley_single(&train, &[0.0], 1.0, 1);
         assert!(sv[0] > 0.0, "{:?}", sv.as_slice());
         assert!(sv[0] >= sv[1] && sv[0] >= sv[2]);

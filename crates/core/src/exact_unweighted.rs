@@ -87,12 +87,12 @@ pub fn knn_class_shapley_with_threads(
         acc
     } else {
         let chunk = n_test.div_ceil(threads);
-        let partials: Vec<Vec<f64>> = crossbeam::scope(|scope| {
+        let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n_test);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut acc = vec![0.0f64; n];
                     for j in lo..hi {
                         accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
@@ -100,9 +100,11 @@ pub fn knn_class_shapley_with_threads(
                     acc
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("valuation scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
         let mut acc = vec![0.0f64; n];
         for p in partials {
             for (a, v) in acc.iter_mut().zip(p) {
@@ -163,11 +165,8 @@ mod tests {
         for seed in 0..8u64 {
             for k in [1usize, 2, 3, 7, 12] {
                 let (train, test) = random_instance(seed, 9, 3);
-                let single = ClassDataset::new(
-                    Features::new(test.x.row(0).to_vec(), 2),
-                    vec![test.y[0]],
-                    3,
-                );
+                let single =
+                    ClassDataset::new(Features::new(test.x.row(0).to_vec(), 2), vec![test.y[0]], 3);
                 let fast = knn_class_shapley_single(&train, test.x.row(0), test.y[0], k);
                 let truth = shapley_enumeration(&KnnClassUtility::unweighted(&train, &single, k));
                 assert!(
@@ -231,11 +230,7 @@ mod tests {
     #[test]
     fn farthest_point_value_formula() {
         // s_{α_N} = 1[y_{α_N} = y_test] / N exactly.
-        let train = ClassDataset::new(
-            Features::new(vec![0.0, 1.0, 10.0], 1),
-            vec![0, 0, 0],
-            1,
-        );
+        let train = ClassDataset::new(Features::new(vec![0.0, 1.0, 10.0], 1), vec![0, 0, 0], 1);
         let sv = knn_class_shapley_single(&train, &[0.0], 0, 2);
         assert!((sv[2] - 1.0 / 3.0).abs() < 1e-12);
     }
@@ -254,11 +249,7 @@ mod tests {
     fn wrong_label_points_never_exceed_correct_at_same_rank() {
         // All-same-distance degenerate case: ties broken by index; just check
         // the recursion runs and values are finite and bounded by 1/K.
-        let train = ClassDataset::new(
-            Features::new(vec![1.0; 6], 1),
-            vec![0, 1, 0, 1, 0, 1],
-            2,
-        );
+        let train = ClassDataset::new(Features::new(vec![1.0; 6], 1), vec![0, 1, 0, 1, 0, 1], 2);
         let sv = knn_class_shapley_single(&train, &[1.0], 0, 2);
         for i in 0..6 {
             assert!(sv[i].abs() <= 0.5 + 1e-12);

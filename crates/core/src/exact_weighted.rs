@@ -42,7 +42,10 @@ enum Task<'a> {
     /// 1[label == test label] votes (eq. 26).
     Class { labels: &'a [u32], test_label: u32 },
     /// −(prediction − target)² (eq. 27), ν(∅) = 0 convention.
-    Reg { targets: &'a [f64], test_target: f64 },
+    Reg {
+        targets: &'a [f64],
+        test_target: f64,
+    },
 }
 
 impl Task<'_> {
@@ -155,8 +158,7 @@ fn weighted_shapley_ranked(
                 let mut acc = 0.0f64;
                 let mut combos = Combinations::new(others.len(), sz);
                 while let Some(c) = combos.next_combination() {
-                    let diff =
-                        pair_diff(task, dists_l2, k, weight, &others, c, i, &mut coalition);
+                    let diff = pair_diff(task, dists_l2, k, weight, &others, c, i, &mut coalition);
                     acc += diff;
                 }
                 total += acc / small_divisor(sz);
@@ -340,12 +342,12 @@ pub fn weighted_knn_class_shapley(
     let n_test = test.len();
     let threads = threads.max(1).min(n_test);
     let chunk = n_test.div_ceil(threads);
-    let partials: Vec<ShapleyValues> = crossbeam::scope(|scope| {
+    let partials: Vec<ShapleyValues> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n_test);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut acc = ShapleyValues::zeros(train.len());
                 for j in lo..hi {
                     acc.add_assign(&weighted_knn_class_shapley_single(
@@ -359,9 +361,11 @@ pub fn weighted_knn_class_shapley(
                 acc
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
     let mut acc = ShapleyValues::zeros(train.len());
     for p in &partials {
         acc.add_assign(p);
@@ -382,12 +386,12 @@ pub fn weighted_knn_reg_shapley(
     let n_test = test.len();
     let threads = threads.max(1).min(n_test);
     let chunk = n_test.div_ceil(threads);
-    let partials: Vec<ShapleyValues> = crossbeam::scope(|scope| {
+    let partials: Vec<ShapleyValues> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n_test);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut acc = ShapleyValues::zeros(train.len());
                 for j in lo..hi {
                     acc.add_assign(&weighted_knn_reg_shapley_single(
@@ -401,9 +405,11 @@ pub fn weighted_knn_reg_shapley(
                 acc
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
     let mut acc = ShapleyValues::zeros(train.len());
     for p in &partials {
         acc.add_assign(p);
@@ -455,15 +461,9 @@ mod tests {
         for seed in 0..5u64 {
             for k in [1usize, 2, 3, 4] {
                 let (train, test) = random_class(seed, 8);
-                let fast = weighted_knn_class_shapley_single(
-                    &train,
-                    test.x.row(0),
-                    test.y[0],
-                    k,
-                    INV,
-                );
-                let truth =
-                    shapley_enumeration(&KnnClassUtility::new(&train, &test, k, INV));
+                let fast =
+                    weighted_knn_class_shapley_single(&train, test.x.row(0), test.y[0], k, INV);
+                let truth = shapley_enumeration(&KnnClassUtility::new(&train, &test, k, INV));
                 assert!(
                     fast.max_abs_diff(&truth) < 1e-9,
                     "seed={seed} k={k}: err={}",
@@ -478,13 +478,8 @@ mod tests {
         for seed in 0..5u64 {
             for k in [1usize, 2, 3] {
                 let (train, test) = random_reg(seed, 7);
-                let fast = weighted_knn_reg_shapley_single(
-                    &train,
-                    test.x.row(0),
-                    test.y[0],
-                    k,
-                    INV,
-                );
+                let fast =
+                    weighted_knn_reg_shapley_single(&train, test.x.row(0), test.y[0], k, INV);
                 let truth = shapley_enumeration(&KnnRegUtility::new(&train, &test, k, INV));
                 assert!(
                     fast.max_abs_diff(&truth) < 1e-9,
@@ -539,8 +534,7 @@ mod tests {
     fn k_exceeding_n_matches_enumeration() {
         let (train, test) = random_class(3, 6);
         for k in [6usize, 7, 10] {
-            let fast =
-                weighted_knn_class_shapley_single(&train, test.x.row(0), test.y[0], k, INV);
+            let fast = weighted_knn_class_shapley_single(&train, test.x.row(0), test.y[0], k, INV);
             let truth = shapley_enumeration(&KnnClassUtility::new(&train, &test, k, INV));
             assert!(fast.max_abs_diff(&truth) < 1e-9, "k={k}");
         }

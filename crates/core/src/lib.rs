@@ -32,9 +32,9 @@ pub mod composite;
 pub mod curator;
 pub mod exact_enum;
 pub mod exact_regression;
-pub mod group_testing;
-pub mod exact_weighted;
 pub mod exact_unweighted;
+pub mod exact_weighted;
+pub mod group_testing;
 pub mod lsh_approx;
 pub mod mc;
 pub mod piecewise;

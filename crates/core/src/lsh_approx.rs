@@ -166,7 +166,14 @@ mod tests {
         let (train, test) = instance(600);
         let eps = 0.1;
         let k = 2;
-        let est = contrast::estimate(&train.x, &test.x, crate::truncated::k_star(k, eps), 8, 50, 3);
+        let est = contrast::estimate(
+            &train.x,
+            &test.x,
+            crate::truncated::k_star(k, eps),
+            8,
+            50,
+            3,
+        );
         let params = plan_index_params(train.len(), &est, k, eps, 0.1, 1.0, 64, 7);
         let index = LshIndex::build(&train.x, params);
         let exact = knn_class_shapley_with_threads(&train, &test, k, 1);
@@ -210,7 +217,14 @@ mod tests {
         let (train, test) = instance(400);
         let eps = 0.1;
         let k = 2;
-        let est = contrast::estimate(&train.x, &test.x, crate::truncated::k_star(k, eps), 8, 50, 3);
+        let est = contrast::estimate(
+            &train.x,
+            &test.x,
+            crate::truncated::k_star(k, eps),
+            8,
+            50,
+            3,
+        );
         let params = plan_index_params(train.len(), &est, k, eps, 0.1, 1.0, 32, 7);
         let index = LshIndex::build(&train.x, params);
         let plain = lsh_class_shapley(&index, &train, &test, k, eps);
@@ -227,7 +241,14 @@ mod tests {
         let (train, test) = instance(600);
         let eps = 0.1;
         let k = 2;
-        let est = contrast::estimate(&train.x, &test.x, crate::truncated::k_star(k, eps), 8, 50, 3);
+        let est = contrast::estimate(
+            &train.x,
+            &test.x,
+            crate::truncated::k_star(k, eps),
+            8,
+            50,
+            3,
+        );
         let mut params = plan_index_params(train.len(), &est, k, eps, 0.1, 1.0, 64, 7);
         params.tables = 2;
         let index = LshIndex::build(&train.x, params);

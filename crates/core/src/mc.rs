@@ -155,8 +155,14 @@ pub struct IncKnnUtility {
 }
 
 enum IncTask {
-    Class { labels: Vec<u32>, test_labels: Vec<u32> },
-    Reg { targets: Vec<f64>, test_targets: Vec<f64> },
+    Class {
+        labels: Vec<u32>,
+        test_labels: Vec<u32>,
+    },
+    Reg {
+        targets: Vec<f64>,
+        test_targets: Vec<f64>,
+    },
 }
 
 impl IncKnnUtility {
@@ -406,11 +412,7 @@ mod tests {
         let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
         let train = ClassDataset::new(Features::new(feats, 2), labels, 2);
-        let test = ClassDataset::new(
-            Features::new(vec![0.1, -0.2, 0.4, 0.3], 2),
-            vec![0, 1],
-            2,
-        );
+        let test = ClassDataset::new(Features::new(vec![0.1, -0.2, 0.4, 0.3], 2), vec![0, 1], 2);
         (train, test)
     }
 
@@ -534,7 +536,10 @@ mod tests {
             delta: 0.1,
             range: 1.0,
         };
-        assert_eq!(r.budget(100), crate::bounds::hoeffding_permutations(100, 0.1, 0.1, 1.0));
+        assert_eq!(
+            r.budget(100),
+            crate::bounds::hoeffding_permutations(100, 0.1, 0.1, 1.0)
+        );
         assert_eq!(StoppingRule::Fixed(7).budget(10), 7);
         assert_eq!(
             StoppingRule::Heuristic {

@@ -133,8 +133,8 @@ impl PiecewiseDifference for KnnClassPiecewise {
 
     fn adjacent_terms(&self, rank: usize) -> Vec<PiecewiseTerm> {
         let n = self.n();
-        let coefficient = (f64::from(self.correct[rank]) - f64::from(self.correct[rank + 1]))
-            / self.k as f64;
+        let coefficient =
+            (f64::from(self.correct[rank]) - f64::from(self.correct[rank + 1])) / self.k as f64;
         if coefficient == 0.0 {
             return Vec::new();
         }
@@ -150,8 +150,8 @@ impl PiecewiseDifference for KnnClassPiecewise {
                 if m > closer || kk - m > farther {
                     continue;
                 }
-                acc += (self.lf.ln_binomial(closer, m) + self.lf.ln_binomial(farther, kk - m))
-                    .exp();
+                acc +=
+                    (self.lf.ln_binomial(closer, m) + self.lf.ln_binomial(farther, kk - m)).exp();
             }
             *slot = acc;
         }

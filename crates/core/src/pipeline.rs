@@ -48,7 +48,11 @@ pub enum Method {
     /// Theorem 4: (ε, δ)-approximation with LSH retrieval; index parameters
     /// planned from measured dataset statistics. Unweighted classification
     /// only (the paper's LSH analysis is confined to this case).
-    Lsh { eps: f64, delta: f64, max_tables: usize },
+    Lsh {
+        eps: f64,
+        delta: f64,
+        max_tables: usize,
+    },
     /// Baseline permutation sampling (§2.2) over the configured utility.
     McBaseline { rule: StoppingRule, seed: u64 },
     /// Algorithm 2: heap-incremental permutation sampling.
@@ -69,10 +73,7 @@ pub enum PipelineError {
     /// A feature value is NaN or infinite; distance comparisons would panic
     /// deep inside the valuation sorts. `(which, row)` identifies the first
     /// offending row in `"train"` or `"test"`.
-    NonFiniteFeature {
-        which: &'static str,
-        row: usize,
-    },
+    NonFiniteFeature { which: &'static str, row: usize },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -244,12 +245,8 @@ impl<'a> KnnShapley<'a> {
                 Ok(crate::mc::mc_shapley_baseline(&u, rule, seed, None).values)
             }
             Method::McImproved { rule, seed } => {
-                let mut inc = IncKnnUtility::classification(
-                    self.train,
-                    self.test,
-                    self.k,
-                    self.weight,
-                );
+                let mut inc =
+                    IncKnnUtility::classification(self.train, self.test, self.k, self.weight);
                 Ok(crate::mc::mc_shapley_improved(&mut inc, rule, seed, None).values)
             }
         }
@@ -267,7 +264,12 @@ impl<'a> KnnShapley<'a> {
             return Err(PipelineError::DimensionMismatch);
         }
         Ok(curator_class_shapley(
-            self.train, ownership, self.test, self.k, self.weight, form,
+            self.train,
+            ownership,
+            self.test,
+            self.k,
+            self.weight,
+            form,
         ))
     }
 }
@@ -401,17 +403,12 @@ impl<'a> RegShapley<'a> {
                 }
             }
             RegMethod::McBaseline { rule, seed } => {
-                let u = crate::utility::KnnRegUtility::new(
-                    self.train,
-                    self.test,
-                    self.k,
-                    self.weight,
-                );
+                let u =
+                    crate::utility::KnnRegUtility::new(self.train, self.test, self.k, self.weight);
                 Ok(crate::mc::mc_shapley_baseline(&u, rule, seed, None).values)
             }
             RegMethod::McImproved { rule, seed } => {
-                let mut inc =
-                    IncKnnUtility::regression(self.train, self.test, self.k, self.weight);
+                let mut inc = IncKnnUtility::regression(self.train, self.test, self.k, self.weight);
                 Ok(crate::mc::mc_shapley_improved(&mut inc, rule, seed, None).values)
             }
         }

@@ -41,11 +41,9 @@ impl std::fmt::Debug for StreamBackend<'_> {
         match self {
             StreamBackend::Exact => write!(f, "Exact"),
             StreamBackend::Truncated { eps } => write!(f, "Truncated {{ eps: {eps} }}"),
-            StreamBackend::Lsh { index, eps } => write!(
-                f,
-                "Lsh {{ tables: {}, eps: {eps} }}",
-                index.num_tables()
-            ),
+            StreamBackend::Lsh { index, eps } => {
+                write!(f, "Lsh {{ tables: {}, eps: {eps} }}", index.num_tables())
+            }
         }
     }
 }
@@ -103,9 +101,7 @@ impl<'a> OnlineValuator<'a> {
     pub fn observe(&mut self, query: &[f32], label: u32) -> ShapleyValues {
         assert_eq!(query.len(), self.train.dim(), "query dimension mismatch");
         let per_query = match &self.backend {
-            StreamBackend::Exact => {
-                knn_class_shapley_single(self.train, query, label, self.k)
-            }
+            StreamBackend::Exact => knn_class_shapley_single(self.train, query, label, self.k),
             StreamBackend::Truncated { eps } => {
                 truncated_class_shapley_single(self.train, query, label, self.k, *eps)
             }

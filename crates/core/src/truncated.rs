@@ -58,9 +58,8 @@ pub fn truncated_recursion(
     if neighbors.is_empty() {
         return out;
     }
-    let correct = |rank: usize| -> f64 {
-        f64::from(labels[neighbors[rank].index as usize] == test_label)
-    };
+    let correct =
+        |rank: usize| -> f64 { f64::from(labels[neighbors[rank].index as usize] == test_label) };
     let len = neighbors.len().min(k_star);
     let mut s = if len == n {
         // Every point retrieved: fall back to the exact base (Theorem 1) so
@@ -183,7 +182,7 @@ mod tests {
     }
 
     #[test]
-    fn rank_preserved_for_top_k_star(){
+    fn rank_preserved_for_top_k_star() {
         // Theorem 2: ŝ_i − ŝ_{i+1} = s_i − s_{i+1} for i ≤ K*−1, so the value
         // order of the retrieved prefix matches the exact order exactly.
         let (train, test) = instance(80);
@@ -224,8 +223,7 @@ mod tests {
         let tree = knnshap_knn::kdtree::KdTree::build(&train.x);
         for eps in [0.3, 0.1] {
             for k in [1usize, 3] {
-                let scan =
-                    truncated_class_shapley_single(&train, test.x.row(2), test.y[2], k, eps);
+                let scan = truncated_class_shapley_single(&train, test.x.row(2), test.y[2], k, eps);
                 let via_tree = truncated_class_shapley_with_kdtree(
                     &tree,
                     &train,
@@ -234,10 +232,7 @@ mod tests {
                     k,
                     eps,
                 );
-                assert!(
-                    scan.max_abs_diff(&via_tree) < 1e-12,
-                    "eps={eps} k={k}"
-                );
+                assert!(scan.max_abs_diff(&via_tree) < 1e-12, "eps={eps} k={k}");
             }
         }
     }

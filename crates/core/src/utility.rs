@@ -127,7 +127,12 @@ impl KnnClassUtility {
     }
 
     /// Per-test-point utility (the summand of eq. 8).
-    pub fn eval_for_test(&self, test_idx: usize, subset: &[usize], buf: &mut Vec<(f32, usize)>) -> f64 {
+    pub fn eval_for_test(
+        &self,
+        test_idx: usize,
+        subset: &[usize],
+        buf: &mut Vec<(f32, usize)>,
+    ) -> f64 {
         let dist = self.dist.row(test_idx);
         nearest_in_subset(dist, subset, self.k, buf);
         if buf.is_empty() {
@@ -188,7 +193,12 @@ impl KnnRegUtility {
     }
 
     /// Per-test-point utility (`0` for the empty coalition, see module docs).
-    pub fn eval_for_test(&self, test_idx: usize, subset: &[usize], buf: &mut Vec<(f32, usize)>) -> f64 {
+    pub fn eval_for_test(
+        &self,
+        test_idx: usize,
+        subset: &[usize],
+        buf: &mut Vec<(f32, usize)>,
+    ) -> f64 {
         if subset.is_empty() {
             return 0.0;
         }
@@ -309,10 +319,7 @@ mod tests {
 
     #[test]
     fn reg_utility_semantics() {
-        let train = RegDataset::new(
-            Features::new(vec![0.0, 1.0, 2.0], 1),
-            vec![0.0, 1.0, 2.0],
-        );
+        let train = RegDataset::new(Features::new(vec![0.0, 1.0, 2.0], 1), vec![0.0, 1.0, 2.0]);
         let test = RegDataset::new(Features::new(vec![0.1], 1), vec![0.5]);
         let u = KnnRegUtility::unweighted(&train, &test, 2);
         // empty coalition: 0 by convention
@@ -327,10 +334,7 @@ mod tests {
 
     #[test]
     fn reg_utility_is_never_positive() {
-        let train = RegDataset::new(
-            Features::new(vec![0.0, 3.0, 5.0], 1),
-            vec![1.0, -2.0, 4.0],
-        );
+        let train = RegDataset::new(Features::new(vec![0.0, 3.0, 5.0], 1), vec![1.0, -2.0, 4.0]);
         let test = RegDataset::new(Features::new(vec![1.0, 4.0], 1), vec![0.3, 0.7]);
         let u = KnnRegUtility::unweighted(&train, &test, 2);
         for subset in [vec![], vec![0], vec![1, 2], vec![0, 1, 2]] {

@@ -3,9 +3,7 @@
 //! mask, or query order — complementing the fixed-instance unit tests inside
 //! the modules.
 
-use knnshap_core::analysis::{
-    monetary_payout, per_class_summary, rank_agreement, DetectionCurve,
-};
+use knnshap_core::analysis::{monetary_payout, per_class_summary, rank_agreement, DetectionCurve};
 use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
 use knnshap_core::streaming::{OnlineValuator, StreamBackend};
 use knnshap_core::types::ShapleyValues;

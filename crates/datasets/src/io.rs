@@ -99,7 +99,11 @@ pub fn load_class_binary(path: &Path) -> Result<ClassDataset, IoError> {
     if labels.iter().any(|&l| l >= n_classes) {
         return Err(IoError::Format("label out of declared class range".into()));
     }
-    Ok(ClassDataset::new(Features::new(feats, dim), labels, n_classes))
+    Ok(ClassDataset::new(
+        Features::new(feats, dim),
+        labels,
+        n_classes,
+    ))
 }
 
 /// Write a classification dataset as CSV (features…, label).
@@ -152,13 +156,19 @@ pub fn load_class_csv(path: &Path) -> Result<ClassDataset, IoError> {
                 IoError::Format(format!("line {}: bad float '{c}': {e}", lineno + 1))
             })?);
         }
-        labels.push(cells[row_dim].parse::<u32>().map_err(|e| {
-            IoError::Format(format!("line {}: bad label: {e}", lineno + 1))
-        })?);
+        labels.push(
+            cells[row_dim]
+                .parse::<u32>()
+                .map_err(|e| IoError::Format(format!("line {}: bad label: {e}", lineno + 1)))?,
+        );
     }
     let dim = dim.ok_or_else(|| IoError::Format("empty file".into()))?;
     let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
-    Ok(ClassDataset::new(Features::new(feats, dim), labels, n_classes))
+    Ok(ClassDataset::new(
+        Features::new(feats, dim),
+        labels,
+        n_classes,
+    ))
 }
 
 #[cfg(test)]
@@ -235,10 +245,7 @@ mod tests {
     fn binary_rejects_bad_magic() {
         let path = tmp("bad.ksd");
         std::fs::write(&path, b"NOPE....").unwrap();
-        assert!(matches!(
-            load_class_binary(&path),
-            Err(IoError::Format(_))
-        ));
+        assert!(matches!(load_class_binary(&path), Err(IoError::Format(_))));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -151,11 +151,7 @@ mod tests {
     }
 
     fn targets() -> ClassDataset {
-        ClassDataset::new(
-            Features::new(vec![10.0, 20.0, 30.0], 1),
-            vec![0, 1, 2],
-            4,
-        )
+        ClassDataset::new(Features::new(vec![10.0, 20.0, 30.0], 1), vec![0, 1, 2], 4)
     }
 
     #[test]

@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn unit_dmean_after_scaling() {
-        let mut x = Features::new(
-            (0..400).map(|i| (i as f32) * 0.37).collect::<Vec<_>>(),
-            4,
-        );
+        let mut x = Features::new((0..400).map(|i| (i as f32) * 0.37).collect::<Vec<_>>(), 4);
         scale_to_unit_dmean(&mut x, 4000, 1);
         let after = mean_pairwise_distance(&x, 4000, 2);
         assert!((after - 1.0).abs() < 0.05, "got {after}");
@@ -132,7 +129,9 @@ mod tests {
     #[test]
     fn standardizer_zero_mean_unit_std() {
         let mut x = Features::new(
-            (0..300).map(|i| ((i * 7919) % 100) as f32 * 0.13 + 5.0).collect::<Vec<_>>(),
+            (0..300)
+                .map(|i| ((i * 7919) % 100) as f32 * 0.13 + 5.0)
+                .collect::<Vec<_>>(),
             3,
         );
         let st = Standardizer::fit(&x);

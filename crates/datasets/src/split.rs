@@ -63,12 +63,7 @@ mod tests {
     fn partition_is_disjoint_and_complete() {
         let d = ds(50);
         let (tr, te) = train_test_split(&d, 0.3, 1);
-        let mut seen: Vec<f32> = tr
-            .x
-            .rows()
-            .chain(te.x.rows())
-            .map(|r| r[0])
-            .collect();
+        let mut seen: Vec<f32> = tr.x.rows().chain(te.x.rows()).map(|r| r[0]).collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let want: Vec<f32> = (0..50).map(|i| i as f32).collect();
         assert_eq!(seen, want);

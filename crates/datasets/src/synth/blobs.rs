@@ -163,13 +163,12 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let dist: f32 = d
-                    .x
-                    .row(i)
-                    .iter()
-                    .zip(d.x.row(j))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 =
+                    d.x.row(i)
+                        .iter()
+                        .zip(d.x.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                 if d.y[i] == d.y[j] {
                     assert!(dist < 1.0, "same-class too far: {dist}");
                 } else {
@@ -195,13 +194,12 @@ mod tests {
         for qi in 0..q.len() {
             let mut best = (f32::INFINITY, 0usize);
             for ti in 0..train.len() {
-                let dist: f32 = q
-                    .x
-                    .row(qi)
-                    .iter()
-                    .zip(train.x.row(ti))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 =
+                    q.x.row(qi)
+                        .iter()
+                        .zip(train.x.row(ti))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                 if dist < best.0 {
                     best = (dist, ti);
                 }

@@ -87,10 +87,10 @@ pub fn generate(cfg: &DogFishConfig) -> (ClassDataset, ClassDataset) {
     // (axis-0 std, other-axes std) per class; the training fish cloud is the
     // only anisotropic one — it leaks toward the dog side.
     let emit = |n_per_class: usize,
-                    dog_spread: (f64, f64),
-                    fish_spread: (f64, f64),
-                    gauss: &mut GaussianSampler,
-                    rng: &mut StdRng| {
+                dog_spread: (f64, f64),
+                fish_spread: (f64, f64),
+                gauss: &mut GaussianSampler,
+                rng: &mut StdRng| {
         let n = n_per_class * 2;
         let mut x = Features::with_capacity(n, cfg.dim);
         let mut y = Vec::with_capacity(n);

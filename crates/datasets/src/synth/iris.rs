@@ -89,13 +89,12 @@ mod tests {
                 if d.y[j] == 0 || d.y[j] == d.y[i] {
                     continue;
                 }
-                let dist: f32 = d
-                    .x
-                    .row(i)
-                    .iter()
-                    .zip(d.x.row(j))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 =
+                    d.x.row(i)
+                        .iter()
+                        .zip(d.x.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                 if dist < 0.25 {
                     cross_pairs += 1;
                 }

@@ -74,8 +74,7 @@ pub fn generate(cfg: &RegressionConfig) -> RegDataset {
         for r in row.iter_mut() {
             *r = gauss.sample(&mut rng) as f32 * 0.5;
         }
-        let target =
-            response(cfg.surface, &row, &weights) + gauss.sample(&mut rng) * cfg.noise_std;
+        let target = response(cfg.surface, &row, &weights) + gauss.sample(&mut rng) * cfg.noise_std;
         x.push_row(&row);
         y.push(target);
     }
@@ -112,15 +111,16 @@ mod tests {
             ..Default::default()
         };
         let d = generate(&cfg);
-        let weights: Vec<f64> = (0..cfg.dim).map(|i| ((i as f64) * 0.7 + 0.3).sin()).collect();
+        let weights: Vec<f64> = (0..cfg.dim)
+            .map(|i| ((i as f64) * 0.7 + 0.3).sin())
+            .collect();
         for i in 0..d.len() {
-            let want: f64 = d
-                .x
-                .row(i)
-                .iter()
-                .zip(&weights)
-                .map(|(&xi, &w)| xi as f64 * w)
-                .sum();
+            let want: f64 =
+                d.x.row(i)
+                    .iter()
+                    .zip(&weights)
+                    .map(|(&xi, &w)| xi as f64 * w)
+                    .sum();
             assert!((d.y[i] - want).abs() < 1e-9);
         }
     }
@@ -138,13 +138,12 @@ mod tests {
         let d = generate(&cfg);
         for i in 0..d.len() {
             for j in (i + 1)..d.len() {
-                let dist: f32 = d
-                    .x
-                    .row(i)
-                    .iter()
-                    .zip(d.x.row(j))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 =
+                    d.x.row(i)
+                        .iter()
+                        .zip(d.x.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                 if dist < 1e-4 {
                     assert!((d.y[i] - d.y[j]).abs() < 0.2);
                 }

@@ -17,6 +17,8 @@ fn dataset(vals: &[f32], labels: &[u32]) -> ClassDataset {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn split_is_a_partition(
         vals in prop::collection::vec(-5.0f32..5.0, 40),

@@ -143,8 +143,7 @@ mod tests {
         // query between clusters but nearer class 0: inverse-distance weighting
         // should boost class 0 relative to unweighted voting.
         let t = train();
-        let wclf =
-            KnnClassifier::weighted(&t, 4, WeightFn::InverseDistance { eps: 1e-6 });
+        let wclf = KnnClassifier::weighted(&t, 4, WeightFn::InverseDistance { eps: 1e-6 });
         let scores = wclf.scores(&[2.0]);
         assert!(scores[0] > scores[1]);
         assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);

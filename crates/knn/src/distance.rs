@@ -153,7 +153,9 @@ mod tests {
         let mut by_sq: Vec<usize> = (0..pts.len()).collect();
         let mut by_l2 = by_sq.clone();
         by_sq.sort_by(|&i, &j| {
-            squared_l2(&q, &pts[i]).partial_cmp(&squared_l2(&q, &pts[j])).unwrap()
+            squared_l2(&q, &pts[i])
+                .partial_cmp(&squared_l2(&q, &pts[j]))
+                .unwrap()
         });
         by_l2.sort_by(|&i, &j| l2(&q, &pts[i]).partial_cmp(&l2(&q, &pts[j])).unwrap());
         assert_eq!(by_sq, by_l2);

@@ -15,7 +15,10 @@ pub enum Insertion {
     Added,
     /// The element displaced the previous worst; `evicted` carries the old
     /// `(dist, payload)` pair.
-    Replaced { evicted_dist: f32, evicted_payload: u32 },
+    Replaced {
+        evicted_dist: f32,
+        evicted_payload: u32,
+    },
     /// The element was farther than the current worst and was discarded; the
     /// K-nearest set did not change.
     Rejected,

@@ -78,8 +78,8 @@ impl<'a> KdTree<'a> {
                 for &p in &self.points[*start..*end] {
                     let d = squared_l2(query, self.data.row(p as usize));
                     let cand = Neighbor { index: p, dist: d };
-                    let worse_than_all = best.len() == k
-                        && (d, p) >= (best[k - 1].dist, best[k - 1].index);
+                    let worse_than_all =
+                        best.len() == k && (d, p) >= (best[k - 1].dist, best[k - 1].index);
                     if worse_than_all {
                         continue;
                     }
@@ -204,7 +204,10 @@ mod tests {
 
     fn random_features(n: usize, dim: usize, seed: u64) -> Features {
         let mut rng = StdRng::seed_from_u64(seed);
-        Features::new((0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect(), dim)
+        Features::new(
+            (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            dim,
+        )
     }
 
     #[test]
@@ -270,8 +273,8 @@ mod tests {
         let mut v = Vec::new();
         for c in 0..5 {
             for _ in 0..200 {
-                v.push(c as f32 * 10.0 + rng.gen_range(-0.1..0.1));
-                v.push(c as f32 * -7.0 + rng.gen_range(-0.1..0.1));
+                v.push(c as f32 * 10.0 + rng.gen_range(-0.1f32..0.1));
+                v.push(c as f32 * -7.0 + rng.gen_range(-0.1f32..0.1));
             }
         }
         let data = Features::new(v, 2);

@@ -11,7 +11,7 @@
 //! * [`top_k`] — heap-based top-K used for plain prediction and candidate
 //!   re-ranking inside the LSH index.
 //!
-//! Batched variants shard queries across threads with `crossbeam::scope`;
+//! Batched variants shard queries across threads with `std::thread::scope`;
 //! per-test-point valuation is embarrassingly parallel.
 
 use crate::distance::Metric;
@@ -83,7 +83,13 @@ pub fn partial_k_nearest(
 /// Preferable to [`partial_k_nearest`] when the candidate set is much smaller
 /// than the full training set (LSH re-ranking).
 pub fn top_k(train: &Features, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
-    top_k_of_candidates(train, (0..train.len() as u32).collect::<Vec<_>>().as_slice(), query, k, metric)
+    top_k_of_candidates(
+        train,
+        (0..train.len() as u32).collect::<Vec<_>>().as_slice(),
+        query,
+        k,
+        metric,
+    )
 }
 
 /// Top-`k` restricted to the given candidate indices.
@@ -163,10 +169,10 @@ where
     }
     let mut results: Vec<Option<T>> = (0..nq).map(|_| None).collect();
     let chunk = nq.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = t * chunk;
                 for (off, slot) in slot_chunk.iter_mut().enumerate() {
                     let qi = base + off;
@@ -174,9 +180,11 @@ where
                 }
             });
         }
-    })
-    .expect("query worker panicked");
-    results.into_iter().map(|r| r.expect("slot filled")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
 }
 
 /// Default worker count: one per available core.

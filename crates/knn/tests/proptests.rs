@@ -12,6 +12,8 @@ fn features(n: usize, dim: usize, vals: &[f32]) -> Features {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn retrieval_backends_agree(
         vals in prop::collection::vec(-10.0f32..10.0, 60),

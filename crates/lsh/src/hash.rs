@@ -29,7 +29,9 @@ impl PStableHash {
         assert!(r > 0.0, "projection width must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut gauss = GaussianSampler::new();
-        let w: Vec<f32> = (0..m * dim).map(|_| gauss.sample(&mut rng) as f32).collect();
+        let w: Vec<f32> = (0..m * dim)
+            .map(|_| gauss.sample(&mut rng) as f32)
+            .collect();
         let b: Vec<f32> = (0..m).map(|_| rng.gen::<f32>() * r).collect();
         Self { w, b, r, dim }
     }

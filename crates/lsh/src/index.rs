@@ -69,22 +69,22 @@ impl<'a> LshIndex<'a> {
             .collect();
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let tables: Vec<HashTable> = if params.tables == 1 || threads == 1 {
-            hashes.into_iter().map(|h| HashTable::build(h, data)).collect()
+            hashes
+                .into_iter()
+                .map(|h| HashTable::build(h, data))
+                .collect()
         } else {
             let mut slots: Vec<Option<HashTable>> = (0..params.tables).map(|_| None).collect();
             let chunk = params.tables.div_ceil(threads);
-            crossbeam::scope(|scope| {
-                for (slot_chunk, hash_chunk) in
-                    slots.chunks_mut(chunk).zip(hashes.chunks(chunk))
-                {
-                    scope.spawn(move |_| {
+            std::thread::scope(|scope| {
+                for (slot_chunk, hash_chunk) in slots.chunks_mut(chunk).zip(hashes.chunks(chunk)) {
+                    scope.spawn(move || {
                         for (slot, h) in slot_chunk.iter_mut().zip(hash_chunk.iter()) {
                             *slot = Some(HashTable::build(h.clone(), data));
                         }
                     });
                 }
-            })
-            .expect("table build worker panicked");
+            });
             slots.into_iter().map(|s| s.expect("table built")).collect()
         };
         Self {
@@ -301,10 +301,22 @@ mod tests {
         let mut probed_hits = 0usize;
         for q in queries.rows() {
             let truth = argsort_by_distance(&train, q, Metric::SquaredL2)[0].index;
-            if idx.query_multiprobe(q, 1, 1).neighbors.first().map(|n| n.index) == Some(truth) {
+            if idx
+                .query_multiprobe(q, 1, 1)
+                .neighbors
+                .first()
+                .map(|n| n.index)
+                == Some(truth)
+            {
                 plain_hits += 1;
             }
-            if idx.query_multiprobe(q, 1, 16).neighbors.first().map(|n| n.index) == Some(truth) {
+            if idx
+                .query_multiprobe(q, 1, 16)
+                .neighbors
+                .first()
+                .map(|n| n.index)
+                == Some(truth)
+            {
                 probed_hits += 1;
             }
         }
@@ -317,7 +329,10 @@ mod tests {
             "16 probes bought nothing: {probed_hits} vs {plain_hits} of {}",
             queries.len()
         );
-        assert!(probed_hits >= 8, "multiprobe recall@1 too low: {probed_hits}/12");
+        assert!(
+            probed_hits >= 8,
+            "multiprobe recall@1 too low: {probed_hits}/12"
+        );
     }
 
     #[test]

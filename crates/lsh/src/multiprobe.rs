@@ -131,8 +131,7 @@ impl ProbeSequence {
                 // shift: replace the last member with the next perturbation
                 let mut shifted = set.members.clone();
                 *shifted.last_mut().expect("non-empty") = last + 1;
-                let cost =
-                    set.cost - self.perturbations[last].0 + self.perturbations[last + 1].0;
+                let cost = set.cost - self.perturbations[last].0 + self.perturbations[last + 1].0;
                 self.heap.push(ProbeSet {
                     cost,
                     members: shifted,

@@ -74,6 +74,9 @@ mod tests {
         let r1 = mean_recall(&idx, &train, &queries, 5, 1);
         let r10 = mean_recall(&idx, &train, &queries, 5, 10);
         assert!(r10 >= r1, "recall dropped with more tables: {r1} -> {r10}");
-        assert!(r10 > 0.6, "ten tables should retrieve most neighbors: {r10}");
+        assert!(
+            r10 > 0.6,
+            "ten tables should retrieve most neighbors: {r10}"
+        );
     }
 }

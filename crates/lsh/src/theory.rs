@@ -65,7 +65,10 @@ pub fn projections_for(n: usize, p_rand: f64, alpha: f64) -> usize {
 /// `l ≥ p_nn^{−m} ln(K/δ)` (eq. 57 in the proof of Theorem 3).
 pub fn tables_for(p_nn: f64, m: usize, k: usize, delta: f64) -> usize {
     assert!((0.0..=1.0).contains(&p_nn) && p_nn > 0.0, "p_nn in (0, 1]");
-    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&delta) && delta > 0.0,
+        "delta in (0, 1)"
+    );
     assert!(k >= 1);
     let l = p_nn.powi(-(m as i32)) * (k as f64 / delta).ln();
     (l.ceil() as usize).max(1)
@@ -131,8 +134,7 @@ mod tests {
         let closed = |c: f64, r: f64| {
             let t = r / c;
             1.0 - 2.0 * knnshap_numerics::special::normal_cdf(-t)
-                - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t)
-                    * (1.0 - (-t * t / 2.0).exp())
+                - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t) * (1.0 - (-t * t / 2.0).exp())
         };
         for (c, r) in [(0.5, 1.0), (1.0, 1.0), (1.0, 4.0), (3.0, 2.0)] {
             let got = collision_prob(c, r);
@@ -168,7 +170,10 @@ mod tests {
         let m = projections_for(10_000, p_rand, 1.0);
         let want = ((10_000f64).ln() / (1.0 / 0.3f64).ln()).round() as usize;
         assert_eq!(m, want);
-        assert_eq!(projections_for(2, 0.999, 1.0).max(1), projections_for(2, 0.999, 1.0));
+        assert_eq!(
+            projections_for(2, 0.999, 1.0).max(1),
+            projections_for(2, 0.999, 1.0)
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@ use knnshap_lsh::theory::{collision_prob, g_exponent, projections_for, tables_fo
 use proptest::prelude::*;
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     #[test]
     fn signatures_are_deterministic_and_shift_sensitive(
         x in prop::collection::vec(-5.0f32..5.0, 8),

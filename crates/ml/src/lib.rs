@@ -13,6 +13,6 @@ pub mod logreg;
 pub mod logreg_utility;
 pub mod surrogate;
 
-pub use logreg::{LogisticRegression, LogRegConfig};
+pub use logreg::{LogRegConfig, LogisticRegression};
 pub use logreg_utility::LogRegUtility;
 pub use surrogate::calibrate_k;

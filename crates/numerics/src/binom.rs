@@ -229,10 +229,16 @@ mod tests {
 
     #[test]
     fn combinations_edge_cases() {
-        assert_eq!(Combinations::new(4, 0).collect_all(), vec![Vec::<usize>::new()]);
+        assert_eq!(
+            Combinations::new(4, 0).collect_all(),
+            vec![Vec::<usize>::new()]
+        );
         assert_eq!(Combinations::new(0, 0).collect_all().len(), 1);
         assert!(Combinations::new(3, 4).collect_all().is_empty());
-        assert_eq!(Combinations::new(4, 4).collect_all(), vec![vec![0, 1, 2, 3]]);
+        assert_eq!(
+            Combinations::new(4, 4).collect_all(),
+            vec![vec![0, 1, 2, 3]]
+        );
     }
 
     #[test]

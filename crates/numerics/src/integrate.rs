@@ -98,7 +98,12 @@ mod tests {
         let cases: [Case; 3] = [
             (|x| x.exp(), 0.0, 1.0, std::f64::consts::E - 1.0),
             (|x| x.sin(), 0.0, std::f64::consts::PI, 2.0),
-            (|x| 1.0 / (1.0 + x * x), 0.0, 1.0, std::f64::consts::FRAC_PI_4),
+            (
+                |x| 1.0 / (1.0 + x * x),
+                0.0,
+                1.0,
+                std::f64::consts::FRAC_PI_4,
+            ),
         ];
         for (f, a, b, want) in cases {
             let got = adaptive_simpson(f, a, b, 1e-12);

@@ -47,12 +47,7 @@ pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_ite
 ///
 /// Convenience for monotonically decreasing objectives like eq. (32) where no
 /// a-priori upper bound on `T*` is known.
-pub fn bisect_with_growing_bracket<F: Fn(f64) -> f64>(
-    f: F,
-    a: f64,
-    mut b: f64,
-    tol: f64,
-) -> f64 {
+pub fn bisect_with_growing_bracket<F: Fn(f64) -> f64>(f: F, a: f64, mut b: f64, tol: f64) -> f64 {
     let fa = f(a);
     if fa == 0.0 {
         return a;
@@ -63,7 +58,10 @@ pub fn bisect_with_growing_bracket<F: Fn(f64) -> f64>(
         b *= 2.0;
         fb = f(b);
         guard += 1;
-        assert!(guard < 200, "failed to bracket a root (f may not change sign)");
+        assert!(
+            guard < 200,
+            "failed to bracket a root (f may not change sign)"
+        );
     }
     bisect(f, a, b, tol, 200)
 }

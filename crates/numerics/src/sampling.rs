@@ -106,7 +106,9 @@ mod tests {
     fn sample_with_scales() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut g = GaussianSampler::new();
-        let xs: Vec<f64> = (0..100_000).map(|_| g.sample_with(&mut rng, 5.0, 0.5)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| g.sample_with(&mut rng, 5.0, 0.5))
+            .collect();
         assert!((crate::stats::mean(&xs) - 5.0).abs() < 0.02);
         assert!((crate::stats::std_dev(&xs) - 0.5).abs() < 0.02);
     }

@@ -1,0 +1,170 @@
+//! Closed-form cross-checks for the numerical machinery underpinning the
+//! paper's sample-complexity results.
+//!
+//! Theorem 2 (truncated approximation) and Theorems 7/8 (weighted/curator
+//! recursions) lean on exact binomial-coefficient ratios; Theorem 5 (improved
+//! MC bound) leans on the Bennett function `h(u) = (1+u)ln(1+u) − u` and on
+//! root finding over strictly monotone exp-sums. Each helper is asserted here
+//! against hand-derivable values, independently of the property suites.
+
+use knnshap_numerics::binom::{binomial_u128, LogFactorialTable};
+use knnshap_numerics::integrate::simpson;
+use knnshap_numerics::roots::{bisect, bisect_with_growing_bracket, brent};
+use knnshap_numerics::sampling::{gaussian_vec, sample_permutation};
+use knnshap_numerics::special::{bennett_h, bennett_h_lower_bound, normal_cdf, normal_pdf};
+use knnshap_numerics::stats::{mean, std_dev, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn binomial_closed_form_values() {
+    // Textbook values, exact in u128.
+    assert_eq!(binomial_u128(10, 5), 252);
+    assert_eq!(binomial_u128(52, 5), 2_598_960);
+    assert_eq!(binomial_u128(0, 0), 1);
+    assert_eq!(binomial_u128(30, 15), 155_117_520);
+    // The log-space table must agree to full f64 relative precision.
+    let t = LogFactorialTable::new(64);
+    for (n, k, want) in [
+        (10u64, 5u64, 252.0),
+        (52, 5, 2_598_960.0),
+        (64, 32, binomial_u128(64, 32) as f64),
+    ] {
+        let got = t.binomial(n as usize, k as usize);
+        assert!(
+            (got - want).abs() / want < 1e-12,
+            "C({n},{k}) = {got}, want {want}"
+        );
+    }
+}
+
+#[test]
+fn binomial_ratio_closed_form() {
+    // C(n,k)/C(n,k−1) = (n−k+1)/k exactly; check deep into the
+    // f64-overflowing regime (C(5000, 2500) ≈ 10^1503).
+    let t = LogFactorialTable::new(5000);
+    for (n, k) in [(100usize, 30usize), (2000, 1000), (5000, 2500)] {
+        let got = t.binomial_ratio(n, k, n, k - 1);
+        let want = (n - k + 1) as f64 / k as f64;
+        assert!(
+            (got - want).abs() < 1e-9,
+            "ratio C({n},{k})/C({n},{}) = {got}, want {want}",
+            k - 1
+        );
+    }
+    // Vandermonde-style telescoping: C(n,k)/C(n+1,k) = (n+1−k)/(n+1).
+    let got = t.binomial_ratio(1000, 400, 1001, 400);
+    assert!((got - 601.0 / 1001.0).abs() < 1e-12);
+}
+
+#[test]
+fn hoeffding_budget_formula_from_primitives() {
+    // §2.2: T ≥ ((b−a)²/(2ε²)) ln(2N/δ) with b−a = 2/K for unweighted KNN.
+    // Recompute from ln and compare against a hand-evaluated instance:
+    // K = 1, ε = δ = 0.1, N = 1000 ⇒ T = (4/0.02)·ln(20000) = 200·ln(20000).
+    let t = 4.0f64 / (2.0 * 0.1 * 0.1) * (2.0f64 * 1000.0 / 0.1).ln();
+    assert!((t - 200.0 * 20_000.0f64.ln()).abs() < 1e-9);
+    assert_eq!(t.ceil() as usize, 1_981);
+}
+
+#[test]
+fn bennett_h_closed_form_values() {
+    // h(0) = 0, h(1) = 2 ln 2 − 1, h(e−1) = 1.
+    assert_eq!(bennett_h(0.0), 0.0);
+    assert!((bennett_h(1.0) - (2.0 * 2.0f64.ln() - 1.0)).abs() < 1e-15);
+    let e = std::f64::consts::E;
+    assert!((bennett_h(e - 1.0) - 1.0).abs() < 1e-12);
+    // Appendix H lower bound u²/(2+u) is tight at 0 and strictly below after.
+    assert_eq!(bennett_h_lower_bound(0.0), 0.0);
+    for u in [0.25, 0.5, 1.0, 3.0, 10.0] {
+        let h = bennett_h(u);
+        let lb = bennett_h_lower_bound(u);
+        assert!(lb < h, "bound not strict at u={u}: {lb} vs {h}");
+    }
+    // ...and within a factor ~1.5 over the moderate range Theorem 5 uses.
+    for u in [0.25, 0.5, 1.0, 3.0] {
+        assert!(
+            bennett_h(u) / bennett_h_lower_bound(u) < 1.6,
+            "bound too loose at u={u}"
+        );
+    }
+}
+
+#[test]
+fn bennett_budget_equation_inverts() {
+    // The eq. (32) shape: N·exp(−T·h(ε/r)) = δ/2 has the closed-form root
+    // T = ln(2N/δ)/h(ε/r). The growing-bracket bisection must recover it.
+    let (n, eps, delta, r) = (500.0f64, 0.1f64, 0.05f64, 1.0f64);
+    let a = bennett_h(eps / r);
+    let f = |t: f64| n * (-t * a).exp() - delta / 2.0;
+    let t_star = bisect_with_growing_bracket(f, 0.0, 16.0, 1e-9);
+    let want = (2.0 * n / delta).ln() / a;
+    assert!((t_star - want).abs() < 1e-6, "T* = {t_star}, want {want}");
+}
+
+#[test]
+fn root_finders_agree_on_monotone_objectives() {
+    let f = |x: f64| x.exp() - 3.0;
+    let root = 3.0f64.ln();
+    assert!((bisect(f, 0.0, 2.0, 1e-12, 200) - root).abs() < 1e-10);
+    assert!((brent(f, 0.0, 2.0, 1e-13, 100) - root).abs() < 1e-10);
+}
+
+#[test]
+fn normal_cdf_central_mass() {
+    // Φ(1) − Φ(−1) = erf(1/√2) ≈ 0.6826894921 (the 68–95–99.7 rule).
+    let one_sigma = normal_cdf(1.0) - normal_cdf(-1.0);
+    assert!(
+        (one_sigma - 0.682_689_492_1).abs() < 1e-6,
+        "got {one_sigma}"
+    );
+    let two_sigma = normal_cdf(2.0) - normal_cdf(-2.0);
+    assert!(
+        (two_sigma - 0.954_499_736_1).abs() < 1e-6,
+        "got {two_sigma}"
+    );
+    // CDF must also match the integral of the density.
+    let int = simpson(normal_pdf, -1.0, 1.0, 4_096);
+    assert!((int - one_sigma).abs() < 1e-7);
+}
+
+#[test]
+fn gaussian_sampler_matches_normal_cdf() {
+    // Empirical quantiles of the Box–Muller stream vs. Φ at ±1, ±2.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let xs = gaussian_vec(&mut rng, 100_000);
+    for z in [-2.0, -1.0, 0.0, 1.0, 2.0] {
+        let emp = xs.iter().filter(|&&x| x <= z).count() as f64 / xs.len() as f64;
+        let want = normal_cdf(z);
+        assert!((emp - want).abs() < 0.01, "CDF at {z}: {emp} vs {want}");
+    }
+    assert!(mean(&xs).abs() < 0.02);
+    assert!((std_dev(&xs) - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn permutation_sampler_mean_position_is_centered() {
+    // E[position of any element] = (n−1)/2 under uniformity; the MC Shapley
+    // estimators (eq. 4) are unbiased only if this holds.
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 11usize;
+    let trials = 20_000;
+    let mut pos_sum = 0usize;
+    for _ in 0..trials {
+        let p = sample_permutation(&mut rng, n);
+        pos_sum += p.iter().position(|&x| x == 0).unwrap();
+    }
+    let avg = pos_sum as f64 / trials as f64;
+    assert!((avg - 5.0).abs() < 0.08, "mean position {avg}, want 5.0");
+}
+
+#[test]
+fn summary_closed_form() {
+    let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+    assert_eq!(s.n, 5);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, 5.0);
+    assert_eq!(s.median, 3.0);
+    assert!((s.mean - 3.0).abs() < 1e-15);
+    assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+}

@@ -8,6 +8,8 @@ use knnshap_numerics::stats::{mean, percentile, ranks, spearman, variance};
 use proptest::prelude::*;
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn log_binomial_symmetry(n in 1usize..300, kfrac in 0.0f64..1.0) {
         let k = ((n as f64) * kfrac) as usize;

@@ -89,9 +89,7 @@ fn main() {
     // Among documents the stream actually retrieved (nonzero running value),
     // value ranks should track the exact ranks; the unretrieved tail is tied
     // at ≈0 by Theorem 2, so a raw top-k set comparison would be tie-noise.
-    let retrieved: Vec<usize> = (0..corpus.len())
-        .filter(|&i| running[i] != 0.0)
-        .collect();
+    let retrieved: Vec<usize> = (0..corpus.len()).filter(|&i| running[i] != 0.0).collect();
     let a: Vec<f64> = retrieved.iter().map(|&i| running[i]).collect();
     let b: Vec<f64> = retrieved.iter().map(|&i| exact[i]).collect();
     println!(

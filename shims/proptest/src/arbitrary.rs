@@ -1,0 +1,59 @@
+//! `any::<T>()`: the type's full-range "natural" strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the entire domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_sample(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    // Finite values only: all-bit-pattern f64s (NaNs, infinities) would fail
+    // numeric code in uninteresting ways, and the workspace's `any::<f64>()`
+    // uses are seeds and magnitudes.
+    fn arbitrary_sample(rng: &mut TestRng) -> f64 {
+        (rng.gen::<f64>() - 0.5) * 2.0e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_sample(rng: &mut TestRng) -> f32 {
+        (rng.gen::<f32>() - 0.5) * 2.0e6
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of proptest its suites actually use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and tuple
+//! strategies, `prop::collection::vec`, `any::<T>()`, `.prop_map`, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate, deliberate for CI determinism:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index; re-run
+//!   with `PROPTEST_RNG_SEED=<seed>` to reproduce the exact failing input.
+//! * **Deterministic seeding.** Each test derives its base seed from the test
+//!   function's name (FNV-1a hash), so runs are reproducible across machines
+//!   and repetitions — no persistence files, no wall-clock entropy.
+//! * **Case count** comes from `ProptestConfig::with_cases`, else the
+//!   `PROPTEST_CASES` env var, else 32.
+//!
+//! Swap this shim for the real `proptest` in `[workspace.dependencies]` when
+//! networked; the test sources compile unchanged against either.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of the real crate's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs one property-based test: `cases` sampled inputs through `body`.
+/// Not public API of the real crate — invoked by the [`proptest!`] expansion.
+pub fn run_property_test<F>(config: &test_runner::ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    use test_runner::TestCaseError;
+
+    let base_seed = test_runner::base_seed(test_name);
+    let cases = config.cases.max(1);
+    let mut executed = 0u32;
+    let mut rejected = 0u32;
+    // Each case gets its own RNG stream so a failure is reproducible from
+    // (base_seed, case index) alone, independent of earlier cases' draws.
+    let mut case_index = 0u64;
+    while executed < cases {
+        if rejected > config.max_global_rejects {
+            panic!(
+                "proptest '{test_name}': too many prop_assume! rejections \
+                 ({rejected} rejects for {executed}/{cases} cases)"
+            );
+        }
+        let seed = base_seed ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = test_runner::new_rng(seed);
+        case_index += 1;
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {} (base seed {base_seed:#x}, \
+                     case seed {seed:#x}): {msg}\n\
+                     (re-run with PROPTEST_RNG_SEED={seed} to replay this input)",
+                    executed + rejected
+                );
+            }
+        }
+    }
+}
+
+/// The `proptest! { ... }` macro: an optional `#![proptest_config(..)]`
+/// header followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_property_test(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// panicking directly) so the runner can report the reproducing seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (runner resamples) when a precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

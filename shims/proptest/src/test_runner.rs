@@ -1,0 +1,75 @@
+//! Configuration, RNG plumbing, and case-level error type.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Mirror of `proptest::test_runner::Config` (the fields this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition not met; the case is resampled.
+    Reject(String),
+    /// `prop_assert!` failed; the test fails with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Base seed for a test: `PROPTEST_RNG_SEED` env override (replay a reported
+/// failing case), else a stable FNV-1a hash of the test name, so every run on
+/// every machine explores the same deterministic sequence of inputs.
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(seed) = v.parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}

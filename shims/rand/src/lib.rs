@@ -1,0 +1,194 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small slice of `rand` it actually uses: the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`]. The generator behind `StdRng` is xoshiro256++ seeded via
+//! SplitMix64 — not the ChaCha12 of the real crate, but a high-quality,
+//! deterministic PRNG, which is all the workspace needs (seeded synthetic data
+//! and Monte Carlo permutations). Swap this shim for the real `rand` in
+//! `[workspace.dependencies]` when networked; no source changes required.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Deterministically expands a `u64` into a full seed via SplitMix64,
+    /// matching the spirit (not the bit stream) of the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 step: the standard seed expander for xoshiro-family generators.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Extension methods on [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution
+    /// (floats uniform in `[0, 1)`, integers over the full range).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                self.start.wrapping_add(v as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                // Widest instantiated type is 64-bit, so in u128 the span
+                // (end − start + 1) is always nonzero, even for 0..=MAX.
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                let v = (rng.next_u64() as u128) % span;
+                start.wrapping_add(v as $t)
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = Standard.sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit: $t = Standard.sample(rng);
+                start + unit * (end - start)
+            }
+        }
+    )+};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i = rng.gen_range(0..=4u32);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

@@ -26,6 +26,21 @@
 //! let sv = knn_class_shapley(&train, &test, 3);
 //! assert_eq!(sv.len(), 200);
 //! ```
+//!
+//! Regression valuation (Theorem 6) goes through the same facade, and the
+//! efficiency axiom pins the sum of values to `v(N) − v(∅)`:
+//!
+//! ```
+//! use knnshap::datasets::synth::regression::{self, RegressionConfig};
+//! use knnshap::valuation::exact_regression::knn_reg_shapley;
+//!
+//! let cfg = RegressionConfig { n: 50, dim: 2, ..Default::default() };
+//! let train = regression::generate(&cfg);
+//! let test = regression::queries(&cfg, 5);
+//! let sv = knn_reg_shapley(&train, &test, 3);
+//! assert_eq!(sv.len(), 50);
+//! assert!(sv.as_slice().iter().all(|v| v.is_finite()));
+//! ```
 
 /// Numerical substrate: special functions, quadrature, roots, statistics.
 pub use knnshap_numerics as numerics;

@@ -6,7 +6,9 @@ use knnshap::datasets::{contrast, normalize, ClassDataset, Features};
 use knnshap::knn::WeightFn;
 use knnshap::lsh::index::LshIndex;
 use knnshap::valuation::axioms::{check_efficiency, check_null_player, check_symmetry};
-use knnshap::valuation::exact_unweighted::{knn_class_shapley_single, knn_class_shapley_with_threads};
+use knnshap::valuation::exact_unweighted::{
+    knn_class_shapley_single, knn_class_shapley_with_threads,
+};
 use knnshap::valuation::lsh_approx::{lsh_class_shapley, plan_index_params};
 use knnshap::valuation::mc::{mc_shapley_improved, IncKnnUtility, StoppingRule};
 use knnshap::valuation::truncated::{k_star, truncated_class_shapley};

@@ -5,6 +5,7 @@
 //! surface of the paper's Fig. 5/6 comparisons.
 
 use knnshap::datasets::synth::blobs::{self, BlobConfig};
+use knnshap::knn::WeightFn;
 use knnshap::numerics::stats::pearson;
 use knnshap::valuation::exact_unweighted::knn_class_shapley_with_threads;
 use knnshap::valuation::group_testing::group_testing_shapley;
@@ -13,9 +14,11 @@ use knnshap::valuation::mc::{
 };
 use knnshap::valuation::truncated::truncated_class_shapley;
 use knnshap::valuation::utility::{KnnClassUtility, Utility};
-use knnshap::knn::WeightFn;
 
-fn game() -> (knnshap::datasets::ClassDataset, knnshap::datasets::ClassDataset) {
+fn game() -> (
+    knnshap::datasets::ClassDataset,
+    knnshap::datasets::ClassDataset,
+) {
     // label noise keeps per-point values spread out, so correlation against
     // ground truth is a meaningful statistic
     let cfg = BlobConfig {
@@ -46,19 +49,31 @@ fn all_estimators_agree_with_the_exact_algorithm() {
     // Improved MC (Algorithm 2): statistical, tight at this budget.
     let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
     let imp = mc_shapley_improved(&mut inc, StoppingRule::Fixed(8_000), 5, None).values;
-    assert!(imp.max_abs_diff(&exact) < 0.03, "improved MC: {}", imp.max_abs_diff(&exact));
+    assert!(
+        imp.max_abs_diff(&exact) < 0.03,
+        "improved MC: {}",
+        imp.max_abs_diff(&exact)
+    );
     assert!(pearson(imp.as_slice(), exact.as_slice()) > 0.9);
 
     // Baseline MC (§2.2): same estimator, far more expensive per permutation;
     // spend fewer permutations and expect a looser result.
     let base = mc_shapley_baseline(&u, StoppingRule::Fixed(800), 5, None).values;
-    assert!(base.max_abs_diff(&exact) < 0.08, "baseline MC: {}", base.max_abs_diff(&exact));
+    assert!(
+        base.max_abs_diff(&exact) < 0.08,
+        "baseline MC: {}",
+        base.max_abs_diff(&exact)
+    );
     assert!(pearson(base.as_slice(), exact.as_slice()) > 0.6);
 
     // Group testing ([JDW+19]): high-variance by construction (the Z ≈ 2 ln N
     // factor); the loosest envelope of the family.
     let gt = group_testing_shapley(&u, 120_000, 5).values;
-    assert!(gt.max_abs_diff(&exact) < 0.08, "group testing: {}", gt.max_abs_diff(&exact));
+    assert!(
+        gt.max_abs_diff(&exact) < 0.08,
+        "group testing: {}",
+        gt.max_abs_diff(&exact)
+    );
     assert!(pearson(gt.as_slice(), exact.as_slice()) > 0.4);
 
     // Every stochastic estimator still satisfies efficiency (improved MC and

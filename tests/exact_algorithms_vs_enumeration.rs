@@ -27,12 +27,12 @@ fn class_instance(
     qlabel: u32,
 ) -> (ClassDataset, ClassDataset) {
     let n = labels.len();
-    let train = ClassDataset::new(Features::new(feats[..n * 2].to_vec(), 2), labels.to_vec(), 3);
-    let test = ClassDataset::new(
-        Features::new(vec![query.0, query.1], 2),
-        vec![qlabel],
+    let train = ClassDataset::new(
+        Features::new(feats[..n * 2].to_vec(), 2),
+        labels.to_vec(),
         3,
     );
+    let test = ClassDataset::new(Features::new(vec![query.0, query.1], 2), vec![qlabel], 3);
     (train, test)
 }
 

@@ -13,8 +13,13 @@ use knnshap::valuation::lsh_approx::plan_index_params;
 use knnshap::valuation::streaming::{OnlineValuator, StreamBackend};
 use knnshap::valuation::truncated::k_star;
 
-fn corpus(n: usize, seed: u64) -> (knnshap::datasets::ClassDataset, knnshap::datasets::ClassDataset)
-{
+fn corpus(
+    n: usize,
+    seed: u64,
+) -> (
+    knnshap::datasets::ClassDataset,
+    knnshap::datasets::ClassDataset,
+) {
     let cfg = BlobConfig {
         n,
         dim: 8,
@@ -141,16 +146,10 @@ fn truncated_stream_ranks_like_exact_on_retained_points() {
 
     // Restrict the comparison to points the truncation kept (nonzero value):
     // there the orderings must agree strongly.
-    let kept: Vec<usize> = (0..train.len())
-        .filter(|&i| approx.get(i) != 0.0)
-        .collect();
+    let kept: Vec<usize> = (0..train.len()).filter(|&i| approx.get(i) != 0.0).collect();
     assert!(kept.len() >= 20, "expected a healthy retained prefix");
-    let a = knnshap::valuation::ShapleyValues::new(
-        kept.iter().map(|&i| approx.get(i)).collect(),
-    );
-    let e = knnshap::valuation::ShapleyValues::new(
-        kept.iter().map(|&i| exact.get(i)).collect(),
-    );
+    let a = knnshap::valuation::ShapleyValues::new(kept.iter().map(|&i| approx.get(i)).collect());
+    let e = knnshap::valuation::ShapleyValues::new(kept.iter().map(|&i| exact.get(i)).collect());
     assert!(
         rank_agreement(&a, &e) > 0.8,
         "rank agreement on retained points: {}",
