@@ -1,0 +1,75 @@
+//! Thread-scaling bench for the work-stealing runtime (ISSUE 2): a fixed
+//! batch of independent `mc_shapley_improved` runs (one permutation each,
+//! distinct seeds) fanned out with `knnshap_parallel::par_map` at 1/2/4/8
+//! threads. Wall-clock per thread count, plus the speedup over the serial
+//! run, is written to `BENCH_parallel.json` at the workspace root so CI can
+//! archive it.
+//!
+//! Knobs: `KNNSHAP_BENCH_N` (training points, default 2000),
+//! `KNNSHAP_BENCH_TASKS` (MC runs per timing, default 16),
+//! `KNNSHAP_BENCH_PERMS` (permutations per MC run, default 8).
+
+use knnshap_core::mc::{mc_shapley_improved, IncKnnUtility, StoppingRule};
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_knn::weights::WeightFn;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("KNNSHAP_BENCH_N", 2_000);
+    let tasks = env_usize("KNNSHAP_BENCH_TASKS", 16);
+    let perms = env_usize("KNNSHAP_BENCH_PERMS", 8);
+    let k = 5usize;
+    let spec = EmbeddingSpec::mnist_like(n);
+    let train = spec.generate();
+    let test = spec.queries(4);
+
+    let run_batch = |threads: usize| -> (f64, f64) {
+        let start = Instant::now();
+        let totals = knnshap_parallel::par_map(tasks, threads, |i| {
+            let mut inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+            mc_shapley_improved(&mut inc, StoppingRule::Fixed(perms), i as u64 + 1, None)
+                .values
+                .total()
+        });
+        (start.elapsed().as_secs_f64(), totals.iter().sum())
+    };
+
+    // Warm-up: build the global pool and fault in the dataset.
+    let (_, warm_total) = run_batch(knnshap_parallel::current_threads());
+
+    println!(
+        "== parallel scaling: {tasks} × mc_shapley_improved({perms} perms), N = {n}, K = {k} =="
+    );
+    let mut rows = Vec::new();
+    let mut serial_secs = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (secs, total) = run_batch(threads);
+        assert!(
+            (total - warm_total).abs() < 1e-9,
+            "thread count changed the estimate: {total} vs {warm_total}"
+        );
+        let serial = *serial_secs.get_or_insert(secs);
+        let speedup = serial / secs;
+        println!("threads = {threads}: {secs:.3} s  (speedup ×{speedup:.2})");
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \"speedup\": {speedup:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scaling_mc_improved\",\n  \"n_train\": {n},\n  \
+         \"n_test\": 4,\n  \"k\": {k},\n  \"tasks\": {tasks},\n  \"perms\": {perms},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(out, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out}");
+}

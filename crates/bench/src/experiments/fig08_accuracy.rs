@@ -28,7 +28,7 @@ pub fn run(scale: Scale) -> String {
         ],
     };
 
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let threads = knnshap_parallel::current_threads();
     let mut t = Table::new(&["dataset", "1NN", "2NN", "5NN", "logistic regression"]);
     let mut knn_best = Vec::new();
     let mut lr_accs = Vec::new();

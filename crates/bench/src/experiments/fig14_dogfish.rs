@@ -45,7 +45,7 @@ pub fn run(scale: Scale) -> String {
         &test_sub,
         k,
         WeightFn::InverseDistance { eps: 1e-6 },
-        std::thread::available_parallelism().map_or(1, |t| t.get()),
+        knnshap_parallel::current_threads(),
     );
     let corr = pearson(unweighted.as_slice(), weighted.as_slice());
     let linf = unweighted.max_abs_diff(&weighted);

@@ -39,10 +39,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .k(k)
         .weight(parse_weight(args)?)
         .method(parse_method(args)?)
-        .threads(args.usize_or(
-            "threads",
-            std::thread::available_parallelism().map_or(1, |t| t.get()),
-        )?)
+        .threads(args.usize_or("threads", knnshap_parallel::current_threads())?)
         .run()?;
 
     let mut out = String::new();

@@ -36,10 +36,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let k = args.usize_or("k", 1)?;
     let method = parse_method(args)?;
     let weight = parse_weight(args)?;
-    let threads = args.usize_or(
-        "threads",
-        std::thread::available_parallelism().map_or(1, |t| t.get()),
-    )?;
+    let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
     let top = args.usize_or("top", 10)?;
 
     let sv = KnnShapley::new(&train, &test)

@@ -130,52 +130,28 @@ pub fn knn_reg_shapley_with_threads(
     assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
     let n = train.len();
     let n_test = test.len();
-    let threads = threads.max(1).min(n_test);
 
-    let mut total = if threads == 1 {
-        let mut acc = vec![0.0f64; n];
-        for j in 0..n_test {
-            accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
-        }
-        acc
-    } else {
-        let chunk = n_test.div_ceil(threads);
-        let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for tid in 0..threads {
-                let lo = tid * chunk;
-                let hi = ((tid + 1) * chunk).min(n_test);
-                handles.push(scope.spawn(move || {
-                    let mut acc = vec![0.0f64; n];
-                    for j in lo..hi {
-                        accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
-                    }
-                    acc
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
-        });
-        let mut acc = vec![0.0f64; n];
-        for p in partials {
-            for (a, v) in acc.iter_mut().zip(p) {
+    let mut total = knnshap_parallel::par_map_reduce(
+        n_test,
+        threads,
+        || vec![0.0f64; n],
+        |acc, j| accumulate_single(train, test.x.row(j), test.y[j], k, acc),
+        |acc, part| {
+            for (a, v) in acc.iter_mut().zip(part) {
                 *a += v;
             }
-        }
-        acc
-    };
+        },
+    );
     for v in &mut total {
         *v /= n_test as f64;
     }
     ShapleyValues::new(total)
 }
 
-/// [`knn_reg_shapley_with_threads`] with one worker per core.
+/// [`knn_reg_shapley_with_threads`] with the workspace default worker count
+/// ([`knnshap_parallel::current_threads`]).
 pub fn knn_reg_shapley(train: &RegDataset, test: &RegDataset, k: usize) -> ShapleyValues {
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    knn_reg_shapley_with_threads(train, test, k, threads)
+    knn_reg_shapley_with_threads(train, test, k, knnshap_parallel::current_threads())
 }
 
 #[cfg(test)]

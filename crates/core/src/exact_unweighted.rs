@@ -10,9 +10,11 @@
 //! ```
 //!
 //! The multi-test value (utility eq. 8) is the average of per-test values by
-//! the additivity axiom (Algorithm 1 lines 8–10). Test points are sharded
-//! across threads; each worker owns a private accumulator that is summed at
-//! the end, so the hot recursion never touches shared state.
+//! the additivity axiom (Algorithm 1 lines 8–10). Test points run through
+//! `knnshap_parallel::par_map_reduce`: each fixed block of test points folds
+//! into a private accumulator (the hot recursion never touches shared
+//! state), and the blocked reduction makes the result bitwise-identical for
+//! every thread count.
 
 use crate::types::ShapleyValues;
 use knnshap_datasets::ClassDataset;
@@ -77,42 +79,18 @@ pub fn knn_class_shapley_with_threads(
     assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
     let n = train.len();
     let n_test = test.len();
-    let threads = threads.max(1).min(n_test);
 
-    let mut total = if threads == 1 {
-        let mut acc = vec![0.0f64; n];
-        for j in 0..n_test {
-            accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
-        }
-        acc
-    } else {
-        let chunk = n_test.div_ceil(threads);
-        let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n_test);
-                handles.push(scope.spawn(move || {
-                    let mut acc = vec![0.0f64; n];
-                    for j in lo..hi {
-                        accumulate_single(train, test.x.row(j), test.y[j], k, &mut acc);
-                    }
-                    acc
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
-        });
-        let mut acc = vec![0.0f64; n];
-        for p in partials {
-            for (a, v) in acc.iter_mut().zip(p) {
+    let mut total = knnshap_parallel::par_map_reduce(
+        n_test,
+        threads,
+        || vec![0.0f64; n],
+        |acc, j| accumulate_single(train, test.x.row(j), test.y[j], k, acc),
+        |acc, part| {
+            for (a, v) in acc.iter_mut().zip(part) {
                 *a += v;
             }
-        }
-        acc
-    };
+        },
+    );
 
     for v in &mut total {
         *v /= n_test as f64;
@@ -120,7 +98,9 @@ pub fn knn_class_shapley_with_threads(
     ShapleyValues::new(total)
 }
 
-/// [`knn_class_shapley_with_threads`] with one worker per available core.
+/// [`knn_class_shapley_with_threads`] with the workspace default worker
+/// count ([`knnshap_parallel::current_threads`]: `KNNSHAP_THREADS`, else one
+/// per core).
 ///
 /// ```
 /// use knnshap_core::exact_unweighted::knn_class_shapley;
@@ -136,8 +116,7 @@ pub fn knn_class_shapley_with_threads(
 /// assert!((sv.total() - u.grand()).abs() < 1e-9);
 /// ```
 pub fn knn_class_shapley(train: &ClassDataset, test: &ClassDataset, k: usize) -> ShapleyValues {
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    knn_class_shapley_with_threads(train, test, k, threads)
+    knn_class_shapley_with_threads(train, test, k, knnshap_parallel::current_threads())
 }
 
 #[cfg(test)]

@@ -340,36 +340,21 @@ pub fn weighted_knn_class_shapley(
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
     let n_test = test.len();
-    let threads = threads.max(1).min(n_test);
-    let chunk = n_test.div_ceil(threads);
-    let partials: Vec<ShapleyValues> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n_test);
-            handles.push(scope.spawn(move || {
-                let mut acc = ShapleyValues::zeros(train.len());
-                for j in lo..hi {
-                    acc.add_assign(&weighted_knn_class_shapley_single(
-                        train,
-                        test.x.row(j),
-                        test.y[j],
-                        k,
-                        weight,
-                    ));
-                }
-                acc
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
-    let mut acc = ShapleyValues::zeros(train.len());
-    for p in &partials {
-        acc.add_assign(p);
-    }
+    let mut acc = knnshap_parallel::par_map_reduce(
+        n_test,
+        threads,
+        || ShapleyValues::zeros(train.len()),
+        |acc, j| {
+            acc.add_assign(&weighted_knn_class_shapley_single(
+                train,
+                test.x.row(j),
+                test.y[j],
+                k,
+                weight,
+            ))
+        },
+        |acc, part| acc.add_assign(&part),
+    );
     acc.scale(1.0 / n_test as f64);
     acc
 }
@@ -384,36 +369,21 @@ pub fn weighted_knn_reg_shapley(
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
     let n_test = test.len();
-    let threads = threads.max(1).min(n_test);
-    let chunk = n_test.div_ceil(threads);
-    let partials: Vec<ShapleyValues> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n_test);
-            handles.push(scope.spawn(move || {
-                let mut acc = ShapleyValues::zeros(train.len());
-                for j in lo..hi {
-                    acc.add_assign(&weighted_knn_reg_shapley_single(
-                        train,
-                        test.x.row(j),
-                        test.y[j],
-                        k,
-                        weight,
-                    ));
-                }
-                acc
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
-    let mut acc = ShapleyValues::zeros(train.len());
-    for p in &partials {
-        acc.add_assign(p);
-    }
+    let mut acc = knnshap_parallel::par_map_reduce(
+        n_test,
+        threads,
+        || ShapleyValues::zeros(train.len()),
+        |acc, j| {
+            acc.add_assign(&weighted_knn_reg_shapley_single(
+                train,
+                test.x.row(j),
+                test.y[j],
+                k,
+                weight,
+            ))
+        },
+        |acc, part| acc.add_assign(&part),
+    );
     acc.scale(1.0 / n_test as f64);
     acc
 }

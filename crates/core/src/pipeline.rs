@@ -106,7 +106,8 @@ pub struct KnnShapley<'a> {
 
 impl<'a> KnnShapley<'a> {
     /// Start a pipeline with the paper's defaults: K = 1, unweighted, exact,
-    /// one worker per core.
+    /// the workspace default worker count (`KNNSHAP_THREADS`, else one per
+    /// core).
     pub fn new(train: &'a ClassDataset, test: &'a ClassDataset) -> Self {
         Self {
             train,
@@ -114,7 +115,7 @@ impl<'a> KnnShapley<'a> {
             k: 1,
             weight: WeightFn::Uniform,
             method: Method::Exact,
-            threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+            threads: knnshap_parallel::current_threads(),
         }
     }
 
@@ -331,8 +332,8 @@ pub struct RegShapley<'a> {
 }
 
 impl<'a> RegShapley<'a> {
-    /// Start a regression pipeline: K = 1, unweighted, exact, one worker per
-    /// core.
+    /// Start a regression pipeline: K = 1, unweighted, exact, the workspace
+    /// default worker count (`KNNSHAP_THREADS`, else one per core).
     pub fn new(train: &'a RegDataset, test: &'a RegDataset) -> Self {
         Self {
             train,
@@ -340,7 +341,7 @@ impl<'a> RegShapley<'a> {
             k: 1,
             weight: WeightFn::Uniform,
             method: RegMethod::Exact,
-            threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+            threads: knnshap_parallel::current_threads(),
         }
     }
 

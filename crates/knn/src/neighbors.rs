@@ -11,8 +11,8 @@
 //! * [`top_k`] — heap-based top-K used for plain prediction and candidate
 //!   re-ranking inside the LSH index.
 //!
-//! Batched variants shard queries across threads with `std::thread::scope`;
-//! per-test-point valuation is embarrassingly parallel.
+//! Batched variants fan queries out on the `knnshap_parallel` work-stealing
+//! pool; per-test-point valuation is embarrassingly parallel.
 
 use crate::distance::Metric;
 use knnshap_datasets::Features;
@@ -155,41 +155,21 @@ fn sift_down(heap: &mut [Neighbor]) {
     }
 }
 
-/// Apply `f` to every query row in parallel, collecting results in query
-/// order. `f` must be cheap to share (it is called from multiple threads).
+/// Apply `f` to every query row in parallel (work-stealing, order
+/// preserving), collecting results in query order. `f` must be cheap to
+/// share (it is called from multiple threads).
 pub fn par_map_queries<T, F>(queries: &Features, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, &[f32]) -> T + Sync,
 {
-    let nq = queries.len();
-    let threads = threads.max(1).min(nq.max(1));
-    if threads <= 1 || nq <= 1 {
-        return (0..nq).map(|i| f(i, queries.row(i))).collect();
-    }
-    let mut results: Vec<Option<T>> = (0..nq).map(|_| None).collect();
-    let chunk = nq.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let base = t * chunk;
-                for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                    let qi = base + off;
-                    *slot = Some(f(qi, queries.row(qi)));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("slot filled"))
-        .collect()
+    knnshap_parallel::par_map(queries.len(), threads, |i| f(i, queries.row(i)))
 }
 
-/// Default worker count: one per available core.
+/// Default worker count: `KNNSHAP_THREADS`, else one per available core
+/// (routed through [`knnshap_parallel::current_threads`]).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    knnshap_parallel::current_threads()
 }
 
 #[cfg(test)]

@@ -67,26 +67,10 @@ impl<'a> LshIndex<'a> {
                 )
             })
             .collect();
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let tables: Vec<HashTable> = if params.tables == 1 || threads == 1 {
-            hashes
-                .into_iter()
-                .map(|h| HashTable::build(h, data))
-                .collect()
-        } else {
-            let mut slots: Vec<Option<HashTable>> = (0..params.tables).map(|_| None).collect();
-            let chunk = params.tables.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (slot_chunk, hash_chunk) in slots.chunks_mut(chunk).zip(hashes.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (slot, h) in slot_chunk.iter_mut().zip(hash_chunk.iter()) {
-                            *slot = Some(HashTable::build(h.clone(), data));
-                        }
-                    });
-                }
+        let tables: Vec<HashTable> =
+            knnshap_parallel::par_map(hashes.len(), knnshap_parallel::current_threads(), |t| {
+                HashTable::build(hashes[t].clone(), data)
             });
-            slots.into_iter().map(|s| s.expect("table built")).collect()
-        };
         Self {
             data,
             tables,

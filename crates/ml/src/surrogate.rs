@@ -19,7 +19,7 @@ pub fn calibrate_k(
     target_accuracy: f64,
 ) -> (usize, f64) {
     assert!(!candidates.is_empty(), "need at least one candidate K");
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let threads = knnshap_parallel::current_threads();
     let mut best: Option<(usize, f64, f64)> = None; // (k, acc, gap)
     for &k in candidates {
         assert!(k >= 1, "K must be at least 1");

@@ -1,0 +1,23 @@
+//! `KNNSHAP_THREADS=1` must degrade the global pool to fully serial
+//! execution. This lives in its own integration-test binary (= its own
+//! process) so the env var is set before anything touches
+//! `ThreadPool::global()`, which reads it exactly once.
+
+use knnshap_parallel::{current_threads, par_map, par_map_reduce, ThreadPool};
+
+#[test]
+fn env_var_forces_global_pool_serial() {
+    std::env::set_var("KNNSHAP_THREADS", "1");
+
+    assert_eq!(current_threads(), 1);
+    assert_eq!(ThreadPool::global().threads(), 1);
+
+    // Every closure runs on the calling thread, whatever cap the call asks for.
+    let caller = std::thread::current().id();
+    let ids = par_map(512, 8, |_| std::thread::current().id());
+    assert!(ids.into_iter().all(|id| id == caller));
+
+    // And the blocked reduction still produces the canonical serial tree.
+    let total = par_map_reduce(777, 8, || 0.0f64, |a, i| *a += i as f64, |a, b| *a += b);
+    assert_eq!(total, (0..777).map(|i| i as f64).sum::<f64>());
+}

@@ -1,0 +1,174 @@
+//! Stress and edge-case battery for the work-stealing pool: the satellite
+//! checklist of ISSUE 2 — empty input, one item, items ≫ workers, panic
+//! propagation, nested regions, and determinism of the blocked reduction.
+
+use knnshap_parallel::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn empty_input_on_every_entry_point() {
+    let pool = ThreadPool::new(4);
+    assert_eq!(pool.par_map(0, 4, |i| i), Vec::<usize>::new());
+    let folded = pool.par_map_reduce(0, 4, || -1i32, |_, _| panic!("no items"), |_, _| ());
+    assert_eq!(folded, -1);
+    let mut nothing: [u8; 0] = [];
+    pool.par_chunks(&mut nothing, 3, 4, |_, _| panic!("no chunks"));
+}
+
+#[test]
+fn one_item() {
+    let pool = ThreadPool::new(8);
+    assert_eq!(pool.par_map(1, 8, |i| i + 1), vec![1]);
+    let one = pool.par_map_reduce(1, 8, || 0u64, |a, i| *a += i as u64 + 10, |a, b| *a += b);
+    assert_eq!(one, 10);
+}
+
+#[test]
+fn many_items_few_workers() {
+    // Items ≫ workers ≫ blocks-per-worker: everything must still be mapped
+    // exactly once and land in its own slot.
+    let pool = ThreadPool::new(3);
+    let n = 100_000usize;
+    let calls = AtomicUsize::new(0);
+    let out = pool.par_map(n, 3, |i| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        i as u64 * 2
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), n);
+    assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+}
+
+#[test]
+fn panic_in_task_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map(1024, 4, |i| {
+            if i == 517 {
+                panic!("boom at {i}");
+            }
+            i
+        })
+    }));
+    let payload = result.expect_err("panic must reach the submitting thread");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("boom at 517"), "unexpected payload: {msg}");
+
+    // The pool must stay fully usable after a panicked region.
+    assert_eq!(pool.par_map(5, 4, |i| i * i), vec![0, 1, 4, 9, 16]);
+}
+
+#[test]
+fn panic_in_reduce_region_propagates() {
+    let pool = ThreadPool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map_reduce(
+            600,
+            2,
+            || 0usize,
+            |_, i| {
+                if i == 300 {
+                    panic!("step panic");
+                }
+            },
+            |a, b| *a += b,
+        )
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn nested_par_map_does_not_deadlock() {
+    // Every outer item runs a nested region on the same pool; waiting is
+    // implemented as helping, so this must complete even though the outer
+    // region already occupies every worker.
+    let pool = ThreadPool::new(4);
+    let table = pool.par_map(16, 4, |i| pool.par_map(16, 4, move |j| i * j));
+    for (i, row) in table.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            assert_eq!(v, i * j);
+        }
+    }
+}
+
+#[test]
+fn doubly_nested_regions() {
+    let pool = ThreadPool::new(2);
+    let sums = pool.par_map(4, 2, |i| {
+        pool.par_map_reduce(64, 2, || 0usize, |a, j| *a += i + j, |a, b| *a += b)
+    });
+    for (i, &s) in sums.iter().enumerate() {
+        assert_eq!(s, 64 * i + (0..64).sum::<usize>());
+    }
+}
+
+#[test]
+fn single_thread_pool_degrades_to_serial() {
+    // `ThreadPool::new(1)` is the `KNNSHAP_THREADS=1` configuration of the
+    // global pool (see tests/env_serial.rs for the env-var half): no worker
+    // threads, every closure runs on the caller.
+    let pool = ThreadPool::new(1);
+    let caller = std::thread::current().id();
+    let ids = pool.par_map(256, 8, |_| std::thread::current().id());
+    assert!(ids.into_iter().all(|id| id == caller));
+}
+
+#[test]
+fn reduction_is_bitwise_identical_across_thread_counts() {
+    // Floating-point accumulation in a pathological order-sensitive setup:
+    // magnitudes spanning ~16 decades, so any reordering of the reduction
+    // tree would flip low bits.
+    let pool = ThreadPool::new(8);
+    let n = 10_000usize;
+    let value = |i: usize| (i as f64 + 0.5) * 1e-8_f64.powi((i % 5) as i32 - 2);
+    let run = |threads: usize| {
+        pool.par_map_reduce(n, threads, || 0.0f64, |a, i| *a += value(i), |a, b| *a += b)
+    };
+    let serial = run(1);
+    for threads in [2usize, 3, 4, 8] {
+        // Repeat so nondeterministic scheduling would get many chances to
+        // change a stealing pattern — the answer must never move.
+        for _ in 0..5 {
+            assert_eq!(
+                run(threads).to_bits(),
+                serial.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_workloads_balance_and_stay_ordered() {
+    // Cost ∝ item index: the tail blocks are far heavier than the head —
+    // the static-chunking worst case that motivated stealing.
+    let pool = ThreadPool::new(4);
+    let n = 4_000usize;
+    let out = pool.par_map(n, 4, |i| {
+        let mut acc = 0u64;
+        for j in 0..(i % 97) * 50 {
+            acc = acc.wrapping_add((j as u64).wrapping_mul(2654435761));
+        }
+        (i, acc)
+    });
+    assert!(out.iter().enumerate().all(|(i, &(j, _))| i == j));
+}
+
+#[test]
+fn concurrent_submitters_share_the_pool() {
+    // Two OS threads submitting regions to one pool at once: regions must
+    // not cross wires.
+    let pool = ThreadPool::new(4);
+    std::thread::scope(|scope| {
+        let pool = &pool;
+        let a = scope.spawn(move || pool.par_map(2_000, 4, |i| i as u64 + 1));
+        let b = scope.spawn(move || pool.par_map(2_000, 4, |i| i as u64 * 3));
+        let a = a.join().unwrap();
+        let b = b.join().unwrap();
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+        assert!(b.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    });
+}

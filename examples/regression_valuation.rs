@@ -68,7 +68,7 @@ fn main() {
     let sub: Vec<usize> = (0..300).collect();
     let sub_readings = readings.gather(&sub);
     let sub_queries = queries.gather(&(0..10).collect::<Vec<_>>());
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let threads = knnshap::parallel::current_threads();
     let unweighted = knn_reg_shapley(&sub_readings, &sub_queries, 3);
     let weighted = weighted_knn_reg_shapley(
         &sub_readings,

@@ -42,6 +42,11 @@
 //! assert!(sv.as_slice().iter().all(|v| v.is_finite()));
 //! ```
 
+/// Parallel substrate: the work-stealing pool behind every batched path
+/// (`par_map`, `par_chunks`, deterministic `par_map_reduce`,
+/// `KNNSHAP_THREADS`).
+pub use knnshap_parallel as parallel;
+
 /// Numerical substrate: special functions, quadrature, roots, statistics.
 pub use knnshap_numerics as numerics;
 

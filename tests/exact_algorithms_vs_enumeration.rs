@@ -12,10 +12,13 @@ use knnshap::valuation::composite::{
 };
 use knnshap::valuation::curator::{curator_class_shapley_single, Ownership, SellerUtility};
 use knnshap::valuation::exact_enum::shapley_enumeration;
-use knnshap::valuation::exact_regression::knn_reg_shapley_single;
-use knnshap::valuation::exact_unweighted::knn_class_shapley_single;
+use knnshap::valuation::exact_regression::{knn_reg_shapley_single, knn_reg_shapley_with_threads};
+use knnshap::valuation::exact_unweighted::{
+    knn_class_shapley_single, knn_class_shapley_with_threads,
+};
 use knnshap::valuation::exact_weighted::{
-    weighted_knn_class_shapley_single, weighted_knn_reg_shapley_single,
+    weighted_knn_class_shapley, weighted_knn_class_shapley_single, weighted_knn_reg_shapley,
+    weighted_knn_reg_shapley_single,
 };
 use knnshap::valuation::utility::{KnnClassUtility, KnnRegUtility};
 use proptest::prelude::*;
@@ -159,5 +162,76 @@ proptest! {
             prop_assert!((rfast.sellers[i] - rtruth[i]).abs() < 1e-8);
         }
         prop_assert!((rfast.analyst - rtruth[rcomp.analyst_player()]).abs() < 1e-8);
+    }
+
+    // ------------------------------------------------------------------
+    // Golden-value checks for the `par_map_reduce`-backed multi-test
+    // drivers (ISSUE 2): the work-stealing reduction over test points must
+    // still reproduce the brute-force enumeration of the *averaged* game,
+    // at an intentionally parallel thread count.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn multi_test_class_parallel_matches_enumeration(
+        feats in prop::collection::vec(-1.0f32..1.0, 16),
+        labels in prop::collection::vec(0u32..3, 8),
+        qfeats in prop::collection::vec(-1.0f32..1.0, 6),
+        qlabels in prop::collection::vec(0u32..3, 3),
+        k in 1usize..10,
+    ) {
+        let n = labels.len();
+        let train = ClassDataset::new(Features::new(feats[..n * 2].to_vec(), 2), labels.clone(), 3);
+        let test = ClassDataset::new(Features::new(qfeats.clone(), 2), qlabels.clone(), 3);
+        let fast = knn_class_shapley_with_threads(&train, &test, k, 4);
+        let truth = shapley_enumeration(&KnnClassUtility::unweighted(&train, &test, k));
+        prop_assert!(fast.max_abs_diff(&truth) < 1e-9);
+    }
+
+    #[test]
+    fn multi_test_reg_parallel_matches_enumeration(
+        feats in prop::collection::vec(-1.0f32..1.0, 16),
+        targets in prop::collection::vec(-2.0f64..2.0, 8),
+        qfeats in prop::collection::vec(-1.0f32..1.0, 6),
+        qtargets in prop::collection::vec(-2.0f64..2.0, 3),
+        k in 1usize..10,
+    ) {
+        let train = RegDataset::new(Features::new(feats.clone(), 2), targets);
+        let test = RegDataset::new(Features::new(qfeats.clone(), 2), qtargets);
+        let fast = knn_reg_shapley_with_threads(&train, &test, k, 4);
+        let truth = shapley_enumeration(&KnnRegUtility::unweighted(&train, &test, k));
+        prop_assert!(fast.max_abs_diff(&truth) < 1e-8);
+    }
+
+    #[test]
+    fn multi_test_weighted_class_parallel_matches_enumeration(
+        feats in prop::collection::vec(-1.0f32..1.0, 14),
+        labels in prop::collection::vec(0u32..3, 7),
+        qfeats in prop::collection::vec(-1.0f32..1.0, 4),
+        qlabels in prop::collection::vec(0u32..3, 2),
+        k in 1usize..4,
+    ) {
+        let n = labels.len();
+        let train = ClassDataset::new(Features::new(feats[..n * 2].to_vec(), 2), labels.clone(), 3);
+        let test = ClassDataset::new(Features::new(qfeats.clone(), 2), qlabels.clone(), 3);
+        let w = WeightFn::InverseDistance { eps: 1e-3 };
+        let fast = weighted_knn_class_shapley(&train, &test, k, w, 4);
+        let truth = shapley_enumeration(&KnnClassUtility::new(&train, &test, k, w));
+        prop_assert!(fast.max_abs_diff(&truth) < 1e-9);
+    }
+
+    #[test]
+    fn multi_test_weighted_reg_parallel_matches_enumeration(
+        feats in prop::collection::vec(-1.0f32..1.0, 12),
+        targets in prop::collection::vec(-2.0f64..2.0, 6),
+        qfeats in prop::collection::vec(-1.0f32..1.0, 4),
+        qtargets in prop::collection::vec(-2.0f64..2.0, 2),
+        k in 1usize..4,
+    ) {
+        let train = RegDataset::new(Features::new(feats.clone(), 2), targets);
+        let test = RegDataset::new(Features::new(qfeats.clone(), 2), qtargets);
+        let w = WeightFn::Exponential { beta: 1.0 };
+        let fast = weighted_knn_reg_shapley(&train, &test, k, w, 4);
+        let truth = shapley_enumeration(&KnnRegUtility::new(&train, &test, k, w));
+        prop_assert!(fast.max_abs_diff(&truth) < 1e-8);
     }
 }
