@@ -1,0 +1,86 @@
+//! Thread-scaling bench for the deterministic parallel Monte Carlo runtime
+//! (ISSUE 3): ONE `mc_shapley_improved_with_threads` run — its permutation
+//! budget fanned across the pool as counter-based RNG streams — timed at
+//! 1/2/4/8 threads on the N = 2000 smoke config. This is the complement of
+//! `bench_parallel_scaling`, which parallelizes *across* independent MC runs;
+//! here the estimator's own inner loop scales.
+//!
+//! Every timing first asserts the determinism contract: the Shapley vector
+//! at each thread count must be bitwise-identical to the serial one. Results
+//! (wall-clock, per-permutation throughput, speedup over serial) go to
+//! `BENCH_mc.json` at the workspace root so CI can archive them.
+//!
+//! Knobs: `KNNSHAP_BENCH_N` (training points, default 2000),
+//! `KNNSHAP_BENCH_PERMS` (permutation budget, default 256).
+
+use knnshap_core::mc::{mc_shapley_improved_with_threads, IncKnnUtility, StoppingRule};
+use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
+use knnshap_knn::weights::WeightFn;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("KNNSHAP_BENCH_N", 2_000);
+    let perms = env_usize("KNNSHAP_BENCH_PERMS", 256);
+    let k = 5usize;
+    let spec = EmbeddingSpec::mnist_like(n);
+    let train = spec.generate();
+    let test = spec.queries(4);
+    let inc = IncKnnUtility::classification(&train, &test, k, WeightFn::Uniform);
+
+    let run = |threads: usize| -> (f64, Vec<f64>) {
+        let start = Instant::now();
+        let res =
+            mc_shapley_improved_with_threads(&inc, StoppingRule::Fixed(perms), 1, None, threads);
+        (start.elapsed().as_secs_f64(), res.values.into_vec())
+    };
+
+    // Warm-up: build the global pool and fault in the distance matrix.
+    let _ = run(knnshap_parallel::current_threads());
+
+    println!("== mc scaling: mc_shapley_improved, {perms} permutations, N = {n}, K = {k} ==");
+    let mut rows = Vec::new();
+    let mut serial_secs = None;
+    let mut serial_values: Option<Vec<f64>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (secs, values) = run(threads);
+        match &serial_values {
+            None => serial_values = Some(values),
+            Some(reference) => {
+                // The determinism contract, checked on the real workload: the
+                // thread count must not move a single mantissa bit.
+                for (i, (a, b)) in reference.iter().zip(&values).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "threads={threads} changed value {i}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+        let serial = *serial_secs.get_or_insert(secs);
+        let speedup = serial / secs;
+        let tput = perms as f64 / secs;
+        println!("threads = {threads}: {secs:.3} s  ({tput:.1} perms/s, speedup ×{speedup:.2})");
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \
+             \"perms_per_sec\": {tput:.3}, \"speedup\": {speedup:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"mc_scaling_improved\",\n  \"n_train\": {n},\n  \
+         \"n_test\": 4,\n  \"k\": {k},\n  \"perms\": {perms},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc.json");
+    std::fs::write(out, &json).expect("write BENCH_mc.json");
+    println!("wrote {out}");
+}

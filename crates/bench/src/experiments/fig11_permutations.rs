@@ -49,7 +49,7 @@ pub fn run(scale: Scale) -> String {
             let res = mc_shapley_improved(
                 &mut inc,
                 StoppingRule::Heuristic {
-                    threshold: eps / 50.0,
+                    threshold: knnshap_core::bounds::heuristic_threshold(eps),
                     max: hoeff,
                 },
                 9,

@@ -27,7 +27,7 @@ fn mc_run(train: &ClassDataset, test: &ClassDataset, k: usize, eps: f64) -> (usi
     let res = mc_shapley_improved(
         &mut inc,
         StoppingRule::Heuristic {
-            threshold: eps / 50.0,
+            threshold: knnshap_core::bounds::heuristic_threshold(eps),
             max: 50_000,
         },
         7,

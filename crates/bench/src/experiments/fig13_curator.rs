@@ -45,7 +45,7 @@ pub fn run(scale: Scale) -> String {
                 &mut inc,
                 &own,
                 StoppingRule::Heuristic {
-                    threshold: eps / 50.0,
+                    threshold: knnshap_core::bounds::heuristic_threshold(eps),
                     max: 20_000,
                 },
                 3,
@@ -85,7 +85,7 @@ pub fn run(scale: Scale) -> String {
                 &mut inc,
                 &own,
                 StoppingRule::Heuristic {
-                    threshold: eps / 50.0,
+                    threshold: knnshap_core::bounds::heuristic_threshold(eps),
                     max: 20_000,
                 },
                 5,

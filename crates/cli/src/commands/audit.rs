@@ -35,19 +35,27 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let k = args.usize_or("k", 1)?;
     let inspect = args.usize_or("inspect", 20)?.min(train.len());
 
-    let sv = KnnShapley::new(&train, &test)
+    let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
+    let started = std::time::Instant::now();
+    let report = KnnShapley::new(&train, &test)
         .k(k)
         .weight(parse_weight(args)?)
         .method(parse_method(args)?)
-        .threads(args.usize_or("threads", knnshap_parallel::current_threads())?)
-        .run()?;
+        .threads(threads)
+        .run_report()?;
+    let secs = started.elapsed().as_secs_f64();
+    let sv = report.values;
 
     let mut out = String::new();
     out.push_str(&format!(
-        "Audited {} training points against {} test points (K = {k}).\n\n",
+        "Audited {} training points against {} test points (K = {k}).\n",
         train.len(),
         test.len()
     ));
+    if let Some(perms) = report.permutations {
+        out.push_str(&crate::commands::mc_throughput_line(perms, secs, threads));
+    }
+    out.push('\n');
 
     // Inspection list: ascending value.
     let mut order = sv.ranking();
@@ -199,6 +207,19 @@ mod tests {
         let err = crate::run(argv(&t, &q, &["--flagged", flagged.to_str().unwrap()])).unwrap_err();
         assert!(err.to_string().contains("no indices"));
         std::fs::remove_file(&flagged).ok();
+    }
+
+    #[test]
+    fn mc_audit_reports_permutation_throughput() {
+        let (t, q) = csv_pair("audit-mc-tput", 30, 4);
+        let out = crate::run(argv(
+            &t,
+            &q,
+            &["--method", "mc-improved", "--eps", "0.3", "--threads", "2"],
+        ))
+        .unwrap();
+        assert!(out.contains("permutations/s"), "{out}");
+        assert!(out.contains("threads = 2"));
     }
 
     #[test]

@@ -42,14 +42,14 @@ pub(crate) fn parse_method(args: &Args) -> Result<Method, CliError> {
         }),
         "mc-baseline" => Ok(Method::McBaseline {
             rule: StoppingRule::Heuristic {
-                threshold: eps / 50.0,
+                threshold: knnshap_core::bounds::heuristic_threshold(eps),
                 max: 50_000,
             },
             seed,
         }),
         "mc-improved" => Ok(Method::McImproved {
             rule: StoppingRule::Heuristic {
-                threshold: eps / 50.0,
+                threshold: knnshap_core::bounds::heuristic_threshold(eps),
                 max: 200_000,
             },
             seed,
@@ -58,6 +58,16 @@ pub(crate) fn parse_method(args: &Args) -> Result<Method, CliError> {
             "unknown method '{other}' (exact, truncated, lsh, mc-baseline, mc-improved)"
         ))),
     }
+}
+
+/// The per-permutation throughput line the MC paths of `value` and `audit`
+/// both print: permutations consumed, wall-clock, permutations/s, threads.
+pub(crate) fn mc_throughput_line(permutations: usize, secs: f64, threads: usize) -> String {
+    format!(
+        "monte carlo: {permutations} permutations in {secs:.3} s \
+         ({:.1} permutations/s, threads = {threads})\n",
+        permutations as f64 / secs.max(1e-9),
+    )
 }
 
 /// Resolves `--weight`/`--weight-param` into a [`WeightFn`].

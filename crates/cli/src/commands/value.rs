@@ -39,12 +39,21 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
     let top = args.usize_or("top", 10)?;
 
-    let sv = KnnShapley::new(&train, &test)
+    let started = std::time::Instant::now();
+    let report = KnnShapley::new(&train, &test)
         .k(k)
         .weight(weight)
         .method(method)
         .threads(threads)
-        .run()?;
+        .run_report()?;
+    let secs = started.elapsed().as_secs_f64();
+    let sv = report.values;
+
+    // Per-permutation throughput of the (parallel) MC paths — the number to
+    // watch when tuning --threads.
+    let mc_line = report
+        .permutations
+        .map(|perms| crate::commands::mc_throughput_line(perms, secs, threads));
 
     let payout = match args.f64_opt("revenue")? {
         Some(revenue) => {
@@ -59,7 +68,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .map_err(knnshap_datasets::io::IoError::Io)?;
     }
 
-    Ok(render(&train, &test, k, &sv, payout.as_deref(), top, args))
+    Ok(render(
+        &train,
+        &test,
+        k,
+        &sv,
+        payout.as_deref(),
+        top,
+        mc_line.as_deref(),
+        args,
+    ))
 }
 
 fn write_csv(
@@ -82,6 +100,7 @@ fn write_csv(
     w.flush()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render(
     train: &ClassDataset,
     test: &ClassDataset,
@@ -89,6 +108,7 @@ fn render(
     sv: &ShapleyValues,
     payout: Option<&[f64]>,
     top: usize,
+    mc_line: Option<&str>,
     args: &Args,
 ) -> String {
     let mut out = String::new();
@@ -98,6 +118,9 @@ fn render(
         test.len(),
         args.str("method").unwrap_or("exact"),
     ));
+    if let Some(line) = mc_line {
+        out.push_str(line);
+    }
     let s = Summary::of(sv.as_slice());
     out.push_str(&format!(
         "total value (= utility of the full set): {}\n\
@@ -195,6 +218,24 @@ mod tests {
             let out = crate::run(argv(&t, &q, &["--method", m, "--eps", "0.2"])).unwrap();
             assert!(out.contains("total value"), "{m}");
         }
+    }
+
+    #[test]
+    fn mc_methods_report_permutation_throughput() {
+        let (t, q) = csv_pair("value-mc-tput", 40, 4);
+        for m in ["mc-baseline", "mc-improved"] {
+            let out = crate::run(argv(
+                &t,
+                &q,
+                &["--method", m, "--eps", "0.3", "--threads", "2"],
+            ))
+            .unwrap();
+            assert!(out.contains("permutations/s"), "{m}: {out}");
+            assert!(out.contains("threads = 2"), "{m}");
+        }
+        // Deterministic methods stay silent about permutations.
+        let out = crate::run(argv(&t, &q, &["--method", "exact"])).unwrap();
+        assert!(!out.contains("permutations/s"));
     }
 
     #[test]

@@ -34,6 +34,43 @@ pub fn knn_class_phi_bound(k: usize) -> f64 {
     1.0 / k as f64
 }
 
+/// The §6.2.2 heuristic stopping threshold: `ε/50`.
+///
+/// The paper terminates the Monte Carlo estimators "when the change of the
+/// SV estimates in two consecutive iterations is below ε/50"; this is the one
+/// place that constant lives, so the [`crate::mc::StoppingRule::Heuristic`]
+/// docs and every caller constructing one stay in agreement.
+///
+/// ```
+/// use knnshap_core::bounds::heuristic_threshold;
+/// assert_eq!(heuristic_threshold(0.1), 0.002);
+/// ```
+pub fn heuristic_threshold(eps: f64) -> f64 {
+    assert!(eps > 0.0, "epsilon must be positive");
+    eps / 50.0
+}
+
+/// Ceiling on permutations ingested per round by the snapshot/heuristic paths
+/// of the parallel Monte Carlo runtime (`crate::mc`).
+const MAX_MC_ROUND: usize = 64;
+
+/// Budget→round mapping for the parallel Monte Carlo runtime: how many
+/// permutation streams the snapshot/heuristic paths of `crate::mc` launch per
+/// round before folding them — in permutation order — into the running
+/// estimate.
+///
+/// A function of the budget alone (never of the thread count, which would
+/// break the bitwise-determinism contract): small budgets get small rounds so
+/// the heuristic rule keeps its per-permutation granularity cheaply, large
+/// budgets saturate at 64 in-flight contribution vectors to bound memory at
+/// `64·N` floats while leaving the pool plenty to steal.
+pub fn mc_round_size(budget: usize) -> usize {
+    budget
+        .div_ceil(64)
+        .clamp(8, MAX_MC_ROUND)
+        .min(budget.max(1))
+}
+
 /// Hoeffding permutation budget `T = ⌈((2·phi_bound)²/(2ε²)) ln(2N/δ)⌉`.
 ///
 /// ```
@@ -213,5 +250,87 @@ mod tests {
     fn knn_phi_bound_is_one_over_k() {
         assert_eq!(knn_class_phi_bound(1), 1.0);
         assert_eq!(knn_class_phi_bound(4), 0.25);
+    }
+
+    #[test]
+    fn hoeffding_single_point_matches_closed_form() {
+        // n = 1 is the smallest legal game; the budget must equal the formula
+        // ⌈(2r)²/(2ε²)·ln(2/δ)⌉ evaluated directly.
+        let (eps, delta, r) = (0.1f64, 0.05f64, 1.0f64);
+        let expect = ((2.0 * r) * (2.0 * r) / (2.0 * eps * eps) * (2.0 / delta).ln()).ceil();
+        assert_eq!(hoeffding_permutations(1, eps, delta, r), expect as usize);
+    }
+
+    #[test]
+    fn hoeffding_floors_at_one_permutation() {
+        // A huge ε drives the formula below 1; the budget must clamp, not
+        // return 0 (an estimator given budget 0 would divide by zero).
+        assert_eq!(hoeffding_permutations(10, 100.0, 0.5, 1.0), 1);
+    }
+
+    #[test]
+    fn hoeffding_extreme_eps_delta_stay_finite_and_monotone() {
+        // Tiny ε and tiny δ blow the budget up but must stay finite, and the
+        // budget must be monotone in both.
+        let tight = hoeffding_permutations(1000, 1e-4, 1e-9, 1.0);
+        assert!(tight > 1_000_000);
+        assert!(tight < usize::MAX / 2);
+        assert!(hoeffding_permutations(1000, 1e-3, 1e-9, 1.0) < tight);
+        assert!(hoeffding_permutations(1000, 1e-4, 1e-3, 1.0) < tight);
+        // δ → 1⁻ is legal and cheap.
+        let loose = hoeffding_permutations(1000, 0.5, 0.999, 1.0);
+        assert!(loose >= 1);
+    }
+
+    #[test]
+    fn bennett_single_point_matches_closed_form() {
+        // n = k = 1: eq. (32) collapses to one term, exp(−T·h(ε/r)) = δ/2,
+        // i.e. T = ln(2/δ)/h(ε/r).
+        let (eps, delta, r) = (0.1f64, 0.1f64, 1.0f64);
+        let expect = ((2.0 / delta).ln() / bennett_h(eps / r)).ceil();
+        assert_eq!(bennett_permutations(1, 1, eps, delta, r), expect as usize);
+    }
+
+    #[test]
+    fn bennett_extreme_eps_floors_at_one() {
+        assert_eq!(bennett_permutations(100, 2, 50.0, 0.5, 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi_bound > 0.0")]
+    fn hoeffding_rejects_zero_range() {
+        hoeffding_permutations(10, 0.1, 0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi_bound > 0.0")]
+    fn bennett_rejects_zero_range() {
+        bennett_permutations(10, 1, 0.1, 0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta in (0,1)")]
+    fn hoeffding_rejects_delta_one() {
+        hoeffding_permutations(10, 0.1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn heuristic_threshold_is_eps_over_50() {
+        assert_eq!(heuristic_threshold(0.5), 0.01);
+        assert_eq!(heuristic_threshold(1.0), 1.0 / 50.0);
+    }
+
+    #[test]
+    fn mc_round_size_shape() {
+        // Never exceeds the budget, never zero, saturates at MAX_MC_ROUND,
+        // and is a function of the budget alone.
+        assert_eq!(mc_round_size(1), 1);
+        assert_eq!(mc_round_size(5), 5);
+        assert_eq!(mc_round_size(100), 8);
+        assert_eq!(mc_round_size(100_000), 64);
+        for budget in [1usize, 2, 7, 63, 64, 65, 511, 512, 10_000] {
+            let r = mc_round_size(budget);
+            assert!(r >= 1 && r <= budget.max(1) && r <= 64, "budget={budget}");
+        }
     }
 }

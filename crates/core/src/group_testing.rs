@@ -29,9 +29,9 @@
 
 use crate::types::ShapleyValues;
 use crate::utility::Utility;
-use knnshap_numerics::sampling::shuffle_in_place;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use knnshap_numerics::compensated::{CompensatedVec, NeumaierSum};
+use knnshap_numerics::sampling::{identity_shuffle, RngStreams};
+use rand::Rng;
 
 /// `Z = 2 Σ_{k=1}^{N−1} 1/k` — the normalizer of the sampling distribution.
 pub fn z_constant(n: usize) -> f64 {
@@ -68,7 +68,8 @@ pub struct GroupTestingResult {
     pub tests: usize,
 }
 
-/// Run the group-testing estimator with a fixed test budget.
+/// Run the group-testing estimator with a fixed test budget on the workspace
+/// default worker count.
 ///
 /// # Panics
 ///
@@ -78,10 +79,36 @@ pub fn group_testing_shapley<U: Utility + ?Sized>(
     tests: usize,
     seed: u64,
 ) -> GroupTestingResult {
+    group_testing_shapley_with_threads(u, tests, seed, knnshap_parallel::current_threads())
+}
+
+/// Per-block accumulator of the parallel group-testing fold.
+struct GtAcc {
+    /// Σ over member tests of `u_t` per point (the `N·β_ti` part).
+    point: CompensatedVec,
+    /// Σ over tests of `u_t · k_t / N` (the lazily shared `−k_t` part).
+    shared: NeumaierSum,
+    /// Reusable coalition-sampling buffer.
+    pool: Vec<usize>,
+}
+
+/// [`group_testing_shapley`] with an explicit worker count.
+///
+/// Test `t` draws its coalition from counter-based stream `t` of `seed` (a
+/// pure function of `(seed, t)`), and the per-point accumulators fold in
+/// fixed blocks merged in block order — so the recovered values are
+/// **bitwise-identical for every `threads` value**, matching the contract of
+/// the Monte Carlo estimators in [`crate::mc`].
+pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
+    u: &U,
+    tests: usize,
+    seed: u64,
+    threads: usize,
+) -> GroupTestingResult {
     let n = u.n();
     assert!(n >= 2, "need at least two players");
     assert!(tests >= 1, "need at least one test");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let streams = RngStreams::new(seed);
 
     // q(k) ∝ 1/k + 1/(N−k), cumulative for inverse-CDF sampling.
     let z = z_constant(n);
@@ -92,42 +119,48 @@ pub fn group_testing_shapley<U: Utility + ?Sized>(
         cdf.push(acc);
     }
 
-    // Accumulate per-point weighted membership sums:
-    //   acc_i = Σ_t u_t (N·β_ti − k_t) / N
-    // so that ŝ_i = ν(I)/N + (Z/T)·acc_i/1 … (see module docs).
-    let mut point_acc = vec![0.0f64; n];
-    let mut pool: Vec<usize> = (0..n).collect();
-    for _ in 0..tests {
-        let x: f64 = rng.gen();
-        let k = cdf.partition_point(|&c| c < x) + 1;
-        let k = k.min(n - 1);
-        shuffle_in_place(&mut rng, &mut pool);
-        let coalition = &pool[..k];
-        let ut = u.eval(coalition);
-        if ut == 0.0 {
-            continue;
-        }
-        // N·β_ti − k: members get (N − k), non-members get (−k); apply the
-        // constant part lazily via a running total.
-        for &i in coalition {
-            point_acc[i] += ut; // each member picks up ut·(N)/N = ut extra
-        }
-        let shared = ut * k as f64 / n as f64;
-        for a in point_acc.iter_mut() {
-            *a -= shared;
-        }
-    }
+    // Accumulate per-point weighted membership sums so that
+    //   ŝ_i = ν(I)/N + (Z/T)·(point_i − shared)    (see module docs);
+    // members of test t pick up u_t (= u_t·N/N), every point owes the
+    // `u_t·k_t/N` share, tracked once as a scalar instead of N subtractions.
+    let acc = knnshap_parallel::par_indexed_map_reduce(
+        tests,
+        threads,
+        |_range| GtAcc {
+            point: CompensatedVec::zeros(n),
+            shared: NeumaierSum::new(),
+            pool: (0..n).collect(),
+        },
+        |acc, t| {
+            let mut rng = streams.stream(t as u64);
+            let x: f64 = rng.gen();
+            let k = (cdf.partition_point(|&c| c < x) + 1).min(n - 1);
+            identity_shuffle(&mut rng, &mut acc.pool);
+            let coalition = &acc.pool[..k];
+            let ut = u.eval(coalition);
+            if ut == 0.0 {
+                return;
+            }
+            for &i in coalition {
+                acc.point.add(i, ut);
+            }
+            acc.shared.add(ut * k as f64 / n as f64);
+        },
+        |a, b| {
+            a.point.merge(&b.point);
+            a.shared.merge(&b.shared);
+        },
+    );
 
     let grand = u.grand();
     let scale = z / tests as f64;
-    let values: Vec<f64> = point_acc
-        .iter()
-        .map(|&a| grand / n as f64 + scale * a)
+    let shared = acc.shared.value();
+    let values: Vec<f64> = (0..n)
+        .map(|i| grand / n as f64 + scale * (acc.point.value(i) - shared))
         .collect();
     let mut sv = ShapleyValues::new(values);
     // Numerical guard: re-project onto the efficiency hyperplane (the math
-    // already sums to ν(I); this removes float drift from the lazy shared
-    // subtraction).
+    // already sums to ν(I); this removes residual float drift).
     let drift = (sv.total() - grand) / n as f64;
     for v in sv.as_mut_slice() {
         *v -= drift;
@@ -160,6 +193,23 @@ mod tests {
     fn z_constant_matches_harmonic_sum() {
         assert!((z_constant(2) - 2.0).abs() < 1e-12);
         assert!((z_constant(4) - 2.0 * (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let (train, test) = small_game();
+        let u = KnnClassUtility::unweighted(&train, &test, 2);
+        let serial = group_testing_shapley_with_threads(&u, 2000, 9, 1).values;
+        for threads in [2usize, 8] {
+            let par = group_testing_shapley_with_threads(&u, 2000, 9, threads).values;
+            for i in 0..10 {
+                assert_eq!(
+                    serial.get(i).to_bits(),
+                    par.get(i).to_bits(),
+                    "i={i} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod truncated;
 pub mod types;
 pub mod utility;
 
-pub use pipeline::{KnnShapley, Method, RegMethod, RegShapley};
+pub use pipeline::{KnnShapley, Method, RegMethod, RegShapley, Valuation};
 pub use types::ShapleyValues;
 pub use utility::Utility;

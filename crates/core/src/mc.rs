@@ -1,5 +1,5 @@
 //! Monte Carlo Shapley estimators: the baseline of §2.2 and the improved
-//! estimator of Algorithm 2.
+//! estimator of Algorithm 2, on a deterministic parallel runtime.
 //!
 //! Both regard eq. (3) as an expectation over random permutations and average
 //! the marginal contribution `φ_i = ν(P_i^π ∪ {i}) − ν(P_i^π)`:
@@ -16,16 +16,35 @@
 //! Stopping is governed by [`StoppingRule`]: a fixed budget, the Hoeffding or
 //! Bennett bounds of [`crate::bounds`], or the paper's §6.2.2 heuristic
 //! ("terminate when the change of the SV estimates in two consecutive
-//! iterations is below [ε/50]").
+//! iterations is below" [`crate::bounds::heuristic_threshold`], i.e. ε/50).
+//!
+//! ### The parallel runtime and its determinism contract
+//!
+//! Permutation `t` draws its bits from stream `t` of a counter-based
+//! [`RngStreams`] family (a pure function of `(seed, t)`), so permutations
+//! can be fanned across `knnshap_parallel` workers without any shared
+//! generator. Marginal contributions accumulate in compensated
+//! ([`CompensatedVec`], Neumaier) sums, folded per fixed block and merged in
+//! block order. The resulting Shapley vector is therefore **bitwise-identical
+//! for every thread count** — `threads = 1` executes the same reduction tree
+//! serially. Two scheduling shapes exist, chosen by the *arguments only*
+//! (never by the thread count):
+//!
+//! * a-priori budgets without snapshots fan the whole budget out in one
+//!   blocked fold ([`knnshap_parallel::par_indexed_map_reduce`]);
+//! * the heuristic rule and snapshot requests ingest permutations in rounds
+//!   of [`crate::bounds::mc_round_size`] streams, folding each round into
+//!   the running estimate in permutation order so per-permutation stopping
+//!   and snapshot semantics are preserved exactly.
 
 use crate::types::ShapleyValues;
 use crate::utility::{DistMatrix, Utility};
 use knnshap_datasets::{ClassDataset, RegDataset};
 use knnshap_knn::heap::KnnHeap;
 use knnshap_knn::weights::WeightFn;
-use knnshap_numerics::sampling::shuffle_in_place;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use knnshap_numerics::compensated::CompensatedVec;
+use knnshap_numerics::sampling::{identity_shuffle, RngStreams};
+use std::sync::Arc;
 
 /// When to stop drawing permutations.
 #[derive(Debug, Clone, Copy)]
@@ -41,8 +60,10 @@ pub enum StoppingRule {
         range: f64,
         k: usize,
     },
-    /// Stop once `max_i |ŝ_i^{(t)} − ŝ_i^{(t−1)}| < threshold` (the paper
-    /// uses ε/50), bounded by `max` permutations.
+    /// Stop once `max_i |ŝ_i^{(t)} − ŝ_i^{(t−1)}| < threshold`, bounded by
+    /// `max` permutations. The paper's §6.2.2 choice of threshold is ε/50 —
+    /// build it with [`crate::bounds::heuristic_threshold`] so every caller
+    /// shares that one definition.
     Heuristic { threshold: f64, max: usize },
 }
 
@@ -84,54 +105,107 @@ pub struct McResult {
     pub snapshots: Vec<(usize, ShapleyValues)>,
 }
 
-/// The baseline estimator (§2.2): full utility re-evaluation per prefix.
-pub fn mc_shapley_baseline<U: Utility + ?Sized>(
-    u: &U,
+/// Per-block accumulator of the fan-out path: a worker closure plus its
+/// compensated sums and contribution scratch.
+struct BlockAcc<W> {
+    worker: W,
+    sums: CompensatedVec,
+    phi: Vec<f64>,
+}
+
+/// Shared drive of both estimators: `make_worker()` builds a block-local
+/// closure that fills permutation `t`'s marginal-contribution vector (one
+/// entry per training point). See the module docs for the two scheduling
+/// shapes and the determinism contract.
+fn drive_permutations<W, F>(
+    n: usize,
     rule: StoppingRule,
-    seed: u64,
     snapshot_every: Option<usize>,
-) -> McResult {
-    let n = u.n();
+    threads: usize,
+    make_worker: F,
+) -> McResult
+where
+    W: FnMut(usize, &mut [f64]) + Send,
+    F: Fn() -> W + Sync,
+{
     let budget = rule.budget(n);
     let threshold = rule.threshold();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut sums = vec![0.0f64; n];
+
+    if threshold.is_none() && snapshot_every.is_none() {
+        // Fan-out path: one blocked fold over the whole a-priori budget.
+        let acc = knnshap_parallel::par_indexed_map_reduce(
+            budget,
+            threads,
+            |_range| BlockAcc {
+                worker: make_worker(),
+                sums: CompensatedVec::zeros(n),
+                phi: vec![0.0; n],
+            },
+            |acc, t| {
+                (acc.worker)(t, &mut acc.phi);
+                for (i, &phi) in acc.phi.iter().enumerate() {
+                    acc.sums.add(i, phi);
+                }
+            },
+            |a, b| a.sums.merge(&b.sums),
+        );
+        let scale = 1.0 / budget.max(1) as f64;
+        let values: Vec<f64> = (0..n).map(|i| acc.sums.value(i) * scale).collect();
+        return McResult {
+            values: ShapleyValues::new(values),
+            permutations: budget,
+            snapshots: Vec::new(),
+        };
+    }
+
+    // Round path: launch `mc_round_size(budget)` streams at a time, then fold
+    // them into the running estimate in permutation order so the heuristic
+    // check and snapshots see exactly the serial per-permutation sequence.
+    let round = crate::bounds::mc_round_size(budget);
+    let mut sums = CompensatedVec::zeros(n);
     let mut snapshots = Vec::new();
-    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-    let nu_empty = u.eval(&[]);
     let mut t = 0usize;
-    while t < budget {
-        shuffle_in_place(&mut rng, &mut perm);
-        prefix.clear();
-        let mut prev = nu_empty;
-        let mut max_update = 0.0f64;
-        for &p in &perm {
-            prefix.push(p);
-            let cur = u.eval(&prefix);
-            let phi = cur - prev;
-            prev = cur;
-            // running-mean update; track the largest estimate movement for
-            // the heuristic rule
-            let old_est = if t == 0 { 0.0 } else { sums[p] / t as f64 };
-            sums[p] += phi;
-            let new_est = sums[p] / (t + 1) as f64;
-            max_update = max_update.max((new_est - old_est).abs());
-        }
-        t += 1;
-        if let Some(every) = snapshot_every {
-            if t.is_multiple_of(every) {
-                let est: Vec<f64> = sums.iter().map(|s| s / t as f64).collect();
-                snapshots.push((t, ShapleyValues::new(est)));
+    'drawing: while t < budget {
+        let base = t;
+        let count = round.min(budget - base);
+        // One worker per permutation: a fork's scratch (a few heaps + two
+        // n-vectors) is negligible next to the permutation's own O(N·N_test)
+        // insertion work, and per-call construction keeps this path a plain
+        // order-preserving map.
+        let phis: Vec<Vec<f64>> = knnshap_parallel::par_map(count, threads, |j| {
+            let mut phi = vec![0.0; n];
+            let mut worker = make_worker();
+            worker(base + j, &mut phi);
+            phi
+        });
+        for phi in phis {
+            let mut max_update = 0.0f64;
+            for (i, &p) in phi.iter().enumerate() {
+                let old_est = if t == 0 {
+                    0.0
+                } else {
+                    sums.value(i) / t as f64
+                };
+                sums.add(i, p);
+                let new_est = sums.value(i) / (t + 1) as f64;
+                max_update = max_update.max((new_est - old_est).abs());
             }
-        }
-        if let Some(th) = threshold {
-            if t >= 2 && max_update < th {
-                break;
+            t += 1;
+            if let Some(every) = snapshot_every {
+                if t.is_multiple_of(every) {
+                    let est: Vec<f64> = (0..n).map(|i| sums.value(i) / t as f64).collect();
+                    snapshots.push((t, ShapleyValues::new(est)));
+                }
+            }
+            if let Some(th) = threshold {
+                if t >= 2 && max_update < th {
+                    break 'drawing;
+                }
             }
         }
     }
-    let values: Vec<f64> = sums.iter().map(|s| s / t.max(1) as f64).collect();
+    let scale = 1.0 / t.max(1) as f64;
+    let values: Vec<f64> = (0..n).map(|i| sums.value(i) * scale).collect();
     McResult {
         values: ShapleyValues::new(values),
         permutations: t,
@@ -139,14 +213,84 @@ pub fn mc_shapley_baseline<U: Utility + ?Sized>(
     }
 }
 
-/// A KNN utility that supports the streaming-insertion access pattern of
-/// Algorithm 2 (lines 13–20): `insert` returns the new total utility only
-/// when some test point's K-nearest set changed.
-pub struct IncKnnUtility {
+/// The baseline estimator (§2.2) on the workspace default worker count.
+///
+/// ```
+/// use knnshap_core::mc::{mc_shapley_baseline, StoppingRule};
+/// use knnshap_core::utility::KnnClassUtility;
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 20, dim: 2, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 3, 7));
+/// let u = KnnClassUtility::unweighted(&train, &test, 2);
+/// let res = mc_shapley_baseline(&u, StoppingRule::Fixed(30), 42, None);
+/// assert_eq!(res.values.len(), 20);
+/// assert_eq!(res.permutations, 30);
+/// ```
+pub fn mc_shapley_baseline<U: Utility + ?Sized>(
+    u: &U,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+) -> McResult {
+    mc_shapley_baseline_with_threads(
+        u,
+        rule,
+        seed,
+        snapshot_every,
+        knnshap_parallel::current_threads(),
+    )
+}
+
+/// The baseline estimator (§2.2): full utility re-evaluation per prefix,
+/// permutations fanned across `threads` pool workers. Bitwise-identical
+/// output for every `threads` value (see the module docs).
+pub fn mc_shapley_baseline_with_threads<U: Utility + ?Sized>(
+    u: &U,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+    threads: usize,
+) -> McResult {
+    let n = u.n();
+    let streams = RngStreams::new(seed);
+    let nu_empty = u.eval(&[]);
+    drive_permutations(n, rule, snapshot_every, threads, || {
+        let mut perm: Vec<usize> = vec![0; n];
+        let mut prefix: Vec<usize> = Vec::with_capacity(n);
+        move |t: usize, phi: &mut [f64]| {
+            identity_shuffle(&mut streams.stream(t as u64), &mut perm);
+            prefix.clear();
+            let mut prev = nu_empty;
+            for &p in &perm {
+                prefix.push(p);
+                let cur = u.eval(&prefix);
+                phi[p] = cur - prev;
+                prev = cur;
+            }
+        }
+    })
+}
+
+/// The immutable half of [`IncKnnUtility`], shared (via `Arc`) by every fork
+/// so parallel workers reuse one distance matrix.
+struct IncShared {
     dist: DistMatrix,
     k: usize,
     weight: WeightFn,
     task: IncTask,
+}
+
+/// A KNN utility that supports the streaming-insertion access pattern of
+/// Algorithm 2 (lines 13–20): `insert` returns the new total utility only
+/// when some test point's K-nearest set changed.
+///
+/// The distance matrix and task data live behind an `Arc`, so
+/// [`fork`](IncKnnUtility::fork) hands each parallel permutation worker its own
+/// mutable heap state at the cost of a few small allocations — never a second
+/// `O(N · N_test)` distance matrix.
+pub struct IncKnnUtility {
+    shared: Arc<IncShared>,
     heaps: Vec<KnnHeap>,
     /// Per-test current utility contribution.
     per_test: Vec<f64>,
@@ -166,6 +310,16 @@ enum IncTask {
 }
 
 impl IncKnnUtility {
+    fn from_shared(shared: Arc<IncShared>, n_test: usize) -> Self {
+        let k = shared.k;
+        Self {
+            shared,
+            heaps: (0..n_test).map(|_| KnnHeap::new(k)).collect(),
+            per_test: vec![0.0; n_test],
+            total: 0.0,
+        }
+    }
+
     pub fn classification(
         train: &ClassDataset,
         test: &ClassDataset,
@@ -174,39 +328,45 @@ impl IncKnnUtility {
     ) -> Self {
         assert!(k >= 1 && !test.is_empty());
         let n_test = test.len();
-        Self {
-            dist: DistMatrix::build(&train.x, &test.x),
-            k,
-            weight,
-            task: IncTask::Class {
-                labels: train.y.clone(),
-                test_labels: test.y.clone(),
-            },
-            heaps: (0..n_test).map(|_| KnnHeap::new(k)).collect(),
-            per_test: vec![0.0; n_test],
-            total: 0.0,
-        }
+        Self::from_shared(
+            Arc::new(IncShared {
+                dist: DistMatrix::build(&train.x, &test.x),
+                k,
+                weight,
+                task: IncTask::Class {
+                    labels: train.y.clone(),
+                    test_labels: test.y.clone(),
+                },
+            }),
+            n_test,
+        )
     }
 
     pub fn regression(train: &RegDataset, test: &RegDataset, k: usize, weight: WeightFn) -> Self {
         assert!(k >= 1 && !test.is_empty());
         let n_test = test.len();
-        Self {
-            dist: DistMatrix::build(&train.x, &test.x),
-            k,
-            weight,
-            task: IncTask::Reg {
-                targets: train.y.clone(),
-                test_targets: test.y.clone(),
-            },
-            heaps: (0..n_test).map(|_| KnnHeap::new(k)).collect(),
-            per_test: vec![0.0; n_test],
-            total: 0.0,
-        }
+        Self::from_shared(
+            Arc::new(IncShared {
+                dist: DistMatrix::build(&train.x, &test.x),
+                k,
+                weight,
+                task: IncTask::Reg {
+                    targets: train.y.clone(),
+                    test_targets: test.y.clone(),
+                },
+            }),
+            n_test,
+        )
+    }
+
+    /// A fresh-state utility over the *same* shared distance matrix — the
+    /// per-worker scratch of the parallel estimator.
+    pub fn fork(&self) -> Self {
+        Self::from_shared(Arc::clone(&self.shared), self.n_test())
     }
 
     pub fn n(&self) -> usize {
-        match &self.task {
+        match &self.shared.task {
             IncTask::Class { labels, .. } => labels.len(),
             IncTask::Reg { targets, .. } => targets.len(),
         }
@@ -233,8 +393,8 @@ impl IncKnnUtility {
         let heap = &self.heaps[j];
         let members = heap.sorted();
         let dists: Vec<f32> = members.iter().map(|&(d, _)| d).collect();
-        let w = self.weight.weights(&dists, self.k);
-        match &self.task {
+        let w = self.shared.weight.weights(&dists, self.shared.k);
+        match &self.shared.task {
             IncTask::Class {
                 labels,
                 test_labels,
@@ -266,7 +426,7 @@ impl IncKnnUtility {
     pub fn insert(&mut self, i: usize) -> Option<f64> {
         let mut changed = false;
         for j in 0..self.n_test() {
-            let d = self.dist.row(j)[i];
+            let d = self.shared.dist.row(j)[i];
             if self.heaps[j].insert(d, i as u32).changed() {
                 let nu = self.recompute(j);
                 self.total += (nu - self.per_test[j]) / self.n_test() as f64;
@@ -283,64 +443,77 @@ impl IncKnnUtility {
     }
 }
 
-/// The improved estimator (Algorithm 2): heap-incremental utility updates.
+/// The improved estimator (Algorithm 2) on the workspace default worker
+/// count.
+///
+/// ```
+/// use knnshap_core::mc::{mc_shapley_improved, IncKnnUtility, StoppingRule};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+/// use knnshap_knn::weights::WeightFn;
+///
+/// let cfg = BlobConfig { n: 25, dim: 2, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 3, 7));
+/// let mut inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+/// let res = mc_shapley_improved(&mut inc, StoppingRule::Fixed(200), 42, None);
+/// // Deterministic: the same seed reproduces the same estimate bit for bit.
+/// let again = mc_shapley_improved(&mut inc, StoppingRule::Fixed(200), 42, None);
+/// assert_eq!(res.values, again.values);
+/// ```
 pub fn mc_shapley_improved(
     u: &mut IncKnnUtility,
     rule: StoppingRule,
     seed: u64,
     snapshot_every: Option<usize>,
 ) -> McResult {
+    mc_shapley_improved_with_threads(
+        u,
+        rule,
+        seed,
+        snapshot_every,
+        knnshap_parallel::current_threads(),
+    )
+}
+
+/// The improved estimator (Algorithm 2): heap-incremental utility updates,
+/// permutations fanned across `threads` pool workers, each on a
+/// [`fork`](IncKnnUtility::fork) of `u`. Bitwise-identical output for every
+/// `threads` value (see the module docs).
+pub fn mc_shapley_improved_with_threads(
+    u: &IncKnnUtility,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+    threads: usize,
+) -> McResult {
     let n = u.n();
-    let budget = rule.budget(n);
-    let threshold = rule.threshold();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut sums = vec![0.0f64; n];
-    let mut snapshots = Vec::new();
-    let mut t = 0usize;
-    while t < budget {
-        shuffle_in_place(&mut rng, &mut perm);
-        u.reset();
-        let mut prev = 0.0f64;
-        let mut max_update = 0.0f64;
-        for &p in &perm {
-            let phi = match u.insert(p) {
-                Some(cur) => {
-                    let phi = cur - prev;
-                    prev = cur;
-                    phi
-                }
-                None => 0.0, // heap unchanged ⇒ φ = 0 (paper lines 18–19)
-            };
-            let old_est = if t == 0 { 0.0 } else { sums[p] / t as f64 };
-            sums[p] += phi;
-            let new_est = sums[p] / (t + 1) as f64;
-            max_update = max_update.max((new_est - old_est).abs());
-        }
-        t += 1;
-        if let Some(every) = snapshot_every {
-            if t.is_multiple_of(every) {
-                let est: Vec<f64> = sums.iter().map(|s| s / t as f64).collect();
-                snapshots.push((t, ShapleyValues::new(est)));
+    let streams = RngStreams::new(seed);
+    drive_permutations(n, rule, snapshot_every, threads, || {
+        let mut fork = u.fork();
+        let mut perm: Vec<usize> = vec![0; n];
+        move |t: usize, phi: &mut [f64]| {
+            identity_shuffle(&mut streams.stream(t as u64), &mut perm);
+            fork.reset();
+            let mut prev = 0.0f64;
+            for &p in &perm {
+                phi[p] = match fork.insert(p) {
+                    Some(cur) => {
+                        let d = cur - prev;
+                        prev = cur;
+                        d
+                    }
+                    None => 0.0, // heap unchanged ⇒ φ = 0 (paper lines 18–19)
+                };
             }
         }
-        if let Some(th) = threshold {
-            if t >= 2 && max_update < th {
-                break;
-            }
-        }
-    }
-    let values: Vec<f64> = sums.iter().map(|s| s / t.max(1) as f64).collect();
-    McResult {
-        values: ShapleyValues::new(values),
-        permutations: t,
-        snapshots,
-    }
+    })
 }
 
 /// Empirical "ground truth" permutation demand (Fig. 11): the first `t` at
 /// which the running estimate is within `eps` of `reference` in `‖·‖_∞`.
 /// Returns `None` if `max_t` permutations never reach it.
+///
+/// Draws permutation `t` from stream `t − 1`, so the permutation sequence is
+/// exactly the one [`mc_shapley_improved`] consumes for the same seed.
 pub fn permutations_until_error(
     u: &mut IncKnnUtility,
     reference: &ShapleyValues,
@@ -350,23 +523,24 @@ pub fn permutations_until_error(
 ) -> Option<usize> {
     let n = u.n();
     assert_eq!(reference.len(), n);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut sums = vec![0.0f64; n];
+    let streams = RngStreams::new(seed);
+    let mut perm: Vec<usize> = vec![0; n];
+    let mut sums = CompensatedVec::zeros(n);
     for t in 1..=max_t {
-        shuffle_in_place(&mut rng, &mut perm);
+        identity_shuffle(&mut streams.stream((t - 1) as u64), &mut perm);
         u.reset();
-        let mut prev = 0.0f64;
+        let mut prev = 0.0;
         for &p in &perm {
             if let Some(cur) = u.insert(p) {
-                sums[p] += cur - prev;
+                sums.add(p, cur - prev);
                 prev = cur;
             }
         }
-        let worst = sums
+        let worst = reference
+            .as_slice()
             .iter()
-            .zip(reference.as_slice())
-            .map(|(s, r)| (s / t as f64 - r).abs())
+            .enumerate()
+            .map(|(i, r)| (sums.value(i) / t as f64 - r).abs())
             .fold(0.0f64, f64::max);
         if worst <= eps {
             return Some(t);
@@ -405,7 +579,9 @@ mod tests {
     use crate::exact_unweighted::knn_class_shapley_with_threads;
     use crate::utility::{KnnClassUtility, KnnRegUtility};
     use knnshap_datasets::Features;
-    use rand::Rng;
+    use knnshap_numerics::sampling::shuffle_in_place;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn small_class(seed: u64, n: usize) -> (ClassDataset, ClassDataset) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -453,6 +629,21 @@ mod tests {
     }
 
     #[test]
+    fn fork_shares_distances_but_not_state() {
+        let (train, test) = small_class(10, 12);
+        let mut inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        inc.insert(0);
+        inc.insert(3);
+        let mut fork = inc.fork();
+        assert_eq!(fork.current(), 0.0, "fork must start empty");
+        assert_eq!(fork.n(), inc.n());
+        // Replaying the same insertions on the fork reaches the same total.
+        fork.insert(0);
+        fork.insert(3);
+        assert_eq!(fork.current().to_bits(), inc.current().to_bits());
+    }
+
+    #[test]
     fn baseline_converges_to_exact() {
         let (train, test) = small_class(3, 10);
         let exact = knn_class_shapley_with_threads(&train, &test, 2, 1);
@@ -487,6 +678,57 @@ mod tests {
         let a = mc_shapley_baseline(&u, StoppingRule::Fixed(3000), 1, None);
         let b = mc_shapley_improved(&mut inc, StoppingRule::Fixed(3000), 2, None);
         assert!(a.values.max_abs_diff(&b.values) < 0.05);
+    }
+
+    #[test]
+    fn baseline_and_improved_agree_exactly_on_same_streams() {
+        // Same seed ⇒ same permutation sequence ⇒ the two estimators see the
+        // same marginals (they differ only in how they evaluate ν).
+        let (train, test) = small_class(12, 14);
+        let u = KnnClassUtility::unweighted(&train, &test, 3);
+        let mut inc = IncKnnUtility::classification(&train, &test, 3, WeightFn::Uniform);
+        let a = mc_shapley_baseline(&u, StoppingRule::Fixed(40), 9, None);
+        let b = mc_shapley_improved(&mut inc, StoppingRule::Fixed(40), 9, None);
+        assert!(
+            a.values.max_abs_diff(&b.values) < 1e-9,
+            "err={}",
+            a.values.max_abs_diff(&b.values)
+        );
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let (train, test) = small_class(6, 18);
+        let u = KnnClassUtility::unweighted(&train, &test, 2);
+        let inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+        for rule in [
+            StoppingRule::Fixed(100),
+            StoppingRule::Heuristic {
+                threshold: 1e-4,
+                max: 300,
+            },
+        ] {
+            let serial_b = mc_shapley_baseline_with_threads(&u, rule, 3, None, 1);
+            let serial_i = mc_shapley_improved_with_threads(&inc, rule, 3, None, 1);
+            for threads in [2usize, 8] {
+                let par_b = mc_shapley_baseline_with_threads(&u, rule, 3, None, threads);
+                let par_i = mc_shapley_improved_with_threads(&inc, rule, 3, None, threads);
+                assert_eq!(par_b.permutations, serial_b.permutations);
+                assert_eq!(par_i.permutations, serial_i.permutations);
+                for i in 0..u.n() {
+                    assert_eq!(
+                        serial_b.values.get(i).to_bits(),
+                        par_b.values.get(i).to_bits(),
+                        "baseline i={i} threads={threads}"
+                    );
+                    assert_eq!(
+                        serial_i.values.get(i).to_bits(),
+                        par_i.values.get(i).to_bits(),
+                        "improved i={i} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -94,6 +94,25 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// A valuation plus run metadata, returned by
+/// [`KnnShapley::run_report`]/[`RegShapley::run_report`].
+#[derive(Debug, Clone)]
+pub struct Valuation {
+    pub values: ShapleyValues,
+    /// Permutations consumed, for the Monte Carlo methods (`None` for the
+    /// deterministic algorithms).
+    pub permutations: Option<usize>,
+}
+
+impl From<ShapleyValues> for Valuation {
+    fn from(values: ShapleyValues) -> Self {
+        Valuation {
+            values,
+            permutations: None,
+        }
+    }
+}
+
 /// Builder for classification-task data valuation.
 pub struct KnnShapley<'a> {
     train: &'a ClassDataset,
@@ -156,6 +175,13 @@ impl<'a> KnnShapley<'a> {
 
     /// Execute the configured valuation.
     pub fn run(&self) -> Result<ShapleyValues, PipelineError> {
+        self.run_report().map(|r| r.values)
+    }
+
+    /// Execute the configured valuation and return it with run metadata
+    /// (for the Monte Carlo methods, the permutation count actually
+    /// consumed — what the CLI turns into a throughput line).
+    pub fn run_report(&self) -> Result<Valuation, PipelineError> {
         self.validate()?;
         let uniform = matches!(self.weight, WeightFn::Uniform);
         match self.method {
@@ -166,7 +192,8 @@ impl<'a> KnnShapley<'a> {
                         self.test,
                         self.k,
                         self.threads,
-                    ))
+                    )
+                    .into())
                 } else {
                     Ok(crate::exact_weighted::weighted_knn_class_shapley(
                         self.train,
@@ -174,35 +201,46 @@ impl<'a> KnnShapley<'a> {
                         self.k,
                         self.weight,
                         self.threads,
-                    ))
+                    )
+                    .into())
                 }
             }
             Method::Truncated { eps } => {
                 if !uniform {
                     return Err(PipelineError::WeightedUnsupported("Truncated"));
                 }
-                Ok(crate::truncated::truncated_class_shapley(
-                    self.train, self.test, self.k, eps,
-                ))
+                Ok(crate::truncated::truncated_class_shapley_with_threads(
+                    self.train,
+                    self.test,
+                    self.k,
+                    eps,
+                    self.threads,
+                )
+                .into())
             }
             Method::TruncatedTree { eps } => {
                 if !uniform {
                     return Err(PipelineError::WeightedUnsupported("TruncatedTree"));
                 }
                 let tree = knnshap_knn::kdtree::KdTree::build(&self.train.x);
-                let mut acc = ShapleyValues::zeros(self.train.len());
-                for j in 0..self.test.len() {
-                    acc.add_assign(&crate::truncated::truncated_class_shapley_with_kdtree(
-                        &tree,
-                        self.train,
-                        self.test.x.row(j),
-                        self.test.y[j],
-                        self.k,
-                        eps,
-                    ));
-                }
+                let mut acc = knnshap_parallel::par_map_reduce(
+                    self.test.len(),
+                    self.threads,
+                    || ShapleyValues::zeros(self.train.len()),
+                    |acc, j| {
+                        acc.add_assign(&crate::truncated::truncated_class_shapley_with_kdtree(
+                            &tree,
+                            self.train,
+                            self.test.x.row(j),
+                            self.test.y[j],
+                            self.k,
+                            eps,
+                        ));
+                    },
+                    |a, b| a.add_assign(&b),
+                );
                 acc.scale(1.0 / self.test.len() as f64);
-                Ok(acc)
+                Ok(acc.into())
             }
             Method::Lsh {
                 eps,
@@ -232,9 +270,12 @@ impl<'a> KnnShapley<'a> {
                     0x5EED,
                 );
                 let index = LshIndex::build(&self.train.x, params);
-                Ok(crate::lsh_approx::lsh_class_shapley(
-                    &index, self.train, self.test, self.k, eps,
-                ))
+                Ok(
+                    crate::lsh_approx::lsh_class_shapley(
+                        &index, self.train, self.test, self.k, eps,
+                    )
+                    .into(),
+                )
             }
             Method::McBaseline { rule, seed } => {
                 let u = crate::utility::KnnClassUtility::new(
@@ -243,12 +284,26 @@ impl<'a> KnnShapley<'a> {
                     self.k,
                     self.weight,
                 );
-                Ok(crate::mc::mc_shapley_baseline(&u, rule, seed, None).values)
+                let res =
+                    crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads);
+                Ok(Valuation {
+                    values: res.values,
+                    permutations: Some(res.permutations),
+                })
             }
             Method::McImproved { rule, seed } => {
-                let mut inc =
-                    IncKnnUtility::classification(self.train, self.test, self.k, self.weight);
-                Ok(crate::mc::mc_shapley_improved(&mut inc, rule, seed, None).values)
+                let inc = IncKnnUtility::classification(self.train, self.test, self.k, self.weight);
+                let res = crate::mc::mc_shapley_improved_with_threads(
+                    &inc,
+                    rule,
+                    seed,
+                    None,
+                    self.threads,
+                );
+                Ok(Valuation {
+                    values: res.values,
+                    permutations: Some(res.permutations),
+                })
             }
         }
     }
@@ -382,6 +437,12 @@ impl<'a> RegShapley<'a> {
 
     /// Execute the configured valuation.
     pub fn run(&self) -> Result<ShapleyValues, PipelineError> {
+        self.run_report().map(|r| r.values)
+    }
+
+    /// Execute the configured valuation and return it with run metadata
+    /// (permutation counts for the Monte Carlo methods).
+    pub fn run_report(&self) -> Result<Valuation, PipelineError> {
         self.validate()?;
         let uniform = matches!(self.weight, WeightFn::Uniform);
         match self.method {
@@ -392,7 +453,8 @@ impl<'a> RegShapley<'a> {
                         self.test,
                         self.k,
                         self.threads,
-                    ))
+                    )
+                    .into())
                 } else {
                     Ok(crate::exact_weighted::weighted_knn_reg_shapley(
                         self.train,
@@ -400,17 +462,33 @@ impl<'a> RegShapley<'a> {
                         self.k,
                         self.weight,
                         self.threads,
-                    ))
+                    )
+                    .into())
                 }
             }
             RegMethod::McBaseline { rule, seed } => {
                 let u =
                     crate::utility::KnnRegUtility::new(self.train, self.test, self.k, self.weight);
-                Ok(crate::mc::mc_shapley_baseline(&u, rule, seed, None).values)
+                let res =
+                    crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads);
+                Ok(Valuation {
+                    values: res.values,
+                    permutations: Some(res.permutations),
+                })
             }
             RegMethod::McImproved { rule, seed } => {
-                let mut inc = IncKnnUtility::regression(self.train, self.test, self.k, self.weight);
-                Ok(crate::mc::mc_shapley_improved(&mut inc, rule, seed, None).values)
+                let inc = IncKnnUtility::regression(self.train, self.test, self.k, self.weight);
+                let res = crate::mc::mc_shapley_improved_with_threads(
+                    &inc,
+                    rule,
+                    seed,
+                    None,
+                    self.threads,
+                );
+                Ok(Valuation {
+                    values: res.values,
+                    permutations: Some(res.permutations),
+                })
             }
         }
     }
@@ -509,6 +587,37 @@ mod tests {
             .unwrap();
         assert_eq!(a.len(), 120);
         assert_eq!(b.len(), 120);
+    }
+
+    #[test]
+    fn run_report_exposes_mc_permutations_and_is_thread_count_free() {
+        let (train, test) = data();
+        let report = |threads: usize| {
+            KnnShapley::new(&train, &test)
+                .k(2)
+                .threads(threads)
+                .method(Method::McImproved {
+                    rule: StoppingRule::Fixed(120),
+                    seed: 3,
+                })
+                .run_report()
+                .unwrap()
+        };
+        let serial = report(1);
+        assert_eq!(serial.permutations, Some(120));
+        for threads in [2usize, 8] {
+            let par = report(threads);
+            assert_eq!(par.permutations, Some(120));
+            for i in 0..train.len() {
+                assert_eq!(
+                    serial.values.get(i).to_bits(),
+                    par.values.get(i).to_bits(),
+                    "i={i} threads={threads}"
+                );
+            }
+        }
+        let exact = KnnShapley::new(&train, &test).run_report().unwrap();
+        assert_eq!(exact.permutations, None);
     }
 
     #[test]

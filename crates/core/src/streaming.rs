@@ -7,10 +7,13 @@
 //!
 //! [`OnlineValuator`] owns the running per-point accumulator: each
 //! [`observe`](OnlineValuator::observe) folds one test point's single-query
-//! Shapley game into the sum, and [`values`](OnlineValuator::values) returns
-//! the average over everything seen so far — by the additivity axiom this
-//! *equals* the batch value of the utility (eq. 8) over the observed test
-//! set. Three interchangeable backends trade accuracy for per-query cost:
+//! Shapley game into the sum — or, when queries arrive in bursts,
+//! [`observe_batch`](OnlineValuator::observe_batch) fans a whole chunk across
+//! the `knnshap_parallel` pool with its usual fixed-block, block-order
+//! reduction — and [`values`](OnlineValuator::values) returns the average
+//! over everything seen so far; by the additivity axiom this *equals* the
+//! batch value of the utility (eq. 8) over the observed test set. Three
+//! interchangeable backends trade accuracy for per-query cost:
 //!
 //! | backend | per-query cost | guarantee |
 //! |---|---|---|
@@ -91,6 +94,20 @@ impl<'a> OnlineValuator<'a> {
         }
     }
 
+    /// One query's single-test Shapley game under the configured backend.
+    fn per_query(&self, query: &[f32], label: u32) -> ShapleyValues {
+        assert_eq!(query.len(), self.train.dim(), "query dimension mismatch");
+        match &self.backend {
+            StreamBackend::Exact => knn_class_shapley_single(self.train, query, label, self.k),
+            StreamBackend::Truncated { eps } => {
+                truncated_class_shapley_single(self.train, query, label, self.k, *eps)
+            }
+            StreamBackend::Lsh { index, eps } => {
+                lsh_class_shapley_single(index, self.train, query, label, self.k, *eps)
+            }
+        }
+    }
+
     /// Folds one labeled test point into the running values and returns that
     /// query's own single-test Shapley vector (useful for per-query
     /// diagnostics).
@@ -99,19 +116,43 @@ impl<'a> OnlineValuator<'a> {
     ///
     /// Panics if `query` has the wrong dimensionality.
     pub fn observe(&mut self, query: &[f32], label: u32) -> ShapleyValues {
-        assert_eq!(query.len(), self.train.dim(), "query dimension mismatch");
-        let per_query = match &self.backend {
-            StreamBackend::Exact => knn_class_shapley_single(self.train, query, label, self.k),
-            StreamBackend::Truncated { eps } => {
-                truncated_class_shapley_single(self.train, query, label, self.k, *eps)
-            }
-            StreamBackend::Lsh { index, eps } => {
-                lsh_class_shapley_single(index, self.train, query, label, self.k, *eps)
-            }
-        };
+        let per_query = self.per_query(query, label);
         self.sum.add_assign(&per_query);
         self.n_queries += 1;
         per_query
+    }
+
+    /// Folds a whole chunk of arriving test points at once on the workspace
+    /// default worker count. See [`observe_batch_with_threads`](Self::observe_batch_with_threads).
+    pub fn observe_batch(&mut self, chunk: &ClassDataset) {
+        self.observe_batch_with_threads(chunk, knnshap_parallel::current_threads());
+    }
+
+    /// Folds a chunk of arriving test points with an explicit worker count:
+    /// the per-query games fan across the pool and their vectors fold in
+    /// fixed blocks merged in block order, so the accumulator state after the
+    /// call is bitwise-identical for every `threads` value (though not to a
+    /// query-by-query [`observe`](Self::observe) loop, whose addition order
+    /// differs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` has the wrong dimensionality.
+    pub fn observe_batch_with_threads(&mut self, chunk: &ClassDataset, threads: usize) {
+        assert_eq!(chunk.dim(), self.train.dim(), "query dimension mismatch");
+        if chunk.is_empty() {
+            return;
+        }
+        let this: &OnlineValuator<'_> = self;
+        let partial = knnshap_parallel::par_map_reduce(
+            chunk.len(),
+            threads,
+            || ShapleyValues::zeros(this.train.len()),
+            |acc, j| acc.add_assign(&this.per_query(chunk.x.row(j), chunk.y[j])),
+            |a, b| a.add_assign(&b),
+        );
+        self.sum.add_assign(&partial);
+        self.n_queries += chunk.len();
     }
 
     /// Number of test points observed so far.
@@ -207,6 +248,51 @@ mod tests {
         let batch = knn_class_shapley_with_threads(&train, &test, k, 1);
         // δ-probability failures allowed; generous envelope.
         assert!(online.values().max_abs_diff(&batch) <= 0.5);
+    }
+
+    #[test]
+    fn batch_ingestion_matches_query_loop_and_is_thread_count_free() {
+        let (train, test) = data(120, 16);
+        let mut looped = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+        for j in 0..test.len() {
+            looped.observe(test.x.row(j), test.y[j]);
+        }
+        let mut batched = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+        batched.observe_batch(&test);
+        assert_eq!(batched.queries_seen(), test.len());
+        assert!(batched.values().max_abs_diff(&looped.values()) < 1e-12);
+
+        // Bitwise thread-count invariance of the batched fold.
+        let run = |threads: usize| {
+            let mut v = OnlineValuator::new(&train, 3, StreamBackend::Exact);
+            v.observe_batch_with_threads(&test, threads);
+            v.values()
+        };
+        let serial = run(1);
+        for threads in [2usize, 8] {
+            let par = run(threads);
+            for i in 0..train.len() {
+                assert_eq!(
+                    serial.get(i).to_bits(),
+                    par.get(i).to_bits(),
+                    "i={i} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (train, _) = data(30, 1);
+        let empty = ClassDataset::new(
+            knnshap_datasets::Features::new(vec![], train.dim()),
+            vec![],
+            3,
+        );
+        let mut online = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        online.observe_batch(&empty);
+        assert_eq!(online.queries_seen(), 0);
+        assert_eq!(online.values().total(), 0.0);
     }
 
     #[test]

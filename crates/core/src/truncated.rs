@@ -109,24 +109,44 @@ pub fn truncated_class_shapley_with_kdtree(
     truncated_recursion(&neighbors, &train.y, test_label, k, ks, train.len())
 }
 
-/// Truncated SVs w.r.t. a test set (average of per-test values).
+/// Truncated SVs w.r.t. a test set (average of per-test values), on the
+/// workspace default worker count.
 pub fn truncated_class_shapley(
     train: &ClassDataset,
     test: &ClassDataset,
     k: usize,
     eps: f64,
 ) -> ShapleyValues {
+    truncated_class_shapley_with_threads(train, test, k, eps, knnshap_parallel::current_threads())
+}
+
+/// [`truncated_class_shapley`] with an explicit worker count: the per-test
+/// games fan across the pool and their value vectors fold in fixed blocks
+/// merged in block order, so the average is bitwise-identical for every
+/// `threads` value.
+pub fn truncated_class_shapley_with_threads(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    eps: f64,
+    threads: usize,
+) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
-    let mut acc = ShapleyValues::zeros(train.len());
-    for j in 0..test.len() {
-        acc.add_assign(&truncated_class_shapley_single(
-            train,
-            test.x.row(j),
-            test.y[j],
-            k,
-            eps,
-        ));
-    }
+    let mut acc = knnshap_parallel::par_map_reduce(
+        test.len(),
+        threads,
+        || ShapleyValues::zeros(train.len()),
+        |acc, j| {
+            acc.add_assign(&truncated_class_shapley_single(
+                train,
+                test.x.row(j),
+                test.y[j],
+                k,
+                eps,
+            ));
+        },
+        |a, b| a.add_assign(&b),
+    );
     acc.scale(1.0 / test.len() as f64);
     acc
 }
@@ -179,6 +199,22 @@ mod tests {
         let exact = knn_class_shapley_with_threads(&train, &test, 2, 1);
         let approx = truncated_class_shapley(&train, &test, 2, eps);
         assert!(exact.max_abs_diff(&approx) <= eps + 1e-12);
+    }
+
+    #[test]
+    fn multi_test_bitwise_identical_across_thread_counts() {
+        let (train, test) = instance(90);
+        let serial = truncated_class_shapley_with_threads(&train, &test, 2, 0.1, 1);
+        for threads in [2usize, 8] {
+            let par = truncated_class_shapley_with_threads(&train, &test, 2, 0.1, threads);
+            for i in 0..train.len() {
+                assert_eq!(
+                    serial.get(i).to_bits(),
+                    par.get(i).to_bits(),
+                    "i={i} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

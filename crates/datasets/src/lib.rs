@@ -13,6 +13,23 @@
 //!   low Shapley values, Figs. 14–16).
 //!
 //! See `DESIGN.md` §2 for the substitution rationale.
+//!
+//! ### Determinism contract
+//!
+//! Every generator takes an explicit seed and draws through the workspace's
+//! seeded `StdRng`, so datasets are bit-reproducible across runs, machines
+//! and thread counts — the foundation the estimator determinism batteries
+//! (`tests/{parallel,mc}_determinism.rs`) build on.
+//!
+//! ```
+//! use knnshap_datasets::synth::blobs::{self, BlobConfig};
+//!
+//! let cfg = BlobConfig { n: 30, dim: 4, n_classes: 3, ..Default::default() };
+//! let train = blobs::generate(&cfg);
+//! assert_eq!((train.len(), train.dim()), (30, 4));
+//! // Same config ⇒ bitwise-identical features.
+//! assert_eq!(blobs::generate(&cfg).x.row(7), train.x.row(7));
+//! ```
 
 pub mod bootstrap;
 pub mod contrast;

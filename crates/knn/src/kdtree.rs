@@ -2,12 +2,12 @@
 //!
 //! The paper (§3.2) names kd-trees as the classic alternative to LSH for
 //! nearest-neighbor retrieval ("Various techniques, such as the kd-tree
-//! [MA98], LSH [DIIM04], have been proposed…") while adopting LSH for its
+//! \[MA98\], LSH \[DIIM04\], have been proposed…") while adopting LSH for its
 //! high-dimensional behaviour. This implementation provides the other side
 //! of that trade-off: **exact** retrieval with branch-and-bound pruning that
 //! is very fast in low/moderate dimensions and degrades toward a linear scan
 //! as dimensionality grows (the curse of dimensionality the paper cites
-//! [HKC12]). It slots into the truncated Theorem 2 approximation as a third
+//! \[HKC12\]). It slots into the truncated Theorem 2 approximation as a third
 //! retrieval backend next to full sort and LSH.
 //!
 //! Design: median-split on the widest-spread dimension, nodes stored in a

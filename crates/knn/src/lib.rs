@@ -15,6 +15,24 @@
 //!   ([`classifier`], [`regressor`], [`weights`]);
 //! * an exact kd-tree index ([`kdtree`]) — the paper's named alternative to
 //!   LSH for neighbor retrieval, effective in low/moderate dimensions.
+//!
+//! ### Determinism contract
+//!
+//! Every retrieval path breaks distance ties toward the smaller training
+//! index, so rankings (and everything the valuation algorithms derive from
+//! them) are pure functions of the data — no hashing, no RNG, no
+//! thread-count sensitivity.
+//!
+//! ```
+//! use knnshap_knn::heap::KnnHeap;
+//!
+//! // The bounded max-heap behind Algorithm 2's "did the K-NN set change?"
+//! let mut h = KnnHeap::new(2);
+//! assert!(h.insert(0.5, 0).changed());
+//! assert!(h.insert(0.2, 1).changed());
+//! assert!(!h.insert(0.9, 2).changed()); // farther than the current 2-NN set
+//! assert_eq!(h.sorted(), vec![(0.2, 1), (0.5, 0)]);
+//! ```
 
 pub mod classifier;
 pub mod distance;

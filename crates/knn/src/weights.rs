@@ -2,7 +2,7 @@
 //!
 //! "The weight assigned to a neighbor in the weighted KNN estimate often
 //! varies with the neighbor-to-test distance so that the evidence from more
-//! nearby neighbors is weighted more heavily [Dud76]." The paper's Fig. 14
+//! nearby neighbors is weighted more heavily \[Dud76\]." The paper's Fig. 14
 //! experiment uses inverse-distance weighting; we also provide the uniform
 //! weighting (which must recover unweighted KNN exactly — a property test
 //! relies on this) and an exponential kernel.

@@ -19,6 +19,13 @@
 //! * [`multiprobe`]: an extension beyond the paper — Lv et al.'s multi-probe
 //!   querying, trading extra bucket visits for hash tables (memory); see the
 //!   `ablation_multiprobe` bench binary for the measured trade-off.
+//!
+//! ### Determinism contract
+//!
+//! Projections and offsets are drawn from an explicit seed, bucket iteration
+//! follows insertion order, and candidate re-ranking breaks ties toward the
+//! smaller training index — so an index built twice from the same
+//! `(data, params)` answers every query identically, at any thread count.
 
 pub mod hash;
 pub mod index;

@@ -8,6 +8,13 @@
 //! retraining [`knnshap_core::Utility`] over it ([`logreg_utility`]) so the
 //! Monte Carlo estimators can value data w.r.t. the logistic model, and the
 //! §7 KNN-surrogate calibration ([`surrogate`]).
+//!
+//! ### Determinism contract
+//!
+//! Training is full-batch gradient descent from a zero initialization — no
+//! minibatch RNG — so a fit (and therefore [`LogRegUtility`]'s ν values, and
+//! any Monte Carlo run over them) is a pure function of the data and
+//! hyperparameters.
 
 pub mod logreg;
 pub mod logreg_utility;

@@ -3,7 +3,7 @@
 //! "For calculating the SV for general deep neural networks, we can take the
 //! deep features [...] and train a KNN classifier on the deep features. We
 //! calibrate K such that the resulting KNN mimics the performance of the
-//! original [model]." This module implements exactly that calibration: pick
+//! original \[model\]." This module implements exactly that calibration: pick
 //! the `K` whose KNN test accuracy is closest to a target accuracy.
 
 use knnshap_datasets::ClassDataset;

@@ -1,13 +1,23 @@
-//! Random sampling utilities: Gaussian variates (Box–Muller) and uniform
-//! random permutations (Fisher–Yates).
+//! Random sampling utilities: Gaussian variates (Box–Muller), uniform random
+//! permutations (Fisher–Yates), and counter-based RNG streams.
 //!
 //! The workspace deliberately keeps `rand` as its only RNG dependency and
 //! derives Gaussians itself: synthetic "deep feature" embeddings, the p-stable
 //! LSH projection vectors, and noise injection all draw from
 //! [`GaussianSampler`], while the Monte Carlo Shapley estimators draw
 //! permutations from [`sample_permutation`].
+//!
+//! ### Stream splitting
+//!
+//! The parallel Monte Carlo runtime cannot share one sequential generator
+//! across workers without making results depend on scheduling. [`RngStreams`]
+//! solves this with counter-based derivation: stream `i` of seed `s` is an
+//! independent generator seeded from a SplitMix64-style mix of `(s, i)`, so
+//! permutation `i` draws the same bits no matter which worker — or how many
+//! workers — execute the run. See [`RngStreams::stream`].
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Standard-normal sampler using the Box–Muller transform with caching of the
 /// second variate, so amortized cost is one `ln`/`sqrt`/`sincos` pair per two
@@ -76,6 +86,73 @@ pub fn shuffle_in_place<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
     }
 }
 
+/// Reset `xs` to the identity permutation `0..n` and shuffle it with `rng` —
+/// the canonical "draw permutation `i` of stream `i`" step of the parallel MC
+/// estimators. Starting from the identity (rather than whatever the buffer
+/// held) makes the result a pure function of the generator state, so a
+/// permutation drawn from [`RngStreams::stream`]`(i)` is identical no matter
+/// which worker draws it or what that worker drew before.
+pub fn identity_shuffle<R: Rng + ?Sized>(rng: &mut R, xs: &mut [usize]) {
+    for (i, x) in xs.iter_mut().enumerate() {
+        *x = i;
+    }
+    shuffle_in_place(rng, xs);
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix of 64 bits.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A family of independent, counter-indexed RNG streams derived from one
+/// seed.
+///
+/// Stream `i` is an [`StdRng`] seeded from `mix(seed, i)` — two rounds of the
+/// SplitMix64 finalizer over the golden-ratio-weighted combination of the two
+/// words — so nearby `(seed, stream)` pairs land on statistically unrelated
+/// generator states. The derivation is pure: it involves no shared mutable
+/// state, which is what lets the Monte Carlo estimators hand stream `i` to
+/// whichever pool worker processes permutation `i` and still produce
+/// bitwise-identical output at every thread count.
+///
+/// ```
+/// use knnshap_numerics::sampling::{sample_permutation, RngStreams};
+///
+/// let streams = RngStreams::new(42);
+/// // Stream derivation is pure: the same (seed, index) always yields the
+/// // same permutation, independent of any other stream having been drawn.
+/// let a = sample_permutation(&mut streams.stream(7), 20);
+/// let _ = sample_permutation(&mut streams.stream(3), 20);
+/// let b = sample_permutation(&mut streams.stream(7), 20);
+/// assert_eq!(a, b);
+/// assert_ne!(a, sample_permutation(&mut streams.stream(8), 20));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RngStreams {
+    seed: u64,
+}
+
+impl RngStreams {
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The base seed the streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generator for stream `i`.
+    pub fn stream(&self, i: u64) -> StdRng {
+        StdRng::seed_from_u64(mix64(
+            mix64(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1))),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +201,58 @@ mod tests {
                 seen[x] = true;
             }
             assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn stream_rng_is_pure_and_seed_sensitive() {
+        use rand::RngCore;
+        let s = RngStreams::new(1234);
+        assert_eq!(s.seed(), 1234);
+        // Pure in the stream index…
+        for i in [0u64, 1, 17, u64::MAX] {
+            assert_eq!(s.stream(i).next_u64(), s.stream(i).next_u64());
+        }
+        // …distinct across adjacent indices and across seeds.
+        assert_ne!(s.stream(0).next_u64(), s.stream(1).next_u64());
+        assert_ne!(
+            s.stream(0).next_u64(),
+            RngStreams::new(1235).stream(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn identity_shuffle_ignores_buffer_history() {
+        let s = RngStreams::new(9);
+        let mut dirty: Vec<usize> = (0..50).rev().collect();
+        identity_shuffle(&mut s.stream(4), &mut dirty);
+        let mut fresh: Vec<usize> = vec![0; 50];
+        identity_shuffle(&mut s.stream(4), &mut fresh);
+        assert_eq!(dirty, fresh);
+        let mut seen = vec![false; 50];
+        for &x in &dirty {
+            assert!(!seen[x]);
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn stream_positions_are_uniformish() {
+        // Element 0's slot across streams of one seed must be ~uniform — the
+        // unbiasedness precondition of the parallel MC estimators.
+        let streams = RngStreams::new(77);
+        let n = 5;
+        let trials = 50_000u64;
+        let mut counts = vec![0usize; n];
+        let mut perm = vec![0usize; n];
+        for t in 0..trials {
+            identity_shuffle(&mut streams.stream(t), &mut perm);
+            let pos = perm.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.2).abs() < 0.02, "freq {freq}");
         }
     }
 

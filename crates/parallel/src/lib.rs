@@ -18,6 +18,9 @@
 //!   chunks of a slice, chunk boundaries fixed by the caller.
 //! * [`par_map_reduce`]`(n, threads, init, step, reduce)` — blocked fold
 //!   whose reduction order is a function of `n` alone.
+//! * [`par_indexed_map_reduce`] — the same fold, but `init` sees the block's
+//!   index range so accumulators can set up block-scoped scratch (how the
+//!   Monte Carlo estimators seat a forked utility per block).
 //! * [`ThreadPool`] — the pool itself, for dedicated pools in tests or
 //!   embedders; the free functions above run on a lazily-built global pool
 //!   sized by [`current_threads`].
@@ -150,6 +153,28 @@ where
     ThreadPool::global().par_map_reduce(n, threads, init, step, reduce)
 }
 
+/// [`par_map_reduce`] whose `init` receives the block's index range, so
+/// accumulators can carry block-scoped scratch (forked utilities, stream
+/// tables, reusable permutation buffers). Same fixed partition and block-order
+/// reduction — and therefore the same bitwise-determinism contract — as
+/// [`par_map_reduce`]; the parallel Monte Carlo estimators in `knnshap_core`
+/// are built on this entry point.
+pub fn par_indexed_map_reduce<A, I, S, R>(
+    n: usize,
+    threads: usize,
+    init: I,
+    step: S,
+    reduce: R,
+) -> A
+where
+    A: Send,
+    I: Fn(std::ops::Range<usize>) -> A + Sync,
+    S: Fn(&mut A, usize) + Sync,
+    R: Fn(&mut A, A),
+{
+    ThreadPool::global().par_indexed_map_reduce(n, threads, init, step, reduce)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +200,45 @@ mod tests {
     fn par_map_reduce_empty_returns_init() {
         let v = par_map_reduce(0, 8, || 7i64, |_, _| unreachable!(), |_, _| unreachable!());
         assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn par_indexed_map_reduce_sees_block_ranges() {
+        // Each block's accumulator starts at its range start; folding the
+        // starts plus the per-item steps must cover 0..n exactly once, and
+        // the result must be thread-count-free.
+        let run = |threads: usize| -> (u64, usize) {
+            par_indexed_map_reduce(
+                1000,
+                threads,
+                |range| (0u64, range.start),
+                |acc, i| {
+                    assert!(i >= acc.1, "item before block start");
+                    acc.0 += i as u64;
+                },
+                |a, b| a.0 += b.0,
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.0, (0..1000u64).sum::<u64>());
+        for threads in [2, 8] {
+            assert_eq!(run(threads), serial);
+        }
+    }
+
+    #[test]
+    fn par_indexed_map_reduce_empty_gets_empty_range() {
+        let v = par_indexed_map_reduce(
+            0,
+            4,
+            |range| {
+                assert!(range.is_empty());
+                3i32
+            },
+            |_, _| unreachable!(),
+            |_, _| unreachable!(),
+        );
+        assert_eq!(v, 3);
     }
 
     #[test]

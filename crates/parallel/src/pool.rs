@@ -50,11 +50,12 @@ const MAX_BLOCKS: usize = 256;
 /// workers while keeping the worst case at 32 accumulators.
 const MAX_REDUCE_BLOCKS: usize = 32;
 
-/// Fixed partition of `0..n` into at most `max_blocks` equal blocks (the
-/// last may be short). Depends only on the arguments — never on the thread
-/// count.
-fn partition_with(n: usize, max_blocks: usize) -> Vec<Block> {
-    let size = n.div_ceil(max_blocks).max(1);
+/// Fixed tiling of `0..n` into `size`-item blocks (the last may be short).
+/// Depends only on the arguments — never on the thread count — preserving
+/// the Block invariants (contiguous, `index` = position) the determinism
+/// contract rests on.
+fn tile_with_size(n: usize, size: usize) -> Vec<Block> {
+    let size = size.max(1);
     (0..n.div_ceil(size))
         .map(|b| Block {
             index: b,
@@ -62,6 +63,12 @@ fn partition_with(n: usize, max_blocks: usize) -> Vec<Block> {
             end: ((b + 1) * size).min(n),
         })
         .collect()
+}
+
+/// Fixed partition of `0..n` into at most `max_blocks` equal blocks (the
+/// last may be short).
+fn partition_with(n: usize, max_blocks: usize) -> Vec<Block> {
+    tile_with_size(n, n.div_ceil(max_blocks))
 }
 
 /// One in-flight parallel region.
@@ -307,7 +314,7 @@ impl ThreadPool {
     /// workers. Output `i` is exactly `f(i)` regardless of thread count.
     ///
     /// Implemented on [`ThreadPool::par_chunks`] over the output buffer with
-    /// the standard [`MAX_BLOCKS`] granularity.
+    /// the standard 256-block granularity.
     pub fn par_map<U, F>(&self, n: usize, threads: usize, f: F) -> Vec<U>
     where
         U: Send,
@@ -337,15 +344,8 @@ impl ThreadPool {
         F: Fn(usize, &mut [T]) + Sync,
     {
         let n = items.len();
-        let size = chunk_size.max(1);
         let base = SendPtr(items.as_mut_ptr());
-        let blocks: Vec<Block> = (0..n.div_ceil(size))
-            .map(|b| Block {
-                index: b,
-                start: b * size,
-                end: ((b + 1) * size).min(n),
-            })
-            .collect();
+        let blocks = tile_with_size(n, chunk_size);
         self.run_blocks(blocks, threads, &|b: Block| {
             // SAFETY: blocks tile `0..n` disjointly, so each element is
             // visible to exactly one participant at a time.
@@ -355,7 +355,7 @@ impl ThreadPool {
     }
 
     /// Deterministic parallel fold: `0..n` is cut into a fixed partition (at
-    /// most [`MAX_REDUCE_BLOCKS`] blocks, a function of `n` alone), each
+    /// most `MAX_REDUCE_BLOCKS` (= 32) blocks, a function of `n` alone), each
     /// block folds its items (in order) into a fresh `init()` accumulator
     /// via `step`, and the per-block accumulators are combined **in block
     /// order on the calling thread** via `reduce`. The reduction tree
@@ -376,15 +376,39 @@ impl ThreadPool {
         S: Fn(&mut A, usize) + Sync,
         R: Fn(&mut A, A),
     {
+        self.par_indexed_map_reduce(n, threads, |_| init(), step, reduce)
+    }
+
+    /// [`ThreadPool::par_map_reduce`] whose `init` receives the block's index
+    /// range, for accumulators that carry block-scoped scratch (a forked
+    /// utility, a stream-offset table, a reusable permutation buffer). The
+    /// partition and reduction order are exactly those of `par_map_reduce`,
+    /// so the same bitwise-determinism contract holds — provided `init`
+    /// derives state only from the given range (which is a function of `n`
+    /// alone), never from the executing thread.
+    pub fn par_indexed_map_reduce<A, I, S, R>(
+        &self,
+        n: usize,
+        threads: usize,
+        init: I,
+        step: S,
+        reduce: R,
+    ) -> A
+    where
+        A: Send,
+        I: Fn(std::ops::Range<usize>) -> A + Sync,
+        S: Fn(&mut A, usize) + Sync,
+        R: Fn(&mut A, A),
+    {
         let blocks = partition_with(n, MAX_REDUCE_BLOCKS);
         if blocks.is_empty() {
-            return init();
+            return init(0..0);
         }
         let mut partials: Vec<Option<A>> = Vec::new();
         partials.resize_with(blocks.len(), || None);
         let out = SendPtr(partials.as_mut_ptr());
         self.run_blocks(blocks, threads, &|b: Block| {
-            let mut acc = init();
+            let mut acc = init(b.start..b.end);
             for i in b.start..b.end {
                 step(&mut acc, i);
             }

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+/// Sizes accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
 pub trait SizeRange {
     fn sample_len(&self, rng: &mut TestRng) -> usize;
 }
@@ -33,7 +33,7 @@ pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> 
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, Z> {
     element: S,
     size: Z,

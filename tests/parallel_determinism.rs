@@ -11,64 +11,17 @@
 //! * fixed-seed `StdRng` instances large enough (hundreds of test points)
 //!   that every thread count actually schedules many blocks.
 
-use knnshap::datasets::{ClassDataset, Features, RegDataset};
 use knnshap::knn::classifier::KnnClassifier;
 use knnshap::knn::WeightFn;
 use knnshap::valuation::exact_regression::knn_reg_shapley_with_threads;
 use knnshap::valuation::exact_unweighted::knn_class_shapley_with_threads;
 use knnshap::valuation::exact_weighted::{weighted_knn_class_shapley, weighted_knn_reg_shapley};
-use knnshap::valuation::types::ShapleyValues;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-/// Thread counts the battery compares against the serial (1-thread) path.
-const THREAD_COUNTS: [usize; 2] = [2, 8];
-
-fn assert_bitwise(serial: &ShapleyValues, par: &ShapleyValues, what: &str) {
-    assert_eq!(serial.len(), par.len(), "{what}: length mismatch");
-    for (i, (a, b)) in serial.as_slice().iter().zip(par.as_slice()).enumerate() {
-        assert_eq!(
-            a.to_bits(),
-            b.to_bits(),
-            "{what}: value {i} differs: {a:?} vs {b:?}"
-        );
-    }
-}
-
-fn bitwise_ok(serial: &ShapleyValues, par: &ShapleyValues) -> bool {
-    serial.len() == par.len()
-        && serial
-            .as_slice()
-            .iter()
-            .zip(par.as_slice())
-            .all(|(a, b)| a.to_bits() == b.to_bits())
-}
-
-fn random_class(
-    rng: &mut StdRng,
-    n: usize,
-    n_test: usize,
-    classes: u32,
-) -> (ClassDataset, ClassDataset) {
-    let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
-    let train = ClassDataset::new(Features::new(feats, 2), labels, classes);
-    let tfeats: Vec<f32> = (0..n_test * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let tlabels: Vec<u32> = (0..n_test).map(|_| rng.gen_range(0..classes)).collect();
-    let test = ClassDataset::new(Features::new(tfeats, 2), tlabels, classes);
-    (train, test)
-}
-
-fn random_reg(rng: &mut StdRng, n: usize, n_test: usize) -> (RegDataset, RegDataset) {
-    let feats: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let targets: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
-    let train = RegDataset::new(Features::new(feats, 2), targets);
-    let tfeats: Vec<f32> = (0..n_test * 2).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let ttargets: Vec<f64> = (0..n_test).map(|_| rng.gen_range(-2.0..2.0)).collect();
-    let test = RegDataset::new(Features::new(tfeats, 2), ttargets);
-    (train, test)
-}
+mod common;
+use common::{assert_bitwise, bitwise_ok, random_class, random_reg, THREAD_COUNTS};
 
 // ---------------------------------------------------------------------------
 // Fixed-seed instances, large enough to schedule many blocks per region.
