@@ -24,6 +24,8 @@ const ALLOWED: &[&str] = &[
     "weight",
     "weight-param",
     "threads",
+    "shards",
+    "perms",
     "inspect",
     "flagged",
     "seed",
@@ -36,15 +38,28 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let inspect = args.usize_or("inspect", 20)?.min(train.len());
 
     let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
+    let shards = args.usize_or("shards", 0)?;
     let started = std::time::Instant::now();
-    let report = KnnShapley::new(&train, &test)
-        .k(k)
-        .weight(parse_weight(args)?)
-        .method(parse_method(args)?)
-        .threads(threads)
-        .run_report()?;
+    let (sv, permutations) = if shards > 0 {
+        super::shard::run_sharded(
+            &train,
+            &test,
+            k,
+            parse_method(args)?,
+            parse_weight(args)?,
+            shards,
+            threads,
+        )?
+    } else {
+        let report = KnnShapley::new(&train, &test)
+            .k(k)
+            .weight(parse_weight(args)?)
+            .method(parse_method(args)?)
+            .threads(threads)
+            .run_report()?;
+        (report.values, report.permutations)
+    };
     let secs = started.elapsed().as_secs_f64();
-    let sv = report.values;
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -52,7 +67,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         train.len(),
         test.len()
     ));
-    if let Some(perms) = report.permutations {
+    if let Some(perms) = permutations {
         out.push_str(&crate::commands::mc_throughput_line(perms, secs, threads));
     }
     out.push('\n');

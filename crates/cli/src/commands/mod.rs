@@ -2,6 +2,7 @@
 
 pub mod audit;
 pub mod contrast;
+pub mod shard;
 pub mod synth;
 pub mod value;
 
@@ -27,11 +28,23 @@ pub(crate) fn load_pair(args: &Args) -> Result<(ClassDataset, ClassDataset), Cli
     Ok((train, test))
 }
 
-/// Resolves `--method`/`--eps`/`--delta`/`--seed` into a pipeline [`Method`].
+/// Resolves `--method`/`--eps`/`--delta`/`--seed`/`--perms` into a pipeline
+/// [`Method`]. The MC methods default to the §6.2.2 heuristic stop; an
+/// explicit `--perms N` pins a fixed N-permutation budget instead — the
+/// form the sharded runtime requires (a shard cannot evaluate a sequential
+/// stopping criterion).
 pub(crate) fn parse_method(args: &Args) -> Result<Method, CliError> {
     let eps = args.f64_or("eps", 0.1)?;
     let delta = args.f64_or("delta", 0.1)?;
     let seed = args.u64_or("seed", 42)?;
+    let perms = args.usize_or("perms", 0)?;
+    let mc_rule = |heuristic_max: usize| match perms {
+        0 => StoppingRule::Heuristic {
+            threshold: knnshap_core::bounds::heuristic_threshold(eps),
+            max: heuristic_max,
+        },
+        t => StoppingRule::Fixed(t),
+    };
     match args.str("method").unwrap_or("exact") {
         "exact" => Ok(Method::Exact),
         "truncated" => Ok(Method::Truncated { eps }),
@@ -41,17 +54,11 @@ pub(crate) fn parse_method(args: &Args) -> Result<Method, CliError> {
             max_tables: args.usize_or("max-tables", 64)?,
         }),
         "mc-baseline" => Ok(Method::McBaseline {
-            rule: StoppingRule::Heuristic {
-                threshold: knnshap_core::bounds::heuristic_threshold(eps),
-                max: 50_000,
-            },
+            rule: mc_rule(50_000),
             seed,
         }),
         "mc-improved" => Ok(Method::McImproved {
-            rule: StoppingRule::Heuristic {
-                threshold: knnshap_core::bounds::heuristic_threshold(eps),
-                max: 200_000,
-            },
+            rule: mc_rule(200_000),
             seed,
         }),
         other => Err(CliError::Invalid(format!(

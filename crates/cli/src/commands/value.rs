@@ -23,6 +23,8 @@ const ALLOWED: &[&str] = &[
     "weight",
     "weight-param",
     "threads",
+    "shards",
+    "perms",
     "top",
     "out",
     "revenue",
@@ -38,22 +40,28 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let weight = parse_weight(args)?;
     let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
     let top = args.usize_or("top", 10)?;
+    let shards = args.usize_or("shards", 0)?;
 
     let started = std::time::Instant::now();
-    let report = KnnShapley::new(&train, &test)
-        .k(k)
-        .weight(weight)
-        .method(method)
-        .threads(threads)
-        .run_report()?;
+    let (sv, permutations) = if shards > 0 {
+        // In-process sharded run: N partials through the wire format, then
+        // the deterministic merge — bitwise-identical to the unsharded path.
+        super::shard::run_sharded(&train, &test, k, method, weight, shards, threads)?
+    } else {
+        let report = KnnShapley::new(&train, &test)
+            .k(k)
+            .weight(weight)
+            .method(method)
+            .threads(threads)
+            .run_report()?;
+        (report.values, report.permutations)
+    };
     let secs = started.elapsed().as_secs_f64();
-    let sv = report.values;
 
     // Per-permutation throughput of the (parallel) MC paths — the number to
     // watch when tuning --threads.
-    let mc_line = report
-        .permutations
-        .map(|perms| crate::commands::mc_throughput_line(perms, secs, threads));
+    let mc_line =
+        permutations.map(|perms| crate::commands::mc_throughput_line(perms, secs, threads));
 
     let payout = match args.f64_opt("revenue")? {
         Some(revenue) => {
@@ -76,11 +84,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         payout.as_deref(),
         top,
         mc_line.as_deref(),
-        args,
+        args.str("method").unwrap_or("exact"),
+        args.str("out"),
     ))
 }
 
-fn write_csv(
+pub(crate) fn write_csv(
     path: &Path,
     train: &ClassDataset,
     sv: &ShapleyValues,
@@ -100,8 +109,11 @@ fn write_csv(
     w.flush()
 }
 
+/// Renders the `value` report. Also used verbatim by `merge`, so a sharded
+/// run's report is byte-identical to the unsharded one (for the
+/// deterministic methods — the MC throughput line carries wall-clock time).
 #[allow(clippy::too_many_arguments)]
-fn render(
+pub(crate) fn render(
     train: &ClassDataset,
     test: &ClassDataset,
     k: usize,
@@ -109,14 +121,14 @@ fn render(
     payout: Option<&[f64]>,
     top: usize,
     mc_line: Option<&str>,
-    args: &Args,
+    method_label: &str,
+    out_path: Option<&str>,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "Valued {} training points against {} test points (K = {k}, method = {}).\n",
+        "Valued {} training points against {} test points (K = {k}, method = {method_label}).\n",
         train.len(),
         test.len(),
-        args.str("method").unwrap_or("exact"),
     ));
     if let Some(line) = mc_line {
         out.push_str(line);
@@ -158,7 +170,7 @@ fn render(
     }
     out.push_str(&format!("top {top} most valuable points:\n"));
     out.push_str(&table.render());
-    if let Some(path) = args.str("out") {
+    if let Some(path) = out_path {
         out.push_str(&format!("\nfull values written to {path}\n"));
     }
     out

@@ -33,6 +33,8 @@ pub enum CliError {
     Io(knnshap_datasets::io::IoError),
     /// Valuation pipeline configuration problems.
     Pipeline(knnshap_core::pipeline::PipelineError),
+    /// Shard-file or shard-merge problems (`shard`/`merge`/`--shards`).
+    Shard(knnshap_core::sharding::ShardError),
     /// Anything command-specific (bad enum value, inconsistent datasets…).
     Invalid(String),
 }
@@ -44,11 +46,12 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}' (try: value, audit, contrast, synth)"
+                    "unknown command '{c}' (try: value, audit, contrast, synth, shard, merge)"
                 )
             }
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Shard(e) => write!(f, "{e}"),
             CliError::Invalid(m) => write!(f, "{m}"),
         }
     }
@@ -86,12 +89,24 @@ COMMANDS
             --train FILE --test FILE [--k 1] [--method exact|truncated|lsh|
             mc-baseline|mc-improved] [--eps 0.1] [--delta 0.1]
             [--weight uniform|inverse|exponential] [--weight-param X]
-            [--threads N] [--top 10] [--out FILE]
+            [--threads N] [--shards N] [--perms N] [--top 10] [--out FILE]
             [--revenue A --base-fee B]   (affine §7 payout mapping)
   audit     rank suspicious (lowest-value) points; optionally score the
             ranking against known-bad indices
             --train FILE --test FILE [--k 1] [--method ...] [--eps 0.1]
-            [--inspect 20] [--flagged FILE]
+            [--shards N] [--perms N] [--inspect 20] [--flagged FILE]
+  shard     compute ONE shard of a valuation job and write its partial sums
+            to a self-describing binary file (see docs/sharding.md)
+            --train FILE --test FILE --shard-index I --shard-count N
+            --out FILE [--k 1] [--method exact|truncated|mc-baseline|
+            mc-improved] [--perms N] [--seed 42] [--eps 0.1] [--threads N]
+  merge     merge a full set of shard files; bitwise-identical to the
+            unsharded `value` run (same report, same --out CSV). Repeat the
+            job-defining options the shards were built with — the merge
+            cross-checks them against the shard headers
+            --inputs A,B,C --train FILE --test FILE [--k 1] [--method ...]
+            [--seed 42] [--eps 0.1] [--weight ...] [--top 10] [--out FILE]
+            [--revenue A --base-fee B]
   contrast  estimate relative contrast C_K* and the LSH feasibility report
             --train FILE --test FILE [--k 1] [--eps 0.1] [--delta 0.1]
   synth     generate synthetic datasets (see DESIGN.md substitutions)
@@ -116,6 +131,8 @@ where
         "audit" => commands::audit::run(&args),
         "contrast" => commands::contrast::run(&args),
         "synth" => commands::synth::run(&args),
+        "shard" => commands::shard::run_shard(&args),
+        "merge" => commands::shard::run_merge(&args),
         "help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

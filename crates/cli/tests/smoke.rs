@@ -146,3 +146,124 @@ fn bad_flags_are_rejected_not_ignored() {
         .expect_err("unknown flag must error");
     assert!(err.to_string().contains("frobnicate"), "got: {err}");
 }
+
+#[test]
+fn sharded_value_round_trip_is_byte_identical() {
+    // The full operator workflow from docs/sharding.md, end to end through
+    // the public CLI: synth → unsharded value → `--shards 3` → per-process
+    // shard/merge — every route must produce the same bytes.
+    let train = temp_path("sh_train.csv");
+    let test = temp_path("sh_test.csv");
+    let direct = temp_path("sh_direct.csv");
+    let inproc = temp_path("sh_inproc.csv");
+    let merged = temp_path("sh_merged.csv");
+    let shards: Vec<_> = (0..3)
+        .map(|i| temp_path(&format!("sh_{i}.shard")))
+        .collect();
+    let mut cleanup = vec![
+        train.clone(),
+        test.clone(),
+        direct.clone(),
+        inproc.clone(),
+        merged.clone(),
+    ];
+    cleanup.extend(shards.iter().cloned());
+    let _cleanup = TempFiles(cleanup);
+
+    knnshap_cli::run([
+        "synth",
+        "--kind",
+        "blobs",
+        "--n",
+        "50",
+        "--dim",
+        "4",
+        "--classes",
+        "2",
+        "--seed",
+        "3",
+        "--out",
+        train.to_str().unwrap(),
+        "--queries",
+        "7",
+        "--queries-out",
+        test.to_str().unwrap(),
+    ])
+    .expect("synth should succeed");
+    let base = |out: &std::path::Path| -> Vec<String> {
+        vec![
+            "value".into(),
+            "--train".into(),
+            train.to_str().unwrap().into(),
+            "--test".into(),
+            test.to_str().unwrap().into(),
+            "--k".into(),
+            "3".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ]
+    };
+
+    let direct_report = knnshap_cli::run(base(&direct)).expect("unsharded value");
+    let mut sharded_args = base(&inproc);
+    sharded_args.extend(["--shards".into(), "3".into()]);
+    let sharded_report = knnshap_cli::run(sharded_args).expect("value --shards 3");
+
+    // `value --shards 3` is indistinguishable from the unsharded run:
+    // same report text, byte-identical CSV (full-precision round-trip
+    // formatting makes CSV equality bitwise Shapley equality).
+    assert_eq!(
+        direct_report.replace(direct.to_str().unwrap(), "X"),
+        sharded_report.replace(inproc.to_str().unwrap(), "X"),
+        "reports differ only in the --out path"
+    );
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&inproc).unwrap(),
+        "value --shards 3 CSV must match unsharded CSV byte for byte"
+    );
+
+    // Multi-process style: one `shard` invocation per shard file, then `merge`.
+    for (i, p) in shards.iter().enumerate() {
+        knnshap_cli::run([
+            "shard",
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--k",
+            "3",
+            "--shard-index",
+            &i.to_string(),
+            "--shard-count",
+            "3",
+            "--out",
+            p.to_str().unwrap(),
+        ])
+        .expect("shard should succeed");
+    }
+    let inputs = shards
+        .iter()
+        .map(|p| p.to_str().unwrap())
+        .collect::<Vec<_>>()
+        .join(",");
+    knnshap_cli::run([
+        "merge",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--inputs",
+        &inputs,
+        "--out",
+        merged.to_str().unwrap(),
+    ])
+    .expect("merge should succeed");
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "shard/merge CSV must match unsharded CSV byte for byte"
+    );
+}

@@ -22,10 +22,12 @@
 //! `s_i = −(y_i/K)(y_i/K − 2 y_test + (1/K) Σ_{l≠i} y_l) − y_test²/N`
 //! (derived in the same way, validated against enumeration) is used instead.
 
+use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use knnshap_datasets::RegDataset;
 use knnshap_knn::distance::Metric;
 use knnshap_knn::neighbors::argsort_by_distance;
+use knnshap_numerics::exact::ExactVec;
 
 /// Exact regression SVs w.r.t. a single test point (Theorem 6).
 pub fn knn_reg_shapley_single(
@@ -35,16 +37,19 @@ pub fn knn_reg_shapley_single(
     k: usize,
 ) -> ShapleyValues {
     let mut out = ShapleyValues::zeros(train.len());
-    accumulate_single(train, query, test_target, k, out.as_mut_slice());
+    {
+        let acc = out.as_mut_slice();
+        accumulate_single(train, query, test_target, k, |i, s| acc[i] += s);
+    }
     out
 }
 
-fn accumulate_single(
+fn accumulate_single<S: FnMut(usize, f64)>(
     train: &RegDataset,
     query: &[f32],
     test_target: f64,
     k: usize,
-    acc: &mut [f64],
+    mut sink: S,
 ) {
     let n = train.len();
     assert!(n >= 1, "need at least one training point");
@@ -55,7 +60,7 @@ fn accumulate_single(
     if n == 1 {
         // Single player: s = ν({0}) − ν(∅) = −((1/K)y − t)².
         let e = train.y[0] / kf - t;
-        acc[0] += -(e * e);
+        sink(0, -(e * e));
         return;
     }
 
@@ -69,7 +74,7 @@ fn accumulate_single(
         for (j, r) in ranked.iter().enumerate() {
             let yi = z[j];
             let s = -(yi / kf) * (yi / kf - 2.0 * t + (sum_all - yi) / kf) - t * t / n as f64;
-            acc[r.index as usize] += s;
+            sink(r.index as usize, s);
         }
         return;
     }
@@ -97,7 +102,7 @@ fn accumulate_single(
         * zn
         * (zn / kf - 2.0 * t + prefix_others / (n - 1) as f64)
         - e_single * e_single / n as f64;
-    acc[ranked[n - 1].index as usize] += s;
+    sink(ranked[n - 1].index as usize, s);
 
     // Backward sweep with O(1) updates; pref tracks Σ_{l ≤ i−1} z_l.
     let mut pref: f64 = z[..n - 1].iter().sum(); // Σ for i = N−1 (ranks 1..N−2) adjusted below
@@ -114,8 +119,72 @@ fn accumulate_single(
         let suffix_term = (i as f64 / min_ki) * suffix[i + 1]; // ranks ≥ i+2
         let inner = (prefix_term + z[ip] + z[ip + 1] + suffix_term) / kf - 2.0 * t;
         s += (z[ip + 1] - z[ip]) / kf * (min_ki / i as f64) * inner;
-        acc[ranked[ip].index as usize] += s;
+        sink(ranked[ip].index as usize, s);
     }
+}
+
+/// Exact partial sums over one canonical shard of the test range
+/// (regression analogue of
+/// [`crate::exact_unweighted::knn_class_shapley_shard`]; same determinism
+/// contract: merging a full shard set reproduces
+/// [`knn_reg_shapley_with_threads`] bit for bit, at every shard and thread
+/// count).
+///
+/// ```
+/// use knnshap_core::exact_regression::{knn_reg_shapley, knn_reg_shapley_shard};
+/// use knnshap_core::sharding::{merge_partials, ShardSpec};
+/// use knnshap_datasets::synth::regression::{self, RegressionConfig};
+///
+/// let cfg = RegressionConfig { n: 30, ..Default::default() };
+/// let (train, test) = (regression::generate(&cfg), regression::queries(&cfg, 5));
+/// let parts: Vec<_> = (0..2)
+///     .map(|i| knn_reg_shapley_shard(&train, &test, 2, ShardSpec::new(i, 2), 1))
+///     .collect();
+/// let merged = merge_partials(&parts).unwrap().values;
+/// let whole = knn_reg_shapley(&train, &test, 2);
+/// assert!(merged.as_slice().iter().zip(whole.as_slice()).all(|(a, b)| a == b));
+/// ```
+pub fn knn_reg_shapley_shard(
+    train: &RegDataset,
+    test: &RegDataset,
+    k: usize,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(!test.is_empty(), "need at least one test point");
+    assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
+    let range = spec.range(test.len());
+    let sums = shard_sums(train, test, k, range.clone(), threads);
+    let fingerprint = reg_fingerprint(train, test, k);
+    ShardPartial::new(
+        ShardKind::ExactReg,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+/// The job fingerprint of the exact-regression family.
+pub fn reg_fingerprint(train: &RegDataset, test: &RegDataset, k: usize) -> u64 {
+    Fingerprint::new("exact-reg")
+        .u64(k as u64)
+        .u64(crate::sharding::hash_reg_dataset(train))
+        .u64(crate::sharding::hash_reg_dataset(test))
+        .finish()
+}
+
+fn shard_sums(
+    train: &RegDataset,
+    test: &RegDataset,
+    k: usize,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> ExactVec {
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        accumulate_single(train, test.x.row(j), test.y[j], k, |i, s| acc.add(i, s));
+    })
 }
 
 /// Exact regression SVs w.r.t. a test set, averaged over test points with
@@ -128,24 +197,8 @@ pub fn knn_reg_shapley_with_threads(
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
     assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
-    let n = train.len();
-    let n_test = test.len();
-
-    let mut total = knnshap_parallel::par_map_reduce(
-        n_test,
-        threads,
-        || vec![0.0f64; n],
-        |acc, j| accumulate_single(train, test.x.row(j), test.y[j], k, acc),
-        |acc, part| {
-            for (a, v) in acc.iter_mut().zip(part) {
-                *a += v;
-            }
-        },
-    );
-    for v in &mut total {
-        *v /= n_test as f64;
-    }
-    ShapleyValues::new(total)
+    let sums = shard_sums(train, test, k, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
 }
 
 /// [`knn_reg_shapley_with_threads`] with the workspace default worker count

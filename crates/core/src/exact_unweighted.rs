@@ -13,13 +13,25 @@
 //! the additivity axiom (Algorithm 1 lines 8–10). Test points run through
 //! `knnshap_parallel::par_map_reduce`: each fixed block of test points folds
 //! into a private accumulator (the hot recursion never touches shared
-//! state), and the blocked reduction makes the result bitwise-identical for
-//! every thread count.
+//! state).
+//!
+//! ### Determinism contract
+//!
+//! Per-test vectors accumulate in *exact* fixed-point sums
+//! ([`knnshap_numerics::exact::ExactVec`]), so the multi-test average is a
+//! pure function of the test-point multiset: bitwise-identical for every
+//! thread count **and** for every sharding of the test range — the same
+//! additivity decomposition that justifies averaging also makes any
+//! contiguous test-point range ([`knn_class_shapley_shard`]) an independent
+//! unit of work whose merged result reproduces the unsharded bits (see
+//! [`crate::sharding`]).
 
+use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use knnshap_datasets::ClassDataset;
 use knnshap_knn::distance::Metric;
 use knnshap_knn::neighbors::argsort_by_distance;
+use knnshap_numerics::exact::ExactVec;
 
 /// Exact SVs w.r.t. a single test point (Theorem 1).
 pub fn knn_class_shapley_single(
@@ -29,18 +41,22 @@ pub fn knn_class_shapley_single(
     k: usize,
 ) -> ShapleyValues {
     let mut out = ShapleyValues::zeros(train.len());
-    accumulate_single(train, query, test_label, k, out.as_mut_slice());
+    {
+        let acc = out.as_mut_slice();
+        accumulate_single(train, query, test_label, k, |i, s| acc[i] += s);
+    }
     out
 }
 
-/// Adds the single-test SVs into `acc` (the shard-local accumulator of the
-/// multi-test driver).
-fn accumulate_single(
+/// Runs the Theorem 1 recursion for one test point, handing each
+/// `(train index, value)` pair to `sink` (a plain slice for the single-test
+/// API, an exact accumulator for the multi-test/shard drivers).
+fn accumulate_single<S: FnMut(usize, f64)>(
     train: &ClassDataset,
     query: &[f32],
     test_label: u32,
     k: usize,
-    acc: &mut [f64],
+    mut sink: S,
 ) {
     let n = train.len();
     assert!(n >= 1, "need at least one training point");
@@ -59,12 +75,83 @@ fn accumulate_single(
     // confirms (with K ≥ N the game is additive and every correct point is
     // worth exactly 1/K).
     let mut s = correct(n - 1) * k.min(n) as f64 / (n as f64 * k as f64);
-    acc[ranked[n - 1].index as usize] += s;
+    sink(ranked[n - 1].index as usize, s);
     for i in (0..n.saturating_sub(1)).rev() {
         let rank1 = i + 1; // paper's 1-based rank of element `i`
         s += (correct(i) - correct(i + 1)) / k as f64 * (k.min(rank1) as f64 / rank1 as f64);
-        acc[ranked[i].index as usize] += s;
+        sink(ranked[i].index as usize, s);
     }
+}
+
+/// Exact partial sums over one canonical shard of the test range, folded
+/// with `threads` workers into exact accumulators.
+///
+/// ### Determinism contract
+///
+/// The shard's partial state depends only on `(train, test, k)` and the
+/// shard's item range — not on `threads`, and not on how the rest of the
+/// job is sharded. Merging the partials of any full shard set with
+/// [`crate::sharding::merge_partials`] reproduces
+/// [`knn_class_shapley_with_threads`] bit for bit.
+///
+/// ```
+/// use knnshap_core::exact_unweighted::{knn_class_shapley, knn_class_shapley_shard};
+/// use knnshap_core::sharding::{merge_partials, ShardSpec};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 40, dim: 3, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 7, 1));
+/// let parts: Vec<_> = (0..2)
+///     .map(|i| knn_class_shapley_shard(&train, &test, 1, ShardSpec::new(i, 2), 1))
+///     .collect();
+/// let merged = merge_partials(&parts).unwrap().values;
+/// let whole = knn_class_shapley(&train, &test, 1);
+/// assert!(merged.as_slice().iter().zip(whole.as_slice()).all(|(a, b)| a == b));
+/// ```
+pub fn knn_class_shapley_shard(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(!test.is_empty(), "need at least one test point");
+    assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
+    let range = spec.range(test.len());
+    let sums = shard_sums(train, test, k, range.clone(), threads);
+    let fingerprint = class_fingerprint(train, test, k);
+    ShardPartial::new(
+        ShardKind::ExactClass,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+/// The job fingerprint of the unweighted exact-classification family — also
+/// recomputed by the CLI `merge` to cross-check shard files against the
+/// datasets and parameters it was invoked with.
+pub fn class_fingerprint(train: &ClassDataset, test: &ClassDataset, k: usize) -> u64 {
+    Fingerprint::new("exact-class")
+        .u64(k as u64)
+        .u64(crate::sharding::hash_class_dataset(train))
+        .u64(crate::sharding::hash_class_dataset(test))
+        .finish()
+}
+
+/// The shared fold both the shard entry point and the unsharded driver use.
+fn shard_sums(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> ExactVec {
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        accumulate_single(train, test.x.row(j), test.y[j], k, |i, s| acc.add(i, s));
+    })
 }
 
 /// Exact SVs w.r.t. a whole test set (utility eq. 8): the average of the
@@ -77,25 +164,8 @@ pub fn knn_class_shapley_with_threads(
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
     assert_eq!(train.dim(), test.dim(), "train/test dimension mismatch");
-    let n = train.len();
-    let n_test = test.len();
-
-    let mut total = knnshap_parallel::par_map_reduce(
-        n_test,
-        threads,
-        || vec![0.0f64; n],
-        |acc, j| accumulate_single(train, test.x.row(j), test.y[j], k, acc),
-        |acc, part| {
-            for (a, v) in acc.iter_mut().zip(part) {
-                *a += v;
-            }
-        },
-    );
-
-    for v in &mut total {
-        *v /= n_test as f64;
-    }
-    ShapleyValues::new(total)
+    let sums = shard_sums(train, test, k, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
 }
 
 /// [`knn_class_shapley_with_threads`] with the workspace default worker

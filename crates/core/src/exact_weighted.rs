@@ -330,7 +330,9 @@ pub fn weighted_knn_reg_shapley_single(
 }
 
 /// Multi-test weighted classification SVs (average of per-test games),
-/// parallelized over test points.
+/// parallelized over test points into exact accumulators — bitwise-identical
+/// at every thread count and reproducible by any full shard set from
+/// [`weighted_knn_class_shapley_shard`].
 pub fn weighted_knn_class_shapley(
     train: &ClassDataset,
     test: &ClassDataset,
@@ -339,27 +341,73 @@ pub fn weighted_knn_class_shapley(
     threads: usize,
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
-    let n_test = test.len();
-    let mut acc = knnshap_parallel::par_map_reduce(
-        n_test,
-        threads,
-        || ShapleyValues::zeros(train.len()),
-        |acc, j| {
-            acc.add_assign(&weighted_knn_class_shapley_single(
-                train,
-                test.x.row(j),
-                test.y[j],
-                k,
-                weight,
-            ))
-        },
-        |acc, part| acc.add_assign(&part),
-    );
-    acc.scale(1.0 / n_test as f64);
-    acc
+    let sums = class_shard_sums(train, test, k, weight, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
 }
 
-/// Multi-test weighted regression SVs.
+/// Weighted-classification partial sums over one canonical shard of the test
+/// range (Theorem 7 rides the same per-test additivity decomposition as
+/// Theorem 1, so the shard/merge determinism contract of
+/// [`crate::sharding`] applies unchanged).
+pub fn weighted_knn_class_shapley_shard(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    spec: crate::sharding::ShardSpec,
+    threads: usize,
+) -> crate::sharding::ShardPartial {
+    use crate::sharding::{ShardKind, ShardPartial};
+    assert!(!test.is_empty(), "need at least one test point");
+    let range = spec.range(test.len());
+    let sums = class_shard_sums(train, test, k, weight, range.clone(), threads);
+    let fingerprint = weighted_class_fingerprint(train, test, k, weight);
+    ShardPartial::new(
+        ShardKind::ExactClass,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+/// The job fingerprint of the weighted exact-classification family (shares
+/// the `ExactClass` kind with the unweighted algorithm; the weight function
+/// is part of the hash, so the two never merge together).
+pub fn weighted_class_fingerprint(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+) -> u64 {
+    let (wtag, wparam) = crate::sharding::weight_code(weight);
+    crate::sharding::Fingerprint::new("exact-class")
+        .u64(k as u64)
+        .u64(wtag)
+        .f64(wparam)
+        .u64(crate::sharding::hash_class_dataset(train))
+        .u64(crate::sharding::hash_class_dataset(test))
+        .finish()
+}
+
+fn class_shard_sums(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> knnshap_numerics::exact::ExactVec {
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        let per_test =
+            weighted_knn_class_shapley_single(train, test.x.row(j), test.y[j], k, weight);
+        acc.add_dense(per_test.as_slice());
+    })
+}
+
+/// Multi-test weighted regression SVs (exact accumulation; same thread- and
+/// shard-invariance contract as [`weighted_knn_class_shapley`]).
 pub fn weighted_knn_reg_shapley(
     train: &RegDataset,
     test: &RegDataset,
@@ -369,23 +417,11 @@ pub fn weighted_knn_reg_shapley(
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
     let n_test = test.len();
-    let mut acc = knnshap_parallel::par_map_reduce(
-        n_test,
-        threads,
-        || ShapleyValues::zeros(train.len()),
-        |acc, j| {
-            acc.add_assign(&weighted_knn_reg_shapley_single(
-                train,
-                test.x.row(j),
-                test.y[j],
-                k,
-                weight,
-            ))
-        },
-        |acc, part| acc.add_assign(&part),
-    );
-    acc.scale(1.0 / n_test as f64);
-    acc
+    let sums = crate::sharding::exact_sums_over(train.len(), 0..n_test, threads, |j, acc| {
+        let per_test = weighted_knn_reg_shapley_single(train, test.x.row(j), test.y[j], k, weight);
+        acc.add_dense(per_test.as_slice());
+    });
+    crate::sharding::finalize_mean(&sums, n_test as u64)
 }
 
 #[cfg(test)]

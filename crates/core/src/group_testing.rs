@@ -27,9 +27,10 @@
 //! *relative*: its exact algorithm beats the best generic SV estimators.
 //! This module is that generic competitor, wired into the Fig. 6 harness.
 
+use crate::sharding::{Fingerprint, ShardKind, ShardMeta, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use crate::utility::Utility;
-use knnshap_numerics::compensated::{CompensatedVec, NeumaierSum};
+use knnshap_numerics::exact::{ExactSum, ExactVec};
 use knnshap_numerics::sampling::{identity_shuffle, RngStreams};
 use rand::Rng;
 
@@ -85,31 +86,22 @@ pub fn group_testing_shapley<U: Utility + ?Sized>(
 /// Per-block accumulator of the parallel group-testing fold.
 struct GtAcc {
     /// Σ over member tests of `u_t` per point (the `N·β_ti` part).
-    point: CompensatedVec,
+    point: ExactVec,
     /// Σ over tests of `u_t · k_t / N` (the lazily shared `−k_t` part).
-    shared: NeumaierSum,
+    shared: ExactSum,
     /// Reusable coalition-sampling buffer.
     pool: Vec<usize>,
 }
 
-/// [`group_testing_shapley`] with an explicit worker count.
-///
-/// Test `t` draws its coalition from counter-based stream `t` of `seed` (a
-/// pure function of `(seed, t)`), and the per-point accumulators fold in
-/// fixed blocks merged in block order — so the recovered values are
-/// **bitwise-identical for every `threads` value**, matching the contract of
-/// the Monte Carlo estimators in [`crate::mc`].
-pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
+/// The shared fold of the unsharded estimator and the shard entry point:
+/// exact per-point/shared accumulators over coalition-test streams `range`.
+fn shard_sums<U: Utility + ?Sized>(
     u: &U,
-    tests: usize,
-    seed: u64,
+    streams: RngStreams,
+    range: std::ops::Range<usize>,
     threads: usize,
-) -> GroupTestingResult {
+) -> (ExactVec, ExactSum) {
     let n = u.n();
-    assert!(n >= 2, "need at least two players");
-    assert!(tests >= 1, "need at least one test");
-    let streams = RngStreams::new(seed);
-
     // q(k) ∝ 1/k + 1/(N−k), cumulative for inverse-CDF sampling.
     let z = z_constant(n);
     let mut cdf = Vec::with_capacity(n - 1);
@@ -123,15 +115,17 @@ pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
     //   ŝ_i = ν(I)/N + (Z/T)·(point_i − shared)    (see module docs);
     // members of test t pick up u_t (= u_t·N/N), every point owes the
     // `u_t·k_t/N` share, tracked once as a scalar instead of N subtractions.
-    let acc = knnshap_parallel::par_indexed_map_reduce(
-        tests,
+    let total = std::sync::Mutex::new((ExactVec::zeros(n), ExactSum::new()));
+    crate::sharding::exact_block_fold(
+        range.len(),
         threads,
-        |_range| GtAcc {
-            point: CompensatedVec::zeros(n),
-            shared: NeumaierSum::new(),
+        || GtAcc {
+            point: ExactVec::zeros(n),
+            shared: ExactSum::new(),
             pool: (0..n).collect(),
         },
         |acc, t| {
+            let t = range.start + t;
             let mut rng = streams.stream(t as u64);
             let x: f64 = rng.gen();
             let k = (cdf.partition_point(|&c| c < x) + 1).min(n - 1);
@@ -146,26 +140,123 @@ pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
             }
             acc.shared.add(ut * k as f64 / n as f64);
         },
-        |a, b| {
-            a.point.merge(&b.point);
-            a.shared.merge(&b.shared);
+        |acc| {
+            let mut t = total.lock().expect("fold poisoned");
+            t.0.merge(&acc.point);
+            t.1.merge(&acc.shared);
         },
     );
+    total.into_inner().expect("fold poisoned")
+}
 
-    let grand = u.grand();
-    let scale = z / tests as f64;
-    let shared = acc.shared.value();
-    let values: Vec<f64> = (0..n)
-        .map(|i| grand / n as f64 + scale * (acc.point.value(i) - shared))
+/// Value recovery from the accumulated sums — the single finalization both
+/// [`group_testing_shapley_with_threads`] and the shard merge
+/// ([`crate::sharding::merge_partials`]) run, so the two paths cannot
+/// drift: `ŝ_i = ν(I)/N + (Z/T)(point_i − shared)`, then a re-projection
+/// onto the efficiency hyperplane to scrub residual float drift.
+pub(crate) fn recover_values(
+    grand: f64,
+    tests: usize,
+    point: Vec<f64>,
+    shared: f64,
+) -> ShapleyValues {
+    let n = point.len();
+    let scale = z_constant(n) / tests as f64;
+    let values: Vec<f64> = point
+        .into_iter()
+        .map(|p| grand / n as f64 + scale * (p - shared))
         .collect();
     let mut sv = ShapleyValues::new(values);
-    // Numerical guard: re-project onto the efficiency hyperplane (the math
-    // already sums to ν(I); this removes residual float drift).
     let drift = (sv.total() - grand) / n as f64;
     for v in sv.as_mut_slice() {
         *v -= drift;
     }
-    GroupTestingResult { values: sv, tests }
+    sv
+}
+
+/// [`group_testing_shapley`] with an explicit worker count.
+///
+/// Test `t` draws its coalition from counter-based stream `t` of `seed` (a
+/// pure function of `(seed, t)`), and the per-point accumulators are exact —
+/// so the recovered values are **bitwise-identical for every `threads`
+/// value** and for every sharding of the test-stream range
+/// ([`group_testing_shapley_shard`]), matching the contract of the Monte
+/// Carlo estimators in [`crate::mc`].
+pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
+    u: &U,
+    tests: usize,
+    seed: u64,
+    threads: usize,
+) -> GroupTestingResult {
+    let n = u.n();
+    assert!(n >= 2, "need at least two players");
+    assert!(tests >= 1, "need at least one test");
+    let streams = RngStreams::new(seed);
+    let (point, shared) = shard_sums(u, streams, 0..tests, threads);
+    let values = recover_values(u.grand(), tests, point.values(), shared.value());
+    GroupTestingResult { values, tests }
+}
+
+/// Group-testing partial sums over one canonical shard of the coalition-test
+/// stream range.
+///
+/// ### Determinism contract
+///
+/// The shard stores `ν(I)` in its header (bitwise-checked equal across
+/// shards at merge time) and its exact `point`/`shared` accumulators in the
+/// payload; [`crate::sharding::merge_partials`] folds them and runs the
+/// same `recover_values` finalization as the unsharded estimator, reproducing
+/// [`group_testing_shapley_with_threads`] bit for bit at every shard and
+/// thread count.
+///
+/// ```
+/// use knnshap_core::group_testing::{group_testing_shapley, group_testing_shapley_shard};
+/// use knnshap_core::sharding::{merge_partials, ShardSpec};
+/// use knnshap_core::utility::KnnClassUtility;
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 8, dim: 2, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 2, 1));
+/// let u = KnnClassUtility::unweighted(&train, &test, 2);
+/// let parts: Vec<_> = (0..2)
+///     .map(|i| group_testing_shapley_shard(&u, 300, 5, ShardSpec::new(i, 2), 1))
+///     .collect();
+/// let merged = merge_partials(&parts).unwrap().values;
+/// let whole = group_testing_shapley(&u, 300, 5).values;
+/// assert!(merged.as_slice().iter().zip(whole.as_slice()).all(|(a, b)| a == b));
+/// ```
+pub fn group_testing_shapley_shard<U: Utility + ?Sized>(
+    u: &U,
+    tests: usize,
+    seed: u64,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    let n = u.n();
+    assert!(n >= 2, "need at least two players");
+    assert!(tests >= 1, "need at least one test");
+    let streams = RngStreams::new(seed);
+    let range = spec.range(tests);
+    let (point, shared) = shard_sums(u, streams, range.clone(), threads);
+    let mut aux = ExactVec::zeros(1);
+    aux.merge_scalar(0, &shared);
+    let fingerprint = Fingerprint::new("group-testing")
+        .u64(seed)
+        .u64(u.fingerprint())
+        .finish();
+    ShardPartial {
+        meta: ShardMeta {
+            kind: ShardKind::GroupTesting,
+            fingerprint,
+            n_train: n as u64,
+            total_items: tests as u64,
+            item_lo: range.start as u64,
+            item_hi: range.end as u64,
+            extras: vec![u.grand()],
+        },
+        sums: point,
+        aux,
+    }
 }
 
 #[cfg(test)]

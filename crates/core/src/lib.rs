@@ -21,9 +21,11 @@
 //! [`exact_enum`], used pervasively by the test suite.
 //!
 //! Around the algorithms sit the paper's §7 applications ([`analysis`]:
-//! monetary payouts, noisy-data audits, per-class summaries) and the §3.1
+//! monetary payouts, noisy-data audits, per-class summaries), the §3.1
 //! streaming scenario ([`streaming`]: on-the-fly accumulation as test points
-//! arrive).
+//! arrive), and the [`sharding`] runtime (per-shard partial sums over exact
+//! accumulators with a merge that is bitwise-identical to the unsharded run
+//! at every shard and thread count — see `docs/sharding.md`).
 
 pub mod analysis;
 pub mod axioms;
@@ -39,6 +41,7 @@ pub mod lsh_approx;
 pub mod mc;
 pub mod piecewise;
 pub mod pipeline;
+pub mod sharding;
 pub mod streaming;
 pub mod truncated;
 pub mod types;

@@ -23,26 +23,32 @@
 //! Permutation `t` draws its bits from stream `t` of a counter-based
 //! [`RngStreams`] family (a pure function of `(seed, t)`), so permutations
 //! can be fanned across `knnshap_parallel` workers without any shared
-//! generator. Marginal contributions accumulate in compensated
-//! ([`CompensatedVec`], Neumaier) sums, folded per fixed block and merged in
-//! block order. The resulting Shapley vector is therefore **bitwise-identical
-//! for every thread count** — `threads = 1` executes the same reduction tree
-//! serially. Two scheduling shapes exist, chosen by the *arguments only*
+//! generator. Two scheduling shapes exist, chosen by the *arguments only*
 //! (never by the thread count):
 //!
-//! * a-priori budgets without snapshots fan the whole budget out in one
-//!   blocked fold ([`knnshap_parallel::par_indexed_map_reduce`]);
+//! * a-priori budgets without snapshots fan the whole budget out over the
+//!   eager block fold of [`crate::sharding`] into **exact** accumulators
+//!   ([`knnshap_numerics::exact::ExactVec`]), whose error-free,
+//!   order-invariant merge makes the estimate a pure function of the
+//!   permutation multiset — bitwise-identical at every thread count *and*
+//!   every sharding of the stream range ([`mc_shapley_baseline_shard`],
+//!   [`mc_shapley_improved_shard`]);
 //! * the heuristic rule and snapshot requests ingest permutations in rounds
-//!   of [`crate::bounds::mc_round_size`] streams, folding each round into
-//!   the running estimate in permutation order so per-permutation stopping
-//!   and snapshot semantics are preserved exactly.
+//!   of [`crate::bounds::mc_round_size`] streams, folding each round into a
+//!   running compensated ([`CompensatedVec`], Neumaier) estimate in
+//!   permutation order so per-permutation stopping and snapshot semantics
+//!   are preserved exactly. This path is inherently sequential in `t` and
+//!   therefore **not shardable** — a shard cannot know whether an earlier
+//!   shard would have stopped; use a fixed budget to shard.
 
+use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use crate::utility::{DistMatrix, Utility};
 use knnshap_datasets::{ClassDataset, RegDataset};
 use knnshap_knn::heap::KnnHeap;
 use knnshap_knn::weights::WeightFn;
 use knnshap_numerics::compensated::CompensatedVec;
+use knnshap_numerics::exact::ExactVec;
 use knnshap_numerics::sampling::{identity_shuffle, RngStreams};
 use std::sync::Arc;
 
@@ -106,18 +112,55 @@ pub struct McResult {
 }
 
 /// Per-block accumulator of the fan-out path: a worker closure plus its
-/// compensated sums and contribution scratch.
+/// exact sums and contribution scratch.
 struct BlockAcc<W> {
     worker: W,
-    sums: CompensatedVec,
+    sums: ExactVec,
     phi: Vec<f64>,
 }
 
-/// Shared drive of both estimators: `make_worker()` builds a block-local
-/// closure that fills permutation `t`'s marginal-contribution vector (one
-/// entry per training point). See the module docs for the two scheduling
-/// shapes and the determinism contract.
-fn drive_permutations<W, F>(
+/// Fan-out drive shared by the a-priori-budget estimators and the shard
+/// entry points: run permutation streams `range` (of a job whose full
+/// stream space is `0..total`), depositing every marginal-contribution
+/// vector into exact accumulators, eagerly merged block by block
+/// ([`crate::sharding::exact_block_fold`]) so live accumulators stay
+/// bounded by the worker count. The returned partial state is a pure
+/// function of `(job, range)` — never of `threads` or of how the rest of
+/// the job is sharded.
+fn run_fanout<W, F>(
+    n: usize,
+    range: std::ops::Range<usize>,
+    threads: usize,
+    make_worker: F,
+) -> ExactVec
+where
+    W: FnMut(usize, &mut [f64]) + Send,
+    F: Fn() -> W + Sync,
+{
+    let total = std::sync::Mutex::new(ExactVec::zeros(n));
+    crate::sharding::exact_block_fold(
+        range.len(),
+        threads,
+        || BlockAcc {
+            worker: make_worker(),
+            sums: ExactVec::zeros(n),
+            phi: vec![0.0; n],
+        },
+        |acc, t| {
+            (acc.worker)(range.start + t, &mut acc.phi);
+            acc.sums.add_dense(&acc.phi);
+        },
+        |acc| total.lock().expect("fold poisoned").merge(&acc.sums),
+    );
+    total.into_inner().expect("fold poisoned")
+}
+
+/// Round-path drive of both estimators (heuristic stopping and/or
+/// snapshots): `make_worker()` builds a block-local closure that fills
+/// permutation `t`'s marginal-contribution vector (one entry per training
+/// point). See the module docs for the scheduling shapes and the
+/// determinism contract.
+fn drive_rounds<W, F>(
     n: usize,
     rule: StoppingRule,
     snapshot_every: Option<usize>,
@@ -131,34 +174,7 @@ where
     let budget = rule.budget(n);
     let threshold = rule.threshold();
 
-    if threshold.is_none() && snapshot_every.is_none() {
-        // Fan-out path: one blocked fold over the whole a-priori budget.
-        let acc = knnshap_parallel::par_indexed_map_reduce(
-            budget,
-            threads,
-            |_range| BlockAcc {
-                worker: make_worker(),
-                sums: CompensatedVec::zeros(n),
-                phi: vec![0.0; n],
-            },
-            |acc, t| {
-                (acc.worker)(t, &mut acc.phi);
-                for (i, &phi) in acc.phi.iter().enumerate() {
-                    acc.sums.add(i, phi);
-                }
-            },
-            |a, b| a.sums.merge(&b.sums),
-        );
-        let scale = 1.0 / budget.max(1) as f64;
-        let values: Vec<f64> = (0..n).map(|i| acc.sums.value(i) * scale).collect();
-        return McResult {
-            values: ShapleyValues::new(values),
-            permutations: budget,
-            snapshots: Vec::new(),
-        };
-    }
-
-    // Round path: launch `mc_round_size(budget)` streams at a time, then fold
+    // Launch `mc_round_size(budget)` streams at a time, then fold
     // them into the running estimate in permutation order so the heuristic
     // check and snapshots see exactly the serial per-permutation sequence.
     let round = crate::bounds::mc_round_size(budget);
@@ -255,21 +271,100 @@ pub fn mc_shapley_baseline_with_threads<U: Utility + ?Sized>(
     let n = u.n();
     let streams = RngStreams::new(seed);
     let nu_empty = u.eval(&[]);
-    drive_permutations(n, rule, snapshot_every, threads, || {
-        let mut perm: Vec<usize> = vec![0; n];
-        let mut prefix: Vec<usize> = Vec::with_capacity(n);
-        move |t: usize, phi: &mut [f64]| {
-            identity_shuffle(&mut streams.stream(t as u64), &mut perm);
-            prefix.clear();
-            let mut prev = nu_empty;
-            for &p in &perm {
-                prefix.push(p);
-                let cur = u.eval(&prefix);
-                phi[p] = cur - prev;
-                prev = cur;
-            }
+    let make_worker = || baseline_worker(u, streams, nu_empty);
+    if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
+        return drive_rounds(n, rule, snapshot_every, threads, make_worker);
+    }
+    let budget = rule.budget(n);
+    let sums = run_fanout(n, 0..budget, threads, make_worker);
+    McResult {
+        values: crate::sharding::finalize_mean(&sums, budget as u64),
+        permutations: budget,
+        snapshots: Vec::new(),
+    }
+}
+
+/// The baseline estimator's per-permutation worker: full utility
+/// re-evaluation at every prefix. Permutation `t` is a pure function of
+/// `(streams, t)`.
+fn baseline_worker<'a, U: Utility + ?Sized>(
+    u: &'a U,
+    streams: RngStreams,
+    nu_empty: f64,
+) -> impl FnMut(usize, &mut [f64]) + Send + 'a {
+    let n = u.n();
+    let mut perm: Vec<usize> = vec![0; n];
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    move |t: usize, phi: &mut [f64]| {
+        identity_shuffle(&mut streams.stream(t as u64), &mut perm);
+        prefix.clear();
+        let mut prev = nu_empty;
+        for &p in &perm {
+            prefix.push(p);
+            let cur = u.eval(&prefix);
+            phi[p] = cur - prev;
+            prev = cur;
         }
-    })
+    }
+}
+
+/// Baseline-MC partial sums over one canonical shard of a fixed
+/// permutation-stream budget.
+///
+/// ### Determinism contract
+///
+/// Stream `t` of `seed` produces the same permutation in every process
+/// (counter-based [`RngStreams`]), and the partial sums are exact, so
+/// merging any full shard set with [`crate::sharding::merge_partials`]
+/// reproduces `mc_shapley_baseline(u, StoppingRule::Fixed(budget), seed,
+/// None)` bit for bit — at every shard count and every thread count. The
+/// heuristic stopping rule cannot be sharded (see the module docs); shard a
+/// fixed budget instead.
+///
+/// ```
+/// use knnshap_core::mc::{mc_shapley_baseline, mc_shapley_baseline_shard, StoppingRule};
+/// use knnshap_core::sharding::{merge_partials, ShardSpec};
+/// use knnshap_core::utility::{KnnClassUtility, Utility};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 12, dim: 2, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 2, 7));
+/// let u = KnnClassUtility::unweighted(&train, &test, 2);
+/// let parts: Vec<_> = (0..3)
+///     .map(|i| mc_shapley_baseline_shard(&u, 20, 42, ShardSpec::new(i, 3), 1))
+///     .collect();
+/// let merged = merge_partials(&parts).unwrap();
+/// let whole = mc_shapley_baseline(&u, StoppingRule::Fixed(20), 42, None);
+/// assert_eq!(merged.items, 20);
+/// for i in 0..u.n() {
+///     assert_eq!(merged.values.get(i).to_bits(), whole.values.get(i).to_bits());
+/// }
+/// ```
+pub fn mc_shapley_baseline_shard<U: Utility + ?Sized>(
+    u: &U,
+    budget: usize,
+    seed: u64,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(budget >= 1, "need at least one permutation");
+    let n = u.n();
+    let streams = RngStreams::new(seed);
+    let nu_empty = u.eval(&[]);
+    let range = spec.range(budget);
+    let sums = run_fanout(n, range.clone(), threads, || {
+        baseline_worker(u, streams, nu_empty)
+    });
+    let fingerprint = mc_baseline_fingerprint(u, seed);
+    ShardPartial::new(ShardKind::McBaseline, fingerprint, n, budget, range, sums)
+}
+
+/// The job fingerprint of the baseline-MC family (utility content + seed).
+pub fn mc_baseline_fingerprint<U: Utility + ?Sized>(u: &U, seed: u64) -> u64 {
+    Fingerprint::new("mc-baseline")
+        .u64(seed)
+        .u64(u.fingerprint())
+        .finish()
 }
 
 /// The immutable half of [`IncKnnUtility`], shared (via `Arc`) by every fork
@@ -363,6 +458,30 @@ impl IncKnnUtility {
     /// per-worker scratch of the parallel estimator.
     pub fn fork(&self) -> Self {
         Self::from_shared(Arc::clone(&self.shared), self.n_test())
+    }
+
+    /// Content fingerprint (distance matrix, labels/targets, K, weights) —
+    /// the job-identity half of [`mc_shapley_improved_shard`]'s shard
+    /// headers; see [`crate::sharding`].
+    pub fn fingerprint(&self) -> u64 {
+        let s = &self.shared;
+        let (wtag, wparam) = crate::sharding::weight_code(s.weight);
+        let f = Fingerprint::new("inc-knn-utility")
+            .u64(s.k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .f32s(s.dist.data());
+        match &s.task {
+            IncTask::Class {
+                labels,
+                test_labels,
+            } => f.u64(0).u32s(labels).u32s(test_labels),
+            IncTask::Reg {
+                targets,
+                test_targets,
+            } => f.u64(1).f64s(targets).f64s(test_targets),
+        }
+        .finish()
     }
 
     pub fn n(&self) -> usize {
@@ -487,25 +606,93 @@ pub fn mc_shapley_improved_with_threads(
 ) -> McResult {
     let n = u.n();
     let streams = RngStreams::new(seed);
-    drive_permutations(n, rule, snapshot_every, threads, || {
-        let mut fork = u.fork();
-        let mut perm: Vec<usize> = vec![0; n];
-        move |t: usize, phi: &mut [f64]| {
-            identity_shuffle(&mut streams.stream(t as u64), &mut perm);
-            fork.reset();
-            let mut prev = 0.0f64;
-            for &p in &perm {
-                phi[p] = match fork.insert(p) {
-                    Some(cur) => {
-                        let d = cur - prev;
-                        prev = cur;
-                        d
-                    }
-                    None => 0.0, // heap unchanged ⇒ φ = 0 (paper lines 18–19)
-                };
-            }
+    let make_worker = || improved_worker(u, streams);
+    if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
+        return drive_rounds(n, rule, snapshot_every, threads, make_worker);
+    }
+    let budget = rule.budget(n);
+    let sums = run_fanout(n, 0..budget, threads, make_worker);
+    McResult {
+        values: crate::sharding::finalize_mean(&sums, budget as u64),
+        permutations: budget,
+        snapshots: Vec::new(),
+    }
+}
+
+/// Algorithm 2's per-permutation worker: heap-incremental utility updates on
+/// a [`fork`](IncKnnUtility::fork) of the shared distance matrix.
+fn improved_worker<'a>(
+    u: &'a IncKnnUtility,
+    streams: RngStreams,
+) -> impl FnMut(usize, &mut [f64]) + Send + 'a {
+    let n = u.n();
+    let mut fork = u.fork();
+    let mut perm: Vec<usize> = vec![0; n];
+    move |t: usize, phi: &mut [f64]| {
+        identity_shuffle(&mut streams.stream(t as u64), &mut perm);
+        fork.reset();
+        let mut prev = 0.0f64;
+        for &p in &perm {
+            phi[p] = match fork.insert(p) {
+                Some(cur) => {
+                    let d = cur - prev;
+                    prev = cur;
+                    d
+                }
+                None => 0.0, // heap unchanged ⇒ φ = 0 (paper lines 18–19)
+            };
         }
-    })
+    }
+}
+
+/// Improved-MC (Algorithm 2) partial sums over one canonical shard of a
+/// fixed permutation-stream budget. Same determinism contract as
+/// [`mc_shapley_baseline_shard`]: merging a full shard set reproduces
+/// `mc_shapley_improved(u, StoppingRule::Fixed(budget), seed, None)` bit
+/// for bit at every shard and thread count.
+///
+/// ```
+/// use knnshap_core::mc::{
+///     mc_shapley_improved, mc_shapley_improved_shard, IncKnnUtility, StoppingRule,
+/// };
+/// use knnshap_core::sharding::{merge_partials, ShardSpec};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+/// use knnshap_knn::weights::WeightFn;
+///
+/// let cfg = BlobConfig { n: 15, dim: 2, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 2, 3));
+/// let mut inc = IncKnnUtility::classification(&train, &test, 2, WeightFn::Uniform);
+/// let parts: Vec<_> = (0..2)
+///     .map(|i| mc_shapley_improved_shard(&inc, 50, 9, ShardSpec::new(i, 2), 1))
+///     .collect();
+/// let merged = merge_partials(&parts).unwrap();
+/// let whole = mc_shapley_improved(&mut inc, StoppingRule::Fixed(50), 9, None);
+/// for i in 0..inc.n() {
+///     assert_eq!(merged.values.get(i).to_bits(), whole.values.get(i).to_bits());
+/// }
+/// ```
+pub fn mc_shapley_improved_shard(
+    u: &IncKnnUtility,
+    budget: usize,
+    seed: u64,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(budget >= 1, "need at least one permutation");
+    let n = u.n();
+    let streams = RngStreams::new(seed);
+    let range = spec.range(budget);
+    let sums = run_fanout(n, range.clone(), threads, || improved_worker(u, streams));
+    let fingerprint = mc_improved_fingerprint(u, seed);
+    ShardPartial::new(ShardKind::McImproved, fingerprint, n, budget, range, sums)
+}
+
+/// The job fingerprint of the improved-MC family (utility content + seed).
+pub fn mc_improved_fingerprint(u: &IncKnnUtility, seed: u64) -> u64 {
+    Fingerprint::new("mc-improved")
+        .u64(seed)
+        .u64(u.fingerprint())
+        .finish()
 }
 
 /// Empirical "ground truth" permutation demand (Fig. 11): the first `t` at

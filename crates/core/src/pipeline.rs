@@ -223,24 +223,25 @@ impl<'a> KnnShapley<'a> {
                     return Err(PipelineError::WeightedUnsupported("TruncatedTree"));
                 }
                 let tree = knnshap_knn::kdtree::KdTree::build(&self.train.x);
-                let mut acc = knnshap_parallel::par_map_reduce(
-                    self.test.len(),
+                let sums = crate::sharding::exact_sums_over(
+                    self.train.len(),
+                    0..self.test.len(),
                     self.threads,
-                    || ShapleyValues::zeros(self.train.len()),
-                    |acc, j| {
-                        acc.add_assign(&crate::truncated::truncated_class_shapley_with_kdtree(
-                            &tree,
-                            self.train,
-                            self.test.x.row(j),
-                            self.test.y[j],
-                            self.k,
-                            eps,
-                        ));
+                    |j, acc| {
+                        acc.add_dense(
+                            crate::truncated::truncated_class_shapley_with_kdtree(
+                                &tree,
+                                self.train,
+                                self.test.x.row(j),
+                                self.test.y[j],
+                                self.k,
+                                eps,
+                            )
+                            .as_slice(),
+                        );
                     },
-                    |a, b| a.add_assign(&b),
                 );
-                acc.scale(1.0 / self.test.len() as f64);
-                Ok(acc.into())
+                Ok(crate::sharding::finalize_mean(&sums, self.test.len() as u64).into())
             }
             Method::Lsh {
                 eps,

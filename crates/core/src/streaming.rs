@@ -27,6 +27,7 @@ use crate::truncated::truncated_class_shapley_single;
 use crate::types::ShapleyValues;
 use knnshap_datasets::ClassDataset;
 use knnshap_lsh::index::LshIndex;
+use knnshap_numerics::exact::ExactVec;
 
 /// Per-query valuation strategy for [`OnlineValuator`].
 pub enum StreamBackend<'a> {
@@ -72,7 +73,11 @@ pub struct OnlineValuator<'a> {
     train: &'a ClassDataset,
     k: usize,
     backend: StreamBackend<'a>,
-    sum: ShapleyValues,
+    /// Exact per-point accumulation of the per-query games: the running
+    /// values are a pure function of the observed query *multiset*, so
+    /// loops, batches and [`merge`](Self::merge)d shards all land on the
+    /// same bits.
+    sum: ExactVec,
     n_queries: usize,
 }
 
@@ -89,7 +94,7 @@ impl<'a> OnlineValuator<'a> {
             train,
             k,
             backend,
-            sum: ShapleyValues::zeros(train.len()),
+            sum: ExactVec::zeros(train.len()),
             n_queries: 0,
         }
     }
@@ -117,7 +122,7 @@ impl<'a> OnlineValuator<'a> {
     /// Panics if `query` has the wrong dimensionality.
     pub fn observe(&mut self, query: &[f32], label: u32) -> ShapleyValues {
         let per_query = self.per_query(query, label);
-        self.sum.add_assign(&per_query);
+        self.sum.add_dense(per_query.as_slice());
         self.n_queries += 1;
         per_query
     }
@@ -129,11 +134,11 @@ impl<'a> OnlineValuator<'a> {
     }
 
     /// Folds a chunk of arriving test points with an explicit worker count:
-    /// the per-query games fan across the pool and their vectors fold in
-    /// fixed blocks merged in block order, so the accumulator state after the
-    /// call is bitwise-identical for every `threads` value (though not to a
-    /// query-by-query [`observe`](Self::observe) loop, whose addition order
-    /// differs).
+    /// the per-query games fan across the pool into exact accumulators, so
+    /// the accumulator state after the call is bitwise-identical for every
+    /// `threads` value — **and** to a query-by-query
+    /// [`observe`](Self::observe) loop over the same chunk (exact
+    /// accumulation makes the addition order immaterial).
     ///
     /// # Panics
     ///
@@ -144,14 +149,13 @@ impl<'a> OnlineValuator<'a> {
             return;
         }
         let this: &OnlineValuator<'_> = self;
-        let partial = knnshap_parallel::par_map_reduce(
-            chunk.len(),
+        let partial = crate::sharding::exact_sums_over(
+            this.train.len(),
+            0..chunk.len(),
             threads,
-            || ShapleyValues::zeros(this.train.len()),
-            |acc, j| acc.add_assign(&this.per_query(chunk.x.row(j), chunk.y[j])),
-            |a, b| a.add_assign(&b),
+            |j, acc| acc.add_dense(this.per_query(chunk.x.row(j), chunk.y[j]).as_slice()),
         );
-        self.sum.add_assign(&partial);
+        self.sum.merge(&partial);
         self.n_queries += chunk.len();
     }
 
@@ -161,27 +165,41 @@ impl<'a> OnlineValuator<'a> {
     }
 
     /// Running values: the average of the per-query games (zeros before the
-    /// first observation).
+    /// first observation), each exact sum rounded once and divided by the
+    /// query count — the same finalization as the batch estimators, so an
+    /// exact-backend stream over a test set reproduces
+    /// [`crate::exact_unweighted::knn_class_shapley`] bit for bit.
     pub fn values(&self) -> ShapleyValues {
-        let mut avg = self.sum.clone();
-        if self.n_queries > 0 {
-            avg.scale(1.0 / self.n_queries as f64);
-        }
-        avg
+        crate::sharding::finalize_mean(&self.sum, self.n_queries as u64)
     }
 
     /// Merges another accumulator over the *same* training set (e.g. a
-    /// shard processed by another worker). Panics on size mismatch.
+    /// shard of the query stream processed by another worker). Panics on
+    /// training-set-size or K mismatch.
+    ///
+    /// ### Semantics and determinism contract
+    ///
+    /// `merge` is **multiset union**, not idempotent: merging the same
+    /// observations twice counts them twice (by design — a valuator carries
+    /// no identity for its queries, only their accumulated games). Merging
+    /// an empty valuator is a no-op. Because the accumulation is exact, any
+    /// partition of a query stream into shards, each observed independently
+    /// and merged in any order, yields [`values`](Self::values)
+    /// bitwise-identical to a single valuator observing the whole stream —
+    /// the property `tests/shard_determinism.rs` and the core proptests
+    /// pin down. (Aliasing self-merge is unrepresentable in safe Rust;
+    /// duplicate *shard files* are caught by the CLI merge's coverage
+    /// check instead.)
     pub fn merge(&mut self, other: &OnlineValuator<'_>) {
         assert_eq!(self.sum.len(), other.sum.len(), "training set mismatch");
         assert_eq!(self.k, other.k, "K mismatch");
-        self.sum.add_assign(&other.sum);
+        self.sum.merge(&other.sum);
         self.n_queries += other.n_queries;
     }
 
     /// Discards the accumulated state, keeping train/K/backend.
     pub fn reset(&mut self) {
-        self.sum = ShapleyValues::zeros(self.train.len());
+        self.sum = ExactVec::zeros(self.train.len());
         self.n_queries = 0;
     }
 }
@@ -260,7 +278,12 @@ mod tests {
         let mut batched = OnlineValuator::new(&train, 3, StreamBackend::Exact);
         batched.observe_batch(&test);
         assert_eq!(batched.queries_seen(), test.len());
-        assert!(batched.values().max_abs_diff(&looped.values()) < 1e-12);
+        // Exact accumulation: the batched fold equals the query loop to the
+        // bit, not merely approximately.
+        let (a, b) = (batched.values(), looped.values());
+        for i in 0..train.len() {
+            assert_eq!(a.get(i).to_bits(), b.get(i).to_bits(), "i={i}");
+        }
 
         // Bitwise thread-count invariance of the batched fold.
         let run = |threads: usize| {
@@ -310,6 +333,47 @@ mod tests {
         let online = OnlineValuator::new(&train, 2, StreamBackend::Exact);
         assert_eq!(online.values().total(), 0.0);
         assert_eq!(online.queries_seen(), 0);
+    }
+
+    #[test]
+    fn merging_empty_valuator_is_a_no_op() {
+        let (train, test) = data(40, 5);
+        let mut seen = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        for j in 0..test.len() {
+            seen.observe(test.x.row(j), test.y[j]);
+        }
+        let before = seen.values();
+        let empty = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        seen.merge(&empty);
+        assert_eq!(seen.queries_seen(), 5);
+        let after = seen.values();
+        for i in 0..train.len() {
+            assert_eq!(before.get(i).to_bits(), after.get(i).to_bits(), "i={i}");
+        }
+        // The mirror: folding observations into a fresh valuator.
+        let mut fresh = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        fresh.merge(&seen);
+        assert_eq!(fresh.queries_seen(), 5);
+        assert!(fresh.values().max_abs_diff(&after) == 0.0);
+    }
+
+    #[test]
+    fn merge_is_multiset_union_not_idempotent() {
+        // Documented semantics: merging the same observations twice counts
+        // them twice. The *average* is unchanged (both copies carry the same
+        // mean) but the query count doubles — merge is a union of
+        // observation multisets, with no deduplication.
+        let (train, test) = data(30, 4);
+        let mut a = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        let mut b = OnlineValuator::new(&train, 2, StreamBackend::Exact);
+        for j in 0..test.len() {
+            a.observe(test.x.row(j), test.y[j]);
+            b.observe(test.x.row(j), test.y[j]);
+        }
+        let single = a.values();
+        a.merge(&b);
+        assert_eq!(a.queries_seen(), 8, "observations count twice");
+        assert!(a.values().max_abs_diff(&single) < 1e-15, "mean unchanged");
     }
 
     #[test]

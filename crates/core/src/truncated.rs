@@ -20,10 +20,12 @@
 //! tighten ε or fall back to the exact algorithm when the estimate
 //! degenerates; see `all_zero_estimate_on_pure_clusters_is_still_valid`.
 
+use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use knnshap_datasets::ClassDataset;
 use knnshap_knn::distance::Metric;
 use knnshap_knn::neighbors::{partial_k_nearest, Neighbor};
+use knnshap_numerics::exact::ExactVec;
 
 /// `K* = max(K, ⌈1/ε⌉)` — the number of neighbors whose values must be
 /// computed to achieve ‖ŝ − s‖_∞ ≤ ε.
@@ -121,9 +123,9 @@ pub fn truncated_class_shapley(
 }
 
 /// [`truncated_class_shapley`] with an explicit worker count: the per-test
-/// games fan across the pool and their value vectors fold in fixed blocks
-/// merged in block order, so the average is bitwise-identical for every
-/// `threads` value.
+/// games fan across the pool into *exact* accumulators, so the average is
+/// bitwise-identical for every `threads` value — and for every sharding of
+/// the test range (see [`truncated_class_shapley_shard`]).
 pub fn truncated_class_shapley_with_threads(
     train: &ClassDataset,
     test: &ClassDataset,
@@ -132,23 +134,79 @@ pub fn truncated_class_shapley_with_threads(
     threads: usize,
 ) -> ShapleyValues {
     assert!(!test.is_empty(), "need at least one test point");
-    let mut acc = knnshap_parallel::par_map_reduce(
+    let sums = shard_sums(train, test, k, eps, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
+}
+
+/// Truncated partial sums over one canonical shard of the test range.
+///
+/// ### Determinism contract
+///
+/// Theorem 2's guarantee is per test point, so the shard split rides the
+/// same additivity decomposition as the exact algorithm: the partial state
+/// depends only on `(train, test, k, ε)` and the shard's range. Merging a
+/// full shard set with [`crate::sharding::merge_partials`] reproduces
+/// [`truncated_class_shapley_with_threads`] bit for bit at every shard and
+/// thread count.
+///
+/// ```
+/// use knnshap_core::sharding::{merge_partials, ShardSpec};
+/// use knnshap_core::truncated::{truncated_class_shapley, truncated_class_shapley_shard};
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 60, dim: 4, n_classes: 3, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 8, 2));
+/// let parts: Vec<_> = (0..3)
+///     .map(|i| truncated_class_shapley_shard(&train, &test, 2, 0.2, ShardSpec::new(i, 3), 1))
+///     .collect();
+/// let merged = merge_partials(&parts).unwrap().values;
+/// let whole = truncated_class_shapley(&train, &test, 2, 0.2);
+/// assert!(merged.as_slice().iter().zip(whole.as_slice()).all(|(a, b)| a == b));
+/// ```
+pub fn truncated_class_shapley_shard(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    eps: f64,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(!test.is_empty(), "need at least one test point");
+    let range = spec.range(test.len());
+    let sums = shard_sums(train, test, k, eps, range.clone(), threads);
+    let fingerprint = truncated_fingerprint(train, test, k, eps);
+    ShardPartial::new(
+        ShardKind::Truncated,
+        fingerprint,
+        train.len(),
         test.len(),
-        threads,
-        || ShapleyValues::zeros(train.len()),
-        |acc, j| {
-            acc.add_assign(&truncated_class_shapley_single(
-                train,
-                test.x.row(j),
-                test.y[j],
-                k,
-                eps,
-            ));
-        },
-        |a, b| a.add_assign(&b),
-    );
-    acc.scale(1.0 / test.len() as f64);
-    acc
+        range,
+        sums,
+    )
+}
+
+/// The job fingerprint of the truncated family.
+pub fn truncated_fingerprint(train: &ClassDataset, test: &ClassDataset, k: usize, eps: f64) -> u64 {
+    Fingerprint::new("truncated")
+        .u64(k as u64)
+        .f64(eps)
+        .u64(crate::sharding::hash_class_dataset(train))
+        .u64(crate::sharding::hash_class_dataset(test))
+        .finish()
+}
+
+fn shard_sums(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    eps: f64,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> ExactVec {
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        let per_test = truncated_class_shapley_single(train, test.x.row(j), test.y[j], k, eps);
+        acc.add_dense(per_test.as_slice());
+    })
 }
 
 #[cfg(test)]

@@ -39,6 +39,16 @@ pub trait Utility: Sync {
         let all: Vec<usize> = (0..self.n()).collect();
         self.eval(&all)
     }
+    /// Content fingerprint used by the sharded runtime
+    /// (`crate::sharding`) to refuse merging shard files produced against
+    /// different games. The KNN utilities hash their distance matrices and
+    /// labels; the default covers only the player count, so custom utilities
+    /// that shard across processes should override it.
+    fn fingerprint(&self) -> u64 {
+        crate::sharding::Fingerprint::new("utility")
+            .u64(self.n() as u64)
+            .finish()
+    }
 }
 
 /// Dense `n_test × n` matrix of true L2 query-to-training distances.
@@ -67,6 +77,11 @@ impl DistMatrix {
     #[inline]
     pub(crate) fn row(&self, test_idx: usize) -> &[f32] {
         &self.d[test_idx * self.n..(test_idx + 1) * self.n]
+    }
+
+    /// The full matrix data, for content fingerprinting.
+    pub(crate) fn data(&self) -> &[f32] {
+        &self.d
     }
 }
 
@@ -160,6 +175,18 @@ impl Utility for KnnClassUtility {
             .sum();
         total / self.test_labels.len() as f64
     }
+
+    fn fingerprint(&self) -> u64 {
+        let (wtag, wparam) = crate::sharding::weight_code(self.weight);
+        crate::sharding::Fingerprint::new("knn-class-utility")
+            .u64(self.k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .f32s(self.dist.data())
+            .u32s(&self.labels)
+            .u32s(&self.test_labels)
+            .finish()
+    }
 }
 
 /// The (weighted) KNN regression utility, eqs. (25)/(27), with `ν(∅) = 0`.
@@ -230,6 +257,18 @@ impl Utility for KnnRegUtility {
             .map(|j| self.eval_for_test(j, subset, &mut buf))
             .sum();
         total / self.test_targets.len() as f64
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let (wtag, wparam) = crate::sharding::weight_code(self.weight);
+        crate::sharding::Fingerprint::new("knn-reg-utility")
+            .u64(self.k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .f32s(self.dist.data())
+            .f64s(&self.targets)
+            .f64s(&self.test_targets)
+            .finish()
     }
 }
 

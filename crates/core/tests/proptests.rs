@@ -126,7 +126,9 @@ proptest! {
 
     /// Streaming with the exact backend equals the batch valuation on random
     /// instances, in any prefix: after observing the first q queries, the
-    /// running values equal the batch values over those q queries.
+    /// running values are **bitwise** the batch values over those q queries
+    /// (both paths accumulate the same per-query games exactly and finalize
+    /// with the same division).
     #[test]
     fn streaming_prefix_equals_batch((train, test, k) in instance_strategy()) {
         let mut online = OnlineValuator::new(&train, k, StreamBackend::Exact);
@@ -134,31 +136,56 @@ proptest! {
             online.observe(test.x.row(q), test.y[q]);
             let prefix = test.gather(&(0..=q).collect::<Vec<_>>());
             let batch = knn_class_shapley_with_threads(&train, &prefix, k, 1);
-            prop_assert!(online.values().max_abs_diff(&batch) < 1e-12);
+            let got = online.values();
+            for i in 0..train.len() {
+                prop_assert_eq!(got.get(i).to_bits(), batch.get(i).to_bits());
+            }
         }
     }
 
-    /// Splitting the stream at any point and merging the two accumulators
-    /// reproduces the single-pass result.
+    /// Splitting the query stream into *any* number of contiguous shards
+    /// (including empty ones), observing each in its own valuator, and
+    /// merging reproduces the single-pass result **bitwise** — the
+    /// `OnlineValuator::merge` half of the sharded-runtime contract
+    /// (`tests/shard_determinism.rs` covers the batch estimators).
     #[test]
-    fn streaming_split_merge_equals_single_pass(
+    fn streaming_any_partition_merges_to_single_pass(
         (train, test, k) in instance_strategy(),
-        split_frac in 0.0f64..1.0,
+        cut_fracs in proptest::collection::vec(0.0f64..1.0, 0..4),
     ) {
-        let split = ((test.len() as f64) * split_frac) as usize;
+        // Shard boundaries from the random fractions; duplicates create
+        // empty shards, which must merge as no-ops.
+        let mut cuts: Vec<usize> = cut_fracs
+            .iter()
+            .map(|f| ((test.len() as f64) * f) as usize)
+            .collect();
+        cuts.push(0);
+        cuts.push(test.len());
+        cuts.sort_unstable();
+
         let mut whole = OnlineValuator::new(&train, k, StreamBackend::Exact);
-        let mut left = OnlineValuator::new(&train, k, StreamBackend::Exact);
-        let mut right = OnlineValuator::new(&train, k, StreamBackend::Exact);
         for q in 0..test.len() {
             whole.observe(test.x.row(q), test.y[q]);
-            if q < split {
-                left.observe(test.x.row(q), test.y[q]);
-            } else {
-                right.observe(test.x.row(q), test.y[q]);
-            }
         }
-        left.merge(&right);
-        prop_assert_eq!(left.queries_seen(), whole.queries_seen());
-        prop_assert!(left.values().max_abs_diff(&whole.values()) < 1e-12);
+
+        let mut shards: Vec<OnlineValuator> = cuts
+            .windows(2)
+            .map(|w| {
+                let mut v = OnlineValuator::new(&train, k, StreamBackend::Exact);
+                for q in w[0]..w[1] {
+                    v.observe(test.x.row(q), test.y[q]);
+                }
+                v
+            })
+            .collect();
+        let mut total = shards.remove(0);
+        for shard in &shards {
+            total.merge(shard);
+        }
+        prop_assert_eq!(total.queries_seen(), whole.queries_seen());
+        let (a, b) = (total.values(), whole.values());
+        for i in 0..train.len() {
+            prop_assert_eq!(a.get(i).to_bits(), b.get(i).to_bits());
+        }
     }
 }

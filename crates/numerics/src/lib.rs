@@ -23,7 +23,12 @@
 //!   permutation budget over;
 //! * compensated summation ([`compensated`]) — Neumaier accumulators whose
 //!   explicit merge keeps blocked parallel reductions both accurate and
-//!   bitwise-deterministic.
+//!   bitwise-deterministic;
+//! * exact summation ([`exact`]) — fixed-point superaccumulators whose merge
+//!   is *error-free* and therefore order- and grouping-invariant: the
+//!   serialized/mergeable partial-sum state of the sharded valuation runtime
+//!   (`knnshap_core::sharding`), where the reduction tree is chosen by the
+//!   operator's shard layout rather than fixed by the code.
 //!
 //! ### Determinism contract
 //!
@@ -52,6 +57,7 @@
 
 pub mod binom;
 pub mod compensated;
+pub mod exact;
 pub mod integrate;
 pub mod roots;
 pub mod sampling;
@@ -60,6 +66,7 @@ pub mod stats;
 
 pub use binom::LogFactorialTable;
 pub use compensated::{CompensatedVec, NeumaierSum};
+pub use exact::{ExactSum, ExactVec};
 pub use integrate::{adaptive_simpson, simpson};
 pub use roots::{bisect, brent};
 pub use sampling::{gaussian_vec, sample_permutation, GaussianSampler, RngStreams};

@@ -14,7 +14,10 @@
 //! walkthrough. Streams of test points fold into a running valuation via
 //! `valuation::streaming::OnlineValuator`; the §7 marketplace analyses
 //! (payouts, audits, per-class summaries) live in `valuation::analysis`; a
-//! scriptable front end ships as the `knnshap` binary in `crates/cli`.
+//! scriptable front end ships as the `knnshap` binary in `crates/cli`. Jobs
+//! too big for one process shard through `valuation::sharding` (per-shard
+//! exact partial sums, merged bitwise-identically to the unsharded run —
+//! see `docs/sharding.md`).
 //!
 //! ```
 //! use knnshap::datasets::synth::blobs::{self, BlobConfig};
