@@ -2,16 +2,26 @@
 //! evaluation — at the chosen scale, printing each report and a wall-clock
 //! accounting at the end.
 //!
-//! Usage: `cargo run --release -p knnshap-bench --bin run_all [smoke|small|paper]`
+//! Usage:
+//! `cargo run --release -p knnshap_bench --bin run_all [smoke|small|paper] [--only NAME] [--fanout N]`
+//!
+//! At `paper` scale the battery **fans out across processes** through the
+//! job-orchestration runtime's fleet pool (`knnshap_runtime::fleet`): each
+//! experiment becomes a `run_all <scale> --only NAME` child, at most
+//! `--fanout` (default: one per core, `KNNSHAP_FANOUT` overrides) running
+//! at once, each child's `KNNSHAP_THREADS` budgeted so the fleet doesn't
+//! oversubscribe the machine. Reports are printed in the canonical
+//! experiment order regardless of which child finished first, so the
+//! output reads like the sequential battery. `smoke`/`small` stay
+//! in-process unless `--fanout` is passed explicitly.
 
 use knnshap_bench::experiments as exp;
 use knnshap_bench::{Experiment, Scale};
+use knnshap_runtime::fleet::{run_fleet, CommandSpec};
 use std::time::Instant;
 
-fn main() {
-    let scale = Scale::from_env_or_args();
-    println!("# knnshap experiment battery (scale: {scale:?})\n");
-    let experiments: Vec<Experiment> = vec![
+fn experiments() -> Vec<Experiment> {
+    vec![
         ("tab_complexity", exp::tab_complexity::run),
         ("fig05_convergence", exp::fig05_convergence::run),
         ("fig06_runtime", exp::fig06_runtime::run),
@@ -25,20 +35,142 @@ fn main() {
         ("fig14_dogfish", exp::fig14_dogfish::run),
         ("fig15_composite", exp::fig15_composite::run),
         ("fig16_logreg_proxy", exp::fig16_logreg_proxy::run),
-    ];
-    let mut timings = Vec::new();
-    for (name, f) in experiments {
+    ]
+}
+
+struct Cli {
+    scale: Scale,
+    only: Option<String>,
+    fanout: Option<usize>,
+}
+
+fn parse_cli() -> Cli {
+    let mut scale_tok: Option<String> = None;
+    let mut only = None;
+    let mut fanout = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--only" => only = args.next(),
+            "--fanout" => fanout = args.next().and_then(|v| v.parse().ok()),
+            _ if scale_tok.is_none() => scale_tok = Some(a),
+            other => eprintln!("ignoring unexpected argument '{other}'"),
+        }
+    }
+    let scale = Scale::from_token(
+        scale_tok
+            .or_else(|| std::env::var("KNNSHAP_SCALE").ok())
+            .as_deref(),
+    );
+    if fanout.is_none() {
+        fanout = std::env::var("KNNSHAP_FANOUT")
+            .ok()
+            .and_then(|v| v.parse().ok());
+    }
+    Cli {
+        scale,
+        only,
+        fanout,
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let experiments = experiments();
+
+    // Child mode: run exactly one experiment and print its report.
+    if let Some(name) = &cli.only {
+        let Some((_, f)) = experiments.iter().find(|(n, _)| n == name) else {
+            eprintln!("unknown experiment '{name}'");
+            std::process::exit(2);
+        };
         let start = Instant::now();
-        let report = f(scale);
-        let dt = start.elapsed();
-        println!("{report}");
-        println!("_[{name} completed in {:.1}s]_\n", dt.as_secs_f64());
-        timings.push((name, dt));
+        println!("{}", f(cli.scale));
+        println!(
+            "_[{name} completed in {:.1}s]_",
+            start.elapsed().as_secs_f64()
+        );
+        return;
     }
+
+    // Paper scale defaults to one child per core; smaller scales stay
+    // sequential unless asked.
+    let cores = knnshap_parallel::current_threads();
+    let fanout = cli
+        .fanout
+        .unwrap_or(match cli.scale {
+            Scale::Paper => cores,
+            _ => 1,
+        })
+        .clamp(1, experiments.len());
+
+    println!(
+        "# knnshap experiment battery (scale: {:?}, fanout: {fanout})\n",
+        cli.scale
+    );
+
+    let battery_started = Instant::now();
+    if fanout <= 1 {
+        let mut timings = Vec::new();
+        for (name, f) in experiments {
+            let start = Instant::now();
+            let report = f(cli.scale);
+            let dt = start.elapsed();
+            println!("{report}");
+            println!("_[{name} completed in {:.1}s]_\n", dt.as_secs_f64());
+            timings.push((name.to_string(), dt.as_secs_f64(), true));
+        }
+        summarize(&timings, battery_started.elapsed().as_secs_f64());
+        return;
+    }
+
+    // Fan out across processes via the runtime's fleet pool. Children split
+    // the machine's threads so `fanout` simultaneous experiments don't
+    // oversubscribe it.
+    let exe = std::env::current_exe().expect("own path for child spawns");
+    let threads_per_child = (cores / fanout).max(1).to_string();
+    let cmds: Vec<CommandSpec> = experiments
+        .iter()
+        .map(|(name, _)| CommandSpec {
+            label: name.to_string(),
+            program: exe.clone(),
+            args: vec![
+                cli.scale.token().to_string(),
+                "--only".into(),
+                name.to_string(),
+            ],
+            envs: vec![("KNNSHAP_THREADS".into(), threads_per_child.clone())],
+        })
+        .collect();
+    let results = run_fleet(cmds, fanout);
+
+    let mut timings = Vec::new();
+    let mut failures = 0usize;
+    for r in results {
+        if r.ok {
+            print!("{}", r.stdout);
+            println!();
+        } else {
+            failures += 1;
+            println!("## {} FAILED\n```\n{}\n```\n", r.label, r.stderr.trim_end());
+        }
+        timings.push((r.label, r.secs, r.ok));
+    }
+    summarize(&timings, battery_started.elapsed().as_secs_f64());
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// Per-experiment durations run concurrently under fan-out, so their sum is
+/// compute time, not elapsed time — report both.
+fn summarize(timings: &[(String, f64, bool)], wall: f64) {
     println!("## Wall-clock summary");
-    for (name, dt) in &timings {
-        println!("- {name}: {:.1}s", dt.as_secs_f64());
+    for (name, secs, ok) in timings {
+        println!("- {name}: {secs:.1}s{}", if *ok { "" } else { " (FAILED)" });
     }
-    let total: f64 = timings.iter().map(|(_, d)| d.as_secs_f64()).sum();
-    println!("- total: {total:.1}s");
+    let total: f64 = timings.iter().map(|(_, s, _)| s).sum();
+    println!("- total compute: {total:.1}s");
+    println!("- wall clock: {wall:.1}s");
 }

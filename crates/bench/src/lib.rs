@@ -37,10 +37,19 @@ impl Scale {
     /// Parse from the first CLI argument or the `KNNSHAP_SCALE` env var;
     /// defaults to `Small`.
     pub fn from_env_or_args() -> Self {
-        let arg = std::env::args()
-            .nth(1)
-            .or_else(|| std::env::var("KNNSHAP_SCALE").ok());
-        match arg.as_deref() {
+        Self::from_token(
+            std::env::args()
+                .nth(1)
+                .or_else(|| std::env::var("KNNSHAP_SCALE").ok())
+                .as_deref(),
+        )
+    }
+
+    /// Parse a scale token (`None` ⇒ default `Small`); unknown tokens warn
+    /// and fall back. Shared by the single-scale bins and `run_all`'s own
+    /// argument parser (which has flags beyond the scale).
+    pub fn from_token(token: Option<&str>) -> Self {
+        match token {
             Some("smoke") => Scale::Smoke,
             Some("paper") => Scale::Paper,
             Some("small") | None => Scale::Small,
@@ -48,6 +57,16 @@ impl Scale {
                 eprintln!("unknown scale '{other}', using 'small' (options: smoke|small|paper)");
                 Scale::Small
             }
+        }
+    }
+
+    /// The canonical token for this scale (what `run_all` passes to its
+    /// fanned-out children).
+    pub fn token(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
         }
     }
 

@@ -2,6 +2,7 @@
 
 pub mod audit;
 pub mod contrast;
+pub mod job;
 pub mod shard;
 pub mod synth;
 pub mod value;

@@ -79,14 +79,25 @@ pub(crate) fn compute_partial(
                 &inc, budget, seed, spec, threads,
             ))
         }
-        Method::TruncatedTree { .. } | Method::Lsh { .. } => Err(CliError::Invalid(
-            "sharding supports exact, truncated, mc-baseline and mc-improved \
-             (the LSH index is planned from whole-test-set statistics, so \
-             shards could not rebuild it identically)"
-                .into(),
+        Method::Lsh { .. } => Err(CliError::Invalid(LSH_UNSHARDABLE.into())),
+        Method::TruncatedTree { .. } => Err(CliError::Invalid(
+            "sharding supports exact, truncated, mc-baseline and mc-improved".into(),
         )),
     }
 }
+
+/// Why `--method lsh` is rejected by `shard`, `shard-plan` and the job
+/// runtime — the full explanation, not a generic "unsupported" line, because
+/// the obvious workaround (build a per-shard index) silently breaks the
+/// determinism contract. The planned sharding design for LSH is documented
+/// in `docs/sharding.md` ("Why LSH does not shard yet").
+pub(crate) const LSH_UNSHARDABLE: &str =
+    "the LSH method cannot shard by test range: its index needs whole-test-set \
+     statistics (the relative-contrast estimate that picks hash width, table \
+     count and probe schedule), so independently built per-shard indexes would \
+     answer queries differently and the merged values would not match the \
+     unsharded run. Planned design: build the index once, then stream query \
+     ranges through OnlineValuator workers — see docs/sharding.md";
 
 /// Sharded Monte Carlo needs an a-priori stream budget: the heuristic rule
 /// stops on a *sequential* criterion no shard can evaluate alone. The CLI
@@ -224,20 +235,17 @@ fn expected_job(
             ShardKind::Truncated,
             knnshap_core::truncated::truncated_fingerprint(train, test, k, eps),
         )),
-        Method::McBaseline { seed, .. } => {
-            let u = KnnClassUtility::new(train, test, k, weight);
-            Some((
-                ShardKind::McBaseline,
-                knnshap_core::mc::mc_baseline_fingerprint(&u, seed),
-            ))
-        }
-        Method::McImproved { seed, .. } => {
-            let inc = IncKnnUtility::classification(train, test, k, weight);
-            Some((
-                ShardKind::McImproved,
-                knnshap_core::mc::mc_improved_fingerprint(&inc, seed),
-            ))
-        }
+        // Dataset-content fingerprints: cross-checking an MC merge no longer
+        // rebuilds the O(N · N_test) distance matrix (the utilities hash the
+        // dataset contents the matrix is derived from).
+        Method::McBaseline { seed, .. } => Some((
+            ShardKind::McBaseline,
+            knnshap_core::mc::mc_baseline_class_fingerprint(train, test, k, weight, seed),
+        )),
+        Method::McImproved { seed, .. } => Some((
+            ShardKind::McImproved,
+            knnshap_core::mc::mc_improved_class_fingerprint(train, test, k, weight, seed),
+        )),
         Method::TruncatedTree { .. } | Method::Lsh { .. } => None,
     })
 }
@@ -493,9 +501,10 @@ mod tests {
         // index >= count
         let err = crate::run(shard_argv(&t, &q, &out, 5, 2, &[])).unwrap_err();
         assert!(err.to_string().contains("index"), "{err}");
-        // lsh is not shardable
+        // lsh is not shardable, and the error says exactly why.
         let err = crate::run(shard_argv(&t, &q, &out, 0, 2, &["--method", "lsh"])).unwrap_err();
-        assert!(err.to_string().contains("sharding supports"), "{err}");
+        assert!(err.to_string().contains("whole-test-set"), "{err}");
+        assert!(err.to_string().contains("docs/sharding.md"), "{err}");
         // mc without --perms is not shardable
         let err =
             crate::run(shard_argv(&t, &q, &out, 0, 2, &["--method", "mc-improved"])).unwrap_err();

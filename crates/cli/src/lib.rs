@@ -35,6 +35,8 @@ pub enum CliError {
     Pipeline(knnshap_core::pipeline::PipelineError),
     /// Shard-file or shard-merge problems (`shard`/`merge`/`--shards`).
     Shard(knnshap_core::sharding::ShardError),
+    /// Job-orchestration problems (`shard-plan`/`worker`/`run-job`).
+    Runtime(knnshap_runtime::JobError),
     /// Anything command-specific (bad enum value, inconsistent datasets…).
     Invalid(String),
 }
@@ -46,12 +48,14 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}' (try: value, audit, contrast, synth, shard, merge)"
+                    "unknown command '{c}' (try: value, audit, contrast, synth, shard, \
+                     merge, shard-plan, run-job, worker)"
                 )
             }
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Shard(e) => write!(f, "{e}"),
+            CliError::Runtime(e) => write!(f, "{e}"),
             CliError::Invalid(m) => write!(f, "{m}"),
         }
     }
@@ -74,6 +78,12 @@ impl From<knnshap_datasets::io::IoError> for CliError {
 impl From<knnshap_core::pipeline::PipelineError> for CliError {
     fn from(e: knnshap_core::pipeline::PipelineError) -> Self {
         CliError::Pipeline(e)
+    }
+}
+
+impl From<knnshap_runtime::JobError> for CliError {
+    fn from(e: knnshap_runtime::JobError) -> Self {
+        CliError::Runtime(e)
     }
 }
 
@@ -107,6 +117,22 @@ COMMANDS
             --inputs A,B,C --train FILE --test FILE [--k 1] [--method ...]
             [--seed 42] [--eps 0.1] [--weight ...] [--top 10] [--out FILE]
             [--revenue A --base-fee B]
+  shard-plan  plan a multi-process valuation job: write the versioned job
+            plan + directory a worker fleet executes (docs/operations.md)
+            --train FILE --test FILE --shards N --job DIR [--task class|reg]
+            [--k 1] [--method exact|truncated|mc-baseline|mc-improved|
+            group-testing] [--perms N] [--seed 42] [--eps 0.1]
+            [--weight ...] [--checkpoint-chunks 4]
+  run-job   supervise a planned job to completion: spawn local workers,
+            expire stale leases, respawn after crashes, auto-merge; report
+            and --out CSV match the unsharded `value` run byte for byte
+            --job DIR [--workers 2] [--threads N] [--lease-ttl 30]
+            [--max-spawns N] [--top 10] [--out FILE]
+            [--revenue A --base-fee B]
+  worker    one fleet member: claim shards from a job directory (lease
+            files), compute with checkpoints, publish, exit when nothing is
+            claimable. Run any number, on any machines sharing the path
+            --job DIR [--threads N] [--worker-id ID]
   contrast  estimate relative contrast C_K* and the LSH feasibility report
             --train FILE --test FILE [--k 1] [--eps 0.1] [--delta 0.1]
   synth     generate synthetic datasets (see DESIGN.md substitutions)
@@ -133,6 +159,9 @@ where
         "synth" => commands::synth::run(&args),
         "shard" => commands::shard::run_shard(&args),
         "merge" => commands::shard::run_merge(&args),
+        "shard-plan" => commands::job::run_shard_plan(&args),
+        "worker" => commands::job::run_worker_cmd(&args),
+        "run-job" => commands::job::run_run_job(&args),
         "help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -1,0 +1,212 @@
+//! Process-level orchestration round trip through the real `knnshap`
+//! binary: `shard-plan` → `run-job` (which spawns actual `knnshap worker`
+//! child processes) → auto-merge, byte-compared against an unsharded
+//! `value` run — including a worker killed mid-run by the
+//! `KNNSHAP_FAULT_AFTER_CHUNKS` switch and resumed by the supervisor.
+//!
+//! This is the same drill CI's "orchestration smoke" step performs from
+//! shell; having it as a test keeps it debuggable locally.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_knnshap")
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn knnshap");
+    assert!(
+        out.status.success(),
+        "knnshap {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("knnshap-orchcli-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        Scratch(p)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn synth(train: &Path, test: &Path) {
+    run(&[
+        "synth",
+        "--kind",
+        "blobs",
+        "--n",
+        "60",
+        "--dim",
+        "4",
+        "--classes",
+        "2",
+        "--seed",
+        "5",
+        "--out",
+        train.to_str().unwrap(),
+        "--queries",
+        "9",
+        "--queries-out",
+        test.to_str().unwrap(),
+    ]);
+}
+
+#[test]
+fn plan_fleet_merge_is_byte_identical_to_value() {
+    let ws = Scratch::new("clean");
+    let (train, test) = (ws.path("train.csv"), ws.path("test.csv"));
+    synth(&train, &test);
+    let direct = ws.path("direct.csv");
+    run(&[
+        "value",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--out",
+        direct.to_str().unwrap(),
+    ]);
+
+    let job = ws.path("job");
+    run(&[
+        "shard-plan",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--shards",
+        "4",
+        "--job",
+        job.to_str().unwrap(),
+    ]);
+    let merged = ws.path("merged.csv");
+    let report = run(&[
+        "run-job",
+        "--job",
+        job.to_str().unwrap(),
+        "--workers",
+        "3",
+        "--out",
+        merged.to_str().unwrap(),
+    ]);
+    assert!(report.contains("job complete"), "{report}");
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "fleet-merged CSV must equal the unsharded value CSV byte for byte"
+    );
+}
+
+#[test]
+fn killed_worker_resumes_and_merge_stays_byte_identical() {
+    let ws = Scratch::new("kill");
+    let (train, test) = (ws.path("train.csv"), ws.path("test.csv"));
+    synth(&train, &test);
+    let direct = ws.path("direct.csv");
+    run(&[
+        "value",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--method",
+        "mc-improved",
+        "--perms",
+        "48",
+        "--seed",
+        "7",
+        "--out",
+        direct.to_str().unwrap(),
+    ]);
+
+    let job = ws.path("job");
+    run(&[
+        "shard-plan",
+        "--train",
+        train.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--method",
+        "mc-improved",
+        "--perms",
+        "48",
+        "--seed",
+        "7",
+        "--shards",
+        "3",
+        "--checkpoint-chunks",
+        "4",
+        "--job",
+        job.to_str().unwrap(),
+    ]);
+
+    // A doomed worker: crashes after two computed chunks, leaving its lease
+    // and a checkpoint behind (unit exit status, lease file intact).
+    let out = Command::new(bin())
+        .args([
+            "worker",
+            "--job",
+            job.to_str().unwrap(),
+            "--worker-id",
+            "victim",
+        ])
+        .env("KNNSHAP_FAULT_AFTER_CHUNKS", "2")
+        .output()
+        .expect("spawn doomed worker");
+    assert!(!out.status.success(), "the doomed worker must crash");
+    let leases: Vec<_> = std::fs::read_dir(job.join("leases"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .collect();
+    assert!(!leases.is_empty(), "crash must leave its lease behind");
+
+    // The supervisor expires the dead lease (short TTL), respawns, resumes
+    // from the checkpoint, and merges.
+    let merged = ws.path("merged.csv");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let report = run(&[
+        "run-job",
+        "--job",
+        job.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--lease-ttl",
+        "0.2",
+        "--out",
+        merged.to_str().unwrap(),
+    ]);
+    assert!(report.contains("job complete"), "{report}");
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "kill + resume must not change a single CSV byte"
+    );
+}

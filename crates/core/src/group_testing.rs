@@ -29,7 +29,9 @@
 
 use crate::sharding::{Fingerprint, ShardKind, ShardMeta, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
-use crate::utility::Utility;
+use crate::utility::{KnnClassUtility, Utility};
+use knnshap_datasets::ClassDataset;
+use knnshap_knn::weights::WeightFn;
 use knnshap_numerics::exact::{ExactSum, ExactVec};
 use knnshap_numerics::sampling::{identity_shuffle, RngStreams};
 use rand::Rng;
@@ -197,6 +199,31 @@ pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
     GroupTestingResult { values, tests }
 }
 
+/// The job fingerprint of the group-testing family (utility content + seed).
+pub fn group_testing_fingerprint<U: Utility + ?Sized>(u: &U, seed: u64) -> u64 {
+    Fingerprint::new("group-testing")
+        .u64(seed)
+        .u64(u.fingerprint())
+        .finish()
+}
+
+/// [`group_testing_fingerprint`] for a KNN classification job, computed
+/// straight from the dataset contents — identical to building the
+/// [`KnnClassUtility`] and fingerprinting it, minus the `O(N · N_test)`
+/// distance matrix. Used by plan/merge cross-checks.
+pub fn group_testing_class_fingerprint(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    seed: u64,
+) -> u64 {
+    Fingerprint::new("group-testing")
+        .u64(seed)
+        .u64(KnnClassUtility::content_fingerprint(train, test, k, weight))
+        .finish()
+}
+
 /// Group-testing partial sums over one canonical shard of the coalition-test
 /// stream range.
 ///
@@ -240,10 +267,7 @@ pub fn group_testing_shapley_shard<U: Utility + ?Sized>(
     let (point, shared) = shard_sums(u, streams, range.clone(), threads);
     let mut aux = ExactVec::zeros(1);
     aux.merge_scalar(0, &shared);
-    let fingerprint = Fingerprint::new("group-testing")
-        .u64(seed)
-        .u64(u.fingerprint())
-        .finish();
+    let fingerprint = group_testing_fingerprint(u, seed);
     ShardPartial {
         meta: ShardMeta {
             kind: ShardKind::GroupTesting,
@@ -278,6 +302,20 @@ mod tests {
             seed: 4,
         };
         (blobs::generate(&cfg), blobs::queries(&cfg, 3, 9))
+    }
+
+    #[test]
+    fn dataset_level_fingerprint_matches_utility_level() {
+        let (train, test) = small_game();
+        let u = KnnClassUtility::unweighted(&train, &test, 2);
+        assert_eq!(
+            group_testing_fingerprint(&u, 11),
+            group_testing_class_fingerprint(&train, &test, 2, WeightFn::Uniform, 11)
+        );
+        assert_ne!(
+            group_testing_class_fingerprint(&train, &test, 2, WeightFn::Uniform, 11),
+            group_testing_class_fingerprint(&train, &test, 2, WeightFn::Uniform, 12)
+        );
     }
 
     #[test]

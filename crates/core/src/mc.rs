@@ -43,7 +43,7 @@
 
 use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
-use crate::utility::{DistMatrix, Utility};
+use crate::utility::{DistMatrix, KnnClassUtility, Utility};
 use knnshap_datasets::{ClassDataset, RegDataset};
 use knnshap_knn::heap::KnnHeap;
 use knnshap_knn::weights::WeightFn;
@@ -367,6 +367,41 @@ pub fn mc_baseline_fingerprint<U: Utility + ?Sized>(u: &U, seed: u64) -> u64 {
         .finish()
 }
 
+/// [`mc_baseline_fingerprint`] for a classification job, computed straight
+/// from the dataset contents — identical to building the
+/// [`KnnClassUtility`] and fingerprinting it, minus the `O(N · N_test)`
+/// distance matrix. This is what `knnshap merge` and the job-orchestration
+/// runtime use to cross-check shard headers cheaply.
+pub fn mc_baseline_class_fingerprint(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    seed: u64,
+) -> u64 {
+    Fingerprint::new("mc-baseline")
+        .u64(seed)
+        .u64(KnnClassUtility::content_fingerprint(train, test, k, weight))
+        .finish()
+}
+
+/// [`mc_improved_fingerprint`] for a classification job, computed straight
+/// from the dataset contents (see [`mc_baseline_class_fingerprint`]).
+pub fn mc_improved_class_fingerprint(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    seed: u64,
+) -> u64 {
+    Fingerprint::new("mc-improved")
+        .u64(seed)
+        .u64(IncKnnUtility::class_content_fingerprint(
+            train, test, k, weight,
+        ))
+        .finish()
+}
+
 /// The immutable half of [`IncKnnUtility`], shared (via `Arc`) by every fork
 /// so parallel workers reuse one distance matrix.
 struct IncShared {
@@ -374,6 +409,8 @@ struct IncShared {
     k: usize,
     weight: WeightFn,
     task: IncTask,
+    /// Cached dataset-content fingerprint, computed at construction.
+    content: u64,
 }
 
 /// A KNN utility that supports the streaming-insertion access pattern of
@@ -432,6 +469,7 @@ impl IncKnnUtility {
                     labels: train.y.clone(),
                     test_labels: test.y.clone(),
                 },
+                content: Self::class_content_fingerprint(train, test, k, weight),
             }),
             n_test,
         )
@@ -449,9 +487,50 @@ impl IncKnnUtility {
                     targets: train.y.clone(),
                     test_targets: test.y.clone(),
                 },
+                content: Self::reg_content_fingerprint(train, test, k, weight),
             }),
             n_test,
         )
+    }
+
+    /// The dataset-content hash a [`classification`](Self::classification)
+    /// utility reports as [`fingerprint`](Self::fingerprint) — computable
+    /// without building the distance matrix, so `merge`/plan cross-checks
+    /// stay `O(dataset)` instead of `O(N · N_test)`.
+    pub fn class_content_fingerprint(
+        train: &ClassDataset,
+        test: &ClassDataset,
+        k: usize,
+        weight: WeightFn,
+    ) -> u64 {
+        let (wtag, wparam) = crate::sharding::weight_code(weight);
+        Fingerprint::new("inc-knn-utility")
+            .u64(k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .u64(0)
+            .u64(crate::sharding::hash_class_dataset(train))
+            .u64(crate::sharding::hash_class_dataset(test))
+            .finish()
+    }
+
+    /// [`class_content_fingerprint`](Self::class_content_fingerprint) for
+    /// the [`regression`](Self::regression) task.
+    pub fn reg_content_fingerprint(
+        train: &RegDataset,
+        test: &RegDataset,
+        k: usize,
+        weight: WeightFn,
+    ) -> u64 {
+        let (wtag, wparam) = crate::sharding::weight_code(weight);
+        Fingerprint::new("inc-knn-utility")
+            .u64(k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .u64(1)
+            .u64(crate::sharding::hash_reg_dataset(train))
+            .u64(crate::sharding::hash_reg_dataset(test))
+            .finish()
     }
 
     /// A fresh-state utility over the *same* shared distance matrix — the
@@ -460,28 +539,16 @@ impl IncKnnUtility {
         Self::from_shared(Arc::clone(&self.shared), self.n_test())
     }
 
-    /// Content fingerprint (distance matrix, labels/targets, K, weights) —
+    /// Content fingerprint (dataset features, labels/targets, K, weights) —
     /// the job-identity half of [`mc_shapley_improved_shard`]'s shard
-    /// headers; see [`crate::sharding`].
+    /// headers; see [`crate::sharding`]. Cached at construction from the
+    /// dataset contents (never from the derived distance matrix), so
+    /// cross-checkers can recompute it via
+    /// [`class_content_fingerprint`](Self::class_content_fingerprint) /
+    /// [`reg_content_fingerprint`](Self::reg_content_fingerprint) without a
+    /// distance-matrix rebuild.
     pub fn fingerprint(&self) -> u64 {
-        let s = &self.shared;
-        let (wtag, wparam) = crate::sharding::weight_code(s.weight);
-        let f = Fingerprint::new("inc-knn-utility")
-            .u64(s.k as u64)
-            .u64(wtag)
-            .f64(wparam)
-            .f32s(s.dist.data());
-        match &s.task {
-            IncTask::Class {
-                labels,
-                test_labels,
-            } => f.u64(0).u32s(labels).u32s(test_labels),
-            IncTask::Reg {
-                targets,
-                test_targets,
-            } => f.u64(1).f64s(targets).f64s(test_targets),
-        }
-        .finish()
+        self.shared.content
     }
 
     pub fn n(&self) -> usize {
@@ -777,6 +844,33 @@ mod tests {
         let train = ClassDataset::new(Features::new(feats, 2), labels, 2);
         let test = ClassDataset::new(Features::new(vec![0.1, -0.2, 0.4, 0.3], 2), vec![0, 1], 2);
         (train, test)
+    }
+
+    #[test]
+    fn dataset_level_mc_fingerprints_match_utility_level() {
+        let (train, test) = small_class(5, 14);
+        for weight in [WeightFn::Uniform, WeightFn::InverseDistance { eps: 1e-3 }] {
+            let u = KnnClassUtility::new(&train, &test, 3, weight);
+            assert_eq!(
+                mc_baseline_fingerprint(&u, 7),
+                mc_baseline_class_fingerprint(&train, &test, 3, weight, 7)
+            );
+            let inc = IncKnnUtility::classification(&train, &test, 3, weight);
+            assert_eq!(
+                mc_improved_fingerprint(&inc, 7),
+                mc_improved_class_fingerprint(&train, &test, 3, weight, 7)
+            );
+        }
+        // Seed is part of the job identity.
+        assert_ne!(
+            mc_baseline_class_fingerprint(&train, &test, 3, WeightFn::Uniform, 7),
+            mc_baseline_class_fingerprint(&train, &test, 3, WeightFn::Uniform, 8)
+        );
+        // Baseline and improved never merge together.
+        assert_ne!(
+            mc_baseline_class_fingerprint(&train, &test, 3, WeightFn::Uniform, 7),
+            mc_improved_class_fingerprint(&train, &test, 3, WeightFn::Uniform, 7)
+        );
     }
 
     #[test]

@@ -399,6 +399,68 @@ impl ShardPartial {
             aux,
         })
     }
+
+    /// Fold the **adjacent** partial `next` into this one, extending the
+    /// covered item range to `self.item_lo .. next.item_hi` — the
+    /// incremental form of [`merge_partials`] used by the job-orchestration
+    /// runtime's checkpointing workers (`knnshap_runtime`): a shard's range
+    /// is computed chunk by chunk, each finished chunk absorbed and the
+    /// accumulated partial checkpointed, so a killed worker resumes from the
+    /// last checkpoint instead of restarting the shard.
+    ///
+    /// Validates the same job-identity invariants as [`merge_partials`]
+    /// (kind, fingerprint, sizes, finalization constants) plus exact
+    /// adjacency (`next.item_lo == self.item_hi`). Because the accumulators
+    /// are exact, absorbing chunks one at a time leaves state — and
+    /// serialized bytes — bitwise-identical to computing the whole range in
+    /// one call.
+    pub fn absorb_adjacent(&mut self, next: &ShardPartial) -> Result<(), ShardError> {
+        let (a, b) = (&self.meta, &next.meta);
+        if a.kind != b.kind {
+            return Err(ShardError::Incompatible(format!(
+                "kind {} vs {}",
+                b.kind.name(),
+                a.kind.name()
+            )));
+        }
+        if a.fingerprint != b.fingerprint {
+            return Err(ShardError::Incompatible(format!(
+                "job fingerprint {:016x} vs {:016x}",
+                b.fingerprint, a.fingerprint
+            )));
+        }
+        if a.n_train != b.n_train || a.total_items != b.total_items {
+            return Err(ShardError::Incompatible(format!(
+                "sizes differ: {} train / {} items vs {} train / {} items",
+                b.n_train, b.total_items, a.n_train, a.total_items
+            )));
+        }
+        if a.extras.len() != b.extras.len()
+            || a.extras
+                .iter()
+                .zip(&b.extras)
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+        {
+            return Err(ShardError::Incompatible(
+                "finalization constants differ between chunks".into(),
+            ));
+        }
+        if next.sums.len() as u64 != b.n_train || next.aux.len() != self.aux.len() {
+            return Err(ShardError::Incompatible(
+                "payload lengths disagree with headers".into(),
+            ));
+        }
+        if b.item_lo != a.item_hi {
+            return Err(ShardError::Coverage(format!(
+                "chunk {}..{} is not adjacent to accumulated {}..{}",
+                b.item_lo, b.item_hi, a.item_lo, a.item_hi
+            )));
+        }
+        self.sums.merge(&next.sums);
+        self.aux.merge(&next.aux);
+        self.meta.item_hi = next.meta.item_hi;
+        Ok(())
+    }
 }
 
 /// The one finalization of every per-item-mean family (exact, truncated,
@@ -870,6 +932,51 @@ mod tests {
             ShardPartial::from_bytes(&good[..20]).unwrap_err(),
             ShardError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn absorb_adjacent_chunks_reproduce_single_range_bytes() {
+        // Computing a shard as many adjacent micro-chunks and absorbing them
+        // one by one must leave byte-identical state to the one-shot
+        // computation — the invariant the runtime's checkpoint/resume path
+        // rests on.
+        let fine = parts(6); // chunk boundaries refine the 2-shard partition
+        let coarse = parts(2);
+        for (s, coarse_part) in coarse.iter().enumerate() {
+            let mut acc: Option<ShardPartial> = None;
+            for chunk in fine.iter().skip(s * 3).take(3) {
+                match &mut acc {
+                    None => acc = Some(chunk.clone()),
+                    Some(a) => a.absorb_adjacent(chunk).unwrap(),
+                }
+            }
+            assert_eq!(acc.unwrap().to_bytes(), coarse_part.to_bytes(), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_adjacent_rejects_gaps_and_mixed_jobs() {
+        let ps = parts(3);
+        // Non-adjacent (gap).
+        let mut a = ps[0].clone();
+        let err = a.absorb_adjacent(&ps[2]).unwrap_err();
+        assert!(matches!(err, ShardError::Coverage(_)), "{err}");
+        // Self-absorb = overlap, also non-adjacent.
+        let mut a = ps[1].clone();
+        let err = a.absorb_adjacent(&ps[1].clone()).unwrap_err();
+        assert!(matches!(err, ShardError::Coverage(_)), "{err}");
+        // Different job (different K ⇒ fingerprint).
+        let (train, test) = data();
+        let other = crate::exact_unweighted::knn_class_shapley_shard(
+            &train,
+            &test,
+            3,
+            ShardSpec::new(1, 3),
+            1,
+        );
+        let mut a = ps[0].clone();
+        let err = a.absorb_adjacent(&other).unwrap_err();
+        assert!(matches!(err, ShardError::Incompatible(_)), "{err}");
     }
 
     #[test]

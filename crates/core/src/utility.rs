@@ -78,11 +78,6 @@ impl DistMatrix {
     pub(crate) fn row(&self, test_idx: usize) -> &[f32] {
         &self.d[test_idx * self.n..(test_idx + 1) * self.n]
     }
-
-    /// The full matrix data, for content fingerprinting.
-    pub(crate) fn data(&self) -> &[f32] {
-        &self.d
-    }
 }
 
 /// Retain the `min(k, |subset|)` nearest members of `subset` under the
@@ -118,6 +113,8 @@ pub struct KnnClassUtility {
     test_labels: Vec<u32>,
     k: usize,
     weight: WeightFn,
+    /// Cached [`Self::content_fingerprint`], computed at construction.
+    content: u64,
 }
 
 impl KnnClassUtility {
@@ -130,7 +127,31 @@ impl KnnClassUtility {
             test_labels: test.y.clone(),
             k,
             weight,
+            content: Self::content_fingerprint(train, test, k, weight),
         }
+    }
+
+    /// The dataset-content job-identity hash this utility's
+    /// [`Utility::fingerprint`] reports — computable **without** building
+    /// the `O(N · N_test)` distance matrix, which is what lets `merge` and
+    /// the job-orchestration runtime cross-check Monte Carlo and
+    /// group-testing shard headers cheaply. The distance matrix is a pure
+    /// function of the feature contents hashed here, so the content hash
+    /// identifies the game just as precisely.
+    pub fn content_fingerprint(
+        train: &ClassDataset,
+        test: &ClassDataset,
+        k: usize,
+        weight: WeightFn,
+    ) -> u64 {
+        let (wtag, wparam) = crate::sharding::weight_code(weight);
+        crate::sharding::Fingerprint::new("knn-class-utility")
+            .u64(k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .u64(crate::sharding::hash_class_dataset(train))
+            .u64(crate::sharding::hash_class_dataset(test))
+            .finish()
     }
 
     pub fn unweighted(train: &ClassDataset, test: &ClassDataset, k: usize) -> Self {
@@ -177,15 +198,7 @@ impl Utility for KnnClassUtility {
     }
 
     fn fingerprint(&self) -> u64 {
-        let (wtag, wparam) = crate::sharding::weight_code(self.weight);
-        crate::sharding::Fingerprint::new("knn-class-utility")
-            .u64(self.k as u64)
-            .u64(wtag)
-            .f64(wparam)
-            .f32s(self.dist.data())
-            .u32s(&self.labels)
-            .u32s(&self.test_labels)
-            .finish()
+        self.content
     }
 }
 
@@ -196,6 +209,8 @@ pub struct KnnRegUtility {
     test_targets: Vec<f64>,
     k: usize,
     weight: WeightFn,
+    /// Cached [`Self::content_fingerprint`], computed at construction.
+    content: u64,
 }
 
 impl KnnRegUtility {
@@ -208,7 +223,27 @@ impl KnnRegUtility {
             test_targets: test.y.clone(),
             k,
             weight,
+            content: Self::content_fingerprint(train, test, k, weight),
         }
+    }
+
+    /// Dataset-content job-identity hash (see
+    /// [`KnnClassUtility::content_fingerprint`] for why this avoids the
+    /// distance matrix).
+    pub fn content_fingerprint(
+        train: &RegDataset,
+        test: &RegDataset,
+        k: usize,
+        weight: WeightFn,
+    ) -> u64 {
+        let (wtag, wparam) = crate::sharding::weight_code(weight);
+        crate::sharding::Fingerprint::new("knn-reg-utility")
+            .u64(k as u64)
+            .u64(wtag)
+            .f64(wparam)
+            .u64(crate::sharding::hash_reg_dataset(train))
+            .u64(crate::sharding::hash_reg_dataset(test))
+            .finish()
     }
 
     pub fn unweighted(train: &RegDataset, test: &RegDataset, k: usize) -> Self {
@@ -260,15 +295,7 @@ impl Utility for KnnRegUtility {
     }
 
     fn fingerprint(&self) -> u64 {
-        let (wtag, wparam) = crate::sharding::weight_code(self.weight);
-        crate::sharding::Fingerprint::new("knn-reg-utility")
-            .u64(self.k as u64)
-            .u64(wtag)
-            .f64(wparam)
-            .f32s(self.dist.data())
-            .f64s(&self.targets)
-            .f64s(&self.test_targets)
-            .finish()
+        self.content
     }
 }
 
@@ -369,6 +396,39 @@ mod tests {
         assert!(u.eval(&[0, 1]).abs() < 1e-9);
         // grand: nearest two of 0.1 are {0,1} => same as above
         assert!(u.grand().abs() < 1e-9);
+    }
+
+    #[test]
+    fn content_fingerprints_match_built_utilities() {
+        let (train, test) = class_data();
+        for weight in [WeightFn::Uniform, WeightFn::Exponential { beta: 0.5 }] {
+            let u = KnnClassUtility::new(&train, &test, 2, weight);
+            assert_eq!(
+                u.fingerprint(),
+                KnnClassUtility::content_fingerprint(&train, &test, 2, weight),
+                "dataset-level hash must equal the built utility's"
+            );
+        }
+        // Content-sensitive: one flipped label changes the hash.
+        let mut train2 = train.clone();
+        train2.y[0] ^= 1;
+        assert_ne!(
+            KnnClassUtility::content_fingerprint(&train, &test, 2, WeightFn::Uniform),
+            KnnClassUtility::content_fingerprint(&train2, &test, 2, WeightFn::Uniform)
+        );
+        // And parameter-sensitive.
+        assert_ne!(
+            KnnClassUtility::content_fingerprint(&train, &test, 2, WeightFn::Uniform),
+            KnnClassUtility::content_fingerprint(&train, &test, 3, WeightFn::Uniform)
+        );
+
+        let rtrain = RegDataset::new(Features::new(vec![0.0, 1.0, 2.0], 1), vec![0.0, 1.0, 2.0]);
+        let rtest = RegDataset::new(Features::new(vec![0.1], 1), vec![0.5]);
+        let u = KnnRegUtility::unweighted(&rtrain, &rtest, 2);
+        assert_eq!(
+            u.fingerprint(),
+            KnnRegUtility::content_fingerprint(&rtrain, &rtest, 2, WeightFn::Uniform)
+        );
     }
 
     #[test]

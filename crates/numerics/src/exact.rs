@@ -32,12 +32,17 @@
 //!   boundaries.
 //!
 //! That is the determinism contract the `knnshap_core::sharding` module
-//! builds on. The cost is memory (≈ 0.5 KiB per accumulator, vs 16 bytes
-//! for a Neumaier pair — callers holding one accumulator per training
-//! point should keep the number of simultaneous partial vectors bounded,
-//! as `knnshap_core::sharding`'s eager block fold does) and a few extra
-//! ALU ops per deposit, which the valuation work producing each summand
-//! dwarfs.
+//! builds on. The register is stored as a **lazily-sized window**: a fresh
+//! accumulator holds no limbs at all (~56 bytes), and deposits grow the
+//! window only over the limb positions their magnitudes actually touch —
+//! summands of similar magnitude keep it at a handful of limbs, so a
+//! per-training-point vector ([`ExactVec`]) costs tens of bytes per point
+//! in practice instead of the full register's ~0.5 KiB (the worst case if
+//! a single accumulator really mixes 2⁻¹⁰⁷⁴ with 2¹⁰²³). Callers holding
+//! one accumulator per training point should still keep the number of
+//! simultaneous partial vectors bounded, as `knnshap_core::sharding`'s
+//! eager block fold does. The extra ALU ops per deposit are dwarfed by the
+//! valuation work producing each summand.
 //!
 //! ```
 //! use knnshap_numerics::exact::ExactSum;
@@ -91,10 +96,22 @@ const LIMB_MASK: i64 = 0xFFFF_FFFF;
 /// Nonfinite summands (`±inf`, NaN) are folded through ordinary `f64`
 /// addition in a side register and dominate [`value`](Self::value), so
 /// overflow/invalid propagation matches what a plain `f64` loop would report.
-#[derive(Debug, Clone)]
+///
+/// ### Windowed storage
+///
+/// Only the contiguous limb window the deposits have touched is
+/// materialized: `limbs[i]` carries weight `2^(32·(start + i) − 1074)`, and
+/// positions outside `start .. start + limbs.len()` are implicitly zero. A
+/// fresh accumulator allocates nothing; the window grows (and, after carry
+/// sweeps, shrinks back) to the magnitude range actually in use. The value
+/// represented is independent of the window bounds, so none of the
+/// determinism contract depends on them.
+#[derive(Debug, Clone, Default)]
 pub struct ExactSum {
-    /// Signed limb `i` carries `limbs[i] · 2^(32·i − 1074)`.
-    limbs: [i64; LIMBS],
+    /// Limb index (in the full 68-limb register) of `limbs[0]`.
+    start: usize,
+    /// Signed limb window; entry `i` carries `limbs[i] · 2^(32·(start+i) − 1074)`.
+    limbs: Vec<i64>,
     /// Carry out of the top limb (kept separately so sweeps never lose bits).
     top: i64,
     /// Deposits/merges since the last carry sweep.
@@ -102,18 +119,6 @@ pub struct ExactSum {
     /// `f64`-folded nonfinite summands; meaningful iff `has_special`.
     special: f64,
     has_special: bool,
-}
-
-impl Default for ExactSum {
-    fn default() -> Self {
-        Self {
-            limbs: [0; LIMBS],
-            top: 0,
-            pending: 0,
-            special: 0.0,
-            has_special: false,
-        }
-    }
 }
 
 /// Decoding failures for [`ExactSum::decode_from`] /
@@ -166,24 +171,56 @@ impl ExactSum {
         let c0 = (wide as u64 & LIMB_MASK as u64) as i64;
         let c1 = ((wide >> 32) as u64 & LIMB_MASK as u64) as i64;
         let c2 = (wide >> 64) as i64;
+        let o = self.ensure_window(li, li + 3);
         if bits >> 63 == 0 {
-            self.limbs[li] += c0;
-            self.limbs[li + 1] += c1;
-            self.limbs[li + 2] += c2;
+            self.limbs[o] += c0;
+            self.limbs[o + 1] += c1;
+            self.limbs[o + 2] += c2;
         } else {
-            self.limbs[li] -= c0;
-            self.limbs[li + 1] -= c1;
-            self.limbs[li + 2] -= c2;
+            self.limbs[o] -= c0;
+            self.limbs[o + 1] -= c1;
+            self.limbs[o + 2] -= c2;
         }
         self.bump_pending(1);
     }
 
-    /// Fold another accumulator in. Exact: limb-wise integer addition, so
-    /// the result represents the sum of both exact states regardless of how
-    /// the summands were originally grouped.
+    /// Grow the window (if needed) to cover limb positions `lo..hi` of the
+    /// full register, returning `lo`'s offset inside the window.
+    fn ensure_window(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi && hi <= LIMBS);
+        if self.limbs.is_empty() {
+            self.start = lo;
+            self.limbs.resize(hi - lo, 0);
+            return 0;
+        }
+        if lo < self.start {
+            let grow = self.start - lo;
+            self.limbs.splice(0..0, std::iter::repeat(0).take(grow));
+            self.start = lo;
+        }
+        if hi > self.start + self.limbs.len() {
+            self.limbs.resize(hi - self.start, 0);
+        }
+        lo - self.start
+    }
+
+    /// Number of limbs currently materialized — the lazily-sized window's
+    /// footprint (each limb is 8 bytes). A fresh accumulator reports 0; the
+    /// full register would be 68.
+    pub fn window_limbs(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Fold another accumulator in. Exact: limb-wise integer addition over
+    /// the union of the two windows, so the result represents the sum of
+    /// both exact states regardless of how the summands were originally
+    /// grouped.
     pub fn merge(&mut self, other: &ExactSum) {
-        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
-            *a += b;
+        if !other.limbs.is_empty() {
+            let o = self.ensure_window(other.start, other.start + other.limbs.len());
+            for (i, &b) in other.limbs.iter().enumerate() {
+                self.limbs[o + i] += b;
+            }
         }
         self.top += other.top;
         if other.has_special {
@@ -205,46 +242,88 @@ impl ExactSum {
         }
     }
 
-    /// Propagate carries so every limb lands in `[0, 2³²)`; the (signed)
-    /// residue goes to `top`.
+    /// Bound the window's limbs again: each becomes a **signed** residue in
+    /// `(−2³¹, 2³¹)` with the quotient carried upward, so a negative sum
+    /// stays local to its window instead of rippling borrow limbs across the
+    /// whole register (the strict nonnegative form is only materialized
+    /// transiently, in [`canonical`](Self::canonical)). A carry past the
+    /// window's top extends the window; one past the register goes to `top`.
+    /// Trailing/leading zero limbs are trimmed, so sweeps also *shrink*
+    /// windows that cancellation has emptied.
     fn sweep_carries(&mut self) {
         let mut carry = 0i64;
         for l in &mut self.limbs {
+            let v = *l + carry;
+            let mut r = v & LIMB_MASK;
+            if r >= 1 << 31 {
+                r -= 1 << LIMB_BITS;
+            }
+            carry = (v - r) >> LIMB_BITS;
+            *l = r;
+        }
+        while carry != 0 && self.start + self.limbs.len() < LIMBS {
+            let v = carry;
+            let mut r = v & LIMB_MASK;
+            if r >= 1 << 31 {
+                r -= 1 << LIMB_BITS;
+            }
+            carry = (v - r) >> LIMB_BITS;
+            self.limbs.push(r);
+        }
+        self.top += carry;
+        while let Some(0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+        let lead = self.limbs.iter().take_while(|&&l| l == 0).count();
+        if lead > 0 {
+            self.limbs.drain(..lead);
+            self.start += lead;
+        }
+        if self.limbs.is_empty() {
+            self.start = 0;
+        }
+        self.pending = 0;
+    }
+
+    /// Canonical sign/magnitude form: `(sign, limbs)` with every magnitude
+    /// limb in `[0, 2³²)`, materialized over the **full** register (the
+    /// windowed state is only a storage optimization). `sign = 0` iff the
+    /// exact sum is zero. A `top` residue that survives canonicalization
+    /// means the sum left the register's range (≥ 2¹¹⁰¹ in magnitude); it is
+    /// mapped to a saturated sign reported by the boolean.
+    fn canonical(&self) -> (i8, [i64; LIMBS], bool) {
+        let mut full = [0i64; LIMBS];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            full[self.start + i] = l;
+        }
+        // Strict sweep: every limb to [0, 2³²), signed residue to `top`.
+        let mut top = self.top;
+        let mut carry = 0i64;
+        for l in &mut full {
             let v = *l + carry;
             let r = v & LIMB_MASK;
             carry = (v - r) >> LIMB_BITS;
             *l = r;
         }
-        self.top += carry;
-        self.pending = 0;
-    }
-
-    /// Canonical sign/magnitude form: `(sign, limbs)` with every magnitude
-    /// limb in `[0, 2³²)`. `sign = 0` iff the exact sum is zero. A `top`
-    /// residue that survives canonicalization means the sum left the
-    /// register's range (≥ 2¹¹⁰¹ in magnitude); it is mapped to a saturated
-    /// sign reported by the boolean.
-    fn canonical(&self) -> (i8, [i64; LIMBS], bool) {
-        let mut c = self.clone();
-        c.sweep_carries();
-        if c.top == 0 {
-            let zero = c.limbs.iter().all(|&l| l == 0);
-            return (if zero { 0 } else { 1 }, c.limbs, false);
+        top += carry;
+        if top == 0 {
+            let zero = full.iter().all(|&l| l == 0);
+            return (if zero { 0 } else { 1 }, full, false);
         }
-        if c.top > 0 {
+        if top > 0 {
             // Beyond 2^1101: saturate positive (unreachable without ~2^78
             // max-magnitude deposits, but defined behavior regardless).
-            return (1, c.limbs, true);
+            return (1, full, true);
         }
         // Negative: magnitude = two's-complement negate over base-2³² digits.
         let mut mag = [0i64; LIMBS];
         let mut carry = 1i64;
-        for (m, &l) in mag.iter_mut().zip(&c.limbs) {
+        for (m, &l) in mag.iter_mut().zip(&full) {
             let v = (LIMB_MASK - l) + carry;
             *m = v & LIMB_MASK;
             carry = v >> LIMB_BITS;
         }
-        let mag_top = -c.top - 1 + carry;
+        let mag_top = -top - 1 + carry;
         if mag_top != 0 {
             return (-1, mag, true);
         }
@@ -416,9 +495,17 @@ impl ExactSum {
             return Err(DecodeError("zero sign with nonzero limbs"));
         }
         let mut s = ExactSum::new();
-        for i in 0..len {
-            let l = u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")) as i64;
-            s.limbs[start + i] = if sign < 0 { -l } else { l };
+        if len > 0 {
+            s.start = start;
+            s.limbs.reserve_exact(len);
+            for _ in 0..len {
+                let l = u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")) as i64;
+                s.limbs.push(if sign < 0 { -l } else { l });
+            }
+            // Decoded limbs reach 2³² − 1 in magnitude (two sweeps' worth of
+            // the post-sweep bound), so account for them in the overflow
+            // budget as two deposits.
+            s.pending = 2;
         }
         s.special = special;
         s.has_special = has_special;
@@ -493,6 +580,12 @@ impl ExactVec {
     /// Materialize every rounded total.
     pub fn values(&self) -> Vec<f64> {
         self.sums.iter().map(ExactSum::value).collect()
+    }
+
+    /// Total materialized limbs across all accumulators — the footprint of
+    /// the lazily-sized windows (8 bytes per limb). `zeros(n)` reports 0.
+    pub fn window_limbs(&self) -> usize {
+        self.sums.iter().map(ExactSum::window_limbs).sum()
     }
 
     /// Append every accumulator's canonical record (see
@@ -684,6 +777,68 @@ mod tests {
         for i in (1..xs.len()).rev() {
             let j = rng.gen_range(0..=i);
             xs.swap(i, j);
+        }
+    }
+
+    #[test]
+    fn windows_are_lazy_and_stay_small_for_similar_magnitudes() {
+        // A fresh accumulator materializes nothing.
+        assert_eq!(ExactSum::new().window_limbs(), 0);
+        assert_eq!(ExactVec::zeros(1000).window_limbs(), 0);
+
+        // Unit-scale deposits touch a 3-limb site; thousands of them (with
+        // sweeps) stay within a handful of limbs — not the full 68-limb
+        // register.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = ExactSum::new();
+        for _ in 0..5_000 {
+            s.add(rng.gen_range(-1.0..1.0));
+        }
+        assert!(s.window_limbs() <= 6, "window = {}", s.window_limbs());
+
+        // Mixing in a very different magnitude grows the window to span it…
+        s.add(1e300);
+        assert!(s.window_limbs() > 20, "window = {}", s.window_limbs());
+        // …and the value is still the exact sum (spot check vs fresh order).
+        assert!(s.value() == 1e300 || (s.value() - 1e300).abs() < 1e285);
+    }
+
+    #[test]
+    fn sweeps_shrink_windows_emptied_by_cancellation() {
+        let mut s = ExactSum::new();
+        s.add(1e100);
+        s.add(-1e100);
+        let grown = s.window_limbs();
+        assert!(grown >= 3);
+        s.sweep_carries();
+        assert_eq!(s.window_limbs(), 0, "cancelled window must trim to empty");
+        assert!(s.is_zero());
+        // And the accumulator remains fully usable afterwards.
+        s.add(2.5);
+        assert_eq!(s.value(), 2.5);
+    }
+
+    #[test]
+    fn window_growth_covers_front_and_back_extensions() {
+        // Deposit order forces both front (smaller magnitude) and back
+        // (larger magnitude) window growth, plus merges across disjoint
+        // windows — all must agree with a flat accumulation bitwise.
+        let xs = [
+            1.0,
+            2.0f64.powi(-500),
+            2.0f64.powi(700),
+            -1.5,
+            2.0f64.powi(-800),
+        ];
+        let whole = sum_of(&xs);
+        for split in 1..xs.len() {
+            let mut a = sum_of(&xs[..split]);
+            a.merge(&sum_of(&xs[split..]));
+            assert_eq!(
+                a.value().to_bits(),
+                whole.value().to_bits(),
+                "split={split}"
+            );
         }
     }
 

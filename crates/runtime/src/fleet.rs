@@ -1,0 +1,139 @@
+//! A small bounded process pool: run N commands, at most `max_concurrent`
+//! at a time, collecting each one's output — the mechanism the bench
+//! battery's `run_all` uses to fan the `paper`-scale experiments out across
+//! processes (each experiment is independent, so process isolation costs
+//! nothing and buys crash containment plus real parallelism on multi-core
+//! runners).
+//!
+//! Results come back **in input order**, whatever order the children
+//! finished in, so callers can interleave deterministic reporting with
+//! nondeterministic scheduling.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// One command to run.
+#[derive(Debug, Clone)]
+pub struct CommandSpec {
+    /// Label shown in reports (e.g. the experiment name).
+    pub label: String,
+    pub program: PathBuf,
+    pub args: Vec<String>,
+    /// Extra environment for the child (inherits the parent's otherwise).
+    pub envs: Vec<(String, String)>,
+}
+
+/// One command's outcome.
+#[derive(Debug)]
+pub struct CommandResult {
+    pub label: String,
+    /// Process exit success.
+    pub ok: bool,
+    pub stdout: String,
+    pub stderr: String,
+    /// Wall-clock seconds the child ran.
+    pub secs: f64,
+}
+
+/// Run every command, bounded by `max_concurrent` simultaneous children.
+/// Each slot thread runs its child via `Command::output()` (which drains
+/// stdout/stderr concurrently, so large outputs cannot deadlock the pipe).
+/// Returns results in input order. A command that fails to *spawn* is
+/// reported as `ok: false` with the error text in `stderr`.
+pub fn run_fleet(cmds: Vec<CommandSpec>, max_concurrent: usize) -> Vec<CommandResult> {
+    let n = cmds.len();
+    let slots = max_concurrent.max(1).min(n.max(1));
+    let queue: Mutex<VecDeque<(usize, CommandSpec)>> =
+        Mutex::new(cmds.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<CommandResult>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..slots {
+            scope.spawn(|| loop {
+                let Some((idx, cmd)) = queue.lock().expect("fleet queue").pop_front() else {
+                    return;
+                };
+                let started = std::time::Instant::now();
+                let out = std::process::Command::new(&cmd.program)
+                    .args(&cmd.args)
+                    .envs(cmd.envs.iter().map(|(k, v)| (k, v)))
+                    .output();
+                let secs = started.elapsed().as_secs_f64();
+                let result = match out {
+                    Ok(o) => CommandResult {
+                        label: cmd.label.clone(),
+                        ok: o.status.success(),
+                        stdout: String::from_utf8_lossy(&o.stdout).into_owned(),
+                        stderr: String::from_utf8_lossy(&o.stderr).into_owned(),
+                        secs,
+                    },
+                    Err(e) => CommandResult {
+                        label: cmd.label.clone(),
+                        ok: false,
+                        stdout: String::new(),
+                        stderr: format!("failed to spawn {}: {e}", cmd.program.display()),
+                        secs,
+                    },
+                };
+                results.lock().expect("fleet results")[idx] = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("fleet results")
+        .into_iter()
+        .map(|r| r.expect("every queued command produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(label: &str, script: &str) -> CommandSpec {
+        CommandSpec {
+            label: label.into(),
+            program: "/bin/sh".into(),
+            args: vec!["-c".into(), script.into()],
+            envs: vec![],
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order_with_output() {
+        let cmds = vec![
+            sh("slowish", "sleep 0.05; echo first"),
+            sh("quick", "echo second"),
+            sh("failing", "echo oops >&2; exit 3"),
+        ];
+        let rs = run_fleet(cmds, 2);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].label, "slowish");
+        assert!(rs[0].ok && rs[0].stdout.contains("first"));
+        assert!(rs[1].ok && rs[1].stdout.contains("second"));
+        assert!(!rs[2].ok && rs[2].stderr.contains("oops"));
+    }
+
+    #[test]
+    fn env_reaches_the_child_and_spawn_failures_report() {
+        let mut cmd = sh("env", "echo $KNNSHAP_FLEET_TEST");
+        cmd.envs.push(("KNNSHAP_FLEET_TEST".into(), "42".into()));
+        let rs = run_fleet(vec![cmd], 1);
+        assert!(rs[0].stdout.contains("42"));
+
+        let rs = run_fleet(
+            vec![CommandSpec {
+                label: "missing".into(),
+                program: "/nonexistent/knnshap-fleet".into(),
+                args: vec![],
+                envs: vec![],
+            }],
+            4,
+        );
+        assert!(!rs[0].ok);
+        assert!(rs[0].stderr.contains("failed to spawn"));
+    }
+}

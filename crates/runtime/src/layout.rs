@@ -1,0 +1,154 @@
+//! The on-disk job directory and crash-safe file publication.
+//!
+//! ```text
+//! job/
+//!   plan              KNNJOBPLAN file (spec + derived identity)
+//!   shards/s<i>.shard completed KNNSHARD partials (canonical bytes)
+//!   checkpoints/s<i>.ckpt  mid-shard resume state (also KNNSHARD bytes)
+//!   leases/s<i>.lease work-queue claims (see crate::queue)
+//! ```
+//!
+//! Everything that must never be seen half-written (plan, shard files,
+//! checkpoints) goes through [`write_atomic`]: bytes land in a
+//! uniquely-named temporary sibling and are moved into place with
+//! `rename(2)`, which is atomic within a filesystem — a concurrent reader
+//! sees either the old complete file or the new complete file, never a
+//! prefix. Leases are the one exception: their *creation* must be exclusive
+//! rather than atomic-replace, so they use `O_CREAT|O_EXCL` instead (see
+//! [`crate::queue::try_claim`]).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Paths of one job directory. Purely computational — no filesystem access
+/// except [`create`](Self::create) and the scan helpers.
+#[derive(Debug, Clone)]
+pub struct JobDirs {
+    root: PathBuf,
+}
+
+impl JobDirs {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn plan_path(&self) -> PathBuf {
+        self.root.join("plan")
+    }
+
+    pub fn shards_dir(&self) -> PathBuf {
+        self.root.join("shards")
+    }
+
+    pub fn checkpoints_dir(&self) -> PathBuf {
+        self.root.join("checkpoints")
+    }
+
+    pub fn leases_dir(&self) -> PathBuf {
+        self.root.join("leases")
+    }
+
+    /// Final (published) partial of shard `i`.
+    pub fn shard_path(&self, i: usize) -> PathBuf {
+        self.shards_dir().join(format!("s{i}.shard"))
+    }
+
+    /// Mid-shard checkpoint of shard `i`.
+    pub fn checkpoint_path(&self, i: usize) -> PathBuf {
+        self.checkpoints_dir().join(format!("s{i}.ckpt"))
+    }
+
+    /// Work-queue claim on shard `i`.
+    pub fn lease_path(&self, i: usize) -> PathBuf {
+        self.leases_dir().join(format!("s{i}.lease"))
+    }
+
+    /// Create the directory tree (idempotent).
+    pub fn create(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.root)?;
+        std::fs::create_dir_all(self.shards_dir())?;
+        std::fs::create_dir_all(self.checkpoints_dir())?;
+        std::fs::create_dir_all(self.leases_dir())
+    }
+
+    /// Is shard `i` published?
+    pub fn shard_done(&self, i: usize) -> bool {
+        self.shard_path(i).exists()
+    }
+
+    /// Indices in `0..shards` whose shard file has not been published yet.
+    pub fn missing_shards(&self, shards: usize) -> Vec<usize> {
+        (0..shards).filter(|&i| !self.shard_done(i)).collect()
+    }
+}
+
+/// Process-unique suffix counter for temporary names.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: write a uniquely-named temporary
+/// sibling, then `rename` it into place. On any filesystem where the job
+/// directory lives together (the design requirement), the rename is atomic;
+/// concurrent publishers of *canonical* content (shard files, checkpoints)
+/// are therefore idempotent — last write wins with identical bytes.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "file".into());
+    name.push(format!(".tmp.{}.{}", std::process::id(), seq));
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("knnshap-layout-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn directory_tree_and_paths() {
+        let dirs = JobDirs::new(tmp_root("tree"));
+        dirs.create().unwrap();
+        dirs.create().unwrap(); // idempotent
+        assert!(dirs.shards_dir().is_dir());
+        assert!(dirs.leases_dir().is_dir());
+        assert!(dirs.checkpoints_dir().is_dir());
+        assert_eq!(dirs.missing_shards(3), vec![0, 1, 2]);
+        std::fs::write(dirs.shard_path(1), b"x").unwrap();
+        assert!(dirs.shard_done(1));
+        assert_eq!(dirs.missing_shards(3), vec![0, 2]);
+        std::fs::remove_dir_all(dirs.root()).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temporaries() {
+        let root = tmp_root("atomic");
+        std::fs::create_dir_all(&root).unwrap();
+        let target = root.join("out.bin");
+        write_atomic(&target, b"first").unwrap();
+        write_atomic(&target, b"second").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

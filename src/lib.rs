@@ -17,7 +17,10 @@
 //! scriptable front end ships as the `knnshap` binary in `crates/cli`. Jobs
 //! too big for one process shard through `valuation::sharding` (per-shard
 //! exact partial sums, merged bitwise-identically to the unsharded run —
-//! see `docs/sharding.md`).
+//! see `docs/sharding.md`), and whole fleets of shard workers are planned,
+//! supervised, checkpointed and auto-merged by the [`runtime`] module
+//! (`knnshap shard-plan` / `run-job` / `worker`; operator's handbook in
+//! `docs/operations.md`).
 //!
 //! ```
 //! use knnshap::datasets::synth::blobs::{self, BlobConfig};
@@ -65,6 +68,12 @@ pub use knnshap_lsh as lsh;
 /// The paper's valuation algorithms (exact, LSH-approximate, Monte Carlo,
 /// weighted, curator, composite).
 pub use knnshap_core as valuation;
+
+/// Job-orchestration runtime: versioned job plans, the lease-file work
+/// queue, checkpointing workers, the supervising `run_job`, and the process
+/// fleet pool — everything that turns the shardable estimators into a
+/// restartable multi-process system.
+pub use knnshap_runtime as runtime;
 
 /// Comparator models (logistic regression) and retraining utilities.
 pub use knnshap_ml as ml;
