@@ -12,6 +12,11 @@
 //!
 //! Knobs: `KNNSHAP_BENCH_N` (training points, default 2000),
 //! `KNNSHAP_BENCH_PERMS` (permutation budget, default 256).
+//!
+//! Regression gate: when `KNNSHAP_MC_SPEEDUP_FLOOR` is set (CI exports it
+//! from `crates/bench/mc_speedup_floor` on runners with ≥ 4 cores), the
+//! 4-thread speedup over serial must meet that floor or the bench fails.
+//! Leave it unset on single-core machines — see docs/benchmarks.md.
 
 use knnshap_core::mc::{mc_shapley_improved_with_threads, IncKnnUtility, StoppingRule};
 use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
@@ -48,6 +53,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut serial_secs = None;
     let mut serial_values: Option<Vec<f64>> = None;
+    let mut speedup_at_4 = None;
     for threads in [1usize, 2, 4, 8] {
         let (secs, values) = run(threads);
         match &serial_values {
@@ -66,12 +72,31 @@ fn main() {
         }
         let serial = *serial_secs.get_or_insert(secs);
         let speedup = serial / secs;
+        if threads == 4 {
+            speedup_at_4 = Some(speedup);
+        }
         let tput = perms as f64 / secs;
         println!("threads = {threads}: {secs:.3} s  ({tput:.1} perms/s, speedup ×{speedup:.2})");
         rows.push(format!(
             "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \
              \"perms_per_sec\": {tput:.3}, \"speedup\": {speedup:.3} }}"
         ));
+    }
+
+    // Regression gate: CI exports the floor (from crates/bench/mc_speedup_floor)
+    // only on multi-core runners; unset means report-only.
+    if let Ok(floor) = std::env::var("KNNSHAP_MC_SPEEDUP_FLOOR") {
+        let floor: f64 = floor
+            .trim()
+            .parse()
+            .expect("KNNSHAP_MC_SPEEDUP_FLOOR: a number");
+        let speedup = speedup_at_4.expect("4-thread row always runs");
+        assert!(
+            speedup >= floor,
+            "4-thread MC speedup ×{speedup:.2} regressed below the ×{floor} floor \
+             (stored in crates/bench/mc_speedup_floor)"
+        );
+        println!("gate: 4-thread speedup ×{speedup:.2} >= ×{floor} floor — ok");
     }
 
     let json = format!(

@@ -3,6 +3,7 @@
 pub mod audit;
 pub mod contrast;
 pub mod job;
+pub mod serve;
 pub mod shard;
 pub mod synth;
 pub mod value;

@@ -1,0 +1,369 @@
+//! `knnshap serve` / `knnshap client` — the valuation daemon and its
+//! one-shot command-line client.
+//!
+//! `serve` loads a train/test CSV pair once, computes the initial exact
+//! valuation, and answers protocol requests until a client sends
+//! `--op shutdown`. `client` performs one operation per invocation (plus a
+//! `--script` mode that replays a mutation script over one connection),
+//! which keeps the CLI stateless and shell-scriptable; long-lived callers
+//! should use `knnshap_serve::Client` directly.
+//!
+//! The `--op dump --out FILE` CSV is byte-identical to what
+//! `knnshap value --out FILE` writes for the same dataset — that equality
+//! (after an arbitrary mutation script) is exactly what the CI serve smoke
+//! asserts.
+
+use crate::args::Args;
+use crate::CliError;
+use knnshap_serve::client::Client;
+use knnshap_serve::server::{bind, Endpoint, ValuationServer};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SERVE_ALLOWED: &[&str] = &["train", "test", "k", "threads", "addr", "socket"];
+const CLIENT_ALLOWED: &[&str] = &[
+    "addr", "socket", "op", "index", "count", "point", "label", "script", "out",
+];
+
+/// `--addr HOST:PORT` or `--socket PATH` (exactly one) → [`Endpoint`].
+fn parse_endpoint(args: &Args) -> Result<Endpoint, CliError> {
+    match (args.str("addr"), args.str("socket")) {
+        (Some(addr), None) => Ok(Endpoint::Tcp(addr.to_string())),
+        (None, Some(path)) => Ok(Endpoint::Unix(PathBuf::from(path))),
+        (Some(_), Some(_)) => Err(CliError::Invalid(
+            "--addr and --socket are mutually exclusive".into(),
+        )),
+        (None, None) => Err(CliError::Invalid(
+            "need an endpoint: --addr HOST:PORT or --socket PATH".into(),
+        )),
+    }
+}
+
+/// Comma-separated feature list (`"0.5,1,-2.25"`) → `Vec<f32>`.
+fn parse_point(spec: &str) -> Result<Vec<f32>, CliError> {
+    spec.split(',')
+        .map(|t| {
+            let t = t.trim();
+            t.parse::<f32>()
+                .map_err(|_| CliError::Invalid(format!("bad feature value '{t}' in --point")))
+        })
+        .collect()
+}
+
+pub fn run_serve(args: &Args) -> Result<String, CliError> {
+    args.expect_only(SERVE_ALLOWED)?;
+    let endpoint = parse_endpoint(args)?;
+    let (train, test) = super::load_pair(args)?;
+    let k = args.usize_or("k", 1)?;
+    let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
+
+    let server = ValuationServer::new(train, test, k, threads)
+        .map_err(|e| CliError::Invalid(format!("cannot load dataset into the engine: {e}")))?;
+    let stat = server.handle(&knnshap_serve::Request::Stat);
+    let bound = bind(server, &endpoint).map_err(|e| CliError::Serve(e.to_string()))?;
+
+    // The daemon announces readiness on stdout *before* blocking in the
+    // accept loop, so wrappers can wait for this line instead of polling.
+    if let knnshap_serve::Response::Stat {
+        version,
+        n_train,
+        n_test,
+        k,
+        dim,
+        ..
+    } = stat
+    {
+        println!(
+            "knnshap serve: listening on {} (n_train = {n_train}, n_test = {n_test}, \
+             k = {k}, dim = {dim}, version = {version}, threads = {threads})",
+            bound.local_endpoint()
+        );
+        std::io::stdout().flush().ok();
+    }
+
+    bound.run().map_err(|e| CliError::Serve(e.to_string()))?;
+    Ok("knnshap serve: shut down cleanly".to_string())
+}
+
+pub fn run_client(args: &Args) -> Result<String, CliError> {
+    args.expect_only(CLIENT_ALLOWED)?;
+    let endpoint = parse_endpoint(args)?;
+    let mut client = Client::connect(&endpoint)
+        .map_err(|e| CliError::Serve(format!("cannot connect to {endpoint}: {e}")))?;
+    let op = args.str("op").unwrap_or("stat");
+    match op {
+        "stat" => {
+            let s = client.stat().map_err(serve_err)?;
+            Ok(format!(
+                "version {} | n_train {} | n_test {} | k {} | dim {} | \
+                 protocol {} | checksum {:016x}",
+                s.version, s.n_train, s.n_test, s.k, s.dim, s.protocol, s.checksum
+            ))
+        }
+        "get" => {
+            let index = args.u64_or("index", u64::MAX)?;
+            if index == u64::MAX {
+                return Err(CliError::Invalid("--op get needs --index I".into()));
+            }
+            let (version, value) = client.get(index).map_err(serve_err)?;
+            Ok(format!("version {version} | value[{index}] = {value}"))
+        }
+        "dump" => {
+            let dump = client.dump().map_err(serve_err)?;
+            let out = args
+                .str("out")
+                .ok_or_else(|| CliError::Invalid("--op dump needs --out FILE".into()))?;
+            write_dump_csv(Path::new(out), &dump).map_err(|e| CliError::Serve(e.to_string()))?;
+            Ok(format!(
+                "version {} | wrote {} values to {out}",
+                dump.version,
+                dump.values.len()
+            ))
+        }
+        "top" | "bottom" => {
+            let count = args.u64_or("count", 10)?;
+            let (version, entries) = client.ranked(count, op == "top").map_err(serve_err)?;
+            let mut out = format!(
+                "version {version} | {} {} valuable points:\n",
+                entries.len(),
+                if op == "top" { "most" } else { "least" }
+            );
+            for (i, v) in &entries {
+                out.push_str(&format!("  {i}: {v}\n"));
+            }
+            Ok(out)
+        }
+        "what-if" | "insert" => {
+            let point = parse_point(args.require("point")?)?;
+            let label = args.u64_or("label", 0)? as u32;
+            if op == "what-if" {
+                let (version, value) = client.what_if(&point, label).map_err(serve_err)?;
+                Ok(format!("version {version} | hypothetical value = {value}"))
+            } else {
+                let (version, index) = client.insert(&point, label).map_err(serve_err)?;
+                Ok(format!("version {version} | inserted as index {index}"))
+            }
+        }
+        "delete" => {
+            let index = args.u64_or("index", u64::MAX)?;
+            if index == u64::MAX {
+                return Err(CliError::Invalid("--op delete needs --index I".into()));
+            }
+            let (version, _) = client.delete(index).map_err(serve_err)?;
+            Ok(format!("version {version} | deleted index {index}"))
+        }
+        "train-csv" => {
+            let (version, csv) = client.train_csv().map_err(serve_err)?;
+            let out = args
+                .str("out")
+                .ok_or_else(|| CliError::Invalid("--op train-csv needs --out FILE".into()))?;
+            std::fs::write(out, &csv).map_err(|e| CliError::Serve(e.to_string()))?;
+            Ok(format!(
+                "version {version} | wrote the training set ({} bytes) to {out}",
+                csv.len()
+            ))
+        }
+        "script" => {
+            let path = args
+                .str("script")
+                .ok_or_else(|| CliError::Invalid("--op script needs --script FILE".into()))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Serve(format!("cannot read {path}: {e}")))?;
+            run_script(&mut client, &text)
+        }
+        "shutdown" => {
+            client.shutdown().map_err(serve_err)?;
+            Ok("daemon is shutting down".to_string())
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown --op '{other}' (stat, get, dump, top, bottom, what-if, insert, \
+             delete, train-csv, script, shutdown)"
+        ))),
+    }
+}
+
+/// Replay a mutation script over one connection. Line format (blank lines
+/// and `#` comments ignored):
+///
+/// ```text
+/// insert  F1,F2,...  LABEL
+/// delete  INDEX
+/// what-if F1,F2,...  LABEL
+/// ```
+fn run_script(client: &mut Client, text: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut applied = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad =
+            |what: &str| CliError::Invalid(format!("script line {}: {what}: '{line}'", lineno + 1));
+        let mut tokens = line.split_whitespace();
+        let verb = tokens.next().expect("non-empty line");
+        match verb {
+            "insert" | "what-if" => {
+                let point = parse_point(tokens.next().ok_or_else(|| bad("missing features"))?)?;
+                let label = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing label"))?
+                    .parse::<u32>()
+                    .map_err(|_| bad("bad label"))?;
+                if tokens.next().is_some() {
+                    return Err(bad("trailing tokens"));
+                }
+                if verb == "insert" {
+                    let (version, index) = client.insert(&point, label).map_err(serve_err)?;
+                    applied += 1;
+                    out.push_str(&format!("insert -> index {index} (version {version})\n"));
+                } else {
+                    let (version, value) = client.what_if(&point, label).map_err(serve_err)?;
+                    out.push_str(&format!("what-if -> {value} (version {version})\n"));
+                }
+            }
+            "delete" => {
+                let index = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing index"))?
+                    .parse::<u64>()
+                    .map_err(|_| bad("bad index"))?;
+                if tokens.next().is_some() {
+                    return Err(bad("trailing tokens"));
+                }
+                let (version, _) = client.delete(index).map_err(serve_err)?;
+                applied += 1;
+                out.push_str(&format!("delete {index} (version {version})\n"));
+            }
+            _ => return Err(bad("unknown verb (insert, delete, what-if)")),
+        }
+    }
+    let stat = client.stat().map_err(serve_err)?;
+    out.push_str(&format!(
+        "script done: {applied} mutations applied, dataset at version {} \
+         with {} training points",
+        stat.version, stat.n_train
+    ));
+    Ok(out)
+}
+
+/// The dump CSV — the exact format (header and `f64` `Display` rendering)
+/// of `knnshap value --out`, so the two artifacts are byte-comparable.
+fn write_dump_csv(path: &Path, dump: &knnshap_serve::Dump) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "index,label,shapley_value")?;
+    for (i, (label, value)) in dump.labels.iter().zip(&dump.values).enumerate() {
+        writeln!(w, "{i},{label},{value}")?;
+    }
+    w.flush()
+}
+
+fn serve_err(e: knnshap_serve::ClientError) -> CliError {
+    CliError::Serve(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::testutil::csv_pair;
+
+    fn spawn_daemon(tag: &str) -> (Endpoint, std::thread::JoinHandle<std::io::Result<()>>) {
+        let (train, test) = csv_pair(tag, 25, 5);
+        let train = knnshap_datasets::io::load_class_csv(&train).unwrap();
+        let test = knnshap_datasets::io::load_class_csv(&test).unwrap();
+        let server = ValuationServer::new(train, test, 3, 1).unwrap();
+        let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = bound.local_endpoint().clone();
+        (endpoint, std::thread::spawn(move || bound.run()))
+    }
+
+    fn client_args(endpoint: &Endpoint, rest: &[&str]) -> Args {
+        let Endpoint::Tcp(addr) = endpoint else {
+            panic!("tcp endpoint expected")
+        };
+        let mut argv = vec!["client", "--addr", addr];
+        argv.extend_from_slice(rest);
+        Args::parse(argv).unwrap()
+    }
+
+    #[test]
+    fn client_round_trip_through_a_live_daemon() {
+        let (endpoint, daemon) = spawn_daemon("client-rt");
+        let out = run_client(&client_args(&endpoint, &["--op", "stat"])).unwrap();
+        assert!(out.contains("n_train 25"), "{out}");
+
+        let out = run_client(&client_args(
+            &endpoint,
+            &[
+                "--op",
+                "insert",
+                "--point",
+                "0.5,0.5,0.5,0.5",
+                "--label",
+                "1",
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("inserted as index 25"), "{out}");
+
+        let out = run_client(&client_args(&endpoint, &["--op", "get", "--index", "25"])).unwrap();
+        assert!(out.contains("version 1"), "{out}");
+
+        let out = run_client(&client_args(&endpoint, &["--op", "top", "--count", "3"])).unwrap();
+        assert!(out.contains("3 most valuable"), "{out}");
+
+        run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn script_mode_applies_mutations_in_order() {
+        let (endpoint, daemon) = spawn_daemon("client-script");
+        let dir = std::env::temp_dir();
+        let script = dir.join(format!("knnshap-cli-{}-script.txt", std::process::id()));
+        std::fs::write(
+            &script,
+            "# comment\n\ninsert 1,2,3,4 1\ndelete 0\nwhat-if 0,0,0,0 0\n",
+        )
+        .unwrap();
+        let out = run_client(&client_args(
+            &endpoint,
+            &["--op", "script", "--script", script.to_str().unwrap()],
+        ))
+        .unwrap();
+        assert!(out.contains("2 mutations applied"), "{out}");
+        assert!(out.contains("version 2"), "{out}");
+        assert!(out.contains("what-if ->"), "{out}");
+        std::fs::remove_file(&script).ok();
+        run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn endpoint_and_point_parsing_reject_garbage() {
+        let args = Args::parse(["client"]).unwrap();
+        assert!(matches!(parse_endpoint(&args), Err(CliError::Invalid(_))));
+        let args = Args::parse(["client", "--addr", "h:1", "--socket", "/s"]).unwrap();
+        assert!(matches!(parse_endpoint(&args), Err(CliError::Invalid(_))));
+        assert!(parse_point("1.5, 2,-3").is_ok());
+        assert!(parse_point("1.5,two").is_err());
+    }
+
+    #[test]
+    fn client_ops_validate_their_required_options() {
+        let (endpoint, daemon) = spawn_daemon("client-validate");
+        for argv in [
+            vec!["--op", "get"],
+            vec!["--op", "delete"],
+            vec!["--op", "dump"],
+            vec!["--op", "train-csv"],
+            vec!["--op", "script"],
+            vec!["--op", "frobnicate"],
+        ] {
+            let err = run_client(&client_args(&endpoint, &argv)).unwrap_err();
+            assert!(matches!(err, CliError::Invalid(_)), "{argv:?}: {err}");
+        }
+        run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+}

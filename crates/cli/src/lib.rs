@@ -37,6 +37,8 @@ pub enum CliError {
     Shard(knnshap_core::sharding::ShardError),
     /// Job-orchestration problems (`shard-plan`/`worker`/`run-job`).
     Runtime(knnshap_runtime::JobError),
+    /// Daemon/client problems (`serve`/`client`: bind, connect, protocol).
+    Serve(String),
     /// Anything command-specific (bad enum value, inconsistent datasets…).
     Invalid(String),
 }
@@ -49,13 +51,14 @@ impl std::fmt::Display for CliError {
                 write!(
                     f,
                     "unknown command '{c}' (try: value, audit, contrast, synth, shard, \
-                     merge, shard-plan, run-job, worker)"
+                     merge, shard-plan, run-job, worker, serve, client)"
                 )
             }
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Shard(e) => write!(f, "{e}"),
             CliError::Runtime(e) => write!(f, "{e}"),
+            CliError::Serve(m) => write!(f, "{m}"),
             CliError::Invalid(m) => write!(f, "{m}"),
         }
     }
@@ -133,6 +136,17 @@ COMMANDS
             files), compute with checkpoints, publish, exit when nothing is
             claimable. Run any number, on any machines sharing the path
             --job DIR [--threads N] [--worker-id ID]
+  serve     long-lived valuation daemon: load the dataset once, keep rank
+            state resident, answer socket requests (docs/serving.md);
+            insert/delete mutations revalue incrementally and the served
+            vector stays bitwise-identical to a cold `value` run
+            --train FILE --test FILE (--addr HOST:PORT | --socket PATH)
+            [--k 1] [--threads N]
+  client    one-shot client for a running daemon
+            (--addr HOST:PORT | --socket PATH) --op stat|get|dump|top|
+            bottom|what-if|insert|delete|train-csv|script|shutdown
+            [--index I] [--count N] [--point F1,F2,...] [--label L]
+            [--script FILE] [--out FILE]
   contrast  estimate relative contrast C_K* and the LSH feasibility report
             --train FILE --test FILE [--k 1] [--eps 0.1] [--delta 0.1]
   synth     generate synthetic datasets (see DESIGN.md substitutions)
@@ -162,6 +176,8 @@ where
         "shard-plan" => commands::job::run_shard_plan(&args),
         "worker" => commands::job::run_worker_cmd(&args),
         "run-job" => commands::job::run_run_job(&args),
+        "serve" => commands::serve::run_serve(&args),
+        "client" => commands::serve::run_client(&args),
         "help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -1,0 +1,240 @@
+//! Process-level serve smoke through the real `knnshap` binary: spawn the
+//! daemon as a subprocess, run a mutation script through `knnshap client`,
+//! and byte-compare the served dump against an unsharded `knnshap value`
+//! run on the final dataset — the exact drill CI's "serve smoke" step
+//! performs from shell, kept here as a debuggable test.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_knnshap")
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn knnshap");
+    assert!(
+        out.status.success(),
+        "knnshap {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("knnshap-servecli-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        Scratch(p)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn synth(train: &Path, test: &Path) {
+    run(&[
+        "synth",
+        "--kind",
+        "blobs",
+        "--n",
+        "40",
+        "--dim",
+        "4",
+        "--classes",
+        "2",
+        "--seed",
+        "19",
+        "--out",
+        train.to_str().unwrap(),
+        "--queries",
+        "6",
+        "--queries-out",
+        test.to_str().unwrap(),
+    ]);
+}
+
+/// A daemon subprocess on an ephemeral port. The constructor blocks until
+/// the readiness banner names the actual endpoint, and `Drop` kills the
+/// child if a test dies before the clean shutdown path runs.
+struct Daemon {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe open for the daemon's lifetime — dropping it
+    // would make the daemon's final status line fail with EPIPE.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(train: &Path, test: &Path) -> Self {
+        let mut child = Command::new(bin())
+            .args([
+                "serve",
+                "--train",
+                train.to_str().unwrap(),
+                "--test",
+                test.to_str().unwrap(),
+                "--k",
+                "3",
+                "--addr",
+                "127.0.0.1:0",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn daemon");
+        // The banner is printed (and flushed) before the accept loop blocks.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read readiness banner");
+        let addr = line
+            .split("tcp://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no endpoint in banner: {line:?}"))
+            .to_string();
+        assert!(line.contains("n_train = 40"), "banner: {line:?}");
+        Daemon {
+            child,
+            addr,
+            _stdout: reader,
+        }
+    }
+
+    fn client(&self, args: &[&str]) -> String {
+        let mut argv = vec!["client", "--addr", self.addr.as_str()];
+        argv.extend_from_slice(args);
+        run(&argv)
+    }
+
+    /// Clean shutdown: ask via the protocol, then reap the process and
+    /// assert it exited successfully.
+    fn shutdown(mut self) {
+        self.client(&["--op", "shutdown"]);
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(status.success(), "daemon exited with {status:?}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn mutation_script_dump_matches_cold_value_run_bytewise() {
+    let dir = Scratch::new("e2e");
+    let (train, test) = (dir.path("train.csv"), dir.path("test.csv"));
+    synth(&train, &test);
+
+    let daemon = Daemon::spawn(&train, &test);
+
+    // A mutation script exercising insert (fresh + duplicate-ish), delete
+    // at both ends, and a what-if (which must NOT mutate).
+    let script = dir.path("mutations.txt");
+    std::fs::write(
+        &script,
+        "# serve smoke script\n\
+         insert 0.25,-1.5,2.0,0.125 1\n\
+         delete 3\n\
+         insert 0.25,-1.5,2.0,0.125 0\n\
+         what-if 1.0,1.0,1.0,1.0 1\n\
+         delete 0\n\
+         insert -2.0,0.5,0.5,3.25 1\n",
+    )
+    .unwrap();
+    let out = daemon.client(&["--op", "script", "--script", script.to_str().unwrap()]);
+    assert!(out.contains("5 mutations applied"), "{out}");
+    assert!(out.contains("version 5"), "{out}");
+
+    // Export the daemon's current training set and its served vector.
+    let (final_csv, served_csv) = (dir.path("final-train.csv"), dir.path("served.csv"));
+    daemon.client(&["--op", "train-csv", "--out", final_csv.to_str().unwrap()]);
+    let out = daemon.client(&["--op", "dump", "--out", served_csv.to_str().unwrap()]);
+    assert!(out.contains("version 5"), "{out}");
+
+    // Cold one-shot run on the exported dataset.
+    let cold_csv = dir.path("cold.csv");
+    run(&[
+        "value",
+        "--train",
+        final_csv.to_str().unwrap(),
+        "--test",
+        test.to_str().unwrap(),
+        "--k",
+        "3",
+        "--out",
+        cold_csv.to_str().unwrap(),
+    ]);
+
+    let served = std::fs::read(&served_csv).unwrap();
+    let cold = std::fs::read(&cold_csv).unwrap();
+    assert!(
+        served == cold,
+        "served dump differs from the cold value run:\nserved:\n{}\ncold:\n{}",
+        String::from_utf8_lossy(&served),
+        String::from_utf8_lossy(&cold)
+    );
+
+    // Spot-check the interactive ops end-to-end too.
+    let out = daemon.client(&["--op", "stat"]);
+    assert!(out.contains("version 5"), "{out}");
+    let out = daemon.client(&["--op", "top", "--count", "3"]);
+    assert!(out.contains("3 most valuable"), "{out}");
+    let out = daemon.client(&["--op", "get", "--index", "0"]);
+    assert!(out.contains("value[0]"), "{out}");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_survives_failed_client_operations() {
+    let dir = Scratch::new("badops");
+    let (train, test) = (dir.path("train.csv"), dir.path("test.csv"));
+    synth(&train, &test);
+    let daemon = Daemon::spawn(&train, &test);
+
+    // Out-of-range delete: the client process fails, the daemon must not.
+    let out = Command::new(bin())
+        .args([
+            "client",
+            "--addr",
+            &daemon.addr,
+            "--op",
+            "delete",
+            "--index",
+            "10000",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "bad delete must fail the client");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("out of range"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Daemon unharmed and unmutated.
+    let out = daemon.client(&["--op", "stat"]);
+    assert!(out.contains("version 0"), "{out}");
+
+    daemon.shutdown();
+}

@@ -48,6 +48,41 @@ pub fn knn_class_shapley_single(
     out
 }
 
+/// The Theorem 1 backward recursion over an *abstract* distance ranking.
+///
+/// `correct(r)` must return `1[y_{α_{r+1}} = y_test]` as an `f64` for the
+/// 0-based rank `r`; `sink(r, s)` receives each rank's per-test Shapley
+/// value, farthest rank first.
+///
+/// Backward recursion over ranks (1-based `i` in the paper, 0-based here).
+/// The paper states the base as 1[y_{α_N} = y_test]/N, which assumes K < N;
+/// re-deriving eq. (15)–(17) without that assumption gives
+/// s_{α_N} = 1[...] · min(K, N)/(N·K), which the enumeration ground truth
+/// confirms (with K ≥ N the game is additive and every correct point is
+/// worth exactly 1/K).
+///
+/// This is the **one** implementation of the recursion's arithmetic in the
+/// workspace: the batch drivers here feed it fresh argsorts, while the
+/// resident engine ([`crate::resident`]) feeds it incrementally maintained
+/// rank lists (including virtually spliced ones for what-if queries). Both
+/// paths therefore execute the identical sequence of float operations, which
+/// is what makes the serving layer's bitwise-equality contract hold.
+pub fn theorem1_recurrence<C, S>(n: usize, k: usize, correct: C, mut sink: S)
+where
+    C: Fn(usize) -> f64,
+    S: FnMut(usize, f64),
+{
+    assert!(n >= 1, "need at least one training point");
+    assert!(k >= 1, "K must be at least 1");
+    let mut s = correct(n - 1) * k.min(n) as f64 / (n as f64 * k as f64);
+    sink(n - 1, s);
+    for i in (0..n - 1).rev() {
+        let rank1 = i + 1; // paper's 1-based rank of element `i`
+        s += (correct(i) - correct(i + 1)) / k as f64 * (k.min(rank1) as f64 / rank1 as f64);
+        sink(i, s);
+    }
+}
+
 /// Runs the Theorem 1 recursion for one test point, handing each
 /// `(train index, value)` pair to `sink` (a plain slice for the single-test
 /// API, an exact accumulator for the multi-test/shard drivers).
@@ -60,27 +95,13 @@ fn accumulate_single<S: FnMut(usize, f64)>(
 ) {
     let n = train.len();
     assert!(n >= 1, "need at least one training point");
-    assert!(k >= 1, "K must be at least 1");
     let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
-
-    let correct = |rank: usize| -> f64 {
-        let idx = ranked[rank].index as usize;
-        f64::from(train.y[idx] == test_label)
-    };
-
-    // Backward recursion over ranks (1-based `i` in the paper, 0-based here).
-    // The paper states the base as 1[y_{α_N} = y_test]/N, which assumes K < N;
-    // re-deriving eq. (15)–(17) without that assumption gives
-    // s_{α_N} = 1[...] · min(K, N)/(N·K), which the enumeration ground truth
-    // confirms (with K ≥ N the game is additive and every correct point is
-    // worth exactly 1/K).
-    let mut s = correct(n - 1) * k.min(n) as f64 / (n as f64 * k as f64);
-    sink(ranked[n - 1].index as usize, s);
-    for i in (0..n.saturating_sub(1)).rev() {
-        let rank1 = i + 1; // paper's 1-based rank of element `i`
-        s += (correct(i) - correct(i + 1)) / k as f64 * (k.min(rank1) as f64 / rank1 as f64);
-        sink(ranked[i].index as usize, s);
-    }
+    theorem1_recurrence(
+        n,
+        k,
+        |rank| f64::from(train.y[ranked[rank].index as usize] == test_label),
+        |rank, s| sink(ranked[rank].index as usize, s),
+    );
 }
 
 /// Exact partial sums over one canonical shard of the test range, folded
@@ -149,8 +170,12 @@ fn shard_sums(
     range: std::ops::Range<usize>,
     threads: usize,
 ) -> ExactVec {
-    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
-        accumulate_single(train, test.x.row(j), test.y[j], k, |i, s| acc.add(i, s));
+    // Dense fill: the recursion assigns every training point exactly one
+    // contribution per test point, so each item overwrites the scratch
+    // completely and the fold deposits it linearly (same bits, see
+    // `exact_sums_over_dense`).
+    crate::sharding::exact_sums_over_dense(train.len(), range, threads, |j, scratch| {
+        accumulate_single(train, test.x.row(j), test.y[j], k, |i, s| scratch[i] = s);
     })
 }
 

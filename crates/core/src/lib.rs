@@ -41,6 +41,7 @@ pub mod lsh_approx;
 pub mod mc;
 pub mod piecewise;
 pub mod pipeline;
+pub mod resident;
 pub mod sharding;
 pub mod streaming;
 pub mod truncated;

@@ -1,0 +1,552 @@
+//! Resident valuation state with incremental train-point churn — the engine
+//! behind `knnshap serve`.
+//!
+//! The paper's O(N_test · N log N) cost (Theorem 1) is dominated by work
+//! that does **not** depend on which training points are present: computing
+//! N_test × N distances and sorting them. [`ResidentValuator`] keeps that
+//! state resident — one rank list per test point — so that inserting or
+//! deleting a single training point only perturbs each rank list locally
+//! (a binary search + splice per test point) and revaluation reruns just
+//! the O(N) Theorem 1 recursion per test point, with no distance
+//! computation and no sorting. An M-mutation replay therefore costs
+//! M · O(N_test · N) cheap arithmetic instead of M cold
+//! O(N_test · (N·d + N log N)) rebuilds (`bench_serve_incremental`
+//! quantifies the gap).
+//!
+//! ### Determinism contract
+//!
+//! After **any** sequence of [`insert`](ResidentValuator::insert) /
+//! [`delete`](ResidentValuator::delete) mutations, [`values`](ResidentValuator::values)
+//! is **bitwise-identical** to a cold
+//! [`knn_class_shapley_with_threads`](crate::exact_unweighted::knn_class_shapley_with_threads)
+//! run on the final dataset, at every thread count. Three facts carry this:
+//!
+//! 1. **Rank lists stay canonical.** The batch path ranks by
+//!    `(distance, train index)` (ties broken toward the smaller index).
+//!    An inserted point takes the *largest* index, so splicing it after all
+//!    equal-distance entries reproduces the cold sort; deletion preserves
+//!    the relative order of the survivors, and renumbering (indices above
+//!    the deleted point shift down by one) preserves it still — so the
+//!    maintained list equals a fresh argsort of the mutated dataset entry
+//!    for entry, duplicate distances included.
+//! 2. **One recursion.** Both paths run the identical
+//!    [`theorem1_recurrence`] arithmetic over those (equal) rank lists.
+//! 3. **Exact accumulation.** Per-test vectors fold into
+//!    [`knnshap_numerics::exact::ExactVec`] and finalize through the same
+//!    `sharding::finalize_mean` as the batch estimator, so the
+//!    cross-test reduction is a pure function of the test multiset — never
+//!    of threads.
+//!
+//! `tests/serve_incremental.rs` (workspace root) holds the engine to this
+//! with randomized mutation interleavings, cross-checked against an
+//! independent implementation of the recurrence following the Wang–Jia
+//! correction note (arXiv:2304.04258).
+
+use crate::exact_unweighted::theorem1_recurrence;
+use crate::types::ShapleyValues;
+use knnshap_datasets::ClassDataset;
+use knnshap_knn::distance::Metric;
+use knnshap_knn::neighbors::{argsort_by_distance, Neighbor};
+
+/// Everything a mutation or query on resident state can reject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResidentError {
+    /// Candidate/query feature count differs from the dataset dimension.
+    DimMismatch { expected: usize, got: usize },
+    /// Candidate features contain NaN/±inf (distance ordering undefined).
+    NonFinite,
+    /// Train-point index past the current training-set size.
+    OutOfRange { index: usize, len: usize },
+    /// Deleting the last training point would leave an empty game.
+    LastPoint,
+}
+
+impl std::fmt::Display for ResidentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResidentError::DimMismatch { expected, got } => {
+                write!(f, "point has {got} features but the dataset has {expected}")
+            }
+            ResidentError::NonFinite => {
+                write!(f, "point has non-finite features (NaN or infinity)")
+            }
+            ResidentError::OutOfRange { index, len } => {
+                write!(f, "train index {index} out of range 0..{len}")
+            }
+            ResidentError::LastPoint => {
+                write!(f, "cannot delete the last training point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResidentError {}
+
+/// Resident distance/rank state over `(train, test, K)` supporting
+/// incremental train-point insert/delete and exact revaluation.
+///
+/// ```
+/// use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
+/// use knnshap_core::resident::ResidentValuator;
+/// use knnshap_datasets::synth::blobs::{self, BlobConfig};
+///
+/// let cfg = BlobConfig { n: 60, dim: 4, n_classes: 2, ..Default::default() };
+/// let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 8, 3));
+/// let mut engine = ResidentValuator::new(train.clone(), test.clone(), 3, 1).unwrap();
+///
+/// // Mutate: drop point 5, re-insert a copy of point 0's features.
+/// engine.delete(5).unwrap();
+/// let new_idx = engine.insert(train.x.row(0), train.y[0]).unwrap();
+/// assert_eq!(new_idx, 59); // appended at the end of the renumbered set
+/// assert_eq!(engine.version(), 2);
+///
+/// // Bitwise-identical to a cold run on the final dataset.
+/// let served = engine.values();
+/// let cold = knn_class_shapley_with_threads(engine.train(), &test, 3, 1);
+/// for i in 0..served.len() {
+///     assert_eq!(served.get(i).to_bits(), cold.get(i).to_bits());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ResidentValuator {
+    train: ClassDataset,
+    test: ClassDataset,
+    k: usize,
+    threads: usize,
+    /// One canonical `(distance, index)`-sorted rank list per test point —
+    /// always equal to a fresh `argsort_by_distance` of the current train
+    /// set (the invariant every mutation maintains).
+    ranked: Vec<Vec<Neighbor>>,
+    /// Dataset version: 0 for the loaded dataset, +1 per committed mutation.
+    version: u64,
+}
+
+impl ResidentValuator {
+    /// Builds resident rank state for `(train, test)` with `threads`
+    /// workers. Rejects empty datasets, `k == 0`, dimension mismatches and
+    /// non-finite features (a NaN distance has no defined rank).
+    pub fn new(
+        train: ClassDataset,
+        test: ClassDataset,
+        k: usize,
+        threads: usize,
+    ) -> Result<Self, ResidentError> {
+        assert!(!train.is_empty(), "training set is empty");
+        assert!(!test.is_empty(), "test set is empty");
+        assert!(k >= 1, "K must be at least 1");
+        if train.dim() != test.dim() {
+            return Err(ResidentError::DimMismatch {
+                expected: train.dim(),
+                got: test.dim(),
+            });
+        }
+        if train.x.first_non_finite_row().is_some() || test.x.first_non_finite_row().is_some() {
+            return Err(ResidentError::NonFinite);
+        }
+        let ranked = knnshap_parallel::par_map(test.len(), threads, |j| {
+            argsort_by_distance(&train.x, test.x.row(j), Metric::SquaredL2)
+        });
+        Ok(Self {
+            train,
+            test,
+            k,
+            threads,
+            ranked,
+            version: 0,
+        })
+    }
+
+    /// Current dataset version (0 = as loaded; each committed mutation
+    /// increments it by one).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The current (mutated) training set.
+    pub fn train(&self) -> &ClassDataset {
+        &self.train
+    }
+
+    /// The resident test set (immutable for the engine's lifetime).
+    pub fn test(&self) -> &ClassDataset {
+        &self.test
+    }
+
+    pub fn n_train(&self) -> usize {
+        self.train.len()
+    }
+
+    pub fn n_test(&self) -> usize {
+        self.test.len()
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn check_point(&self, row: &[f32]) -> Result<(), ResidentError> {
+        if row.len() != self.train.dim() {
+            return Err(ResidentError::DimMismatch {
+                expected: self.train.dim(),
+                got: row.len(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(ResidentError::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Inserts a training point, returning its index (always the current
+    /// training-set size: new points append, so existing indices are
+    /// stable). Each rank list gains one spliced entry after all
+    /// equal-distance incumbents — exactly where the cold
+    /// `(distance, index)` sort would place the largest index.
+    pub fn insert(&mut self, row: &[f32], label: u32) -> Result<usize, ResidentError> {
+        self.check_point(row)?;
+        let new_idx = self.train.len();
+        assert!(
+            new_idx < u32::MAX as usize,
+            "training set exceeds u32 indices"
+        );
+        let old = std::mem::take(&mut self.ranked);
+        let test = &self.test;
+        self.ranked = knnshap_parallel::par_map(test.len(), self.threads, |j| {
+            let d = Metric::SquaredL2.eval(test.x.row(j), row);
+            let list = &old[j];
+            let pos = list.partition_point(|nb| nb.dist <= d);
+            let mut out = Vec::with_capacity(list.len() + 1);
+            out.extend_from_slice(&list[..pos]);
+            out.push(Neighbor {
+                index: new_idx as u32,
+                dist: d,
+            });
+            out.extend_from_slice(&list[pos..]);
+            out
+        });
+        self.train.x.push_row(row);
+        self.train.y.push(label);
+        self.train.n_classes = self.train.n_classes.max(label + 1);
+        self.version += 1;
+        Ok(new_idx)
+    }
+
+    /// Deletes training point `index`. Surviving points renumber down by
+    /// one above `index` (matching what reloading the shrunk dataset would
+    /// produce); renumbering preserves the survivors' relative order, so
+    /// each rank list just drops one entry.
+    pub fn delete(&mut self, index: usize) -> Result<(), ResidentError> {
+        if index >= self.train.len() {
+            return Err(ResidentError::OutOfRange {
+                index,
+                len: self.train.len(),
+            });
+        }
+        if self.train.len() == 1 {
+            return Err(ResidentError::LastPoint);
+        }
+        let old = std::mem::take(&mut self.ranked);
+        self.ranked = knnshap_parallel::par_map(self.test.len(), self.threads, |j| {
+            old[j]
+                .iter()
+                .filter(|nb| nb.index as usize != index)
+                .map(|nb| Neighbor {
+                    index: nb.index - u32::from(nb.index as usize > index),
+                    dist: nb.dist,
+                })
+                .collect()
+        });
+        let keep: Vec<usize> = (0..self.train.len()).filter(|&i| i != index).collect();
+        self.train = self.train.gather(&keep);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// The Shapley vector of the current training set — bitwise-identical
+    /// to a cold [`crate::exact_unweighted::knn_class_shapley_with_threads`]
+    /// run on [`train`](Self::train), at every thread count, but computed
+    /// from the resident rank lists (no distances, no sorting).
+    pub fn values(&self) -> ShapleyValues {
+        let n = self.train.len();
+        // Dense fill, like the batch path: one contribution per training
+        // point per test point, deposited linearly (same bits — see
+        // `exact_sums_over_dense`). This is what keeps per-mutation
+        // revaluation fast: the recursion's rank order would otherwise do a
+        // random walk over `n` heap-backed exact accumulators.
+        let sums = crate::sharding::exact_sums_over_dense(
+            n,
+            0..self.test.len(),
+            self.threads,
+            |j, scratch| {
+                let (list, y) = (&self.ranked[j], self.test.y[j]);
+                theorem1_recurrence(
+                    list.len(),
+                    self.k,
+                    |r| f64::from(self.train.y[list[r].index as usize] == y),
+                    |r, s| scratch[list[r].index as usize] = s,
+                );
+            },
+        );
+        crate::sharding::finalize_mean(&sums, self.test.len() as u64)
+    }
+
+    /// What-if valuation: the Shapley value the candidate point **would**
+    /// receive if inserted — bitwise-identical to
+    /// `insert(row, label)` followed by `values()[new index]` — without
+    /// committing anything. The candidate is spliced *virtually* into each
+    /// rank list (an index remap around its insertion position), and only
+    /// its own rank's value is kept from each per-test recursion.
+    pub fn what_if(&self, row: &[f32], label: u32) -> Result<f64, ResidentError> {
+        self.check_point(row)?;
+        let n = self.train.len();
+        let sums =
+            crate::sharding::exact_sums_over(1, 0..self.test.len(), self.threads, |j, acc| {
+                let (list, y) = (&self.ranked[j], self.test.y[j]);
+                let d = Metric::SquaredL2.eval(self.test.x.row(j), row);
+                let pos = list.partition_point(|nb| nb.dist <= d);
+                let cand = f64::from(label == y);
+                theorem1_recurrence(
+                    n + 1,
+                    self.k,
+                    |r| match r.cmp(&pos) {
+                        std::cmp::Ordering::Less => {
+                            f64::from(self.train.y[list[r].index as usize] == y)
+                        }
+                        std::cmp::Ordering::Equal => cand,
+                        std::cmp::Ordering::Greater => {
+                            f64::from(self.train.y[list[r - 1].index as usize] == y)
+                        }
+                    },
+                    |r, s| {
+                        if r == pos {
+                            acc.add(0, s);
+                        }
+                    },
+                );
+            });
+        Ok(crate::sharding::finalize_mean(&sums, self.test.len() as u64).get(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_unweighted::knn_class_shapley_with_threads;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+    use knnshap_datasets::Features;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn data(n: usize, n_test: usize, seed: u64) -> (ClassDataset, ClassDataset) {
+        let cfg = BlobConfig {
+            n,
+            dim: 5,
+            n_classes: 3,
+            cluster_std: 0.6,
+            center_scale: 3.0,
+            seed,
+        };
+        (
+            blobs::generate(&cfg),
+            blobs::queries(&cfg, n_test, seed + 1),
+        )
+    }
+
+    fn assert_bitwise(a: &ShapleyValues, b: &ShapleyValues, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for i in 0..a.len() {
+            assert_eq!(
+                a.get(i).to_bits(),
+                b.get(i).to_bits(),
+                "{what}: value {i}: {} vs {}",
+                a.get(i),
+                b.get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_engine_matches_batch_estimator_bitwise() {
+        let (train, test) = data(70, 9, 3);
+        for k in [1usize, 3, 70, 100] {
+            let engine = ResidentValuator::new(train.clone(), test.clone(), k, 2).unwrap();
+            let cold = knn_class_shapley_with_threads(&train, &test, k, 1);
+            assert_bitwise(&engine.values(), &cold, &format!("k={k}"));
+        }
+    }
+
+    #[test]
+    fn mutation_sequence_matches_cold_recompute_bitwise() {
+        let (train, test) = data(40, 7, 11);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut engine = ResidentValuator::new(train.clone(), test.clone(), 3, 2).unwrap();
+        for step in 0..25 {
+            if engine.n_train() > 2 && rng.gen_range(0..3) == 0 {
+                let idx = rng.gen_range(0..engine.n_train());
+                engine.delete(idx).unwrap();
+            } else {
+                // Half the inserts duplicate an existing row — exact
+                // duplicate distances stress the tie-break invariant.
+                let (row, label): (Vec<f32>, u32) = if rng.gen_range(0..2) == 0 {
+                    let src = rng.gen_range(0..engine.n_train());
+                    (
+                        engine.train().x.row(src).to_vec(),
+                        engine.train().y[src] ^ u32::from(rng.gen_range(0..2) == 0),
+                    )
+                } else {
+                    (
+                        (0..engine.train().dim())
+                            .map(|_| rng.gen_range(-3.0..3.0))
+                            .collect(),
+                        rng.gen_range(0..3),
+                    )
+                };
+                engine.insert(&row, label).unwrap();
+            }
+            assert_eq!(engine.version(), step + 1);
+            let cold = knn_class_shapley_with_threads(engine.train(), &test, 3, 1);
+            assert_bitwise(&engine.values(), &cold, &format!("step {step}"));
+        }
+    }
+
+    #[test]
+    fn values_are_thread_count_invariant() {
+        let (train, test) = data(50, 8, 21);
+        let run = |threads: usize| {
+            let mut e = ResidentValuator::new(train.clone(), test.clone(), 2, threads).unwrap();
+            e.delete(13).unwrap();
+            e.insert(&[0.5; 5], 1).unwrap();
+            e.values()
+        };
+        let serial = run(1);
+        for threads in [2usize, 8] {
+            assert_bitwise(&serial, &run(threads), &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn what_if_matches_committed_insert_bitwise() {
+        let (train, test) = data(35, 6, 7);
+        let engine = ResidentValuator::new(train.clone(), test.clone(), 2, 2).unwrap();
+        for (row, label) in [
+            (vec![0.0f32; 5], 0u32),
+            (train.x.row(4).to_vec(), train.y[4]), // duplicate point
+            (train.x.row(4).to_vec(), train.y[4] ^ 1), // duplicate, flipped label
+        ] {
+            let hypothetical = engine.what_if(&row, label).unwrap();
+            let mut committed = ResidentValuator::new(train.clone(), test.clone(), 2, 2).unwrap();
+            let idx = committed.insert(&row, label).unwrap();
+            assert_eq!(
+                hypothetical.to_bits(),
+                committed.values().get(idx).to_bits(),
+                "label {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_then_reload_equivalence_with_renumbering() {
+        // Deleting index 3 must behave exactly like valuing the dataset with
+        // row 3 removed (indices above shift down).
+        let (train, test) = data(20, 5, 5);
+        let mut engine = ResidentValuator::new(train.clone(), test.clone(), 1, 1).unwrap();
+        engine.delete(3).unwrap();
+        let keep: Vec<usize> = (0..20).filter(|&i| i != 3).collect();
+        let shrunk = train.gather(&keep);
+        assert_eq!(engine.n_train(), 19);
+        let cold = knn_class_shapley_with_threads(&shrunk, &test, 1, 1);
+        assert_bitwise(&engine.values(), &cold, "renumbered delete");
+    }
+
+    #[test]
+    fn k_boundary_cases_survive_churn() {
+        // K equal to, one below, and above the (shrinking) training size.
+        let (train, test) = data(6, 4, 13);
+        for k in [5usize, 6, 7, 12] {
+            let mut engine = ResidentValuator::new(train.clone(), test.clone(), k, 1).unwrap();
+            engine.delete(0).unwrap();
+            engine.insert(&[1.0; 5], 2).unwrap();
+            engine.delete(4).unwrap();
+            let cold = knn_class_shapley_with_threads(engine.train(), &test, k, 1);
+            assert_bitwise(&engine.values(), &cold, &format!("k={k}"));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_mutations() {
+        let (train, test) = data(10, 3, 1);
+        let mut engine = ResidentValuator::new(train, test, 2, 1).unwrap();
+        assert_eq!(
+            engine.insert(&[1.0, 2.0], 0).unwrap_err(),
+            ResidentError::DimMismatch {
+                expected: 5,
+                got: 2
+            }
+        );
+        assert_eq!(
+            engine
+                .insert(&[1.0, 2.0, f32::NAN, 0.0, 0.0], 0)
+                .unwrap_err(),
+            ResidentError::NonFinite
+        );
+        assert_eq!(
+            engine.delete(10).unwrap_err(),
+            ResidentError::OutOfRange { index: 10, len: 10 }
+        );
+        assert_eq!(engine.what_if(&[1.0], 0).unwrap_err(), {
+            ResidentError::DimMismatch {
+                expected: 5,
+                got: 1,
+            }
+        });
+        for _ in 0..9 {
+            engine.delete(0).unwrap();
+        }
+        assert_eq!(engine.delete(0).unwrap_err(), ResidentError::LastPoint);
+        assert_eq!(engine.version(), 9, "failed mutations must not bump");
+    }
+
+    #[test]
+    fn dimension_mismatch_between_train_and_test_is_rejected() {
+        let train = ClassDataset::new(Features::new(vec![0.0, 1.0], 2), vec![0], 1);
+        let test = ClassDataset::new(Features::new(vec![0.0], 1), vec![0], 1);
+        assert!(matches!(
+            ResidentValuator::new(train, test, 1, 1),
+            Err(ResidentError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_training_features_are_rejected() {
+        let train = ClassDataset::new(Features::new(vec![f32::INFINITY, 1.0], 1), vec![0, 1], 2);
+        let test = ClassDataset::new(Features::new(vec![0.0], 1), vec![0], 1);
+        assert_eq!(
+            ResidentValuator::new(train, test, 1, 1).unwrap_err(),
+            ResidentError::NonFinite
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let errs: Vec<String> = [
+            ResidentError::DimMismatch {
+                expected: 4,
+                got: 2,
+            },
+            ResidentError::NonFinite,
+            ResidentError::OutOfRange { index: 9, len: 3 },
+            ResidentError::LastPoint,
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        assert!(errs[0].contains("2 features"));
+        assert!(errs[1].contains("non-finite"));
+        assert!(errs[2].contains("9 out of range"));
+        assert!(errs[3].contains("last training point"));
+    }
+}

@@ -472,10 +472,17 @@ pub(crate) fn finalize_mean(sums: &ExactVec, total_items: u64) -> ShapleyValues 
     ShapleyValues::new((0..sums.len()).map(|i| sums.value(i) / d).collect())
 }
 
-/// Block granularity of the exact folds: enough scheduling units for the
-/// pool to balance skewed per-item costs, few enough that block setup is
-/// invisible.
+/// Block-granularity cap for the exact folds: enough scheduling units for
+/// the pool to balance skewed per-item costs, few enough that block setup
+/// is invisible. The actual block count also scales with the thread count
+/// (see [`exact_block_fold`]): every block pays O(`n_train`) accumulator
+/// setup, so a serial fold uses one block and a parallel one a few blocks
+/// per worker — never more than this cap.
 const FOLD_BLOCKS: usize = 32;
+
+/// Scheduling units per worker below the [`FOLD_BLOCKS`] cap — enough slack
+/// to rebalance skewed items without multiplying accumulator setup.
+const FOLD_BLOCKS_PER_THREAD: usize = 4;
 
 /// The one parallel fold shape behind every exact accumulation in the
 /// workspace: tile `count` items into a fixed block partition, give each
@@ -504,7 +511,15 @@ where
     if count == 0 {
         return;
     }
-    let block = count.div_ceil(FOLD_BLOCKS).max(1);
+    // Bitwise-free choice: the accumulators are exact, so the partition
+    // (like the fold order) cannot move a bit — pick it purely for cost.
+    // One block per serial fold; a few per worker otherwise, capped.
+    let target = if threads <= 1 {
+        1
+    } else {
+        FOLD_BLOCKS.min(threads.saturating_mul(FOLD_BLOCKS_PER_THREAD))
+    };
+    let block = count.div_ceil(target).max(1);
     let blocks = count.div_ceil(block);
     knnshap_parallel::par_map(blocks, threads, |b| {
         let lo = b * block;
@@ -536,6 +551,56 @@ where
         || ExactVec::zeros(n_train),
         |acc, j| fill(range.start + j, acc),
         |acc| total.lock().expect("fold poisoned").merge(&acc),
+    );
+    total.into_inner().expect("fold poisoned")
+}
+
+/// [`exact_sums_over`] for fills that touch (nearly) every training point
+/// per item — the exact recursions do, one contribution per rank: `fill`
+/// writes item `j`'s contributions into a zeroed dense `f64` scratch
+/// (`scratch[i] = contribution of train point i`), and the fold deposits
+/// the scratch with [`ExactVec::add_dense`].
+///
+/// Identical bits to the sink-per-contribution shape — the deposited
+/// values are the same `f64`s and exact accumulation is order-invariant —
+/// but the deposits walk the accumulator array *sequentially* instead of
+/// in rank order, which is what makes per-mutation revaluation in the
+/// serving engine (and the cold batch path it must match) cache-friendly:
+/// the rank-ordered sink is a random walk over `n_train` heap-backed
+/// accumulators, the dense pass a linear one.
+pub(crate) fn exact_sums_over_dense<F>(
+    n_train: usize,
+    range: std::ops::Range<usize>,
+    threads: usize,
+    fill: F,
+) -> ExactVec
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if threads <= 1 {
+        // Serial fast path: deposit each item's scratch straight into the
+        // total — no intermediate block accumulator, no final full-length
+        // merge. Exactness makes the grouping invisible in the bits.
+        let mut total = ExactVec::zeros(n_train);
+        let mut scratch = vec![0.0f64; n_train];
+        for j in range {
+            scratch.fill(0.0);
+            fill(j, &mut scratch);
+            total.add_dense(&scratch);
+        }
+        return total;
+    }
+    let total = std::sync::Mutex::new(ExactVec::zeros(n_train));
+    exact_block_fold(
+        range.len(),
+        threads,
+        || (ExactVec::zeros(n_train), vec![0.0f64; n_train]),
+        |(acc, scratch), j| {
+            scratch.fill(0.0);
+            fill(range.start + j, scratch);
+            acc.add_dense(scratch);
+        },
+        |(acc, _)| total.lock().expect("fold poisoned").merge(&acc),
     );
     total.into_inner().expect("fold poisoned")
 }

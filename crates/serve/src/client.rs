@@ -1,0 +1,247 @@
+//! A typed blocking client for the `knnshap serve` protocol.
+//!
+//! One request in flight per connection (the protocol is strictly
+//! request/response). Every helper returns the dataset **version** its
+//! answer was computed under alongside the payload, so callers can reason
+//! about freshness; [`Client::dump`] additionally re-verifies the
+//! snapshot checksum, turning any torn or corrupted vector into a loud
+//! [`ClientError::ChecksumMismatch`] instead of silent bad data.
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, ProtocolError, Request, Response};
+use crate::server::{Conn, Endpoint};
+use crate::store::Snapshot;
+use knnshap_core::types::ShapleyValues;
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Protocol(ProtocolError),
+    /// The daemon answered with an error response.
+    Server { code: ErrorCode, message: String },
+    /// The daemon answered with a response type the request can't produce.
+    Unexpected { expected: &'static str, got: String },
+    /// A dumped vector failed checksum verification (torn/corrupt data).
+    ChecksumMismatch { version: u64 },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected {expected} response, got {got}")
+            }
+            ClientError::ChecksumMismatch { version } => {
+                write!(
+                    f,
+                    "vector for version {version} failed checksum verification"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// Daemon status, as reported by `Stat`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatInfo {
+    pub protocol: u32,
+    pub version: u64,
+    pub n_train: u64,
+    pub n_test: u64,
+    pub k: u64,
+    pub dim: u64,
+    pub checksum: u64,
+}
+
+/// A full checksum-verified vector dump.
+#[derive(Debug, Clone)]
+pub struct Dump {
+    pub version: u64,
+    pub labels: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+/// A blocking protocol client over any [`Conn`].
+pub struct Client {
+    conn: Box<dyn Conn>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Self> {
+        let conn: Box<dyn Conn> = match endpoint {
+            Endpoint::Tcp(addr) => Box::new(TcpStream::connect(addr.as_str())?),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Box::new(UnixStream::connect(path)?),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Self { conn })
+    }
+
+    /// Wrap an already-connected stream (used by in-process tests).
+    pub fn from_conn(conn: Box<dyn Conn>) -> Self {
+        Self { conn }
+    }
+
+    /// Send one request and read its response. Error responses are
+    /// surfaced as [`ClientError::Server`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, &req.encode())?;
+        let payload =
+            read_frame(&mut self.conn)?.ok_or(ClientError::Protocol(ProtocolError::Truncated {
+                expected: 4,
+                got: 0,
+            }))?;
+        match Response::decode(&payload)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    pub fn stat(&mut self) -> Result<StatInfo, ClientError> {
+        match self.request(&Request::Stat)? {
+            Response::Stat {
+                protocol,
+                version,
+                n_train,
+                n_test,
+                k,
+                dim,
+                checksum,
+            } => Ok(StatInfo {
+                protocol,
+                version,
+                n_train,
+                n_test,
+                k,
+                dim,
+                checksum,
+            }),
+            other => Err(unexpected("Stat", other)),
+        }
+    }
+
+    /// `(version, value)` of one training point.
+    pub fn get(&mut self, index: u64) -> Result<(u64, f64), ClientError> {
+        match self.request(&Request::Get { index })? {
+            Response::Value { version, value } => Ok((version, value)),
+            other => Err(unexpected("Value", other)),
+        }
+    }
+
+    /// The whole vector, checksum-verified against the served commitment.
+    pub fn dump(&mut self) -> Result<Dump, ClientError> {
+        match self.request(&Request::Dump)? {
+            Response::Vector {
+                version,
+                checksum,
+                labels,
+                values,
+            } => {
+                let sv = ShapleyValues::new(values);
+                if Snapshot::checksum_of(version, &labels, &sv) != checksum {
+                    return Err(ClientError::ChecksumMismatch { version });
+                }
+                Ok(Dump {
+                    version,
+                    labels,
+                    values: sv.into_vec(),
+                })
+            }
+            other => Err(unexpected("Vector", other)),
+        }
+    }
+
+    /// `(version, [(index, value)…])`, most (`most = true`) or least
+    /// valuable first.
+    pub fn ranked(
+        &mut self,
+        count: u64,
+        most: bool,
+    ) -> Result<(u64, Vec<(u64, f64)>), ClientError> {
+        match self.request(&Request::TopK { count, most })? {
+            Response::Ranked { version, entries } => Ok((version, entries)),
+            other => Err(unexpected("Ranked", other)),
+        }
+    }
+
+    /// Hypothetical value of a candidate point — nothing is committed.
+    pub fn what_if(&mut self, features: &[f32], label: u32) -> Result<(u64, f64), ClientError> {
+        match self.request(&Request::WhatIf {
+            features: features.to_vec(),
+            label,
+        })? {
+            Response::Value { version, value } => Ok((version, value)),
+            other => Err(unexpected("Value", other)),
+        }
+    }
+
+    /// Commit a new training point; returns `(new version, its index)`.
+    pub fn insert(&mut self, features: &[f32], label: u32) -> Result<(u64, u64), ClientError> {
+        match self.request(&Request::Insert {
+            features: features.to_vec(),
+            label,
+        })? {
+            Response::Mutated { version, index } => Ok((version, index)),
+            other => Err(unexpected("Mutated", other)),
+        }
+    }
+
+    /// Delete a training point; returns `(new version, deleted index)`.
+    pub fn delete(&mut self, index: u64) -> Result<(u64, u64), ClientError> {
+        match self.request(&Request::Delete { index })? {
+            Response::Mutated { version, index } => Ok((version, index)),
+            other => Err(unexpected("Mutated", other)),
+        }
+    }
+
+    /// The current training set as CSV bytes (`save_class_csv` format).
+    pub fn train_csv(&mut self) -> Result<(u64, Vec<u8>), ClientError> {
+        match self.request(&Request::TrainCsv)? {
+            Response::TrainCsv { version, csv } => Ok((version, csv)),
+            other => Err(unexpected("TrainCsv", other)),
+        }
+    }
+
+    /// Ask the daemon to stop accepting connections and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: Response) -> ClientError {
+    ClientError::Unexpected {
+        expected,
+        got: format!("{got:?}"),
+    }
+}

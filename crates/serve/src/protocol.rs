@@ -1,0 +1,737 @@
+//! The `knnshap serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! u32 LE payload length  ||  payload
+//! payload = tag byte  ||  little-endian body
+//! ```
+//!
+//! Request tags are `0x01..=0x09`, response tags `0x81..=0x88` (high bit
+//! set), so a stream position can never be mistaken for the other
+//! direction. The length prefix is capped at [`MAX_FRAME`]; a prefix above
+//! the cap is rejected *before* any allocation, so a corrupt or hostile
+//! peer cannot OOM the daemon (the same hardening the KNNSHARD partial
+//! format applies to its header). Full field-by-field layout in
+//! `docs/serving.md`.
+//!
+//! Decoding is strict: every body must parse to exactly its declared
+//! length — trailing bytes, short bodies and unknown tags are
+//! [`ProtocolError`]s, never panics. `tests/protocol_robustness.rs` holds
+//! the codec (and the live session loop) to that.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload length (64 MiB). A `Dump` of 10⁷ points
+/// is ~76 MB and wouldn't fit — but the cap is per *frame*, and such dumps
+/// should go through the CSV artifact path anyway; the serving protocol
+/// targets the interactive ops.
+pub const MAX_FRAME: u32 = 1 << 26;
+
+/// Protocol version, echoed in `Stat` so clients can detect skew.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// Request tags.
+const OP_STAT: u8 = 0x01;
+const OP_GET: u8 = 0x02;
+const OP_DUMP: u8 = 0x03;
+const OP_TOP_K: u8 = 0x04;
+const OP_WHAT_IF: u8 = 0x05;
+const OP_INSERT: u8 = 0x06;
+const OP_DELETE: u8 = 0x07;
+const OP_TRAIN_CSV: u8 = 0x08;
+const OP_SHUTDOWN: u8 = 0x09;
+
+// Response tags.
+const RE_STAT: u8 = 0x81;
+const RE_VALUE: u8 = 0x82;
+const RE_VECTOR: u8 = 0x83;
+const RE_RANKED: u8 = 0x84;
+const RE_MUTATED: u8 = 0x85;
+const RE_TRAIN_CSV: u8 = 0x86;
+const RE_ERROR: u8 = 0x87;
+const RE_SHUTTING_DOWN: u8 = 0x88;
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Transport-level failure (connection reset, etc.).
+    Io(io::Error),
+    /// The peer closed the connection mid-frame: `got` of `expected`
+    /// payload bytes arrived. A close *between* frames is not an error —
+    /// [`read_frame`] reports it as `Ok(None)`.
+    Truncated { expected: usize, got: usize },
+    /// Length prefix above [`MAX_FRAME`]; rejected before allocating.
+    Oversized { len: u32 },
+    /// Zero-length payload (every message has at least a tag byte).
+    EmptyFrame,
+    /// First payload byte is not a known request tag.
+    UnknownOpcode(u8),
+    /// First payload byte is not a known response tag.
+    UnknownTag(u8),
+    /// Tag was recognized but the body doesn't parse to its length.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::Truncated { expected, got } => {
+                write!(f, "truncated frame: {got} of {expected} payload bytes")
+            }
+            ProtocolError::Oversized { len } => {
+                write!(
+                    f,
+                    "length prefix {len} exceeds the {MAX_FRAME}-byte frame cap"
+                )
+            }
+            ProtocolError::EmptyFrame => write!(f, "empty frame (no tag byte)"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown request opcode {op:#04x}"),
+            ProtocolError::UnknownTag(tag) => write!(f, "unknown response tag {tag:#04x}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Machine-readable class of a served error, carried in
+/// [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame didn't decode (unknown opcode, malformed body).
+    BadRequest = 1,
+    /// The request decoded but the engine rejected it (index out of
+    /// range, dimension mismatch, non-finite features, last point…).
+    Rejected = 2,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Result<Self, ProtocolError> {
+        match b {
+            1 => Ok(ErrorCode::BadRequest),
+            2 => Ok(ErrorCode::Rejected),
+            _ => Err(ProtocolError::Malformed("unknown error code")),
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Daemon/dataset status (never touches the engine lock).
+    Stat,
+    /// Value of training point `index` in the current snapshot.
+    Get { index: u64 },
+    /// The whole Shapley vector plus per-point labels.
+    Dump,
+    /// The `count` most (`most = true`) or least valuable points.
+    TopK { count: u64, most: bool },
+    /// Hypothetical value of a candidate point, nothing committed.
+    WhatIf { features: Vec<f32>, label: u32 },
+    /// Commit a new training point; response names its index.
+    Insert { features: Vec<f32>, label: u32 },
+    /// Remove training point `index` (indices above shift down by one).
+    Delete { index: u64 },
+    /// The current training set as CSV text (features…,label per row).
+    TrainCsv,
+    /// Stop accepting connections and exit the accept loop.
+    Shutdown,
+}
+
+/// A decoded daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Stat {
+        protocol: u32,
+        version: u64,
+        n_train: u64,
+        n_test: u64,
+        k: u64,
+        dim: u64,
+        checksum: u64,
+    },
+    /// One value, tagged with the dataset version it was computed under.
+    Value {
+        version: u64,
+        value: f64,
+    },
+    /// The full vector + labels; `checksum` commits to `(version, values)`
+    /// so readers can detect tearing end-to-end.
+    Vector {
+        version: u64,
+        checksum: u64,
+        labels: Vec<u32>,
+        values: Vec<f64>,
+    },
+    /// Top/bottom-k entries as `(train index, value)` pairs.
+    Ranked {
+        version: u64,
+        entries: Vec<(u64, f64)>,
+    },
+    /// A committed mutation: the post-mutation version and the affected
+    /// train index (new index for inserts, removed index for deletes).
+    Mutated {
+        version: u64,
+        index: u64,
+    },
+    /// The training set as CSV bytes (the `save_class_csv` format).
+    TrainCsv {
+        version: u64,
+        csv: Vec<u8>,
+    },
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+    ShuttingDown,
+}
+
+// ---------------------------------------------------------------------------
+// Frame transport.
+// ---------------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtocolError> {
+    assert!(payload.len() as u64 <= MAX_FRAME as u64, "frame too large");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. `Ok(None)` means the peer closed the
+/// connection cleanly *between* frames; a close mid-frame is
+/// [`ProtocolError::Truncated`]. The length prefix is validated against
+/// [`MAX_FRAME`] before any buffer is allocated.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut prefix = [0u8; 4];
+    match read_all_or_eof(r, &mut prefix)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(ProtocolError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(ProtocolError::Oversized { len });
+    }
+    if len == 0 {
+        return Err(ProtocolError::EmptyFrame);
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_all_or_eof(r, &mut payload)?;
+    if got != payload.len() {
+        return Err(ProtocolError::Truncated {
+            expected: payload.len(),
+            got,
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// `read_exact`, except a clean EOF reports how many bytes did arrive
+/// instead of clobbering the distinction between "closed before the frame"
+/// and "closed inside it".
+fn read_all_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, ProtocolError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+// ---------------------------------------------------------------------------
+// Body codec.
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < n {
+            return Err(ProtocolError::Malformed(what));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtocolError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A `u32` element count followed by that many fixed-size elements.
+    /// The count is cross-checked against the bytes actually present, so a
+    /// forged count cannot trigger a huge allocation.
+    fn counted(&mut self, elem_size: usize, what: &'static str) -> Result<usize, ProtocolError> {
+        let n = self.u32(what)? as usize;
+        if self.buf.len() < n.saturating_mul(elem_size) {
+            return Err(ProtocolError::Malformed(what));
+        }
+        Ok(n)
+    }
+
+    fn finish(self, what: &'static str) -> Result<(), ProtocolError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(what))
+        }
+    }
+}
+
+fn put_features(out: &mut Vec<u8>, features: &[f32]) {
+    out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+    for v in features {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn take_features(r: &mut Reader<'_>) -> Result<Vec<f32>, ProtocolError> {
+    let n = r.counted(4, "feature vector")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f32::from_le_bytes(
+            r.take(4, "feature vector")?.try_into().unwrap(),
+        ));
+    }
+    Ok(out)
+}
+
+impl Request {
+    /// Serialize to a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Stat => out.push(OP_STAT),
+            Request::Get { index } => {
+                out.push(OP_GET);
+                out.extend_from_slice(&index.to_le_bytes());
+            }
+            Request::Dump => out.push(OP_DUMP),
+            Request::TopK { count, most } => {
+                out.push(OP_TOP_K);
+                out.extend_from_slice(&count.to_le_bytes());
+                out.push(u8::from(*most));
+            }
+            Request::WhatIf { features, label } | Request::Insert { features, label } => {
+                out.push(if matches!(self, Request::WhatIf { .. }) {
+                    OP_WHAT_IF
+                } else {
+                    OP_INSERT
+                });
+                out.extend_from_slice(&label.to_le_bytes());
+                put_features(&mut out, features);
+            }
+            Request::Delete { index } => {
+                out.push(OP_DELETE);
+                out.extend_from_slice(&index.to_le_bytes());
+            }
+            Request::TrainCsv => out.push(OP_TRAIN_CSV),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decode a frame payload. Strict: the body must consume exactly the
+    /// payload's bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8("request tag")?;
+        let req = match op {
+            OP_STAT => Request::Stat,
+            OP_GET => Request::Get {
+                index: r.u64("get index")?,
+            },
+            OP_DUMP => Request::Dump,
+            OP_TOP_K => Request::TopK {
+                count: r.u64("top-k count")?,
+                most: match r.u8("top-k order")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtocolError::Malformed("top-k order flag")),
+                },
+            },
+            OP_WHAT_IF | OP_INSERT => {
+                let label = r.u32("point label")?;
+                let features = take_features(&mut r)?;
+                if op == OP_WHAT_IF {
+                    Request::WhatIf { features, label }
+                } else {
+                    Request::Insert { features, label }
+                }
+            }
+            OP_DELETE => Request::Delete {
+                index: r.u64("delete index")?,
+            },
+            OP_TRAIN_CSV => Request::TrainCsv,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        r.finish("trailing bytes after request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Stat {
+                protocol,
+                version,
+                n_train,
+                n_test,
+                k,
+                dim,
+                checksum,
+            } => {
+                out.push(RE_STAT);
+                out.extend_from_slice(&protocol.to_le_bytes());
+                for v in [version, n_train, n_test, k, dim, checksum] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Value { version, value } => {
+                out.push(RE_VALUE);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&value.to_bits().to_le_bytes());
+            }
+            Response::Vector {
+                version,
+                checksum,
+                labels,
+                values,
+            } => {
+                out.push(RE_VECTOR);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&checksum.to_le_bytes());
+                out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for l in labels {
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+                for v in values {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Response::Ranked { version, entries } => {
+                out.push(RE_RANKED);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (i, v) in entries {
+                    out.extend_from_slice(&i.to_le_bytes());
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Response::Mutated { version, index } => {
+                out.push(RE_MUTATED);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&index.to_le_bytes());
+            }
+            Response::TrainCsv { version, csv } => {
+                out.push(RE_TRAIN_CSV);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(csv.len() as u32).to_le_bytes());
+                out.extend_from_slice(csv);
+            }
+            Response::Error { code, message } => {
+                out.push(RE_ERROR);
+                out.push(*code as u8);
+                out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+            }
+            Response::ShuttingDown => out.push(RE_SHUTTING_DOWN),
+        }
+        out
+    }
+
+    /// Decode a frame payload. Strict, like [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8("response tag")?;
+        let resp = match tag {
+            RE_STAT => Response::Stat {
+                protocol: r.u32("stat protocol")?,
+                version: r.u64("stat version")?,
+                n_train: r.u64("stat n_train")?,
+                n_test: r.u64("stat n_test")?,
+                k: r.u64("stat k")?,
+                dim: r.u64("stat dim")?,
+                checksum: r.u64("stat checksum")?,
+            },
+            RE_VALUE => Response::Value {
+                version: r.u64("value version")?,
+                value: r.f64("value")?,
+            },
+            RE_VECTOR => {
+                let version = r.u64("vector version")?;
+                let checksum = r.u64("vector checksum")?;
+                let n = r.counted(12, "vector entries")?;
+                let mut labels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    labels.push(r.u32("vector labels")?);
+                }
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(r.f64("vector values")?);
+                }
+                Response::Vector {
+                    version,
+                    checksum,
+                    labels,
+                    values,
+                }
+            }
+            RE_RANKED => {
+                let version = r.u64("ranked version")?;
+                let n = r.counted(16, "ranked entries")?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((r.u64("ranked index")?, r.f64("ranked value")?));
+                }
+                Response::Ranked { version, entries }
+            }
+            RE_MUTATED => Response::Mutated {
+                version: r.u64("mutated version")?,
+                index: r.u64("mutated index")?,
+            },
+            RE_TRAIN_CSV => {
+                let version = r.u64("csv version")?;
+                let n = r.counted(1, "csv bytes")?;
+                Response::TrainCsv {
+                    version,
+                    csv: r.take(n, "csv bytes")?.to_vec(),
+                }
+            }
+            RE_ERROR => {
+                let code = ErrorCode::from_u8(r.u8("error code")?)?;
+                let n = r.counted(1, "error message")?;
+                let message = String::from_utf8(r.take(n, "error message")?.to_vec())
+                    .map_err(|_| ProtocolError::Malformed("error message not UTF-8"))?;
+                Response::Error { code, message }
+            }
+            RE_SHUTTING_DOWN => Response::ShuttingDown,
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        r.finish("trailing bytes after response")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let back = Request::decode(&req.encode()).expect("decode");
+        assert_eq!(req, back);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let back = Response::decode(&resp.encode()).expect("decode");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip_request(Request::Stat);
+        round_trip_request(Request::Get { index: 42 });
+        round_trip_request(Request::Dump);
+        round_trip_request(Request::TopK {
+            count: 7,
+            most: true,
+        });
+        round_trip_request(Request::TopK {
+            count: 3,
+            most: false,
+        });
+        round_trip_request(Request::WhatIf {
+            features: vec![1.5, -2.25, 0.0],
+            label: 2,
+        });
+        round_trip_request(Request::Insert {
+            features: vec![],
+            label: 0,
+        });
+        round_trip_request(Request::Delete { index: u64::MAX });
+        round_trip_request(Request::TrainCsv);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        round_trip_response(Response::Stat {
+            protocol: PROTOCOL_VERSION,
+            version: 9,
+            n_train: 100,
+            n_test: 10,
+            k: 5,
+            dim: 32,
+            checksum: 0xDEAD_BEEF,
+        });
+        round_trip_response(Response::Value {
+            version: 1,
+            value: -0.125,
+        });
+        round_trip_response(Response::Vector {
+            version: 3,
+            checksum: 77,
+            labels: vec![0, 1, 2],
+            values: vec![0.5, f64::MIN_POSITIVE, -0.0],
+        });
+        round_trip_response(Response::Ranked {
+            version: 2,
+            entries: vec![(9, 1.0), (0, -1.0)],
+        });
+        round_trip_response(Response::Mutated {
+            version: 4,
+            index: 17,
+        });
+        round_trip_response(Response::TrainCsv {
+            version: 5,
+            csv: b"1,2,0\n".to_vec(),
+        });
+        round_trip_response(Response::Error {
+            code: ErrorCode::Rejected,
+            message: "no such index".into(),
+        });
+        round_trip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn nan_values_round_trip_bitwise() {
+        // The codec moves f64 bits, not floats: a NaN payload survives.
+        let bits = 0x7FF8_0000_0000_1234u64;
+        let resp = Response::Value {
+            version: 0,
+            value: f64::from_bits(bits),
+        };
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Value { value, .. } => assert_eq!(value.to_bits(), bits),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            Request::decode(&[0x7F]),
+            Err(ProtocolError::UnknownOpcode(0x7F))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x01]),
+            Err(ProtocolError::UnknownTag(0x01))
+        ));
+        assert!(matches!(
+            Request::decode(&[]),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_and_short_bodies_are_rejected() {
+        let mut payload = Request::Get { index: 1 }.encode();
+        payload.push(0); // one trailing byte
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let payload = Request::Get { index: 1 }.encode();
+        assert!(matches!(
+            Request::decode(&payload[..payload.len() - 1]),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn forged_element_counts_cannot_allocate() {
+        // A WhatIf claiming u32::MAX features in a 16-byte payload must be
+        // rejected by the count/length cross-check, not attempted.
+        let mut payload = vec![OP_WHAT_IF];
+        payload.extend_from_slice(&0u32.to_le_bytes()); // label
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // forged count
+        payload.extend_from_slice(&[0u8; 8]); // far too few bytes
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_transport_round_trips_and_rejects_abuse() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, &[9]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![9]));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+
+        // Oversized prefix: rejected before allocation.
+        let bad = (MAX_FRAME + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ProtocolError::Oversized { .. })
+        ));
+
+        // Truncated payload.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&8u32.to_le_bytes());
+        bad.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ProtocolError::Truncated {
+                expected: 8,
+                got: 3
+            })
+        ));
+
+        // Truncated prefix.
+        let bad = [1u8, 0];
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ProtocolError::Truncated {
+                expected: 4,
+                got: 2
+            })
+        ));
+
+        // Zero-length frame.
+        let bad = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ProtocolError::EmptyFrame)
+        ));
+    }
+}

@@ -1,0 +1,593 @@
+//! The valuation daemon: resident engine + versioned store + session loop.
+//!
+//! One [`ValuationServer`] owns a [`ResidentValuator`] (the mutable truth)
+//! and a [`VersionedStore`] (the published, immutable view). The division
+//! of labor implements the consistency contract of `docs/serving.md`:
+//!
+//! * **Reads** (`Stat`, `Get`, `Dump`, `TopK`) answer from the current
+//!   [`Snapshot`] — one `Arc` load, no engine lock, always a complete
+//!   vector tagged with the version it was computed under.
+//! * **Mutations** (`Insert`, `Delete`) serialize through the engine's
+//!   write lock: mutate the resident rank lists, recompute the exact
+//!   vector incrementally, and publish a fresh snapshot *before* releasing
+//!   the lock — so versions published are monotone and gapless.
+//! * **`WhatIf`** takes the engine's *read* lock (it needs the rank lists,
+//!   not the snapshot) and is therefore simply serialized against writers.
+//!
+//! The session loop never panics on protocol garbage: undecodable requests
+//! get an [`ErrorCode::BadRequest`] response (the frame boundary is
+//! intact, so the session continues); frame-level corruption (oversized
+//! prefix) gets a final error and a close, because the stream position is
+//! no longer trustworthy; a peer that vanishes mid-frame is just a closed
+//! session. `tests/protocol_robustness.rs` drives all three.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ProtocolError, Request, Response, PROTOCOL_VERSION,
+};
+use crate::store::{Snapshot, VersionedStore};
+use knnshap_core::resident::{ResidentError, ResidentValuator};
+use knnshap_datasets::ClassDataset;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Where a daemon listens (and where clients connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `host:port` TCP address. Port 0 binds an ephemeral port — read the
+    /// actual one back from [`BoundServer::local_endpoint`].
+    Tcp(String),
+    /// Filesystem path of a Unix-domain socket.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A bidirectional byte stream — TCP or Unix, the protocol doesn't care.
+pub trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// The daemon state: resident engine, published snapshots, shutdown flag.
+pub struct ValuationServer {
+    engine: RwLock<ResidentValuator>,
+    store: VersionedStore,
+    shutdown: AtomicBool,
+    // Immutable once loaded; served by `Stat` without touching any lock.
+    n_test: u64,
+    k: u64,
+    dim: u64,
+}
+
+impl ValuationServer {
+    /// Load the dataset into a resident engine, compute the initial
+    /// valuation and publish it as snapshot version 0.
+    pub fn new(
+        train: ClassDataset,
+        test: ClassDataset,
+        k: usize,
+        threads: usize,
+    ) -> Result<Arc<Self>, ResidentError> {
+        let (n_test, dim) = (test.len() as u64, train.dim() as u64);
+        let engine = ResidentValuator::new(train, test, k, threads)?;
+        let initial = Snapshot::new(engine.version(), engine.train().y.clone(), engine.values());
+        Ok(Arc::new(Self {
+            engine: RwLock::new(engine),
+            store: VersionedStore::new(initial),
+            shutdown: AtomicBool::new(false),
+            n_test,
+            k: k as u64,
+            dim,
+        }))
+    }
+
+    /// Has a `Shutdown` request been accepted?
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The currently published snapshot (what reads answer from).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.load()
+    }
+
+    /// Dispatch one request to one response. Pure with respect to the
+    /// transport — the session loop, the in-process tests and the CLI all
+    /// route through here, so socket and non-socket behavior can't drift.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Stat => {
+                let s = self.store.load();
+                Response::Stat {
+                    protocol: PROTOCOL_VERSION,
+                    version: s.version,
+                    n_train: s.values.len() as u64,
+                    n_test: self.n_test,
+                    k: self.k,
+                    dim: self.dim,
+                    checksum: s.checksum,
+                }
+            }
+            Request::Get { index } => {
+                let s = self.store.load();
+                if *index >= s.values.len() as u64 {
+                    return rejected(format!(
+                        "train index {index} out of range 0..{}",
+                        s.values.len()
+                    ));
+                }
+                Response::Value {
+                    version: s.version,
+                    value: s.values.get(*index as usize),
+                }
+            }
+            Request::Dump => {
+                let s = self.store.load();
+                Response::Vector {
+                    version: s.version,
+                    checksum: s.checksum,
+                    labels: s.labels.clone(),
+                    values: s.values.as_slice().to_vec(),
+                }
+            }
+            Request::TopK { count, most } => {
+                let s = self.store.load();
+                let count = (*count as usize).min(s.values.len());
+                let idx = if *most {
+                    s.values.top_k(count)
+                } else {
+                    s.values.bottom_k(count)
+                };
+                Response::Ranked {
+                    version: s.version,
+                    entries: idx
+                        .into_iter()
+                        .map(|i| (i as u64, s.values.get(i)))
+                        .collect(),
+                }
+            }
+            Request::WhatIf { features, label } => {
+                let engine = self.engine.read().expect("engine lock poisoned");
+                match engine.what_if(features, *label) {
+                    Ok(value) => Response::Value {
+                        version: engine.version(),
+                        value,
+                    },
+                    Err(e) => rejected_err(e),
+                }
+            }
+            Request::Insert { features, label } => {
+                let mut engine = self.engine.write().expect("engine lock poisoned");
+                match engine.insert(features, *label) {
+                    Ok(index) => {
+                        self.publish_from(&engine);
+                        Response::Mutated {
+                            version: engine.version(),
+                            index: index as u64,
+                        }
+                    }
+                    Err(e) => rejected_err(e),
+                }
+            }
+            Request::Delete { index } => {
+                let mut engine = self.engine.write().expect("engine lock poisoned");
+                if *index > usize::MAX as u64 {
+                    return rejected(format!("train index {index} out of range"));
+                }
+                match engine.delete(*index as usize) {
+                    Ok(()) => {
+                        self.publish_from(&engine);
+                        Response::Mutated {
+                            version: engine.version(),
+                            index: *index,
+                        }
+                    }
+                    Err(e) => rejected_err(e),
+                }
+            }
+            Request::TrainCsv => {
+                let engine = self.engine.read().expect("engine lock poisoned");
+                Response::TrainCsv {
+                    version: engine.version(),
+                    csv: train_to_csv(engine.train()),
+                }
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Recompute + publish under the engine's write lock, so published
+    /// versions are monotone and a reader can never observe version V
+    /// while the engine is already past V+1.
+    fn publish_from(&self, engine: &ResidentValuator) {
+        self.store.publish(Snapshot::new(
+            engine.version(),
+            engine.train().y.clone(),
+            engine.values(),
+        ));
+    }
+}
+
+fn rejected(message: String) -> Response {
+    Response::Error {
+        code: ErrorCode::Rejected,
+        message,
+    }
+}
+
+fn rejected_err(e: ResidentError) -> Response {
+    rejected(e.to_string())
+}
+
+/// The training set in the `save_class_csv` text format: each row is the
+/// `f32` features (`Display`, i.e. shortest round-trip) each followed by a
+/// comma, then the integer label. Byte-identical to what
+/// `knnshap_datasets::io::save_class_csv` writes for the same dataset.
+fn train_to_csv(train: &ClassDataset) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for i in 0..train.len() {
+        for v in train.x.row(i) {
+            write!(out, "{v},").expect("string write");
+        }
+        writeln!(out, "{}", train.y[i]).expect("string write");
+    }
+    out.into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Listening and sessions.
+// ---------------------------------------------------------------------------
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => Ok(Box::new(l.accept()?.0)),
+            #[cfg(unix)]
+            Listener::Unix(l) => Ok(Box::new(l.accept()?.0)),
+        }
+    }
+}
+
+/// A server bound to its endpoint, ready to [`run`](BoundServer::run).
+pub struct BoundServer {
+    server: Arc<ValuationServer>,
+    listener: Listener,
+    /// The *resolved* endpoint (actual port for `Tcp("…:0")` binds) —
+    /// what clients connect to, and what the shutdown wake-up uses.
+    endpoint: Endpoint,
+}
+
+/// Bind `server` to `endpoint`. A stale Unix socket file (left by an
+/// unclean shutdown, detectable because nothing accepts on it) is removed
+/// and rebound; a *live* socket stays untouched and the bind fails with
+/// `AddrInUse`.
+pub fn bind(server: Arc<ValuationServer>, endpoint: &Endpoint) -> std::io::Result<BoundServer> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            let actual = listener.local_addr()?.to_string();
+            Ok(BoundServer {
+                server,
+                listener: Listener::Tcp(listener),
+                endpoint: Endpoint::Tcp(actual),
+            })
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let listener = match UnixListener::bind(path) {
+                Ok(l) => l,
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(e); // a live daemon owns this path
+                    }
+                    std::fs::remove_file(path)?; // stale socket file
+                    UnixListener::bind(path)?
+                }
+                Err(e) => return Err(e),
+            };
+            Ok(BoundServer {
+                server,
+                listener: Listener::Unix(listener),
+                endpoint: Endpoint::Unix(path.clone()),
+            })
+        }
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        )),
+    }
+}
+
+impl BoundServer {
+    /// The endpoint clients should connect to (with ephemeral TCP ports
+    /// resolved to the actual one).
+    pub fn local_endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Accept-and-serve until a `Shutdown` request lands. Each connection
+    /// gets its own session thread; `run` returns once shutdown is
+    /// requested and all sessions have drained. A Unix socket file is
+    /// removed on the way out.
+    pub fn run(self) -> std::io::Result<()> {
+        let BoundServer {
+            server,
+            listener,
+            endpoint,
+        } = self;
+        let result = std::thread::scope(|scope| loop {
+            if server.shutting_down() {
+                return Ok(());
+            }
+            let conn = match listener.accept() {
+                Ok(c) => c,
+                Err(e) => {
+                    if server.shutting_down() {
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
+            };
+            let (server, endpoint) = (&server, &endpoint);
+            scope.spawn(move || session(server, conn, endpoint));
+        });
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+/// Poke the acceptor loop awake (used after `Shutdown` flips the flag
+/// while `accept` is blocking). A plain connect-and-drop suffices: the
+/// accepted session sees an immediate clean EOF.
+fn wake(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr.as_str());
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => {}
+    }
+}
+
+/// One client session: read frames, dispatch, write responses, until the
+/// peer disconnects or the stream becomes untrustworthy.
+fn session(server: &ValuationServer, mut conn: Box<dyn Conn>, endpoint: &Endpoint) {
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            // Clean close between frames, or the peer vanished mid-frame /
+            // transport error: nothing to answer, drop the session.
+            Ok(None) | Err(ProtocolError::Io(_)) | Err(ProtocolError::Truncated { .. }) => return,
+            // The stream still works but its framing can't be trusted
+            // (hostile length prefix): answer once, then close.
+            Err(e) => {
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut conn, &resp.encode());
+                return;
+            }
+        };
+        // Frame boundaries are intact, so a request that fails to decode
+        // only poisons itself — answer the error and keep the session.
+        let resp = match Request::decode(&payload) {
+            Ok(req) => server.handle(&req),
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            },
+        };
+        let shutting = matches!(resp, Response::ShuttingDown);
+        if write_frame(&mut conn, &resp.encode()).is_err() {
+            return; // peer stopped listening
+        }
+        if shutting {
+            wake(endpoint);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
+    use knnshap_datasets::synth::blobs::{self, BlobConfig};
+
+    fn server() -> Arc<ValuationServer> {
+        let cfg = BlobConfig {
+            n: 30,
+            dim: 4,
+            n_classes: 2,
+            ..Default::default()
+        };
+        ValuationServer::new(blobs::generate(&cfg), blobs::queries(&cfg, 6, 9), 3, 1).unwrap()
+    }
+
+    #[test]
+    fn reads_answer_from_a_coherent_snapshot() {
+        let s = server();
+        match s.handle(&Request::Stat) {
+            Response::Stat {
+                protocol,
+                version,
+                n_train,
+                n_test,
+                k,
+                dim,
+                ..
+            } => {
+                assert_eq!(protocol, PROTOCOL_VERSION);
+                assert_eq!((version, n_train, n_test, k, dim), (0, 30, 6, 3, 4));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        match s.handle(&Request::Dump) {
+            Response::Vector {
+                version,
+                checksum,
+                labels,
+                values,
+            } => {
+                let snap = Snapshot::new(version, labels, values.into());
+                assert_eq!(snap.checksum, checksum, "served checksum must verify");
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutations_bump_version_and_republish() {
+        let s = server();
+        let v1 = match s.handle(&Request::Insert {
+            features: vec![0.5; 4],
+            label: 1,
+        }) {
+            Response::Mutated { version, index } => {
+                assert_eq!(index, 30);
+                version
+            }
+            other => panic!("wrong response: {other:?}"),
+        };
+        assert_eq!(v1, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.values.len(), 31);
+        assert!(snap.verify());
+
+        match s.handle(&Request::Delete { index: 30 }) {
+            Response::Mutated { version, .. } => assert_eq!(version, 2),
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Net effect of insert-then-delete: the original valuation.
+        let snap = s.snapshot();
+        let engine = s.engine.read().unwrap();
+        let cold = knn_class_shapley_with_threads(engine.train(), engine.test(), 3, 1);
+        for i in 0..cold.len() {
+            assert_eq!(snap.values.get(i).to_bits(), cold.get(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_not_panicked() {
+        let s = server();
+        assert!(matches!(
+            s.handle(&Request::Get { index: 10_000 }),
+            Response::Error {
+                code: ErrorCode::Rejected,
+                ..
+            }
+        ));
+        assert!(matches!(
+            s.handle(&Request::Delete { index: 10_000 }),
+            Response::Error {
+                code: ErrorCode::Rejected,
+                ..
+            }
+        ));
+        assert!(matches!(
+            s.handle(&Request::Insert {
+                features: vec![1.0],
+                label: 0
+            }),
+            Response::Error {
+                code: ErrorCode::Rejected,
+                ..
+            }
+        ));
+        // Failed mutations must not publish.
+        assert_eq!(s.snapshot().version, 0);
+    }
+
+    #[test]
+    fn top_k_and_bottom_k_agree_with_the_vector() {
+        let s = server();
+        let snap = s.snapshot();
+        match s.handle(&Request::TopK {
+            count: 5,
+            most: true,
+        }) {
+            Response::Ranked { entries, .. } => {
+                assert_eq!(entries.len(), 5);
+                let expect = snap.values.top_k(5);
+                for (got, want) in entries.iter().zip(expect) {
+                    assert_eq!(got.0 as usize, want);
+                    assert_eq!(got.1.to_bits(), snap.values.get(want).to_bits());
+                }
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // count larger than N clamps instead of failing.
+        match s.handle(&Request::TopK {
+            count: 10_000,
+            most: false,
+        }) {
+            Response::Ranked { entries, .. } => assert_eq!(entries.len(), 30),
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_csv_matches_save_class_csv_bytes() {
+        let s = server();
+        let engine = s.engine.read().unwrap();
+        let expect = {
+            let dir =
+                std::env::temp_dir().join(format!("knnshap-serve-csv-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("train.csv");
+            knnshap_datasets::io::save_class_csv(&path, engine.train()).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            bytes
+        };
+        drop(engine);
+        match s.handle(&Request::TrainCsv) {
+            Response::TrainCsv { csv, version } => {
+                assert_eq!(version, 0);
+                assert_eq!(csv, expect);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_flips_the_flag() {
+        let s = server();
+        assert!(!s.shutting_down());
+        assert!(matches!(
+            s.handle(&Request::Shutdown),
+            Response::ShuttingDown
+        ));
+        assert!(s.shutting_down());
+    }
+}

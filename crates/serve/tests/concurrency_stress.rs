@@ -1,0 +1,219 @@
+//! Concurrency stress (ISSUE 6, satellite 2): N reader connections hammer
+//! the daemon over real sockets while one writer applies a mutation
+//! script. Assertions:
+//!
+//! * **No torn reads** — every dumped vector re-verifies its checksum
+//!   (`Client::dump` recomputes the `(version, labels, values)` commitment
+//!   client-side), and every `Stat`/`Get`/`Dump` version is one the writer
+//!   actually published.
+//! * **Monotone visibility** — on one connection, observed versions never
+//!   go backwards (requests are handled in order and publication is a
+//!   single pointer swap under a lock).
+//! * **Convergence** — after the writer finishes, the served vector equals
+//!   the cold batch recompute of the final dataset bit for bit.
+
+use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
+use knnshap_datasets::synth::blobs::{self, BlobConfig};
+use knnshap_serve::client::Client;
+use knnshap_serve::server::{bind, Endpoint, ValuationServer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const READERS: usize = 4;
+const MUTATIONS: usize = 40;
+const K: usize = 3;
+
+#[test]
+fn readers_see_only_coherent_snapshots_under_write_load() {
+    let cfg = BlobConfig {
+        n: 60,
+        dim: 4,
+        n_classes: 3,
+        ..Default::default()
+    };
+    let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 8, 5));
+    let server = ValuationServer::new(train, test.clone(), K, 2).unwrap();
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || bound.run());
+
+    let writer_done = Arc::new(AtomicBool::new(false));
+    // Highest version the writer has committed so far; readers may observe
+    // anything ≤ it (writers publish before answering), never beyond.
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let endpoint = endpoint.clone();
+        let writer_done = Arc::clone(&writer_done);
+        let committed = Arc::clone(&committed);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&endpoint).unwrap();
+            for step in 0..MUTATIONS {
+                let version = if step % 3 == 2 {
+                    // Delete a low index — always valid, dataset stays ≥ 2.
+                    let (version, _) = c.delete(step as u64 % 5).unwrap();
+                    version
+                } else {
+                    let f = step as f32 / 10.0;
+                    let (version, _) = c.insert(&[f, -f, f + 1.0, 0.5], (step % 3) as u32).unwrap();
+                    version
+                };
+                assert_eq!(version, step as u64 + 1, "writer versions are gapless");
+                committed.store(version, Ordering::SeqCst);
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let endpoint = endpoint.clone();
+            let writer_done = Arc::clone(&writer_done);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&endpoint).unwrap();
+                let mut last_version = 0u64;
+                let mut observed = 0usize;
+                let mut check = |version: u64, last: &mut u64| {
+                    // `committed` is read AFTER the response arrived, so it
+                    // can only over-approximate what was published when the
+                    // request was answered — never under-approximate.
+                    let ceiling = committed.load(Ordering::SeqCst);
+                    assert!(
+                        version <= ceiling,
+                        "reader {r} saw unpublished version {version} (ceiling {ceiling})"
+                    );
+                    assert!(
+                        version >= *last,
+                        "reader {r} went backwards: {version} after {last}"
+                    );
+                    *last = version;
+                };
+                while !writer_done.load(Ordering::SeqCst) || observed < 6 {
+                    match observed % 3 {
+                        0 => {
+                            let s = c.stat().unwrap();
+                            check(s.version, &mut last_version);
+                            assert_eq!(s.n_test, 8);
+                            assert_eq!(s.k, K as u64);
+                        }
+                        1 => {
+                            // dump() re-verifies the checksum client-side:
+                            // any torn (version, labels, values) triple
+                            // turns into a ChecksumMismatch error here.
+                            let d = c.dump().unwrap();
+                            check(d.version, &mut last_version);
+                            assert_eq!(d.labels.len(), d.values.len());
+                            assert!(
+                                d.values.iter().all(|v| v.is_finite()),
+                                "reader {r}: non-finite served value"
+                            );
+                        }
+                        _ => {
+                            let (version, value) = c.get(0).unwrap();
+                            check(version, &mut last_version);
+                            assert!(value.is_finite());
+                        }
+                    }
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    for r in readers {
+        let observed = r.join().expect("reader");
+        assert!(observed >= 6);
+    }
+
+    // Convergence: the final served state equals a cold recompute of the
+    // final dataset, bit for bit — fetched over the socket like any client.
+    let mut c = Client::connect(&endpoint).unwrap();
+    let dump = c.dump().unwrap();
+    assert_eq!(dump.version, MUTATIONS as u64);
+
+    let (_, csv) = c.train_csv().unwrap();
+    let path = std::env::temp_dir().join(format!("knnshap-stress-{}.csv", std::process::id()));
+    std::fs::write(&path, &csv).unwrap();
+    let final_train = knnshap_datasets::io::load_class_csv(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let cold = knn_class_shapley_with_threads(&final_train, &test, K, 1);
+    assert_eq!(dump.values.len(), cold.len());
+    for i in 0..cold.len() {
+        assert_eq!(
+            dump.values[i].to_bits(),
+            cold.get(i).to_bits(),
+            "final served value {i} differs from the cold recompute"
+        );
+    }
+    assert_eq!(
+        dump.labels, final_train.y,
+        "served labels track the dataset"
+    );
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// Many clients mutating concurrently (no coordination): every mutation is
+/// serialized by the engine's write lock, so versions come out gapless,
+/// and the end state matches replaying the *observed* interleaving.
+#[test]
+fn concurrent_writers_serialize_cleanly() {
+    let cfg = BlobConfig {
+        n: 30,
+        dim: 3,
+        n_classes: 2,
+        ..Default::default()
+    };
+    let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 4, 2));
+    let server = ValuationServer::new(train, test, 2, 1).unwrap();
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || bound.run());
+
+    const WRITERS: usize = 4;
+    const EACH: usize = 5;
+    let versions: Vec<u64> = (0..WRITERS)
+        .map(|w| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&endpoint).unwrap();
+                let mut seen = Vec::new();
+                for i in 0..EACH {
+                    let f = (w * EACH + i) as f32;
+                    let (version, _) = c.insert(&[f, f, f], (w % 2) as u32).unwrap();
+                    seen.push(version);
+                }
+                seen
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|h| h.join().expect("writer"))
+        .collect();
+
+    // Each writer's versions are strictly increasing per connection, and
+    // collectively the WRITERS×EACH mutations got exactly the versions
+    // 1..=total, each once — no gaps, no duplicates, no lost updates.
+    let mut sorted = versions.clone();
+    sorted.sort_unstable();
+    let expect: Vec<u64> = (1..=(WRITERS * EACH) as u64).collect();
+    assert_eq!(
+        sorted, expect,
+        "every mutation got a unique, gapless version"
+    );
+
+    let mut c = Client::connect(&endpoint).unwrap();
+    let stat = c.stat().unwrap();
+    assert_eq!(stat.version, (WRITERS * EACH) as u64);
+    assert_eq!(stat.n_train, 30 + (WRITERS * EACH) as u64);
+    let dump = c.dump().unwrap(); // checksum-verified
+    assert_eq!(dump.values.len(), stat.n_train as usize);
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}

@@ -1,0 +1,227 @@
+//! Protocol robustness (ISSUE 6, satellite 3): a live daemon fed
+//! truncated frames, oversized length prefixes, unknown opcodes, malformed
+//! bodies and mid-request disconnects must answer with clean protocol
+//! errors or drop the one bad session — never panic, never wedge the
+//! accept loop, never poison state for well-behaved clients. Mirrors the
+//! corrupt-header hardening the KNNSHARD partial format got in PR 4, at
+//! the socket layer.
+
+use knnshap_datasets::synth::blobs::{self, BlobConfig};
+use knnshap_serve::client::Client;
+use knnshap_serve::protocol::{read_frame, write_frame, ErrorCode, Request, Response, MAX_FRAME};
+use knnshap_serve::server::{bind, Endpoint, ValuationServer};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn spawn_daemon() -> (Endpoint, std::thread::JoinHandle<std::io::Result<()>>) {
+    let cfg = BlobConfig {
+        n: 20,
+        dim: 3,
+        n_classes: 2,
+        ..Default::default()
+    };
+    let server =
+        ValuationServer::new(blobs::generate(&cfg), blobs::queries(&cfg, 3, 1), 2, 1).unwrap();
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    (endpoint, std::thread::spawn(move || bound.run()))
+}
+
+fn raw_connect(endpoint: &Endpoint) -> TcpStream {
+    let Endpoint::Tcp(addr) = endpoint else {
+        panic!("tcp endpoint expected")
+    };
+    TcpStream::connect(addr.as_str()).expect("connect")
+}
+
+/// The daemon still answers a well-formed request — the liveness probe run
+/// after every abuse below.
+fn assert_alive(endpoint: &Endpoint) {
+    let mut c = Client::connect(endpoint).expect("connect for liveness probe");
+    let stat = c.stat().expect("daemon must still answer Stat");
+    assert_eq!(stat.n_train, 20);
+}
+
+#[test]
+fn hostile_bytes_never_wedge_the_daemon() {
+    let (endpoint, daemon) = spawn_daemon();
+
+    // --- Oversized length prefix: one error response, then close. -------
+    {
+        let mut s = raw_connect(&endpoint);
+        s.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        s.flush().unwrap();
+        let payload = read_frame(&mut s).expect("error frame").expect("not eof");
+        match Response::decode(&payload).expect("decodable error") {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("frame cap"), "{message}");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        // The server closed its end: the next read is clean EOF.
+        assert!(read_frame(&mut s).expect("clean close").is_none());
+    }
+    assert_alive(&endpoint);
+
+    // --- Zero-length frame: same treatment. -----------------------------
+    {
+        let mut s = raw_connect(&endpoint);
+        s.write_all(&0u32.to_le_bytes()).unwrap();
+        s.flush().unwrap();
+        let payload = read_frame(&mut s).unwrap().expect("error frame");
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+    }
+    assert_alive(&endpoint);
+
+    // --- Unknown opcode: error response, session SURVIVES. --------------
+    {
+        let mut s = raw_connect(&endpoint);
+        write_frame(&mut s, &[0x6F]).unwrap(); // no such opcode
+        let payload = read_frame(&mut s).unwrap().expect("error frame");
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("opcode"), "{message}");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        // Frame boundaries were intact, so the same connection still works.
+        write_frame(&mut s, &Request::Stat.encode()).unwrap();
+        let payload = read_frame(&mut s).unwrap().expect("stat response");
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Stat { n_train: 20, .. }
+        ));
+    }
+
+    // --- Malformed body (Get with a short index): session survives. -----
+    {
+        let mut s = raw_connect(&endpoint);
+        write_frame(&mut s, &[0x02, 1, 2, 3]).unwrap(); // Get wants 8 bytes
+        let payload = read_frame(&mut s).unwrap().expect("error frame");
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        write_frame(&mut s, &Request::Stat.encode()).unwrap();
+        assert!(
+            read_frame(&mut s).unwrap().is_some(),
+            "session must survive"
+        );
+    }
+
+    // --- Truncated frame then disconnect (mid-request hangup). ----------
+    {
+        let mut s = raw_connect(&endpoint);
+        s.write_all(&100u32.to_le_bytes()).unwrap(); // promise 100 bytes…
+        s.write_all(&[1, 2, 3]).unwrap(); // …deliver 3, vanish.
+        s.flush().unwrap();
+        drop(s);
+    }
+    assert_alive(&endpoint);
+
+    // --- Torn length prefix then disconnect. ----------------------------
+    {
+        let mut s = raw_connect(&endpoint);
+        s.write_all(&[9]).unwrap(); // 1 of 4 prefix bytes
+        s.flush().unwrap();
+        drop(s);
+    }
+    assert_alive(&endpoint);
+
+    // --- Connect and say nothing. ---------------------------------------
+    drop(raw_connect(&endpoint));
+    assert_alive(&endpoint);
+
+    // --- A flood of garbage across several connections. ------------------
+    for junk in [
+        &[0xFFu8, 0xFF, 0xFF, 0x7F][..],                   // prefix ~2 GiB
+        &[0x01, 0x00, 0x00, 0x00, 0xEE],                   // unknown opcode 0xEE
+        &[0x04, 0x00, 0x00, 0x00, 0x05, 0x01, 0x02, 0x03], // short WhatIf
+    ] {
+        let mut s = raw_connect(&endpoint);
+        s.write_all(junk).unwrap();
+        s.flush().unwrap();
+        let _ = read_frame(&mut s); // whatever comes back, if anything
+    }
+    assert_alive(&endpoint);
+
+    // The daemon state never moved: all that abuse committed nothing.
+    let mut c = Client::connect(&endpoint).unwrap();
+    assert_eq!(c.stat().unwrap().version, 0);
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// Domain-level rejections travel as `Rejected` error responses and leave
+/// the session and the daemon state intact.
+#[test]
+fn engine_rejections_are_clean_protocol_errors() {
+    let (endpoint, daemon) = spawn_daemon();
+    let mut c = Client::connect(&endpoint).unwrap();
+
+    for (what, result) in [
+        (
+            "get out of range",
+            c.get(10_000).err().map(|e| e.to_string()),
+        ),
+        (
+            "delete out of range",
+            c.delete(99).err().map(|e| e.to_string()),
+        ),
+        (
+            "insert wrong dim",
+            c.insert(&[1.0], 0).err().map(|e| e.to_string()),
+        ),
+        (
+            "insert non-finite",
+            c.insert(&[f32::NAN, 0.0, 0.0], 0)
+                .err()
+                .map(|e| e.to_string()),
+        ),
+        (
+            "what-if wrong dim",
+            c.what_if(&[1.0, 2.0], 0).err().map(|e| e.to_string()),
+        ),
+    ] {
+        let msg = result.unwrap_or_else(|| panic!("{what}: should have been rejected"));
+        assert!(msg.contains("server error"), "{what}: {msg}");
+    }
+
+    // Same connection keeps working, nothing was committed.
+    let stat = c.stat().unwrap();
+    assert_eq!((stat.version, stat.n_train), (0, 20));
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// Shutdown drains cleanly even with another session open: the open
+/// session's connection keeps being served until IT disconnects; `run`
+/// returns once sessions finish.
+#[test]
+fn shutdown_with_concurrent_sessions_drains() {
+    let (endpoint, daemon) = spawn_daemon();
+    let mut idle = Client::connect(&endpoint).unwrap();
+    idle.stat().unwrap();
+
+    let mut killer = Client::connect(&endpoint).unwrap();
+    killer.shutdown().unwrap();
+
+    // The already-open session still answers (its thread drains naturally).
+    idle.stat().unwrap();
+    drop(idle);
+
+    daemon.join().unwrap().unwrap();
+}

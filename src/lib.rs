@@ -69,6 +69,12 @@ pub use knnshap_lsh as lsh;
 /// weighted, curator, composite).
 pub use knnshap_core as valuation;
 
+/// Valuation-as-a-service: the `knnshap serve` daemon — resident rank
+/// state, incremental insert/delete revaluation, versioned snapshots, the
+/// length-prefixed socket protocol and its typed client
+/// (`docs/serving.md`).
+pub use knnshap_serve as serve;
+
 /// Job-orchestration runtime: versioned job plans, the lease-file work
 /// queue, checkpointing workers, the supervising `run_job`, and the process
 /// fleet pool — everything that turns the shardable estimators into a
