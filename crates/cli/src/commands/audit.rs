@@ -29,6 +29,7 @@ const ALLOWED: &[&str] = &[
     "inspect",
     "flagged",
     "seed",
+    "graph",
 ];
 
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -39,6 +40,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 
     let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
     let shards = args.usize_or("shards", 0)?;
+    let graph = super::load_graph(args, &train.x, &test.x)?;
     let started = std::time::Instant::now();
     let (sv, permutations) = if shards > 0 {
         super::shard::run_sharded(
@@ -47,16 +49,20 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             k,
             parse_method(args)?,
             parse_weight(args)?,
+            graph.as_ref(),
             shards,
             threads,
         )?
     } else {
-        let report = KnnShapley::new(&train, &test)
+        let mut builder = KnnShapley::new(&train, &test)
             .k(k)
             .weight(parse_weight(args)?)
             .method(parse_method(args)?)
-            .threads(threads)
-            .run_report()?;
+            .threads(threads);
+        if let Some(g) = &graph {
+            builder = builder.graph(g);
+        }
+        let report = builder.run_report()?;
         (report.values, report.permutations)
     };
     let secs = started.elapsed().as_secs_f64();

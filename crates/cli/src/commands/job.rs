@@ -123,7 +123,7 @@ pub fn run_shard_plan(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-const WORKER_ALLOWED: &[&str] = &["job", "threads", "worker-id"];
+const WORKER_ALLOWED: &[&str] = &["job", "threads", "worker-id", "graph"];
 
 /// `knnshap worker`: one fleet member against a planned job directory.
 pub fn run_worker_cmd(args: &Args) -> Result<String, CliError> {
@@ -136,6 +136,7 @@ pub fn run_worker_cmd(args: &Args) -> Result<String, CliError> {
             .unwrap_or_else(|| format!("pid{}", std::process::id())),
         threads: args.usize_or("threads", 0)?,
         fault: fault_from_env(),
+        graph: args.str("graph").map(PathBuf::from),
     };
     let report = run_worker(&dirs, opts).map_err(CliError::Runtime)?;
     Ok(format!(
@@ -181,6 +182,7 @@ const RUN_JOB_ALLOWED: &[&str] = &[
     "lease-ttl",
     "max-spawns",
     "worker-bin",
+    "graph",
     "top",
     "out",
     "revenue",
@@ -210,6 +212,10 @@ pub fn run_run_job(args: &Args) -> Result<String, CliError> {
     if threads > 0 {
         worker_args.push("--threads".into());
         worker_args.push(threads.to_string());
+    }
+    if let Some(graph) = args.str("graph") {
+        worker_args.push("--graph".into());
+        worker_args.push(graph.to_string());
     }
 
     let started = std::time::Instant::now();
@@ -535,8 +541,8 @@ mod tests {
             &dirs,
             WorkerOptions {
                 worker_id: "env-fault".into(),
-                threads: 0,
                 fault: hook,
+                ..Default::default()
             },
         )
         .unwrap_err();

@@ -2,6 +2,7 @@
 
 pub mod audit;
 pub mod contrast;
+pub mod graph;
 pub mod job;
 pub mod serve;
 pub mod shard;
@@ -13,6 +14,7 @@ use crate::CliError;
 use knnshap_core::mc::StoppingRule;
 use knnshap_core::pipeline::Method;
 use knnshap_datasets::ClassDataset;
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::weights::WeightFn;
 use std::path::Path;
 
@@ -77,6 +79,26 @@ pub(crate) fn mc_throughput_line(permutations: usize, secs: f64, threads: usize)
          ({:.1} permutations/s, threads = {threads})\n",
         permutations as f64 / secs.max(1e-9),
     )
+}
+
+/// Loads the optional `--graph FILE` artifact (`knnshap build-graph`) and
+/// fingerprint-checks it against the datasets it is about to value, so a
+/// graph built from drifted CSVs is refused up front with a CLI error
+/// instead of a panic deep inside an estimator.
+pub(crate) fn load_graph(
+    args: &Args,
+    train: &knnshap_datasets::Features,
+    test: &knnshap_datasets::Features,
+) -> Result<Option<KnnGraph>, CliError> {
+    let Some(path) = args.str("graph") else {
+        return Ok(None);
+    };
+    let graph =
+        KnnGraph::load(Path::new(path)).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    graph
+        .validate_against(train, test)
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    Ok(Some(graph))
 }
 
 /// Resolves `--weight`/`--weight-param` into a [`WeightFn`].

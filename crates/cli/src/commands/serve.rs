@@ -20,7 +20,7 @@ use knnshap_serve::server::{bind, Endpoint, ValuationServer};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const SERVE_ALLOWED: &[&str] = &["train", "test", "k", "threads", "addr", "socket"];
+const SERVE_ALLOWED: &[&str] = &["train", "test", "k", "threads", "addr", "socket", "graph"];
 const CLIENT_ALLOWED: &[&str] = &[
     "addr", "socket", "op", "index", "count", "point", "label", "script", "out",
 ];
@@ -57,8 +57,12 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
     let k = args.usize_or("k", 1)?;
     let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
 
-    let server = ValuationServer::new(train, test, k, threads)
-        .map_err(|e| CliError::Invalid(format!("cannot load dataset into the engine: {e}")))?;
+    let graph = super::load_graph(args, &train.x, &test.x)?;
+    let server = match &graph {
+        Some(g) => ValuationServer::with_graph(train, test, k, threads, g),
+        None => ValuationServer::new(train, test, k, threads),
+    }
+    .map_err(|e| CliError::Invalid(format!("cannot load dataset into the engine: {e}")))?;
     let stat = server.handle(&knnshap_serve::Request::Stat);
     let bound = bind(server, &endpoint).map_err(|e| CliError::Serve(e.to_string()))?;
 

@@ -25,18 +25,23 @@ use knnshap_core::pipeline::{Method, PipelineError};
 use knnshap_core::sharding::{merge_partials, ShardKind, ShardPartial, ShardSpec};
 use knnshap_core::utility::KnnClassUtility;
 use knnshap_datasets::ClassDataset;
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::weights::WeightFn;
 use std::path::Path;
 
 /// Computes one shard's partial for a classification valuation job — the
 /// single dispatch used by `shard`, `value --shards` and `audit --shards`,
-/// so in-process and multi-process sharding cannot diverge.
+/// so in-process and multi-process sharding cannot diverge. When a
+/// precomputed `graph` is given the shard skips the distance pass; the
+/// partial's kind, fingerprint and bytes are identical either way, so
+/// graph-backed and brute-force shards of one job inter-merge freely.
 pub(crate) fn compute_partial(
     train: &ClassDataset,
     test: &ClassDataset,
     k: usize,
     method: Method,
     weight: WeightFn,
+    graph: Option<&KnnGraph>,
     spec: ShardSpec,
     threads: usize,
 ) -> Result<ShardPartial, CliError> {
@@ -44,15 +49,25 @@ pub(crate) fn compute_partial(
     match method {
         Method::Exact => {
             if uniform {
-                Ok(knnshap_core::exact_unweighted::knn_class_shapley_shard(
-                    train, test, k, spec, threads,
-                ))
+                Ok(match graph {
+                    Some(g) => knnshap_core::exact_unweighted::knn_class_shapley_graph_shard(
+                        train, test, k, g, spec, threads,
+                    ),
+                    None => knnshap_core::exact_unweighted::knn_class_shapley_shard(
+                        train, test, k, spec, threads,
+                    ),
+                })
             } else {
-                Ok(
-                    knnshap_core::exact_weighted::weighted_knn_class_shapley_shard(
+                Ok(match graph {
+                    Some(g) => {
+                        knnshap_core::exact_weighted::weighted_knn_class_shapley_graph_shard(
+                            train, test, k, weight, g, spec, threads,
+                        )
+                    }
+                    None => knnshap_core::exact_weighted::weighted_knn_class_shapley_shard(
                         train, test, k, weight, spec, threads,
                     ),
-                )
+                })
             }
         }
         Method::Truncated { eps } => {
@@ -61,20 +76,31 @@ pub(crate) fn compute_partial(
                     "Truncated",
                 )));
             }
-            Ok(knnshap_core::truncated::truncated_class_shapley_shard(
-                train, test, k, eps, spec, threads,
-            ))
+            Ok(match graph {
+                Some(g) => knnshap_core::truncated::truncated_class_shapley_graph_shard(
+                    train, test, k, eps, g, spec, threads,
+                ),
+                None => knnshap_core::truncated::truncated_class_shapley_shard(
+                    train, test, k, eps, spec, threads,
+                ),
+            })
         }
         Method::McBaseline { rule, seed } => {
             let budget = fixed_budget(rule)?;
-            let u = KnnClassUtility::new(train, test, k, weight);
+            let u = match graph {
+                Some(g) => KnnClassUtility::from_graph(train, test, k, weight, g),
+                None => KnnClassUtility::new(train, test, k, weight),
+            };
             Ok(knnshap_core::mc::mc_shapley_baseline_shard(
                 &u, budget, seed, spec, threads,
             ))
         }
         Method::McImproved { rule, seed } => {
             let budget = fixed_budget(rule)?;
-            let inc = IncKnnUtility::classification(train, test, k, weight);
+            let inc = match graph {
+                Some(g) => IncKnnUtility::classification_from_graph(train, test, k, weight, g),
+                None => IncKnnUtility::classification(train, test, k, weight),
+            };
             Ok(knnshap_core::mc::mc_shapley_improved_shard(
                 &inc, budget, seed, spec, threads,
             ))
@@ -123,6 +149,7 @@ pub(crate) fn run_sharded(
     k: usize,
     method: Method,
     weight: WeightFn,
+    graph: Option<&KnnGraph>,
     shards: usize,
     threads: usize,
 ) -> Result<(knnshap_core::ShapleyValues, Option<usize>), CliError> {
@@ -134,6 +161,7 @@ pub(crate) fn run_sharded(
                 k,
                 method,
                 weight,
+                graph,
                 ShardSpec::new(i, shards),
                 threads,
             )?;
@@ -164,6 +192,7 @@ const SHARD_ALLOWED: &[&str] = &[
     "shard-index",
     "shard-count",
     "out",
+    "graph",
 ];
 
 /// `knnshap shard`: compute one shard and write it to `--out`.
@@ -184,6 +213,7 @@ pub fn run_shard(args: &Args) -> Result<String, CliError> {
     let threads = args.usize_or("threads", knnshap_parallel::current_threads())?;
     let method = parse_method(args)?;
     let weight = parse_weight(args)?;
+    let graph = super::load_graph(args, &train.x, &test.x)?;
 
     let partial = compute_partial(
         &train,
@@ -191,6 +221,7 @@ pub fn run_shard(args: &Args) -> Result<String, CliError> {
         k,
         method,
         weight,
+        graph.as_ref(),
         ShardSpec::new(index, count),
         threads,
     )?;

@@ -30,6 +30,7 @@ const ALLOWED: &[&str] = &[
     "revenue",
     "base-fee",
     "seed",
+    "graph",
 ];
 
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -42,18 +43,32 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let top = args.usize_or("top", 10)?;
     let shards = args.usize_or("shards", 0)?;
 
+    let graph = super::load_graph(args, &train.x, &test.x)?;
+
     let started = std::time::Instant::now();
     let (sv, permutations) = if shards > 0 {
         // In-process sharded run: N partials through the wire format, then
         // the deterministic merge — bitwise-identical to the unsharded path.
-        super::shard::run_sharded(&train, &test, k, method, weight, shards, threads)?
+        super::shard::run_sharded(
+            &train,
+            &test,
+            k,
+            method,
+            weight,
+            graph.as_ref(),
+            shards,
+            threads,
+        )?
     } else {
-        let report = KnnShapley::new(&train, &test)
+        let mut builder = KnnShapley::new(&train, &test)
             .k(k)
             .weight(weight)
             .method(method)
-            .threads(threads)
-            .run_report()?;
+            .threads(threads);
+        if let Some(g) = &graph {
+            builder = builder.graph(g);
+        }
+        let report = builder.run_report()?;
         (report.values, report.permutations)
     };
     let secs = started.elapsed().as_secs_f64();

@@ -50,8 +50,8 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}' (try: value, audit, contrast, synth, shard, \
-                     merge, shard-plan, run-job, worker, serve, client)"
+                    "unknown command '{c}' (try: value, audit, contrast, synth, build-graph, \
+                     shard, merge, shard-plan, run-job, worker, serve, client)"
                 )
             }
             CliError::Io(e) => write!(f, "{e}"),
@@ -103,16 +103,27 @@ COMMANDS
             mc-baseline|mc-improved] [--eps 0.1] [--delta 0.1]
             [--weight uniform|inverse|exponential] [--weight-param X]
             [--threads N] [--shards N] [--perms N] [--top 10] [--out FILE]
+            [--graph FILE]               (skip the distance pass; bitwise-
+                                          identical output — see build-graph)
             [--revenue A --base-fee B]   (affine §7 payout mapping)
   audit     rank suspicious (lowest-value) points; optionally score the
             ranking against known-bad indices
             --train FILE --test FILE [--k 1] [--method ...] [--eps 0.1]
             [--shards N] [--perms N] [--inspect 20] [--flagged FILE]
+            [--graph FILE]
+  build-graph  precompute the KNN graph artifact every other command can
+            reuse via --graph: per-test-point neighbor lists in the exact
+            tie-broken order the estimators sort into, stamped with
+            dataset-content fingerprints (label-free — one graph serves
+            classification and regression over the same features)
+            --train FILE --test FILE --out FILE [--task class|reg]
+            [--threads N]
   shard     compute ONE shard of a valuation job and write its partial sums
             to a self-describing binary file (see docs/sharding.md)
             --train FILE --test FILE --shard-index I --shard-count N
             --out FILE [--k 1] [--method exact|truncated|mc-baseline|
             mc-improved] [--perms N] [--seed 42] [--eps 0.1] [--threads N]
+            [--graph FILE]
   merge     merge a full set of shard files; bitwise-identical to the
             unsharded `value` run (same report, same --out CSV). Repeat the
             job-defining options the shards were built with — the merge
@@ -130,18 +141,18 @@ COMMANDS
             expire stale leases, respawn after crashes, auto-merge; report
             and --out CSV match the unsharded `value` run byte for byte
             --job DIR [--workers 2] [--threads N] [--lease-ttl 30]
-            [--max-spawns N] [--top 10] [--out FILE]
+            [--max-spawns N] [--top 10] [--out FILE] [--graph FILE]
             [--revenue A --base-fee B]
   worker    one fleet member: claim shards from a job directory (lease
             files), compute with checkpoints, publish, exit when nothing is
             claimable. Run any number, on any machines sharing the path
-            --job DIR [--threads N] [--worker-id ID]
+            --job DIR [--threads N] [--worker-id ID] [--graph FILE]
   serve     long-lived valuation daemon: load the dataset once, keep rank
             state resident, answer socket requests (docs/serving.md);
             insert/delete mutations revalue incrementally and the served
             vector stays bitwise-identical to a cold `value` run
             --train FILE --test FILE (--addr HOST:PORT | --socket PATH)
-            [--k 1] [--threads N]
+            [--k 1] [--threads N] [--graph FILE]
   client    one-shot client for a running daemon
             (--addr HOST:PORT | --socket PATH) --op stat|get|dump|top|
             bottom|what-if|insert|delete|train-csv|script|shutdown
@@ -171,6 +182,7 @@ where
         "audit" => commands::audit::run(&args),
         "contrast" => commands::contrast::run(&args),
         "synth" => commands::synth::run(&args),
+        "build-graph" => commands::graph::run(&args),
         "shard" => commands::shard::run_shard(&args),
         "merge" => commands::shard::run_merge(&args),
         "shard-plan" => commands::job::run_shard_plan(&args),

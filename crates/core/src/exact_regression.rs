@@ -26,7 +26,8 @@ use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use knnshap_datasets::RegDataset;
 use knnshap_knn::distance::Metric;
-use knnshap_knn::neighbors::argsort_by_distance;
+use knnshap_knn::graph::KnnGraph;
+use knnshap_knn::neighbors::{argsort_by_distance, Neighbor};
 use knnshap_numerics::exact::ExactVec;
 
 /// Exact regression SVs w.r.t. a single test point (Theorem 6).
@@ -49,6 +50,26 @@ fn accumulate_single<S: FnMut(usize, f64)>(
     query: &[f32],
     test_target: f64,
     k: usize,
+    sink: S,
+) {
+    let n = train.len();
+    assert!(n >= 1, "need at least one training point");
+    if n == 1 {
+        accumulate_ranked(train, &[], test_target, k, sink);
+        return;
+    }
+    let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+    accumulate_ranked(train, &ranked, test_target, k, sink);
+}
+
+/// The recursion over an already-computed distance ranking — the seam the
+/// graph-backed path enters through (`ranked` is ignored for the
+/// single-player closed form).
+fn accumulate_ranked<S: FnMut(usize, f64)>(
+    train: &RegDataset,
+    ranked: &[Neighbor],
+    test_target: f64,
+    k: usize,
     mut sink: S,
 ) {
     let n = train.len();
@@ -63,8 +84,6 @@ fn accumulate_single<S: FnMut(usize, f64)>(
         sink(0, -(e * e));
         return;
     }
-
-    let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
     // z[j] = target of the point with paper rank j+1.
     let z: Vec<f64> = ranked.iter().map(|r| train.y[r.index as usize]).collect();
     let sum_all: f64 = z.iter().sum();
@@ -185,6 +204,65 @@ fn shard_sums(
     crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
         accumulate_single(train, test.x.row(j), test.y[j], k, |i, s| acc.add(i, s));
     })
+}
+
+/// [`knn_reg_shapley_shard`] fed by a precomputed graph: same kind, same
+/// fingerprint, same bits as the brute-force shard (see
+/// [`crate::exact_unweighted::knn_class_shapley_graph_shard`] for the
+/// contract). Panics if the graph was not built from `(train.x, test.x)`.
+pub fn knn_reg_shapley_graph_shard(
+    train: &RegDataset,
+    test: &RegDataset,
+    k: usize,
+    graph: &KnnGraph,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let range = spec.range(test.len());
+    let sums = graph_shard_sums(train, test, k, graph, range.clone(), threads);
+    let fingerprint = reg_fingerprint(train, test, k);
+    ShardPartial::new(
+        ShardKind::ExactReg,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+fn graph_shard_sums(
+    train: &RegDataset,
+    test: &RegDataset,
+    k: usize,
+    graph: &KnnGraph,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> ExactVec {
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        accumulate_ranked(train, graph.list(j), test.y[j], k, |i, s| acc.add(i, s));
+    })
+}
+
+/// [`knn_reg_shapley_with_threads`] fed by a precomputed graph: skips the
+/// distance pass, returns the same bits.
+pub fn knn_reg_shapley_from_graph(
+    train: &RegDataset,
+    test: &RegDataset,
+    k: usize,
+    graph: &KnnGraph,
+    threads: usize,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let sums = graph_shard_sums(train, test, k, graph, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
 }
 
 /// Exact regression SVs w.r.t. a test set, averaged over test points with

@@ -30,7 +30,8 @@ use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use knnshap_datasets::ClassDataset;
 use knnshap_knn::distance::Metric;
-use knnshap_knn::neighbors::argsort_by_distance;
+use knnshap_knn::graph::KnnGraph;
+use knnshap_knn::neighbors::{argsort_by_distance, Neighbor};
 use knnshap_numerics::exact::ExactVec;
 
 /// Exact SVs w.r.t. a single test point (Theorem 1).
@@ -91,11 +92,25 @@ fn accumulate_single<S: FnMut(usize, f64)>(
     query: &[f32],
     test_label: u32,
     k: usize,
+    sink: S,
+) {
+    assert!(train.len() >= 1, "need at least one training point");
+    let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+    accumulate_ranked(train, &ranked, test_label, k, sink);
+}
+
+/// The recursion over an already-computed distance ranking — the seam the
+/// graph-backed path enters through. The brute-force path above funnels into
+/// this too, so both execute the identical float sequence.
+fn accumulate_ranked<S: FnMut(usize, f64)>(
+    train: &ClassDataset,
+    ranked: &[Neighbor],
+    test_label: u32,
+    k: usize,
     mut sink: S,
 ) {
     let n = train.len();
     assert!(n >= 1, "need at least one training point");
-    let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
     theorem1_recurrence(
         n,
         k,
@@ -177,6 +192,74 @@ fn shard_sums(
     crate::sharding::exact_sums_over_dense(train.len(), range, threads, |j, scratch| {
         accumulate_single(train, test.x.row(j), test.y[j], k, |i, s| scratch[i] = s);
     })
+}
+
+/// [`knn_class_shapley_shard`] fed by a precomputed graph instead of a
+/// fresh distance pass.
+///
+/// The graph stores exactly the ranking [`argsort_by_distance`] produces
+/// (same per-pair arithmetic, same tie-break), so the partial — and any
+/// merge it participates in — is bitwise-identical to the brute-force
+/// shard's, and carries the *same* kind and fingerprint: graph-backed and
+/// brute-force partials of one job inter-merge freely.
+///
+/// Panics if the graph was not built from exactly `(train.x, test.x)`; CLI
+/// entry points validate first and report a proper error.
+pub fn knn_class_shapley_graph_shard(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    graph: &KnnGraph,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let range = spec.range(test.len());
+    let sums = graph_shard_sums(train, test, k, graph, range.clone(), threads);
+    let fingerprint = class_fingerprint(train, test, k);
+    ShardPartial::new(
+        ShardKind::ExactClass,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+/// The graph-backed fold: identical to [`shard_sums`] except each test
+/// point's ranking comes from the artifact instead of an argsort.
+fn graph_shard_sums(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    graph: &KnnGraph,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> ExactVec {
+    crate::sharding::exact_sums_over_dense(train.len(), range, threads, |j, scratch| {
+        accumulate_ranked(train, graph.list(j), test.y[j], k, |i, s| scratch[i] = s);
+    })
+}
+
+/// [`knn_class_shapley_with_threads`] fed by a precomputed graph: skips the
+/// O(N·N_test·d) distance pass, returns the same bits.
+pub fn knn_class_shapley_from_graph(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    graph: &KnnGraph,
+    threads: usize,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let sums = graph_shard_sums(train, test, k, graph, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
 }
 
 /// Exact SVs w.r.t. a whole test set (utility eq. 8): the average of the

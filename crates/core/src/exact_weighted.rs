@@ -33,7 +33,8 @@ use crate::composite::GameForm;
 use crate::types::ShapleyValues;
 use knnshap_datasets::{ClassDataset, RegDataset};
 use knnshap_knn::distance::Metric;
-use knnshap_knn::neighbors::argsort_by_distance;
+use knnshap_knn::graph::KnnGraph;
+use knnshap_knn::neighbors::{argsort_by_distance, Neighbor};
 use knnshap_knn::weights::WeightFn;
 use knnshap_numerics::binom::{Combinations, LogFactorialTable};
 
@@ -272,8 +273,23 @@ pub(crate) fn weighted_class_shapley_form(
     weight: WeightFn,
     form: GameForm,
 ) -> (ShapleyValues, f64) {
-    assert!(k >= 1, "K must be at least 1");
     let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+    weighted_class_shapley_ranked_form(train, &ranked, test_label, k, weight, form)
+}
+
+/// [`weighted_class_shapley_form`] over an already-computed ranking — the
+/// seam the graph-backed path enters through. The stored graph distances
+/// are bitwise-identical squared-L2 values, so `sqrt` here produces the
+/// exact floats the brute-force path feeds the recursion.
+fn weighted_class_shapley_ranked_form(
+    train: &ClassDataset,
+    ranked: &[Neighbor],
+    test_label: u32,
+    k: usize,
+    weight: WeightFn,
+    form: GameForm,
+) -> (ShapleyValues, f64) {
+    assert!(k >= 1, "K must be at least 1");
     let idx: Vec<u32> = ranked.iter().map(|r| r.index).collect();
     let dists: Vec<f32> = ranked.iter().map(|r| r.dist.sqrt()).collect();
     let labels: Vec<u32> = idx.iter().map(|&i| train.y[i as usize]).collect();
@@ -294,8 +310,20 @@ pub(crate) fn weighted_reg_shapley_form(
     weight: WeightFn,
     form: GameForm,
 ) -> (ShapleyValues, f64) {
-    assert!(k >= 1, "K must be at least 1");
     let ranked = argsort_by_distance(&train.x, query, Metric::SquaredL2);
+    weighted_reg_shapley_ranked_form(train, &ranked, test_target, k, weight, form)
+}
+
+/// Regression analogue of [`weighted_class_shapley_ranked_form`].
+fn weighted_reg_shapley_ranked_form(
+    train: &RegDataset,
+    ranked: &[Neighbor],
+    test_target: f64,
+    k: usize,
+    weight: WeightFn,
+    form: GameForm,
+) -> (ShapleyValues, f64) {
+    assert!(k >= 1, "K must be at least 1");
     let idx: Vec<u32> = ranked.iter().map(|r| r.index).collect();
     let dists: Vec<f32> = ranked.iter().map(|r| r.dist.sqrt()).collect();
     let targets: Vec<f64> = idx.iter().map(|&i| train.y[i as usize]).collect();
@@ -404,6 +432,104 @@ fn class_shard_sums(
             weighted_knn_class_shapley_single(train, test.x.row(j), test.y[j], k, weight);
         acc.add_dense(per_test.as_slice());
     })
+}
+
+/// [`weighted_knn_class_shapley_shard`] fed by a precomputed graph: same
+/// kind, same fingerprint, same bits as the brute-force shard. Panics if
+/// the graph was not built from `(train.x, test.x)`.
+pub fn weighted_knn_class_shapley_graph_shard(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    graph: &KnnGraph,
+    spec: crate::sharding::ShardSpec,
+    threads: usize,
+) -> crate::sharding::ShardPartial {
+    use crate::sharding::{ShardKind, ShardPartial};
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let range = spec.range(test.len());
+    let sums = class_graph_shard_sums(train, test, k, weight, graph, range.clone(), threads);
+    let fingerprint = weighted_class_fingerprint(train, test, k, weight);
+    ShardPartial::new(
+        ShardKind::ExactClass,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+fn class_graph_shard_sums(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    graph: &KnnGraph,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> knnshap_numerics::exact::ExactVec {
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        let (per_test, _) = weighted_class_shapley_ranked_form(
+            train,
+            graph.list(j),
+            test.y[j],
+            k,
+            weight,
+            GameForm::DataOnly,
+        );
+        acc.add_dense(per_test.as_slice());
+    })
+}
+
+/// [`weighted_knn_class_shapley`] fed by a precomputed graph: skips the
+/// distance pass, returns the same bits.
+pub fn weighted_knn_class_shapley_from_graph(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    weight: WeightFn,
+    graph: &KnnGraph,
+    threads: usize,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let sums = class_graph_shard_sums(train, test, k, weight, graph, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
+}
+
+/// [`weighted_knn_reg_shapley`] fed by a precomputed graph.
+pub fn weighted_knn_reg_shapley_from_graph(
+    train: &RegDataset,
+    test: &RegDataset,
+    k: usize,
+    weight: WeightFn,
+    graph: &KnnGraph,
+    threads: usize,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let n_test = test.len();
+    let sums = crate::sharding::exact_sums_over(train.len(), 0..n_test, threads, |j, acc| {
+        let (per_test, _) = weighted_reg_shapley_ranked_form(
+            train,
+            graph.list(j),
+            test.y[j],
+            k,
+            weight,
+            GameForm::DataOnly,
+        );
+        acc.add_dense(per_test.as_slice());
+    });
+    crate::sharding::finalize_mean(&sums, n_test as u64)
 }
 
 /// Multi-test weighted regression SVs (exact accumulation; same thread- and

@@ -475,12 +475,74 @@ impl IncKnnUtility {
         )
     }
 
+    /// [`classification`](Self::classification) fed by a precomputed graph:
+    /// the shared distance matrix is reconstructed from the artifact's rank
+    /// lists (bitwise-identical entries) and the content fingerprint stays
+    /// the dataset-derived hash, so MC shards built on this utility
+    /// inter-merge with brute-force ones. Panics if the graph was not built
+    /// from `(train.x, test.x)`.
+    pub fn classification_from_graph(
+        train: &ClassDataset,
+        test: &ClassDataset,
+        k: usize,
+        weight: WeightFn,
+        graph: &knnshap_knn::graph::KnnGraph,
+    ) -> Self {
+        assert!(k >= 1 && !test.is_empty());
+        graph
+            .validate_against(&train.x, &test.x)
+            .expect("graph/dataset mismatch");
+        let n_test = test.len();
+        Self::from_shared(
+            Arc::new(IncShared {
+                dist: DistMatrix::from_graph(graph),
+                k,
+                weight,
+                task: IncTask::Class {
+                    labels: train.y.clone(),
+                    test_labels: test.y.clone(),
+                },
+                content: Self::class_content_fingerprint(train, test, k, weight),
+            }),
+            n_test,
+        )
+    }
+
     pub fn regression(train: &RegDataset, test: &RegDataset, k: usize, weight: WeightFn) -> Self {
         assert!(k >= 1 && !test.is_empty());
         let n_test = test.len();
         Self::from_shared(
             Arc::new(IncShared {
                 dist: DistMatrix::build(&train.x, &test.x),
+                k,
+                weight,
+                task: IncTask::Reg {
+                    targets: train.y.clone(),
+                    test_targets: test.y.clone(),
+                },
+                content: Self::reg_content_fingerprint(train, test, k, weight),
+            }),
+            n_test,
+        )
+    }
+
+    /// [`regression`](Self::regression) fed by a precomputed graph (see
+    /// [`classification_from_graph`](Self::classification_from_graph)).
+    pub fn regression_from_graph(
+        train: &RegDataset,
+        test: &RegDataset,
+        k: usize,
+        weight: WeightFn,
+        graph: &knnshap_knn::graph::KnnGraph,
+    ) -> Self {
+        assert!(k >= 1 && !test.is_empty());
+        graph
+            .validate_against(&train.x, &test.x)
+            .expect("graph/dataset mismatch");
+        let n_test = test.len();
+        Self::from_shared(
+            Arc::new(IncShared {
+                dist: DistMatrix::from_graph(graph),
                 k,
                 weight,
                 task: IncTask::Reg {

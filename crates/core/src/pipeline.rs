@@ -27,6 +27,7 @@ use crate::curator::{curator_class_shapley, Ownership};
 use crate::mc::{IncKnnUtility, StoppingRule};
 use crate::types::ShapleyValues;
 use knnshap_datasets::{contrast, ClassDataset, RegDataset};
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::weights::WeightFn;
 use knnshap_lsh::index::LshIndex;
 
@@ -74,6 +75,12 @@ pub enum PipelineError {
     /// deep inside the valuation sorts. `(which, row)` identifies the first
     /// offending row in `"train"` or `"test"`.
     NonFiniteFeature { which: &'static str, row: usize },
+    /// A precomputed KNN graph was attached but the selected method performs
+    /// its own retrieval (LSH / kd-tree) and cannot consume it.
+    GraphUnsupported(&'static str),
+    /// The attached KNN graph was built from different datasets (shape or
+    /// content fingerprint drift).
+    GraphMismatch(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -87,6 +94,12 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::NonFiniteFeature { which, row } => {
                 write!(f, "{which} row {row} contains a NaN/infinite feature")
+            }
+            PipelineError::GraphUnsupported(m) => {
+                write!(f, "{m} performs its own retrieval and cannot use --graph")
+            }
+            PipelineError::GraphMismatch(detail) => {
+                write!(f, "graph does not match the datasets: {detail}")
             }
         }
     }
@@ -121,6 +134,7 @@ pub struct KnnShapley<'a> {
     weight: WeightFn,
     method: Method,
     threads: usize,
+    graph: Option<&'a KnnGraph>,
 }
 
 impl<'a> KnnShapley<'a> {
@@ -135,6 +149,7 @@ impl<'a> KnnShapley<'a> {
             weight: WeightFn::Uniform,
             method: Method::Exact,
             threads: knnshap_parallel::current_threads(),
+            graph: None,
         }
     }
 
@@ -159,6 +174,16 @@ impl<'a> KnnShapley<'a> {
         self
     }
 
+    /// Attach a precomputed [`KnnGraph`] so the run skips the distance pass.
+    /// The graph is fingerprint-checked against the datasets at run time; the
+    /// result stays bitwise-identical to the brute-force path for every
+    /// method that does its retrieval through ranked neighbor lists
+    /// (exact, truncated, Monte Carlo). LSH and kd-tree retrieval reject it.
+    pub fn graph(mut self, graph: &'a KnnGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
     fn validate(&self) -> Result<(), PipelineError> {
         if self.train.is_empty() {
             return Err(PipelineError::EmptyTrainSet);
@@ -170,6 +195,10 @@ impl<'a> KnnShapley<'a> {
             return Err(PipelineError::DimensionMismatch);
         }
         check_finite(&self.train.x, &self.test.x)?;
+        if let Some(g) = self.graph {
+            g.validate_against(&self.train.x, &self.test.x)
+                .map_err(|e| PipelineError::GraphMismatch(e.to_string()))?;
+        }
         Ok(())
     }
 
@@ -187,21 +216,40 @@ impl<'a> KnnShapley<'a> {
         match self.method {
             Method::Exact => {
                 if uniform {
-                    Ok(crate::exact_unweighted::knn_class_shapley_with_threads(
-                        self.train,
-                        self.test,
-                        self.k,
-                        self.threads,
-                    )
+                    Ok(match self.graph {
+                        Some(g) => crate::exact_unweighted::knn_class_shapley_from_graph(
+                            self.train,
+                            self.test,
+                            self.k,
+                            g,
+                            self.threads,
+                        ),
+                        None => crate::exact_unweighted::knn_class_shapley_with_threads(
+                            self.train,
+                            self.test,
+                            self.k,
+                            self.threads,
+                        ),
+                    }
                     .into())
                 } else {
-                    Ok(crate::exact_weighted::weighted_knn_class_shapley(
-                        self.train,
-                        self.test,
-                        self.k,
-                        self.weight,
-                        self.threads,
-                    )
+                    Ok(match self.graph {
+                        Some(g) => crate::exact_weighted::weighted_knn_class_shapley_from_graph(
+                            self.train,
+                            self.test,
+                            self.k,
+                            self.weight,
+                            g,
+                            self.threads,
+                        ),
+                        None => crate::exact_weighted::weighted_knn_class_shapley(
+                            self.train,
+                            self.test,
+                            self.k,
+                            self.weight,
+                            self.threads,
+                        ),
+                    }
                     .into())
                 }
             }
@@ -209,18 +257,31 @@ impl<'a> KnnShapley<'a> {
                 if !uniform {
                     return Err(PipelineError::WeightedUnsupported("Truncated"));
                 }
-                Ok(crate::truncated::truncated_class_shapley_with_threads(
-                    self.train,
-                    self.test,
-                    self.k,
-                    eps,
-                    self.threads,
-                )
+                Ok(match self.graph {
+                    Some(g) => crate::truncated::truncated_class_shapley_from_graph(
+                        self.train,
+                        self.test,
+                        self.k,
+                        eps,
+                        g,
+                        self.threads,
+                    ),
+                    None => crate::truncated::truncated_class_shapley_with_threads(
+                        self.train,
+                        self.test,
+                        self.k,
+                        eps,
+                        self.threads,
+                    ),
+                }
                 .into())
             }
             Method::TruncatedTree { eps } => {
                 if !uniform {
                     return Err(PipelineError::WeightedUnsupported("TruncatedTree"));
+                }
+                if self.graph.is_some() {
+                    return Err(PipelineError::GraphUnsupported("TruncatedTree"));
                 }
                 let tree = knnshap_knn::kdtree::KdTree::build(&self.train.x);
                 let sums = crate::sharding::exact_sums_over(
@@ -251,6 +312,9 @@ impl<'a> KnnShapley<'a> {
                 if !uniform {
                     return Err(PipelineError::WeightedUnsupported("Lsh"));
                 }
+                if self.graph.is_some() {
+                    return Err(PipelineError::GraphUnsupported("Lsh"));
+                }
                 let ks = crate::truncated::k_star(self.k, eps).min(self.train.len());
                 let est = contrast::estimate(
                     &self.train.x,
@@ -279,12 +343,21 @@ impl<'a> KnnShapley<'a> {
                 )
             }
             Method::McBaseline { rule, seed } => {
-                let u = crate::utility::KnnClassUtility::new(
-                    self.train,
-                    self.test,
-                    self.k,
-                    self.weight,
-                );
+                let u = match self.graph {
+                    Some(g) => crate::utility::KnnClassUtility::from_graph(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                        g,
+                    ),
+                    None => crate::utility::KnnClassUtility::new(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                    ),
+                };
                 let res =
                     crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads);
                 Ok(Valuation {
@@ -293,7 +366,18 @@ impl<'a> KnnShapley<'a> {
                 })
             }
             Method::McImproved { rule, seed } => {
-                let inc = IncKnnUtility::classification(self.train, self.test, self.k, self.weight);
+                let inc = match self.graph {
+                    Some(g) => IncKnnUtility::classification_from_graph(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                        g,
+                    ),
+                    None => {
+                        IncKnnUtility::classification(self.train, self.test, self.k, self.weight)
+                    }
+                };
                 let res = crate::mc::mc_shapley_improved_with_threads(
                     &inc,
                     rule,
@@ -385,6 +469,7 @@ pub struct RegShapley<'a> {
     weight: WeightFn,
     method: RegMethod,
     threads: usize,
+    graph: Option<&'a KnnGraph>,
 }
 
 impl<'a> RegShapley<'a> {
@@ -398,6 +483,7 @@ impl<'a> RegShapley<'a> {
             weight: WeightFn::Uniform,
             method: RegMethod::Exact,
             threads: knnshap_parallel::current_threads(),
+            graph: None,
         }
     }
 
@@ -422,6 +508,15 @@ impl<'a> RegShapley<'a> {
         self
     }
 
+    /// Attach a precomputed [`KnnGraph`] so the run skips the distance pass.
+    /// The graph is label-free, so the same artifact serves classification
+    /// and regression over the same features. Fingerprint-checked at run
+    /// time; results stay bitwise-identical to the brute-force path.
+    pub fn graph(mut self, graph: &'a KnnGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
     fn validate(&self) -> Result<(), PipelineError> {
         if self.train.is_empty() {
             return Err(PipelineError::EmptyTrainSet);
@@ -433,6 +528,10 @@ impl<'a> RegShapley<'a> {
             return Err(PipelineError::DimensionMismatch);
         }
         check_finite(&self.train.x, &self.test.x)?;
+        if let Some(g) = self.graph {
+            g.validate_against(&self.train.x, &self.test.x)
+                .map_err(|e| PipelineError::GraphMismatch(e.to_string()))?;
+        }
         Ok(())
     }
 
@@ -449,27 +548,59 @@ impl<'a> RegShapley<'a> {
         match self.method {
             RegMethod::Exact => {
                 if uniform {
-                    Ok(crate::exact_regression::knn_reg_shapley_with_threads(
-                        self.train,
-                        self.test,
-                        self.k,
-                        self.threads,
-                    )
+                    Ok(match self.graph {
+                        Some(g) => crate::exact_regression::knn_reg_shapley_from_graph(
+                            self.train,
+                            self.test,
+                            self.k,
+                            g,
+                            self.threads,
+                        ),
+                        None => crate::exact_regression::knn_reg_shapley_with_threads(
+                            self.train,
+                            self.test,
+                            self.k,
+                            self.threads,
+                        ),
+                    }
                     .into())
                 } else {
-                    Ok(crate::exact_weighted::weighted_knn_reg_shapley(
-                        self.train,
-                        self.test,
-                        self.k,
-                        self.weight,
-                        self.threads,
-                    )
+                    Ok(match self.graph {
+                        Some(g) => crate::exact_weighted::weighted_knn_reg_shapley_from_graph(
+                            self.train,
+                            self.test,
+                            self.k,
+                            self.weight,
+                            g,
+                            self.threads,
+                        ),
+                        None => crate::exact_weighted::weighted_knn_reg_shapley(
+                            self.train,
+                            self.test,
+                            self.k,
+                            self.weight,
+                            self.threads,
+                        ),
+                    }
                     .into())
                 }
             }
             RegMethod::McBaseline { rule, seed } => {
-                let u =
-                    crate::utility::KnnRegUtility::new(self.train, self.test, self.k, self.weight);
+                let u = match self.graph {
+                    Some(g) => crate::utility::KnnRegUtility::from_graph(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                        g,
+                    ),
+                    None => crate::utility::KnnRegUtility::new(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                    ),
+                };
                 let res =
                     crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads);
                 Ok(Valuation {
@@ -478,7 +609,16 @@ impl<'a> RegShapley<'a> {
                 })
             }
             RegMethod::McImproved { rule, seed } => {
-                let inc = IncKnnUtility::regression(self.train, self.test, self.k, self.weight);
+                let inc = match self.graph {
+                    Some(g) => IncKnnUtility::regression_from_graph(
+                        self.train,
+                        self.test,
+                        self.k,
+                        self.weight,
+                        g,
+                    ),
+                    None => IncKnnUtility::regression(self.train, self.test, self.k, self.weight),
+                };
                 let res = crate::mc::mc_shapley_improved_with_threads(
                     &inc,
                     rule,
@@ -684,6 +824,59 @@ mod tests {
                 row: 7
             }
         );
+    }
+
+    #[test]
+    fn graph_backed_run_is_bitwise_identical_and_validated() {
+        let (train, test) = data();
+        let graph = KnnGraph::build(&train.x, &test.x, 2);
+        for method in [
+            Method::Exact,
+            Method::Truncated { eps: 0.1 },
+            Method::McImproved {
+                rule: StoppingRule::Fixed(60),
+                seed: 9,
+            },
+        ] {
+            let brute = KnnShapley::new(&train, &test)
+                .k(2)
+                .method(method)
+                .run()
+                .unwrap();
+            let via_graph = KnnShapley::new(&train, &test)
+                .k(2)
+                .method(method)
+                .graph(&graph)
+                .run()
+                .unwrap();
+            for i in 0..train.len() {
+                assert_eq!(
+                    brute.get(i).to_bits(),
+                    via_graph.get(i).to_bits(),
+                    "i={i} method={method:?}"
+                );
+            }
+        }
+        // retrieval methods refuse the graph rather than silently ignoring it
+        let err = KnnShapley::new(&train, &test)
+            .method(Method::Lsh {
+                eps: 0.15,
+                delta: 0.1,
+                max_tables: 8,
+            })
+            .graph(&graph)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, PipelineError::GraphUnsupported("Lsh"));
+        // a graph built from different data is refused before any valuation
+        let mut other = train.clone();
+        other.x.row_mut(0)[0] += 1.0;
+        let stale = KnnGraph::build(&other.x, &test.x, 2);
+        let err = KnnShapley::new(&train, &test)
+            .graph(&stale)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::GraphMismatch(_)));
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub enum ResidentError {
     OutOfRange { index: usize, len: usize },
     /// Deleting the last training point would leave an empty game.
     LastPoint,
+    /// The supplied KNN graph was not built from these datasets
+    /// ([`ResidentValuator::with_graph`]).
+    GraphMismatch { detail: String },
 }
 
 impl std::fmt::Display for ResidentError {
@@ -75,6 +78,9 @@ impl std::fmt::Display for ResidentError {
             }
             ResidentError::LastPoint => {
                 write!(f, "cannot delete the last training point")
+            }
+            ResidentError::GraphMismatch { detail } => {
+                write!(f, "graph does not match the datasets: {detail}")
             }
         }
     }
@@ -152,6 +158,46 @@ impl ResidentValuator {
             k,
             threads,
             ranked,
+            version: 0,
+        })
+    }
+
+    /// [`ResidentValuator::new`] seeded from a precomputed graph: the
+    /// initial rank lists are taken from the artifact (which stores exactly
+    /// the canonical `(distance, index)`-sorted lists `new` would argsort),
+    /// so daemon startup skips the O(N·N_test·d) distance pass entirely.
+    /// Subsequent mutations maintain the lists incrementally as usual, and
+    /// the bitwise-equality contract with a cold batch run is unchanged.
+    pub fn with_graph(
+        train: ClassDataset,
+        test: ClassDataset,
+        k: usize,
+        threads: usize,
+        graph: &knnshap_knn::graph::KnnGraph,
+    ) -> Result<Self, ResidentError> {
+        assert!(!train.is_empty(), "training set is empty");
+        assert!(!test.is_empty(), "test set is empty");
+        assert!(k >= 1, "K must be at least 1");
+        if train.dim() != test.dim() {
+            return Err(ResidentError::DimMismatch {
+                expected: train.dim(),
+                got: test.dim(),
+            });
+        }
+        if train.x.first_non_finite_row().is_some() || test.x.first_non_finite_row().is_some() {
+            return Err(ResidentError::NonFinite);
+        }
+        graph
+            .validate_against(&train.x, &test.x)
+            .map_err(|e| ResidentError::GraphMismatch {
+                detail: e.to_string(),
+            })?;
+        Ok(Self {
+            train,
+            test,
+            k,
+            threads,
+            ranked: graph.lists().to_vec(),
             version: 0,
         })
     }

@@ -736,64 +736,11 @@ pub fn merge_partials(parts: &[ShardPartial]) -> Result<MergedValuation, ShardEr
 // Job fingerprints
 // ---------------------------------------------------------------------------
 
-/// Order-sensitive 64-bit fingerprint builder (SplitMix64-style mixing).
-/// Used to detect operator mistakes — two shard invocations that disagree on
-/// datasets, seeds or parameters — not to resist adversaries.
-#[derive(Debug, Clone, Copy)]
-pub struct Fingerprint(u64);
-
-impl Fingerprint {
-    pub fn new(domain: &str) -> Self {
-        let mut f = Fingerprint(0x9E37_79B9_7F4A_7C15);
-        for b in domain.bytes() {
-            f = f.u64(b as u64);
-        }
-        f
-    }
-
-    #[must_use]
-    pub fn u64(self, x: u64) -> Self {
-        let mut z = self.0 ^ x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        Fingerprint((z ^ (z >> 27)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-    }
-
-    #[must_use]
-    pub fn f64(self, x: f64) -> Self {
-        self.u64(x.to_bits())
-    }
-
-    #[must_use]
-    pub fn f32s(self, xs: &[f32]) -> Self {
-        let mut f = self.u64(xs.len() as u64);
-        for &x in xs {
-            f = f.u64(x.to_bits() as u64);
-        }
-        f
-    }
-
-    #[must_use]
-    pub fn u32s(self, xs: &[u32]) -> Self {
-        let mut f = self.u64(xs.len() as u64);
-        for &x in xs {
-            f = f.u64(x as u64);
-        }
-        f
-    }
-
-    #[must_use]
-    pub fn f64s(self, xs: &[f64]) -> Self {
-        let mut f = self.u64(xs.len() as u64);
-        for &x in xs {
-            f = f.f64(x);
-        }
-        f
-    }
-
-    pub fn finish(self) -> u64 {
-        self.0 ^ (self.0 >> 31)
-    }
-}
+/// Order-sensitive 64-bit fingerprint builder, re-exported from
+/// [`knnshap_numerics::fingerprint`] (it moved there so artifact formats
+/// below `knnshap_core` — e.g. the `KNNGRAPH` neighbor graph in
+/// `knnshap_knn::graph` — can stamp the same dataset-content fingerprints).
+pub use knnshap_numerics::fingerprint::Fingerprint;
 
 /// Content hash of a classification dataset (feature bits + labels).
 pub fn hash_class_dataset(d: &ClassDataset) -> u64 {

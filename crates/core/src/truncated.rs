@@ -24,6 +24,7 @@ use crate::sharding::{Fingerprint, ShardKind, ShardPartial, ShardSpec};
 use crate::types::ShapleyValues;
 use knnshap_datasets::ClassDataset;
 use knnshap_knn::distance::Metric;
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::neighbors::{partial_k_nearest, Neighbor};
 use knnshap_numerics::exact::ExactVec;
 
@@ -207,6 +208,75 @@ fn shard_sums(
         let per_test = truncated_class_shapley_single(train, test.x.row(j), test.y[j], k, eps);
         acc.add_dense(per_test.as_slice());
     })
+}
+
+/// [`truncated_class_shapley_shard`] fed by a precomputed graph.
+///
+/// The graph's full ranking prefix `[..K*]` is exactly what
+/// [`partial_k_nearest`] retrieves (both are ascending prefixes of the same
+/// total order over bitwise-identical distances), so the partial carries the
+/// same kind/fingerprint and merges bitwise-identically with brute-force
+/// shards. Panics if the graph was not built from `(train.x, test.x)`.
+pub fn truncated_class_shapley_graph_shard(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    eps: f64,
+    graph: &KnnGraph,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardPartial {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let range = spec.range(test.len());
+    let sums = graph_shard_sums(train, test, k, eps, graph, range.clone(), threads);
+    let fingerprint = truncated_fingerprint(train, test, k, eps);
+    ShardPartial::new(
+        ShardKind::Truncated,
+        fingerprint,
+        train.len(),
+        test.len(),
+        range,
+        sums,
+    )
+}
+
+fn graph_shard_sums(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    eps: f64,
+    graph: &KnnGraph,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> ExactVec {
+    let ks = k_star(k, eps);
+    crate::sharding::exact_sums_over(train.len(), range, threads, |j, acc| {
+        let list = graph.list(j);
+        let prefix = &list[..ks.min(list.len())];
+        let per_test = truncated_recursion(prefix, &train.y, test.y[j], k, ks, train.len());
+        acc.add_dense(per_test.as_slice());
+    })
+}
+
+/// [`truncated_class_shapley_with_threads`] fed by a precomputed graph:
+/// skips the distance pass, returns the same bits.
+pub fn truncated_class_shapley_from_graph(
+    train: &ClassDataset,
+    test: &ClassDataset,
+    k: usize,
+    eps: f64,
+    graph: &KnnGraph,
+    threads: usize,
+) -> ShapleyValues {
+    assert!(!test.is_empty(), "need at least one test point");
+    graph
+        .validate_against(&train.x, &test.x)
+        .expect("graph/dataset mismatch");
+    let sums = graph_shard_sums(train, test, k, eps, graph, 0..test.len(), threads);
+    crate::sharding::finalize_mean(&sums, test.len() as u64)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 
 use knnshap_datasets::{ClassDataset, RegDataset};
 use knnshap_knn::distance::l2;
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::weights::WeightFn;
 
 /// A cooperative-game utility over coalitions of the `n` training points.
@@ -69,6 +70,23 @@ impl DistMatrix {
         for q in test.rows() {
             for t in train.rows() {
                 d.push(l2(q, t));
+            }
+        }
+        Self { d, n }
+    }
+
+    /// Rebuild the matrix from a precomputed graph instead of a distance
+    /// pass. The graph stores squared-L2 values bitwise-identical to
+    /// `squared_l2`, and [`l2`] is exactly `squared_l2(..).sqrt()`, so
+    /// scattering `dist.sqrt()` back to training-index positions reproduces
+    /// [`DistMatrix::build`] bit for bit. Every rank list is a validated
+    /// permutation, so every slot is filled exactly once.
+    pub(crate) fn from_graph(graph: &KnnGraph) -> Self {
+        let n = graph.n_train();
+        let mut d = vec![0.0f32; graph.n_test() * n];
+        for (j, row) in d.chunks_exact_mut(n.max(1)).enumerate() {
+            for nb in graph.list(j) {
+                row[nb.index as usize] = nb.dist.sqrt();
             }
         }
         Self { d, n }
@@ -152,6 +170,35 @@ impl KnnClassUtility {
             .u64(crate::sharding::hash_class_dataset(train))
             .u64(crate::sharding::hash_class_dataset(test))
             .finish()
+    }
+
+    /// [`KnnClassUtility::new`] fed by a precomputed graph: the distance
+    /// matrix is reconstructed from the artifact's rank lists
+    /// (`DistMatrix::from_graph`) instead of recomputed, and the content
+    /// fingerprint is the same dataset-derived hash — so Monte Carlo and
+    /// group-testing shards built on this utility inter-merge with
+    /// brute-force ones. Panics if the graph was not built from
+    /// `(train.x, test.x)`.
+    pub fn from_graph(
+        train: &ClassDataset,
+        test: &ClassDataset,
+        k: usize,
+        weight: WeightFn,
+        graph: &KnnGraph,
+    ) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        assert!(!test.is_empty(), "need at least one test point");
+        graph
+            .validate_against(&train.x, &test.x)
+            .expect("graph/dataset mismatch");
+        Self {
+            dist: DistMatrix::from_graph(graph),
+            labels: train.y.clone(),
+            test_labels: test.y.clone(),
+            k,
+            weight,
+            content: Self::content_fingerprint(train, test, k, weight),
+        }
     }
 
     pub fn unweighted(train: &ClassDataset, test: &ClassDataset, k: usize) -> Self {
@@ -244,6 +291,30 @@ impl KnnRegUtility {
             .u64(crate::sharding::hash_reg_dataset(train))
             .u64(crate::sharding::hash_reg_dataset(test))
             .finish()
+    }
+
+    /// [`KnnRegUtility::new`] fed by a precomputed graph (see
+    /// [`KnnClassUtility::from_graph`] for the contract).
+    pub fn from_graph(
+        train: &RegDataset,
+        test: &RegDataset,
+        k: usize,
+        weight: WeightFn,
+        graph: &KnnGraph,
+    ) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        assert!(!test.is_empty(), "need at least one test point");
+        graph
+            .validate_against(&train.x, &test.x)
+            .expect("graph/dataset mismatch");
+        Self {
+            dist: DistMatrix::from_graph(graph),
+            targets: train.y.clone(),
+            test_targets: test.y.clone(),
+            k,
+            weight,
+            content: Self::content_fingerprint(train, test, k, weight),
+        }
     }
 
     pub fn unweighted(train: &RegDataset, test: &RegDataset, k: usize) -> Self {

@@ -14,7 +14,12 @@
 //!   utility semantics of the paper's eqs. (5), (25), (26), (27)
 //!   ([`classifier`], [`regressor`], [`weights`]);
 //! * an exact kd-tree index ([`kdtree`]) — the paper's named alternative to
-//!   LSH for neighbor retrieval, effective in low/moderate dimensions.
+//!   LSH for neighbor retrieval, effective in low/moderate dimensions;
+//! * a blocked, cache-tiled batch distance kernel ([`block`]) and the
+//!   versioned `KNNGRAPH` artifact it feeds ([`graph`]) — precomputed
+//!   per-test-point rank lists that let estimators skip the O(N·N_test·d)
+//!   distance pass entirely, with `KNNSHARD`-style strict decode and
+//!   dataset-content fingerprints.
 //!
 //! ### Determinism contract
 //!
@@ -34,16 +39,20 @@
 //! assert_eq!(h.sorted(), vec![(0.2, 1), (0.5, 0)]);
 //! ```
 
+pub mod block;
 pub mod classifier;
 pub mod distance;
+pub mod graph;
 pub mod heap;
 pub mod kdtree;
 pub mod neighbors;
 pub mod regressor;
 pub mod weights;
 
+pub use block::{blocked_squared_l2, naive_squared_l2};
 pub use classifier::KnnClassifier;
 pub use distance::{squared_l2, Metric};
+pub use graph::{GraphError, KnnGraph};
 pub use heap::KnnHeap;
 pub use kdtree::KdTree;
 pub use neighbors::{argsort_by_distance, top_k, Neighbor};

@@ -29,7 +29,7 @@ pub struct Neighbor {
 /// produces one deterministic ranking even in the presence of exact ties
 /// (duplicated points are common after bootstrap resampling).
 #[inline]
-fn cmp_dist_idx(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+pub(crate) fn cmp_dist_idx(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
     a.dist
         .partial_cmp(&b.dist)
         .expect("NaN distance")

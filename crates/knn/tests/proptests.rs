@@ -1,7 +1,9 @@
 //! Property-based tests for the KNN substrate.
 
 use knnshap_datasets::Features;
+use knnshap_knn::block::{blocked_squared_l2_with_tiles, naive_squared_l2};
 use knnshap_knn::distance::Metric;
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::heap::KnnHeap;
 use knnshap_knn::kdtree::KdTree;
 use knnshap_knn::neighbors::{argsort_by_distance, partial_k_nearest, top_k};
@@ -76,6 +78,56 @@ proptest! {
             let now = h.sorted();
             prop_assert_eq!(changed, prev != now);
             prev = now;
+        }
+    }
+
+    #[cfg(not(feature = "fast-accum"))]
+    #[test]
+    fn blocked_kernel_bitwise_equals_naive_for_any_tiling(
+        vals in prop::collection::vec(-10.0f32..10.0, 120),
+        qvals in prop::collection::vec(-10.0f32..10.0, 21),
+        n in 1usize..40,
+        // Random tile shapes spanning every edge case: tile 1, tiles that do
+        // not divide n, and tiles larger than the whole data (n < tile).
+        q_tile in 1usize..12,
+        t_tile in 1usize..64,
+        threads in 1usize..5,
+    ) {
+        let dim = 3;
+        let train = features(n, dim, &vals);
+        let queries = features(7, dim, &qvals);
+        let naive = naive_squared_l2(&train, &queries);
+        let blocked = blocked_squared_l2_with_tiles(&train, &queries, q_tile, t_tile, threads);
+        prop_assert_eq!(blocked.len(), naive.len());
+        for (br, nr) in blocked.iter().zip(&naive) {
+            prop_assert_eq!(br.len(), nr.len());
+            for (x, y) in br.iter().zip(nr) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fast-accum"))]
+    #[test]
+    fn graph_build_matches_argsort_and_survives_round_trip(
+        vals in prop::collection::vec(-5.0f32..5.0, 48),
+        qvals in prop::collection::vec(-5.0f32..5.0, 8),
+        n in 1usize..24,
+        threads in 1usize..4,
+    ) {
+        let train = features(n, 2, &vals);
+        let queries = features(4, 2, &qvals);
+        let g = KnnGraph::build(&train, &queries, threads);
+        let g2 = KnnGraph::from_bytes(&g.to_bytes()).unwrap();
+        prop_assert!(g2.validate_against(&train, &queries).is_ok());
+        for j in 0..queries.len() {
+            let want = argsort_by_distance(&train, queries.row(j), Metric::SquaredL2);
+            let got = g2.list(j);
+            prop_assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert_eq!(a.index, b.index);
+                prop_assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+            }
         }
     }
 

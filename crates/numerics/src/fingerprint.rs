@@ -1,0 +1,90 @@
+//! Order-sensitive 64-bit content fingerprints (SplitMix64-style mixing).
+//!
+//! Shared by every on-disk artifact that must refuse to combine with inputs
+//! it was not computed from: `KNNSHARD` partials, `KNNJOBPLAN` directories
+//! and `KNNGRAPH` neighbor graphs all stamp dataset/parameter fingerprints
+//! built here. The goal is to detect *operator mistakes* — two invocations
+//! that disagree on datasets, seeds or parameters — not to resist
+//! adversaries.
+
+/// Order-sensitive 64-bit fingerprint builder (SplitMix64-style mixing).
+/// Used to detect operator mistakes — two invocations that disagree on
+/// datasets, seeds or parameters — not to resist adversaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    pub fn new(domain: &str) -> Self {
+        let mut f = Fingerprint(0x9E37_79B9_7F4A_7C15);
+        for b in domain.bytes() {
+            f = f.u64(b as u64);
+        }
+        f
+    }
+
+    #[must_use]
+    pub fn u64(self, x: u64) -> Self {
+        let mut z = self.0 ^ x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Fingerprint((z ^ (z >> 27)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    #[must_use]
+    pub fn f64(self, x: f64) -> Self {
+        self.u64(x.to_bits())
+    }
+
+    #[must_use]
+    pub fn f32s(self, xs: &[f32]) -> Self {
+        let mut f = self.u64(xs.len() as u64);
+        for &x in xs {
+            f = f.u64(x.to_bits() as u64);
+        }
+        f
+    }
+
+    #[must_use]
+    pub fn u32s(self, xs: &[u32]) -> Self {
+        let mut f = self.u64(xs.len() as u64);
+        for &x in xs {
+            f = f.u64(x as u64);
+        }
+        f
+    }
+
+    #[must_use]
+    pub fn f64s(self, xs: &[f64]) -> Self {
+        let mut f = self.u64(xs.len() as u64);
+        for &x in xs {
+            f = f.f64(x);
+        }
+        f
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0 ^ (self.0 >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_domain_sensitive() {
+        let a = Fingerprint::new("t").u64(1).u64(2).finish();
+        let b = Fingerprint::new("t").u64(2).u64(1).finish();
+        let c = Fingerprint::new("u").u64(1).u64(2).finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn slice_hashing_is_length_prefixed() {
+        // [1.0, 2.0] must not collide with [1.0] ++ [2.0] hashed separately.
+        let joined = Fingerprint::new("t").f32s(&[1.0, 2.0]).finish();
+        let split = Fingerprint::new("t").f32s(&[1.0]).f32s(&[2.0]).finish();
+        assert_ne!(joined, split);
+    }
+}

@@ -58,6 +58,7 @@
 pub mod binom;
 pub mod compensated;
 pub mod exact;
+pub mod fingerprint;
 pub mod integrate;
 pub mod roots;
 pub mod sampling;
@@ -67,6 +68,7 @@ pub mod stats;
 pub use binom::LogFactorialTable;
 pub use compensated::{CompensatedVec, NeumaierSum};
 pub use exact::{ExactSum, ExactVec};
+pub use fingerprint::Fingerprint;
 pub use integrate::{adaptive_simpson, simpson};
 pub use roots::{bisect, brent};
 pub use sampling::{gaussian_vec, sample_permutation, GaussianSampler, RngStreams};

@@ -9,6 +9,7 @@ use knnshap_core::mc::IncKnnUtility;
 use knnshap_core::sharding::{ShardKind, ShardPartial, ShardSpec};
 use knnshap_core::utility::KnnClassUtility;
 use knnshap_datasets::{ClassDataset, RegDataset};
+use knnshap_knn::graph::KnnGraph;
 use knnshap_knn::weights::WeightFn;
 use std::cell::OnceCell;
 
@@ -140,6 +141,11 @@ pub fn job_identity(spec: &JobSpec, data: &JobData) -> (ShardKind, u64) {
 pub struct PreparedJob {
     plan: JobPlan,
     data: JobData,
+    /// Precomputed KNN graph, fingerprint-checked against the loaded
+    /// datasets by [`PreparedJob::attach_graph`]. When present, every chunk
+    /// skips the distance pass; the published bytes are identical either way
+    /// (the graph stores the same bitwise distances the kernel produces).
+    graph: Option<KnnGraph>,
     class_util: OnceCell<KnnClassUtility>,
     inc_util: OnceCell<IncKnnUtility>,
 }
@@ -182,6 +188,7 @@ impl PreparedJob {
         Ok(Self {
             plan,
             data,
+            graph: None,
             class_util: OnceCell::new(),
             inc_util: OnceCell::new(),
         })
@@ -190,6 +197,23 @@ impl PreparedJob {
     /// Load the plan from a job directory and bind it.
     pub fn load(dirs: &crate::layout::JobDirs) -> Result<Self, JobError> {
         Self::from_plan(JobPlan::load(dirs)?)
+    }
+
+    /// Attach a precomputed KNN graph. The graph's dataset-content
+    /// fingerprints must match the datasets this job actually loaded — a
+    /// graph built from drifted CSVs is refused here, before any chunk is
+    /// computed, for the same reason `from_plan` verifies the job
+    /// fingerprint.
+    pub fn attach_graph(&mut self, graph: KnnGraph) -> Result<(), JobError> {
+        let (train_x, test_x) = match &self.data {
+            JobData::Class { train, test } => (&train.x, &test.x),
+            JobData::Reg { train, test } => (&train.x, &test.x),
+        };
+        graph
+            .validate_against(train_x, test_x)
+            .map_err(|e| JobError::Dataset(format!("precomputed graph rejected: {e}")))?;
+        self.graph = Some(graph);
+        Ok(())
     }
 
     pub fn plan(&self) -> &JobPlan {
@@ -206,14 +230,37 @@ impl PreparedJob {
     fn class_util(&self) -> &KnnClassUtility {
         self.class_util.get_or_init(|| {
             let (train, test) = self.class_data();
-            KnnClassUtility::new(train, test, self.plan.spec.k, self.plan.spec.weight)
+            match &self.graph {
+                Some(g) => KnnClassUtility::from_graph(
+                    train,
+                    test,
+                    self.plan.spec.k,
+                    self.plan.spec.weight,
+                    g,
+                ),
+                None => KnnClassUtility::new(train, test, self.plan.spec.k, self.plan.spec.weight),
+            }
         })
     }
 
     fn inc_util(&self) -> &IncKnnUtility {
         self.inc_util.get_or_init(|| {
             let (train, test) = self.class_data();
-            IncKnnUtility::classification(train, test, self.plan.spec.k, self.plan.spec.weight)
+            match &self.graph {
+                Some(g) => IncKnnUtility::classification_from_graph(
+                    train,
+                    test,
+                    self.plan.spec.k,
+                    self.plan.spec.weight,
+                    g,
+                ),
+                None => IncKnnUtility::classification(
+                    train,
+                    test,
+                    self.plan.spec.k,
+                    self.plan.spec.weight,
+                ),
+            }
         })
     }
 
@@ -225,26 +272,38 @@ impl PreparedJob {
         let s = &self.plan.spec;
         let uniform = matches!(s.weight, WeightFn::Uniform);
         match (&self.data, s.method) {
-            (JobData::Class { train, test }, JobMethod::Exact) if uniform => {
-                knnshap_core::exact_unweighted::knn_class_shapley_shard(
+            (JobData::Class { train, test }, JobMethod::Exact) if uniform => match &self.graph {
+                Some(g) => knnshap_core::exact_unweighted::knn_class_shapley_graph_shard(
+                    train, test, s.k, g, chunk, threads,
+                ),
+                None => knnshap_core::exact_unweighted::knn_class_shapley_shard(
                     train, test, s.k, chunk, threads,
-                )
-            }
-            (JobData::Class { train, test }, JobMethod::Exact) => {
-                knnshap_core::exact_weighted::weighted_knn_class_shapley_shard(
+                ),
+            },
+            (JobData::Class { train, test }, JobMethod::Exact) => match &self.graph {
+                Some(g) => knnshap_core::exact_weighted::weighted_knn_class_shapley_graph_shard(
+                    train, test, s.k, s.weight, g, chunk, threads,
+                ),
+                None => knnshap_core::exact_weighted::weighted_knn_class_shapley_shard(
                     train, test, s.k, s.weight, chunk, threads,
-                )
-            }
-            (JobData::Reg { train, test }, JobMethod::Exact) => {
-                knnshap_core::exact_regression::knn_reg_shapley_shard(
+                ),
+            },
+            (JobData::Reg { train, test }, JobMethod::Exact) => match &self.graph {
+                Some(g) => knnshap_core::exact_regression::knn_reg_shapley_graph_shard(
+                    train, test, s.k, g, chunk, threads,
+                ),
+                None => knnshap_core::exact_regression::knn_reg_shapley_shard(
                     train, test, s.k, chunk, threads,
-                )
-            }
-            (JobData::Class { train, test }, JobMethod::Truncated { eps }) => {
-                knnshap_core::truncated::truncated_class_shapley_shard(
+                ),
+            },
+            (JobData::Class { train, test }, JobMethod::Truncated { eps }) => match &self.graph {
+                Some(g) => knnshap_core::truncated::truncated_class_shapley_graph_shard(
+                    train, test, s.k, eps, g, chunk, threads,
+                ),
+                None => knnshap_core::truncated::truncated_class_shapley_shard(
                     train, test, s.k, eps, chunk, threads,
-                )
-            }
+                ),
+            },
             (JobData::Class { .. }, JobMethod::McBaseline { perms }) => {
                 knnshap_core::mc::mc_shapley_baseline_shard(
                     self.class_util(),

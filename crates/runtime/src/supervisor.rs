@@ -136,6 +136,7 @@ pub fn run_job(dirs: &JobDirs, opts: SupervisorOptions) -> Result<JobOutcome, Jo
                     worker_id: format!("inproc-{seq}"),
                     threads: opts.threads,
                     fault,
+                    graph: None,
                 };
                 Ok(Handle::Thread(std::thread::spawn(move || {
                     run_worker(&dirs, wopts)

@@ -55,6 +55,11 @@ pub struct WorkerOptions {
     pub threads: usize,
     /// Fault-injection hook; `None` in production.
     pub fault: Option<FaultHook>,
+    /// Path to a precomputed `KNNGRAPH` artifact (`knnshap build-graph`).
+    /// Loaded once, fingerprint-checked against the job's datasets, and used
+    /// by every chunk this worker computes — skipping the distance pass
+    /// while publishing the same bytes a graph-less worker would.
+    pub graph: Option<std::path::PathBuf>,
 }
 
 impl Default for WorkerOptions {
@@ -63,6 +68,7 @@ impl Default for WorkerOptions {
             worker_id: format!("pid{}", std::process::id()),
             threads: 0,
             fault: None,
+            graph: None,
         }
     }
 }
@@ -83,7 +89,12 @@ pub struct WorkerReport {
 /// was accomplished; stale-lease recovery is the supervisor's business, not
 /// the worker's.
 pub fn run_worker(dirs: &JobDirs, mut opts: WorkerOptions) -> Result<WorkerReport, JobError> {
-    let prepared = PreparedJob::load(dirs)?;
+    let mut prepared = PreparedJob::load(dirs)?;
+    if let Some(path) = &opts.graph {
+        let graph = knnshap_knn::graph::KnnGraph::load(path)
+            .map_err(|e| JobError::Dataset(format!("{}: {e}", path.display())))?;
+        prepared.attach_graph(graph)?;
+    }
     let threads = if opts.threads == 0 {
         knnshap_parallel::current_threads()
     } else {

@@ -282,8 +282,8 @@ fn crash_and_resume_at_every_kill_point_is_bitwise_clean() {
             &dirs,
             WorkerOptions {
                 worker_id: "victim".into(),
-                threads: 0,
                 fault: Some(Box::new(move |at| at == kill)),
+                ..Default::default()
             },
         )
         .unwrap_err();

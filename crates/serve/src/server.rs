@@ -78,16 +78,48 @@ impl ValuationServer {
         k: usize,
         threads: usize,
     ) -> Result<Arc<Self>, ResidentError> {
-        let (n_test, dim) = (test.len() as u64, train.dim() as u64);
-        let engine = ResidentValuator::new(train, test, k, threads)?;
+        Self::from_engine(
+            test.len(),
+            train.dim(),
+            ResidentValuator::new(train, test, k, threads)?,
+            k,
+        )
+    }
+
+    /// Like [`ValuationServer::new`] but seeded from a precomputed
+    /// `KNNGRAPH` artifact: the engine adopts the graph's ranked neighbor
+    /// lists (fingerprint-checked against the datasets) instead of running
+    /// the startup distance pass, and the initial snapshot is
+    /// bitwise-identical to the cold-start one.
+    pub fn with_graph(
+        train: ClassDataset,
+        test: ClassDataset,
+        k: usize,
+        threads: usize,
+        graph: &knnshap_knn::graph::KnnGraph,
+    ) -> Result<Arc<Self>, ResidentError> {
+        Self::from_engine(
+            test.len(),
+            train.dim(),
+            ResidentValuator::with_graph(train, test, k, threads, graph)?,
+            k,
+        )
+    }
+
+    fn from_engine(
+        n_test: usize,
+        dim: usize,
+        engine: ResidentValuator,
+        k: usize,
+    ) -> Result<Arc<Self>, ResidentError> {
         let initial = Snapshot::new(engine.version(), engine.train().y.clone(), engine.values());
         Ok(Arc::new(Self {
             engine: RwLock::new(engine),
             store: VersionedStore::new(initial),
             shutdown: AtomicBool::new(false),
-            n_test,
+            n_test: n_test as u64,
             k: k as u64,
-            dim,
+            dim: dim as u64,
         }))
     }
 

@@ -38,17 +38,22 @@ fn readers_see_only_coherent_snapshots_under_write_load() {
     let daemon = std::thread::spawn(move || bound.run());
 
     let writer_done = Arc::new(AtomicBool::new(false));
-    // Highest version the writer has committed so far; readers may observe
-    // anything ≤ it (writers publish before answering), never beyond.
-    let committed = Arc::new(AtomicU64::new(0));
+    // Number of mutations the writer has SENT so far — bumped before each
+    // request goes out. The server cannot publish version N before mutation
+    // N was sent, so this is a sound ceiling on observable versions. (The
+    // acknowledged count is NOT: the server publishes before answering, so
+    // a reader can legitimately observe version N in the window between
+    // publication and the writer receiving its ack.)
+    let sent = Arc::new(AtomicU64::new(0));
 
     let writer = {
         let endpoint = endpoint.clone();
         let writer_done = Arc::clone(&writer_done);
-        let committed = Arc::clone(&committed);
+        let sent = Arc::clone(&sent);
         std::thread::spawn(move || {
             let mut c = Client::connect(&endpoint).unwrap();
             for step in 0..MUTATIONS {
+                sent.store(step as u64 + 1, Ordering::SeqCst);
                 let version = if step % 3 == 2 {
                     // Delete a low index — always valid, dataset stays ≥ 2.
                     let (version, _) = c.delete(step as u64 % 5).unwrap();
@@ -59,7 +64,6 @@ fn readers_see_only_coherent_snapshots_under_write_load() {
                     version
                 };
                 assert_eq!(version, step as u64 + 1, "writer versions are gapless");
-                committed.store(version, Ordering::SeqCst);
             }
             writer_done.store(true, Ordering::SeqCst);
         })
@@ -69,16 +73,17 @@ fn readers_see_only_coherent_snapshots_under_write_load() {
         .map(|r| {
             let endpoint = endpoint.clone();
             let writer_done = Arc::clone(&writer_done);
-            let committed = Arc::clone(&committed);
+            let sent = Arc::clone(&sent);
             std::thread::spawn(move || {
                 let mut c = Client::connect(&endpoint).unwrap();
                 let mut last_version = 0u64;
                 let mut observed = 0usize;
                 let mut check = |version: u64, last: &mut u64| {
-                    // `committed` is read AFTER the response arrived, so it
-                    // can only over-approximate what was published when the
-                    // request was answered — never under-approximate.
-                    let ceiling = committed.load(Ordering::SeqCst);
+                    // `sent` only grows and is read AFTER the response
+                    // arrived, so it can only over-approximate the sent
+                    // count at answer time — never under-approximate the
+                    // published version.
+                    let ceiling = sent.load(Ordering::SeqCst);
                     assert!(
                         version <= ceiling,
                         "reader {r} saw unpublished version {version} (ceiling {ceiling})"
