@@ -12,15 +12,28 @@
 //! incremental ≥ 5× faster at N = 10⁵ (the default config). Results go to
 //! `BENCH_serve.json` at the workspace root so CI can archive them.
 //!
+//! `--batched` (ISSUE 8) adds a third path: the same script replayed
+//! through `ResidentValuator::apply_batch` in groups of
+//! `KNNSHAP_BENCH_BATCH` (default 8) — one splice pass and one Theorem 1
+//! recursion per *group* instead of per mutation, exactly what the
+//! daemon's coalescing write path does under concurrent writers. Each
+//! group-final vector is asserted bitwise-equal to the per-mutation
+//! replay at the same step, then the two replay wall-clocks are compared;
+//! the acceptance bar is batched ≥ 1.5× over per-mutation at N = 10⁵.
+//!
 //! Knobs: `KNNSHAP_BENCH_N` (training points, default 100 000),
 //! `KNNSHAP_BENCH_MUTATIONS` (script length, default 16),
 //! `KNNSHAP_BENCH_NTEST` (test points, default 64 — valuation in the
 //! paper is w.r.t. a whole test set, and the per-test-point cost is where
-//! the resident engine's savings amortize its per-vector fixed cost).
-//! Gate: setting `KNNSHAP_SERVE_SPEEDUP_FLOOR` (e.g. `5`) turns the
-//! speedup report into an assertion — see docs/benchmarks.md.
+//! the resident engine's savings amortize its per-vector fixed cost),
+//! `KNNSHAP_BENCH_BATCH` (group size for `--batched`, default 8).
+//! Gates: setting `KNNSHAP_SERVE_SPEEDUP_FLOOR` (e.g. `5`) turns the
+//! incremental-vs-cold speedup report into an assertion, and
+//! `KNNSHAP_SERVE_BATCH_FLOOR` (e.g. `1.5`) does the same for the
+//! batched-vs-per-mutation speedup — see docs/benchmarks.md.
 
 use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
+use knnshap_core::resident::Mutation as EngineMutation;
 use knnshap_core::resident::ResidentValuator;
 use knnshap_core::types::ShapleyValues;
 use knnshap_datasets::synth::deepfeat::EmbeddingSpec;
@@ -53,9 +66,11 @@ fn assert_bitwise(a: &ShapleyValues, b: &ShapleyValues, step: usize) {
 }
 
 fn main() {
+    let batched_mode = std::env::args().any(|a| a == "--batched");
     let n = env_usize("KNNSHAP_BENCH_N", 100_000);
     let mutations = env_usize("KNNSHAP_BENCH_MUTATIONS", 16);
     let n_test = env_usize("KNNSHAP_BENCH_NTEST", 64);
+    let batch_size = env_usize("KNNSHAP_BENCH_BATCH", 8).max(1);
     let k = 5usize;
     let threads = knnshap_parallel::current_threads();
 
@@ -108,6 +123,43 @@ fn main() {
     }
     let incr_secs = incr_start.elapsed().as_secs_f64();
 
+    // --- Batched replay (--batched): same script, groups of B mutations
+    // through apply_batch — one splice pass + one recursion per group,
+    // the daemon's coalesced write path. Timed like the per-mutation
+    // loop (valuations inside, asserts outside); group-final vectors must
+    // equal the per-mutation replay bitwise at the same step.
+    let mut batched = None;
+    if batched_mode {
+        let mut engine =
+            ResidentValuator::new(train.clone(), test.clone(), k, threads).expect("engine");
+        let _ = engine.values();
+        let mut group_vectors = Vec::with_capacity(mutations.div_ceil(batch_size));
+        let batch_start = Instant::now();
+        for group in script.chunks(batch_size) {
+            let muts: Vec<EngineMutation> = group
+                .iter()
+                .map(|m| match m {
+                    Mutation::Insert(row, label) => EngineMutation::Insert {
+                        features: row.clone(),
+                        label: *label,
+                    },
+                    Mutation::Delete(i) => EngineMutation::Delete { index: *i },
+                })
+                .collect();
+            for ack in engine.apply_batch(&muts) {
+                ack.expect("batched mutation");
+            }
+            group_vectors.push(engine.values());
+        }
+        let batched_secs = batch_start.elapsed().as_secs_f64();
+        let mut step = 0usize;
+        for (g, v) in group_vectors.iter().enumerate() {
+            step += script[g * batch_size..].len().min(batch_size);
+            assert_bitwise(&incremental_vectors[step - 1], v, step - 1);
+        }
+        batched = Some(batched_secs);
+    }
+
     // --- Cold baseline: M × full recompute of the mutated dataset. ------
     // Mutate a plain dataset copy the same way the engine does (append;
     // delete = gather of survivors), then run the one-shot estimator.
@@ -148,7 +200,18 @@ fn main() {
     );
     println!("speedup: ×{speedup:.2} (all {mutations} steps bitwise-identical)");
 
-    // Regression gate (CI sets the floor; unset = report-only).
+    let batch_speedup = batched.map(|batched_secs| {
+        let bs = incr_secs / batched_secs;
+        println!(
+            "batched replay ({batch_size}/group): {batched_secs:.3} s total \
+             ({:.1} ms/mutation) — ×{bs:.2} over per-mutation, group-final \
+             vectors bitwise-identical",
+            batched_secs / mutations as f64 * 1e3
+        );
+        bs
+    });
+
+    // Regression gates (CI sets the floors; unset = report-only).
     if let Ok(floor) = std::env::var("KNNSHAP_SERVE_SPEEDUP_FLOOR") {
         let floor: f64 = floor
             .parse()
@@ -159,7 +222,21 @@ fn main() {
         );
         println!("gate: ×{speedup:.2} >= ×{floor} floor — ok");
     }
+    if let Ok(floor) = std::env::var("KNNSHAP_SERVE_BATCH_FLOOR") {
+        let floor: f64 = floor.parse().expect("KNNSHAP_SERVE_BATCH_FLOOR: a number");
+        let bs = batch_speedup
+            .expect("KNNSHAP_SERVE_BATCH_FLOOR set without --batched: nothing to gate");
+        assert!(
+            bs >= floor,
+            "batched speedup ×{bs:.2} regressed below the ×{floor} floor"
+        );
+        println!("batch gate: ×{bs:.2} >= ×{floor} floor — ok");
+    }
 
+    let (batch_secs_json, batch_speedup_json) = match (batched, batch_speedup) {
+        (Some(s), Some(b)) => (format!("{s:.6}"), format!("{b:.3}")),
+        _ => ("null".into(), "null".into()),
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve_incremental\",\n  \"n_train\": {n},\n  \
          \"n_test\": {n_test},\n  \"k\": {k},\n  \"dim\": {dim},\n  \
@@ -167,6 +244,9 @@ fn main() {
          \"load_seconds\": {load_secs:.6},\n  \
          \"incremental_seconds\": {incr_secs:.6},\n  \
          \"cold_seconds\": {cold_secs:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"batch_size\": {batch_size},\n  \
+         \"batched_seconds\": {batch_secs_json},\n  \
+         \"batch_speedup\": {batch_speedup_json},\n  \
          \"bitwise_identical_steps\": {mutations}\n}}\n"
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

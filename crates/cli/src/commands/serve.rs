@@ -16,14 +16,29 @@
 use crate::args::Args;
 use crate::CliError;
 use knnshap_serve::client::Client;
-use knnshap_serve::server::{bind, Endpoint, ValuationServer};
+use knnshap_serve::protocol::{BatchMutation, BatchOutcome};
+use knnshap_serve::server::{bind, Endpoint, ValuationServer, DEFAULT_QUEUE_BOUND};
+use knnshap_serve::store::DEFAULT_WHATIF_CAPACITY;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const SERVE_ALLOWED: &[&str] = &["train", "test", "k", "threads", "addr", "socket", "graph"];
-const CLIENT_ALLOWED: &[&str] = &[
-    "addr", "socket", "op", "index", "count", "point", "label", "script", "out",
+const SERVE_ALLOWED: &[&str] = &[
+    "train",
+    "test",
+    "k",
+    "threads",
+    "addr",
+    "socket",
+    "graph",
+    "queue-bound",
+    "whatif-cache",
 ];
+const CLIENT_ALLOWED: &[&str] = &[
+    "addr", "socket", "op", "index", "count", "point", "label", "script", "out", "batch",
+];
+
+/// Default mutations per `Batch` frame in `--op script --batch` mode.
+const DEFAULT_SCRIPT_BATCH: usize = 16;
 
 /// `--addr HOST:PORT` or `--socket PATH` (exactly one) → [`Endpoint`].
 fn parse_endpoint(args: &Args) -> Result<Endpoint, CliError> {
@@ -63,6 +78,10 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
         None => ValuationServer::new(train, test, k, threads),
     }
     .map_err(|e| CliError::Invalid(format!("cannot load dataset into the engine: {e}")))?;
+    // Admission bound on queued mutations (0 = read-only daemon) and
+    // what-if cache capacity (0 = caching off).
+    server.set_queue_bound(args.usize_or("queue-bound", DEFAULT_QUEUE_BOUND)?);
+    server.set_whatif_capacity(args.usize_or("whatif-cache", DEFAULT_WHATIF_CAPACITY)?);
     let stat = server.handle(&knnshap_serve::Request::Stat);
     let bound = bind(server, &endpoint).map_err(|e| CliError::Serve(e.to_string()))?;
 
@@ -173,7 +192,20 @@ pub fn run_client(args: &Args) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Invalid("--op script needs --script FILE".into()))?;
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Serve(format!("cannot read {path}: {e}")))?;
-            run_script(&mut client, &text)
+            // `--batch` (bare) or `--batch N` turns on batched replay:
+            // consecutive mutations are coalesced into `Batch` frames of
+            // up to N (default 16); what-if lines flush the group first.
+            let batch = if args.flag("batch") {
+                Some(DEFAULT_SCRIPT_BATCH)
+            } else {
+                args.str("batch")
+                    .map(|_| args.usize_or("batch", DEFAULT_SCRIPT_BATCH))
+                    .transpose()?
+            };
+            match batch {
+                Some(0) => Err(CliError::Invalid("--batch needs a group size >= 1".into())),
+                batch => run_script(&mut client, &text, batch),
+            }
         }
         "shutdown" => {
             client.shutdown().map_err(serve_err)?;
@@ -186,17 +218,24 @@ pub fn run_client(args: &Args) -> Result<String, CliError> {
     }
 }
 
-/// Replay a mutation script over one connection. Line format (blank lines
-/// and `#` comments ignored):
-///
-/// ```text
-/// insert  F1,F2,...  LABEL
-/// delete  INDEX
-/// what-if F1,F2,...  LABEL
-/// ```
-fn run_script(client: &mut Client, text: &str) -> Result<String, CliError> {
-    let mut out = String::new();
-    let mut applied = 0usize;
+/// One parsed script line, with its 1-based line number and raw text for
+/// error reporting.
+struct ScriptLine {
+    lineno: usize,
+    text: String,
+    op: ScriptOp,
+}
+
+enum ScriptOp {
+    Insert { features: Vec<f32>, label: u32 },
+    Delete { index: u64 },
+    WhatIf { features: Vec<f32>, label: u32 },
+}
+
+/// Parse the whole script up front, so a syntax error fails the run
+/// *before anything is sent* — no partial application on a bad script.
+fn parse_script(text: &str) -> Result<Vec<ScriptLine>, CliError> {
+    let mut ops = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -206,9 +245,9 @@ fn run_script(client: &mut Client, text: &str) -> Result<String, CliError> {
             |what: &str| CliError::Invalid(format!("script line {}: {what}: '{line}'", lineno + 1));
         let mut tokens = line.split_whitespace();
         let verb = tokens.next().expect("non-empty line");
-        match verb {
+        let op = match verb {
             "insert" | "what-if" => {
-                let point = parse_point(tokens.next().ok_or_else(|| bad("missing features"))?)?;
+                let features = parse_point(tokens.next().ok_or_else(|| bad("missing features"))?)?;
                 let label = tokens
                     .next()
                     .ok_or_else(|| bad("missing label"))?
@@ -218,12 +257,9 @@ fn run_script(client: &mut Client, text: &str) -> Result<String, CliError> {
                     return Err(bad("trailing tokens"));
                 }
                 if verb == "insert" {
-                    let (version, index) = client.insert(&point, label).map_err(serve_err)?;
-                    applied += 1;
-                    out.push_str(&format!("insert -> index {index} (version {version})\n"));
+                    ScriptOp::Insert { features, label }
                 } else {
-                    let (version, value) = client.what_if(&point, label).map_err(serve_err)?;
-                    out.push_str(&format!("what-if -> {value} (version {version})\n"));
+                    ScriptOp::WhatIf { features, label }
                 }
             }
             "delete" => {
@@ -235,13 +271,141 @@ fn run_script(client: &mut Client, text: &str) -> Result<String, CliError> {
                 if tokens.next().is_some() {
                     return Err(bad("trailing tokens"));
                 }
-                let (version, _) = client.delete(index).map_err(serve_err)?;
+                ScriptOp::Delete { index }
+            }
+            _ => return Err(bad("unknown verb (insert, delete, what-if)")),
+        };
+        ops.push(ScriptLine {
+            lineno: lineno + 1,
+            text: line.to_string(),
+            op,
+        });
+    }
+    Ok(ops)
+}
+
+/// A server-side failure pinned to the script line that caused it. The
+/// replay stops here; the trailer says what was (not) applied.
+fn script_err(line: &ScriptLine, detail: &str, trailer: &str) -> CliError {
+    CliError::Serve(format!(
+        "script line {} ('{}'): {detail}; stopping — {trailer}",
+        line.lineno, line.text
+    ))
+}
+
+/// Replay a mutation script over one connection. Line format (blank lines
+/// and `#` comments ignored):
+///
+/// ```text
+/// insert  F1,F2,...  LABEL
+/// delete  INDEX
+/// what-if F1,F2,...  LABEL
+/// ```
+///
+/// With `batch = Some(n)`, consecutive insert/delete lines are coalesced
+/// into `Batch` frames of up to `n` mutations (a what-if flushes the
+/// pending group first, so it sees every earlier mutation applied). The
+/// per-mutation acks carry the same versions and indices sequential replay
+/// would produce, so stdout is identical in both modes for a script that
+/// fully applies.
+///
+/// Any server-side rejection stops the replay at the failing line, with
+/// the line number in the error. In sequential mode no later mutation has
+/// been sent; in batched mode later mutations of the *same group* were
+/// already applied (the error says so) — later groups are never sent.
+fn run_script(client: &mut Client, text: &str, batch: Option<usize>) -> Result<String, CliError> {
+    let lines = parse_script(text)?;
+    let mut out = String::new();
+    let mut applied = 0usize;
+    let mut pending: Vec<&ScriptLine> = Vec::new();
+
+    let flush = |client: &mut Client,
+                 pending: &mut Vec<&ScriptLine>,
+                 out: &mut String,
+                 applied: &mut usize|
+     -> Result<(), CliError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let muts: Vec<BatchMutation> = pending
+            .iter()
+            .map(|l| match &l.op {
+                ScriptOp::Insert { features, label } => BatchMutation::Insert {
+                    features: features.clone(),
+                    label: *label,
+                },
+                ScriptOp::Delete { index } => BatchMutation::Delete { index: *index },
+                ScriptOp::WhatIf { .. } => unreachable!("what-if lines are never queued"),
+            })
+            .collect();
+        let (_, outcomes) = client.apply_batch(&muts).map_err(|e| {
+            script_err(
+                pending[0],
+                &e.to_string(),
+                "no mutation of this group was applied",
+            )
+        })?;
+        for (line, outcome) in pending.drain(..).zip(outcomes) {
+            match outcome {
+                BatchOutcome::Applied { version, index } => {
+                    *applied += 1;
+                    match &line.op {
+                        ScriptOp::Insert { .. } => {
+                            out.push_str(&format!("insert -> index {index} (version {version})\n"))
+                        }
+                        ScriptOp::Delete { .. } => {
+                            out.push_str(&format!("delete {index} (version {version})\n"))
+                        }
+                        ScriptOp::WhatIf { .. } => unreachable!(),
+                    }
+                }
+                BatchOutcome::Rejected { message, .. } => {
+                    return Err(script_err(
+                        line,
+                        &format!("server rejected: {message}"),
+                        "mutations after it in the same batch group may already be applied; \
+                         later groups were not sent",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for line in &lines {
+        match &line.op {
+            ScriptOp::WhatIf { features, label } => {
+                // A what-if must observe every earlier mutation: flush.
+                flush(client, &mut pending, &mut out, &mut applied)?;
+                let (version, value) = client
+                    .what_if(features, *label)
+                    .map_err(|e| script_err(line, &e.to_string(), "no later line was applied"))?;
+                out.push_str(&format!("what-if -> {value} (version {version})\n"));
+            }
+            ScriptOp::Insert { features, label } if batch.is_none() => {
+                let (version, index) = client
+                    .insert(features, *label)
+                    .map_err(|e| script_err(line, &e.to_string(), "no later line was applied"))?;
+                applied += 1;
+                out.push_str(&format!("insert -> index {index} (version {version})\n"));
+            }
+            ScriptOp::Delete { index } if batch.is_none() => {
+                let (version, _) = client
+                    .delete(*index)
+                    .map_err(|e| script_err(line, &e.to_string(), "no later line was applied"))?;
                 applied += 1;
                 out.push_str(&format!("delete {index} (version {version})\n"));
             }
-            _ => return Err(bad("unknown verb (insert, delete, what-if)")),
+            ScriptOp::Insert { .. } | ScriptOp::Delete { .. } => {
+                pending.push(line);
+                if pending.len() >= batch.expect("batched arm") {
+                    flush(client, &mut pending, &mut out, &mut applied)?;
+                }
+            }
         }
     }
+    flush(client, &mut pending, &mut out, &mut applied)?;
+
     let stat = client.stat().map_err(serve_err)?;
     out.push_str(&format!(
         "script done: {applied} mutations applied, dataset at version {} \
@@ -339,6 +503,99 @@ mod tests {
         assert!(out.contains("version 2"), "{out}");
         assert!(out.contains("what-if ->"), "{out}");
         std::fs::remove_file(&script).ok();
+        run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn batched_script_replay_prints_the_same_transcript() {
+        // Two daemons, same dataset; one replays the script unbatched, the
+        // other batched with a group size that forces mid-script flushes.
+        // The printed transcript (versions, indices, what-if values) must
+        // be identical — the CI smoke asserts the same for dumped CSVs.
+        let script = "insert 1,2,3,4 1\ninsert 4,3,2,1 0\nwhat-if 0,0,0,0 0\n\
+                      delete 0\ninsert 0.5,0.5,0.5,0.5 2\ndelete 3\ndelete 1\n";
+        let mut transcripts = Vec::new();
+        for batch in ["seq", "batched"] {
+            let (endpoint, daemon) = spawn_daemon(&format!("client-batch-{batch}"));
+            let dir = std::env::temp_dir();
+            let path = dir.join(format!(
+                "knnshap-cli-{}-{batch}-script.txt",
+                std::process::id()
+            ));
+            std::fs::write(&path, script).unwrap();
+            let mut argv = vec!["--op", "script", "--script", path.to_str().unwrap()];
+            if batch == "batched" {
+                argv.extend_from_slice(&["--batch", "2"]);
+            }
+            let out = run_client(&client_args(&endpoint, &argv)).unwrap();
+            std::fs::remove_file(&path).ok();
+            run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
+            daemon.join().unwrap().unwrap();
+            assert!(out.contains("6 mutations applied"), "{batch}: {out}");
+            transcripts.push(out);
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "batched and sequential replay must print identical transcripts"
+        );
+    }
+
+    #[test]
+    fn script_stops_at_the_failing_line_with_its_number() {
+        // Server-side rejection (delete out of range) mid-script: the
+        // error names the line, and the insert after it was never applied.
+        let (endpoint, daemon) = spawn_daemon("client-script-fail");
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "knnshap-cli-{}-fail-script.txt",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "# leading comment\ninsert 1,2,3,4 1\ndelete 9999\ninsert 9,9,9,9 0\n",
+        )
+        .unwrap();
+        let err = run_client(&client_args(
+            &endpoint,
+            &["--op", "script", "--script", path.to_str().unwrap()],
+        ))
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        let msg = err.to_string();
+        assert!(msg.contains("script line 3"), "{msg}");
+        assert!(msg.contains("out of range"), "{msg}");
+        assert!(msg.contains("no later line was applied"), "{msg}");
+        // Line 2 applied (version 1, n_train 26); line 4 did not.
+        let out = run_client(&client_args(&endpoint, &["--op", "stat"])).unwrap();
+        assert!(out.contains("version 1 | n_train 26"), "{out}");
+        run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn script_rejects_batch_group_size_zero() {
+        let (endpoint, daemon) = spawn_daemon("client-batch-zero");
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "knnshap-cli-{}-zero-script.txt",
+            std::process::id()
+        ));
+        std::fs::write(&path, "delete 0\n").unwrap();
+        let err = run_client(&client_args(
+            &endpoint,
+            &[
+                "--op",
+                "script",
+                "--script",
+                path.to_str().unwrap(),
+                "--batch",
+                "0",
+            ],
+        ))
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("group size"), "{err}");
         run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
         daemon.join().unwrap().unwrap();
     }

@@ -205,6 +205,110 @@ fn mutation_script_dump_matches_cold_value_run_bytewise() {
     daemon.shutdown();
 }
 
+/// ISSUE 8 satellite: a server-side rejection mid-script must stop the
+/// client **at the failing line, with its line number**, leave everything
+/// before it applied and everything after it unapplied — and fail the
+/// process so shell pipelines notice.
+#[test]
+fn script_failure_stops_at_the_failing_line_with_its_number() {
+    let dir = Scratch::new("scriptfail");
+    let (train, test) = (dir.path("train.csv"), dir.path("test.csv"));
+    synth(&train, &test);
+    let daemon = Daemon::spawn(&train, &test);
+
+    let script = dir.path("bad.txt");
+    std::fs::write(
+        &script,
+        "# line 1 is a comment\n\
+         insert 0.5,0.5,0.5,0.5 1\n\
+         delete 9999\n\
+         insert 1.0,1.0,1.0,1.0 0\n",
+    )
+    .unwrap();
+
+    let out = Command::new(bin())
+        .args([
+            "client",
+            "--addr",
+            &daemon.addr,
+            "--op",
+            "script",
+            "--script",
+            script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "failing script must fail the client");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("script line 3"),
+        "stderr must name the failing line: {stderr}"
+    );
+    assert!(
+        stderr.contains("delete 9999") && stderr.contains("out of range"),
+        "stderr must quote the line and the server's reason: {stderr}"
+    );
+    // Line 2 applied before the failure; line 4 was never sent.
+    let stat = daemon.client(&["--op", "stat"]);
+    assert!(stat.contains("version 1"), "{stat}");
+    assert!(stat.contains("n_train 41"), "{stat}");
+
+    daemon.shutdown();
+}
+
+/// Batched replay (`--batch`) at the process level: same script, two
+/// daemons, one replay coalesced and one per-line — stdout transcripts
+/// and dumped vectors must match byte for byte (the same drill CI's
+/// batched smoke performs with `cmp`).
+#[test]
+fn batched_script_replay_matches_sequential_bytewise() {
+    let dir = Scratch::new("batchrep");
+    let (train, test) = (dir.path("train.csv"), dir.path("test.csv"));
+    synth(&train, &test);
+
+    let script = dir.path("mutations.txt");
+    std::fs::write(
+        &script,
+        "insert 0.25,-1.5,2.0,0.125 1\n\
+         insert -0.75,0.5,1.0,2.0 0\n\
+         delete 3\n\
+         what-if 1.0,1.0,1.0,1.0 1\n\
+         insert 0.25,-1.5,2.0,0.125 0\n\
+         delete 0\n",
+    )
+    .unwrap();
+
+    let mut transcripts = Vec::new();
+    let mut dumps = Vec::new();
+    for batch in [None, Some("3")] {
+        let daemon = Daemon::spawn(&train, &test);
+        let mut args = vec!["--op", "script", "--script", script.to_str().unwrap()];
+        if let Some(n) = batch {
+            args.extend_from_slice(&["--batch", n]);
+        }
+        transcripts.push(daemon.client(&args));
+        let dump = dir.path(if batch.is_some() { "b.csv" } else { "s.csv" });
+        daemon.client(&["--op", "dump", "--out", dump.to_str().unwrap()]);
+        dumps.push(std::fs::read(&dump).unwrap());
+        daemon.shutdown();
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "batched transcript must match sequential"
+    );
+    assert!(
+        transcripts[0].contains("5 mutations applied"),
+        "{}",
+        transcripts[0]
+    );
+    assert!(
+        dumps[0] == dumps[1],
+        "batched dump differs from sequential:\nseq:\n{}\nbatched:\n{}",
+        String::from_utf8_lossy(&dumps[0]),
+        String::from_utf8_lossy(&dumps[1])
+    );
+}
+
 #[test]
 fn daemon_survives_failed_client_operations() {
     let dir = Scratch::new("badops");

@@ -41,6 +41,22 @@
 //! with randomized mutation interleavings, cross-checked against an
 //! independent implementation of the recurrence following the Wang–Jia
 //! correction note (arXiv:2304.04258).
+//!
+//! ### Batched mutations
+//!
+//! [`apply_batch`](ResidentValuator::apply_batch) applies a whole group of
+//! mutations with **one** rank-list splice pass (each test point's list is
+//! updated once, walking the group's splices in order) instead of one
+//! parallel pass per mutation — and, because revaluation is a separate
+//! step ([`values`](ResidentValuator::values)), a caller that coalesces M
+//! mutations pays for **one** recursion instead of M. The per-test-point
+//! splice operations are the identical ones the one-at-a-time path runs in
+//! the identical order, so the resulting rank lists — and therefore the
+//! bits of every vector computed from them — are the same as sequential
+//! application. `insert` and `delete` are in fact thin wrappers over a
+//! one-element batch, so there is exactly one splice implementation to
+//! trust. `tests/serve_batching.rs` holds batched-vs-sequential to bitwise
+//! equality over random groups.
 
 use crate::exact_unweighted::theorem1_recurrence;
 use crate::types::ShapleyValues;
@@ -87,6 +103,36 @@ impl std::fmt::Display for ResidentError {
 }
 
 impl std::error::Error for ResidentError {}
+
+/// One train-set mutation, as submitted to
+/// [`ResidentValuator::apply_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Append a training point (it takes the next free index).
+    Insert { features: Vec<f32>, label: u32 },
+    /// Remove training point `index`; survivors above renumber down by one.
+    Delete { index: usize },
+}
+
+/// A committed mutation's receipt: the train index it touched (new index
+/// for inserts, removed index for deletes) and the dataset version its
+/// commit produced — each accepted mutation of a batch gets its own
+/// consecutive version, exactly as sequential application would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Applied {
+    pub index: usize,
+    pub version: u64,
+}
+
+/// An accepted mutation, resolved against the dataset state at its point
+/// in the batch — everything the splice pass needs without re-touching the
+/// (already mutated) training set.
+enum ResolvedOp {
+    /// The new point's features and the index it was assigned.
+    Insert { row: Vec<f32>, index: u32 },
+    /// The index that was removed (as numbered when the delete applied).
+    Delete { index: usize },
+}
 
 /// Resident distance/rank state over `(train, test, K)` supporting
 /// incremental train-point insert/delete and exact revaluation.
@@ -252,64 +298,139 @@ impl ResidentValuator {
     /// stable). Each rank list gains one spliced entry after all
     /// equal-distance incumbents — exactly where the cold
     /// `(distance, index)` sort would place the largest index.
+    ///
+    /// A one-element [`apply_batch`](Self::apply_batch): single mutations
+    /// and batches share one splice implementation.
     pub fn insert(&mut self, row: &[f32], label: u32) -> Result<usize, ResidentError> {
-        self.check_point(row)?;
-        let new_idx = self.train.len();
-        assert!(
-            new_idx < u32::MAX as usize,
-            "training set exceeds u32 indices"
-        );
-        let old = std::mem::take(&mut self.ranked);
-        let test = &self.test;
-        self.ranked = knnshap_parallel::par_map(test.len(), self.threads, |j| {
-            let d = Metric::SquaredL2.eval(test.x.row(j), row);
-            let list = &old[j];
-            let pos = list.partition_point(|nb| nb.dist <= d);
-            let mut out = Vec::with_capacity(list.len() + 1);
-            out.extend_from_slice(&list[..pos]);
-            out.push(Neighbor {
-                index: new_idx as u32,
-                dist: d,
-            });
-            out.extend_from_slice(&list[pos..]);
-            out
-        });
-        self.train.x.push_row(row);
-        self.train.y.push(label);
-        self.train.n_classes = self.train.n_classes.max(label + 1);
-        self.version += 1;
-        Ok(new_idx)
+        self.apply_batch(&[Mutation::Insert {
+            features: row.to_vec(),
+            label,
+        }])
+        .pop()
+        .expect("one ack per mutation")
+        .map(|a| a.index)
     }
 
     /// Deletes training point `index`. Surviving points renumber down by
     /// one above `index` (matching what reloading the shrunk dataset would
     /// produce); renumbering preserves the survivors' relative order, so
     /// each rank list just drops one entry.
+    ///
+    /// A one-element [`apply_batch`](Self::apply_batch), like `insert`.
     pub fn delete(&mut self, index: usize) -> Result<(), ResidentError> {
-        if index >= self.train.len() {
-            return Err(ResidentError::OutOfRange {
-                index,
-                len: self.train.len(),
-            });
+        self.apply_batch(&[Mutation::Delete { index }])
+            .pop()
+            .expect("one ack per mutation")
+            .map(|_| ())
+    }
+
+    /// Applies a group of mutations with **one** rank-list pass, returning
+    /// one receipt per mutation in order.
+    ///
+    /// Semantics are exactly sequential application: each mutation is
+    /// validated against the dataset state its predecessors left behind
+    /// (an insert's index counts earlier accepted inserts, a delete's
+    /// range check sees earlier deletes), a rejected mutation is a no-op
+    /// that does not bump the version, and accepted mutations commit in
+    /// order with consecutive versions. The resulting rank lists are
+    /// bitwise-identical to one-at-a-time application because each test
+    /// point's list undergoes the identical splice operations in the
+    /// identical order — the batch only fuses M parallel passes into one.
+    ///
+    /// What a batch **saves** is everything downstream of the lists: a
+    /// caller coalescing M mutations runs [`values`](Self::values) (the
+    /// recursion + exact accumulation, the dominant cost) once instead of
+    /// M times, plus M−1 fork/join barriers. `bench_serve_incremental`
+    /// measures the gap; `KNNSHAP_SERVE_BATCH_FLOOR` gates it.
+    pub fn apply_batch(&mut self, muts: &[Mutation]) -> Vec<Result<Applied, ResidentError>> {
+        // Pass 1 (serial): validate each mutation against the evolving
+        // dataset, mutate the dataset, and resolve the splice ops.
+        let mut acks = Vec::with_capacity(muts.len());
+        let mut ops = Vec::with_capacity(muts.len());
+        for m in muts {
+            match m {
+                Mutation::Insert { features, label } => {
+                    if let Err(e) = self.check_point(features) {
+                        acks.push(Err(e));
+                        continue;
+                    }
+                    let new_idx = self.train.len();
+                    assert!(
+                        new_idx < u32::MAX as usize,
+                        "training set exceeds u32 indices"
+                    );
+                    self.train.x.push_row(features);
+                    self.train.y.push(*label);
+                    self.train.n_classes = self.train.n_classes.max(label + 1);
+                    ops.push(ResolvedOp::Insert {
+                        row: features.clone(),
+                        index: new_idx as u32,
+                    });
+                    self.version += 1;
+                    acks.push(Ok(Applied {
+                        index: new_idx,
+                        version: self.version,
+                    }));
+                }
+                Mutation::Delete { index } => {
+                    let index = *index;
+                    if index >= self.train.len() {
+                        acks.push(Err(ResidentError::OutOfRange {
+                            index,
+                            len: self.train.len(),
+                        }));
+                        continue;
+                    }
+                    if self.train.len() == 1 {
+                        acks.push(Err(ResidentError::LastPoint));
+                        continue;
+                    }
+                    let keep: Vec<usize> = (0..self.train.len()).filter(|&i| i != index).collect();
+                    self.train = self.train.gather(&keep);
+                    ops.push(ResolvedOp::Delete { index });
+                    self.version += 1;
+                    acks.push(Ok(Applied {
+                        index,
+                        version: self.version,
+                    }));
+                }
+            }
         }
-        if self.train.len() == 1 {
-            return Err(ResidentError::LastPoint);
+        if ops.is_empty() {
+            return acks; // nothing accepted — rank lists are untouched
         }
+        // Pass 2 (parallel, once per batch): replay the accepted splices
+        // in order on every rank list. Distances and splice positions are
+        // computed by the same expressions the sequential path used, so
+        // the lists come out entry-for-entry identical.
         let old = std::mem::take(&mut self.ranked);
-        self.ranked = knnshap_parallel::par_map(self.test.len(), self.threads, |j| {
-            old[j]
-                .iter()
-                .filter(|nb| nb.index as usize != index)
-                .map(|nb| Neighbor {
-                    index: nb.index - u32::from(nb.index as usize > index),
-                    dist: nb.dist,
-                })
-                .collect()
+        let test = &self.test;
+        self.ranked = knnshap_parallel::par_map(test.len(), self.threads, |j| {
+            let mut list = old[j].clone();
+            for op in &ops {
+                match op {
+                    ResolvedOp::Insert { row, index } => {
+                        let d = Metric::SquaredL2.eval(test.x.row(j), row);
+                        let pos = list.partition_point(|nb| nb.dist <= d);
+                        list.insert(
+                            pos,
+                            Neighbor {
+                                index: *index,
+                                dist: d,
+                            },
+                        );
+                    }
+                    ResolvedOp::Delete { index } => {
+                        list.retain(|nb| nb.index as usize != *index);
+                        for nb in list.iter_mut() {
+                            nb.index -= u32::from(nb.index as usize > *index);
+                        }
+                    }
+                }
+            }
+            list
         });
-        let keep: Vec<usize> = (0..self.train.len()).filter(|&i| i != index).collect();
-        self.train = self.train.gather(&keep);
-        self.version += 1;
-        Ok(())
+        acks
     }
 
     /// The Shapley vector of the current training set — bitwise-identical
@@ -554,6 +675,138 @@ mod tests {
         }
         assert_eq!(engine.delete(0).unwrap_err(), ResidentError::LastPoint);
         assert_eq!(engine.version(), 9, "failed mutations must not bump");
+    }
+
+    #[test]
+    fn batched_mutations_match_sequential_bitwise() {
+        // The core batching invariant: applying a random mutation group via
+        // apply_batch yields the same rank lists — hence the same value
+        // bits — as applying them one at a time, at serial and parallel
+        // thread counts alike.
+        let (train, test) = data(40, 7, 17);
+        for threads in [1usize, 8] {
+            let mut rng = StdRng::seed_from_u64(4242);
+            let mut batched =
+                ResidentValuator::new(train.clone(), test.clone(), 3, threads).unwrap();
+            let mut sequential =
+                ResidentValuator::new(train.clone(), test.clone(), 3, threads).unwrap();
+            for round in 0..6 {
+                let mut group = Vec::new();
+                let mut len = batched.n_train();
+                for _ in 0..rng.gen_range(1..=7) {
+                    if len > 2 && rng.gen_range(0..3) == 0 {
+                        group.push(Mutation::Delete {
+                            index: rng.gen_range(0..len),
+                        });
+                        len -= 1;
+                    } else {
+                        let features = if rng.gen_range(0..2) == 0 {
+                            batched.train().x.row(rng.gen_range(0..len)).to_vec()
+                        } else {
+                            (0..5).map(|_| rng.gen_range(-3.0..3.0)).collect()
+                        };
+                        group.push(Mutation::Insert {
+                            features,
+                            label: rng.gen_range(0..3),
+                        });
+                        len += 1;
+                    }
+                }
+                let acks = batched.apply_batch(&group);
+                assert_eq!(acks.len(), group.len(), "one ack per mutation");
+                for (m, ack) in group.iter().zip(&acks) {
+                    match m {
+                        Mutation::Insert { features, label } => {
+                            let idx = sequential.insert(features, *label).unwrap();
+                            let a = ack.as_ref().unwrap();
+                            assert_eq!(a.index, idx);
+                            assert_eq!(a.version, sequential.version());
+                        }
+                        Mutation::Delete { index } => {
+                            sequential.delete(*index).unwrap();
+                            assert_eq!(ack.as_ref().unwrap().version, sequential.version());
+                        }
+                    }
+                }
+                assert_eq!(batched.version(), sequential.version());
+                assert_bitwise(
+                    &batched.values(),
+                    &sequential.values(),
+                    &format!("threads={threads} round={round}"),
+                );
+            }
+            let cold = knn_class_shapley_with_threads(batched.train(), &test, 3, 1);
+            assert_bitwise(&batched.values(), &cold, "final vs cold recompute");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_are_per_mutation_and_do_not_bump_version() {
+        let (train, test) = data(12, 4, 29);
+        let mut engine = ResidentValuator::new(train.clone(), test.clone(), 2, 1).unwrap();
+        let acks = engine.apply_batch(&[
+            Mutation::Insert {
+                features: vec![0.25; 5],
+                label: 1,
+            },
+            Mutation::Delete { index: 99 }, // rejected: out of range
+            Mutation::Insert {
+                features: vec![1.0, f32::NAN, 0.0, 0.0, 0.0],
+                label: 0,
+            }, // rejected: non-finite
+            Mutation::Delete { index: 12 }, // accepted: the point just inserted
+        ]);
+        assert_eq!(acks.len(), 4);
+        assert_eq!(
+            acks[0].as_ref().unwrap(),
+            &Applied {
+                index: 12,
+                version: 1
+            }
+        );
+        assert_eq!(
+            acks[1].as_ref().unwrap_err(),
+            // Range check sees the state after the first insert (len 13).
+            &ResidentError::OutOfRange { index: 99, len: 13 }
+        );
+        assert_eq!(acks[2].as_ref().unwrap_err(), &ResidentError::NonFinite);
+        assert_eq!(
+            acks[3].as_ref().unwrap(),
+            &Applied {
+                index: 12,
+                version: 2
+            }
+        );
+        assert_eq!(engine.version(), 2, "rejected mutations must not bump");
+        // Net effect is insert-then-delete of the same point: identical to
+        // never touching the dataset.
+        let cold = knn_class_shapley_with_threads(&train, &test, 2, 1);
+        assert_bitwise(&engine.values(), &cold, "insert+delete round-trip");
+    }
+
+    #[test]
+    fn all_rejected_batch_leaves_rank_lists_untouched() {
+        let (train, test) = data(10, 3, 31);
+        let mut engine = ResidentValuator::new(train, test, 2, 1).unwrap();
+        let before = engine.values();
+        let acks = engine.apply_batch(&[
+            Mutation::Delete { index: 77 },
+            Mutation::Insert {
+                features: vec![1.0],
+                label: 0,
+            },
+        ]);
+        assert!(acks.iter().all(Result::is_err));
+        assert_eq!(engine.version(), 0);
+        assert_bitwise(&engine.values(), &before, "no-op batch");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (train, test) = data(8, 2, 37);
+        let mut engine = ResidentValuator::new(train, test, 1, 1).unwrap();
+        assert!(engine.apply_batch(&[]).is_empty());
+        assert_eq!(engine.version(), 0);
     }
 
     #[test]

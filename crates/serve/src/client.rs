@@ -7,7 +7,10 @@
 //! snapshot checksum, turning any torn or corrupted vector into a loud
 //! [`ClientError::ChecksumMismatch`] instead of silent bad data.
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, ProtocolError, Request, Response};
+use crate::protocol::{
+    read_frame, write_frame, BatchMutation, BatchOutcome, ErrorCode, ProtocolError, Request,
+    Response,
+};
 use crate::server::{Conn, Endpoint};
 use crate::store::Snapshot;
 use knnshap_core::types::ShapleyValues;
@@ -20,6 +23,10 @@ use std::os::unix::net::UnixStream;
 pub enum ClientError {
     /// Transport or codec failure.
     Protocol(ProtocolError),
+    /// Admission control refused the mutation: the queue is at its bound.
+    /// Nothing was enqueued or applied — retrying later is always safe,
+    /// which is why this is typed apart from [`ClientError::Server`].
+    Busy { message: String },
     /// The daemon answered with an error response.
     Server { code: ErrorCode, message: String },
     /// The daemon answered with a response type the request can't produce.
@@ -32,6 +39,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { message } => write!(f, "server busy: {message}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
@@ -45,6 +53,14 @@ impl std::fmt::Display for ClientError {
                 )
             }
         }
+    }
+}
+
+impl ClientError {
+    /// `true` iff the failure is admission control — the daemon refused
+    /// the mutation without touching any state, so a retry is safe.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy { .. })
     }
 }
 
@@ -120,6 +136,10 @@ impl Client {
                 got: 0,
             }))?;
         match Response::decode(&payload)? {
+            Response::Error {
+                code: ErrorCode::Busy,
+                message,
+            } => Err(ClientError::Busy { message }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             resp => Ok(resp),
         }
@@ -219,6 +239,23 @@ impl Client {
         match self.request(&Request::Delete { index })? {
             Response::Mutated { version, index } => Ok((version, index)),
             other => Err(unexpected("Mutated", other)),
+        }
+    }
+
+    /// Commit a whole mutation group as one coalesced engine pass
+    /// (protocol v2). Returns the dataset version after the group and one
+    /// [`BatchOutcome`] per submitted mutation, in order — a rejected
+    /// mutation does not abort the rest of the group. An admission-control
+    /// refusal surfaces as [`ClientError::Busy`] before anything applied.
+    pub fn apply_batch(
+        &mut self,
+        mutations: &[BatchMutation],
+    ) -> Result<(u64, Vec<BatchOutcome>), ClientError> {
+        match self.request(&Request::Batch {
+            mutations: mutations.to_vec(),
+        })? {
+            Response::BatchApplied { version, outcomes } => Ok((version, outcomes)),
+            other => Err(unexpected("BatchApplied", other)),
         }
     }
 

@@ -53,6 +53,9 @@ pub mod server;
 pub mod store;
 
 pub use client::{Client, ClientError, Dump, StatInfo};
-pub use protocol::{ErrorCode, ProtocolError, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
-pub use server::{bind, BoundServer, Endpoint, ValuationServer};
-pub use store::{Snapshot, VersionedStore};
+pub use protocol::{
+    BatchMutation, BatchOutcome, ErrorCode, ProtocolError, Request, Response, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use server::{bind, BoundServer, Endpoint, ValuationServer, DEFAULT_QUEUE_BOUND};
+pub use store::{Snapshot, VersionedStore, WhatIfCache, WhatIfStats, DEFAULT_WHATIF_CAPACITY};

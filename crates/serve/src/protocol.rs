@@ -7,13 +7,24 @@
 //! payload = tag byte  ||  little-endian body
 //! ```
 //!
-//! Request tags are `0x01..=0x09`, response tags `0x81..=0x88` (high bit
+//! Request tags are `0x01..=0x0A`, response tags `0x81..=0x89` (high bit
 //! set), so a stream position can never be mistaken for the other
 //! direction. The length prefix is capped at [`MAX_FRAME`]; a prefix above
 //! the cap is rejected *before* any allocation, so a corrupt or hostile
 //! peer cannot OOM the daemon (the same hardening the KNNSHARD partial
 //! format applies to its header). Full field-by-field layout in
 //! `docs/serving.md`.
+//!
+//! ## Version history
+//!
+//! * **v1** — `Stat..Shutdown` (`0x01..=0x09`) and `Stat..ShuttingDown`
+//!   (`0x81..=0x88`), error codes 1–2.
+//! * **v2** — strict superset of v1: adds [`Request::Batch`] (`0x0A`),
+//!   [`Response::BatchApplied`] (`0x89`) and [`ErrorCode::Busy`] (3) for
+//!   admission control. Every v1 frame is encoded and decoded unchanged,
+//!   so a v1 client works against a v2 daemon as long as it avoids the new
+//!   opcode; `Stat` echoes the daemon's protocol version so clients can
+//!   detect skew before relying on v2 frames.
 //!
 //! Decoding is strict: every body must parse to exactly its declared
 //! length — trailing bytes, short bodies and unknown tags are
@@ -29,7 +40,9 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME: u32 = 1 << 26;
 
 /// Protocol version, echoed in `Stat` so clients can detect skew.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 = v1 plus `Batch`/`BatchApplied` frames and the `Busy` error code;
+/// see the version history in the module docs.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // Request tags.
 const OP_STAT: u8 = 0x01;
@@ -41,6 +54,7 @@ const OP_INSERT: u8 = 0x06;
 const OP_DELETE: u8 = 0x07;
 const OP_TRAIN_CSV: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
+const OP_BATCH: u8 = 0x0A; // v2
 
 // Response tags.
 const RE_STAT: u8 = 0x81;
@@ -51,6 +65,15 @@ const RE_MUTATED: u8 = 0x85;
 const RE_TRAIN_CSV: u8 = 0x86;
 const RE_ERROR: u8 = 0x87;
 const RE_SHUTTING_DOWN: u8 = 0x88;
+const RE_BATCH_APPLIED: u8 = 0x89; // v2
+
+// Per-mutation kind bytes inside a `Batch` body.
+const MUT_INSERT: u8 = 0x00;
+const MUT_DELETE: u8 = 0x01;
+
+// Per-outcome status bytes inside a `BatchApplied` body.
+const OUT_APPLIED: u8 = 0x00;
+const OUT_REJECTED: u8 = 0x01;
 
 /// Everything that can go wrong reading or decoding a frame.
 #[derive(Debug)]
@@ -111,6 +134,9 @@ pub enum ErrorCode {
     /// The request decoded but the engine rejected it (index out of
     /// range, dimension mismatch, non-finite features, last point…).
     Rejected = 2,
+    /// Admission control: the mutation queue is at its bound. The daemon
+    /// state is untouched — retrying later is always safe. (v2)
+    Busy = 3,
 }
 
 impl ErrorCode {
@@ -118,9 +144,34 @@ impl ErrorCode {
         match b {
             1 => Ok(ErrorCode::BadRequest),
             2 => Ok(ErrorCode::Rejected),
+            3 => Ok(ErrorCode::Busy),
             _ => Err(ProtocolError::Malformed("unknown error code")),
         }
     }
+}
+
+/// One mutation inside a [`Request::Batch`] — the wire-level mirror of
+/// `knnshap_core::resident::Mutation` (u64 indices, like every other frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchMutation {
+    /// Append a training point.
+    Insert { features: Vec<f32>, label: u32 },
+    /// Remove training point `index` (indices above shift down by one).
+    Delete { index: u64 },
+}
+
+/// Per-mutation receipt inside a [`Response::BatchApplied`], in submission
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// The mutation committed: the train index it touched and the engine
+    /// version its commit produced (consecutive within the batch, exactly
+    /// as sequential application would number them).
+    Applied { version: u64, index: u64 },
+    /// The mutation was rejected by the engine; the rest of the batch
+    /// still applied. Carries the same code/message pair a lone mutation
+    /// would get in [`Response::Error`].
+    Rejected { code: ErrorCode, message: String },
 }
 
 /// A decoded client request.
@@ -140,6 +191,10 @@ pub enum Request {
     Insert { features: Vec<f32>, label: u32 },
     /// Remove training point `index` (indices above shift down by one).
     Delete { index: u64 },
+    /// Apply a group of mutations as one coalesced engine pass (one
+    /// rank-list splice sweep, one snapshot publish) with per-mutation
+    /// receipts. (v2)
+    Batch { mutations: Vec<BatchMutation> },
     /// The current training set as CSV text (features…,label per row).
     TrainCsv,
     /// Stop accepting connections and exit the accept loop.
@@ -186,6 +241,14 @@ pub enum Response {
     TrainCsv {
         version: u64,
         csv: Vec<u8>,
+    },
+    /// Receipt for a [`Request::Batch`]: the dataset version after the
+    /// whole group (== the single published snapshot version, or the
+    /// pre-batch version if nothing was accepted) plus one outcome per
+    /// submitted mutation, in order. (v2)
+    BatchApplied {
+        version: u64,
+        outcomes: Vec<BatchOutcome>,
     },
     Error {
         code: ErrorCode,
@@ -357,6 +420,23 @@ impl Request {
                 out.push(OP_DELETE);
                 out.extend_from_slice(&index.to_le_bytes());
             }
+            Request::Batch { mutations } => {
+                out.push(OP_BATCH);
+                out.extend_from_slice(&(mutations.len() as u32).to_le_bytes());
+                for m in mutations {
+                    match m {
+                        BatchMutation::Insert { features, label } => {
+                            out.push(MUT_INSERT);
+                            out.extend_from_slice(&label.to_le_bytes());
+                            put_features(&mut out, features);
+                        }
+                        BatchMutation::Delete { index } => {
+                            out.push(MUT_DELETE);
+                            out.extend_from_slice(&index.to_le_bytes());
+                        }
+                    }
+                }
+            }
             Request::TrainCsv => out.push(OP_TRAIN_CSV),
             Request::Shutdown => out.push(OP_SHUTDOWN),
         }
@@ -394,6 +474,30 @@ impl Request {
             OP_DELETE => Request::Delete {
                 index: r.u64("delete index")?,
             },
+            OP_BATCH => {
+                // Variable-size elements: `counted` guards with the
+                // smallest possible encoding (delete = 1 kind + 8 index
+                // bytes), so a forged count can still only allocate in
+                // proportion to the bytes actually on the wire.
+                let n = r.counted(9, "batch mutations")?;
+                let mut mutations = Vec::with_capacity(n);
+                for _ in 0..n {
+                    mutations.push(match r.u8("batch mutation kind")? {
+                        MUT_INSERT => {
+                            let label = r.u32("batch insert label")?;
+                            BatchMutation::Insert {
+                                features: take_features(&mut r)?,
+                                label,
+                            }
+                        }
+                        MUT_DELETE => BatchMutation::Delete {
+                            index: r.u64("batch delete index")?,
+                        },
+                        _ => return Err(ProtocolError::Malformed("batch mutation kind")),
+                    });
+                }
+                Request::Batch { mutations }
+            }
             OP_TRAIN_CSV => Request::TrainCsv,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtocolError::UnknownOpcode(other)),
@@ -471,6 +575,26 @@ impl Response {
                 out.extend_from_slice(&(message.len() as u32).to_le_bytes());
                 out.extend_from_slice(message.as_bytes());
             }
+            Response::BatchApplied { version, outcomes } => {
+                out.push(RE_BATCH_APPLIED);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+                for o in outcomes {
+                    match o {
+                        BatchOutcome::Applied { version, index } => {
+                            out.push(OUT_APPLIED);
+                            out.extend_from_slice(&version.to_le_bytes());
+                            out.extend_from_slice(&index.to_le_bytes());
+                        }
+                        BatchOutcome::Rejected { code, message } => {
+                            out.push(OUT_REJECTED);
+                            out.push(*code as u8);
+                            out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                            out.extend_from_slice(message.as_bytes());
+                        }
+                    }
+                }
+            }
             Response::ShuttingDown => out.push(RE_SHUTTING_DOWN),
         }
         out
@@ -541,6 +665,32 @@ impl Response {
                     .map_err(|_| ProtocolError::Malformed("error message not UTF-8"))?;
                 Response::Error { code, message }
             }
+            RE_BATCH_APPLIED => {
+                let version = r.u64("batch version")?;
+                // Smallest outcome: rejected = 1 status + 1 code + 4 len.
+                let n = r.counted(6, "batch outcomes")?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(match r.u8("batch outcome status")? {
+                        OUT_APPLIED => BatchOutcome::Applied {
+                            version: r.u64("batch outcome version")?,
+                            index: r.u64("batch outcome index")?,
+                        },
+                        OUT_REJECTED => {
+                            let code = ErrorCode::from_u8(r.u8("batch outcome code")?)?;
+                            let n = r.counted(1, "batch outcome message")?;
+                            let message =
+                                String::from_utf8(r.take(n, "batch outcome message")?.to_vec())
+                                    .map_err(|_| {
+                                        ProtocolError::Malformed("batch outcome not UTF-8")
+                                    })?;
+                            BatchOutcome::Rejected { code, message }
+                        }
+                        _ => return Err(ProtocolError::Malformed("batch outcome status")),
+                    });
+                }
+                Response::BatchApplied { version, outcomes }
+            }
             RE_SHUTTING_DOWN => Response::ShuttingDown,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
@@ -585,6 +735,20 @@ mod tests {
             label: 0,
         });
         round_trip_request(Request::Delete { index: u64::MAX });
+        round_trip_request(Request::Batch { mutations: vec![] });
+        round_trip_request(Request::Batch {
+            mutations: vec![
+                BatchMutation::Insert {
+                    features: vec![1.0, -0.5],
+                    label: 2,
+                },
+                BatchMutation::Delete { index: 7 },
+                BatchMutation::Insert {
+                    features: vec![],
+                    label: 0,
+                },
+            ],
+        });
         round_trip_request(Request::TrainCsv);
         round_trip_request(Request::Shutdown);
     }
@@ -625,6 +789,31 @@ mod tests {
         round_trip_response(Response::Error {
             code: ErrorCode::Rejected,
             message: "no such index".into(),
+        });
+        round_trip_response(Response::Error {
+            code: ErrorCode::Busy,
+            message: "mutation queue full".into(),
+        });
+        round_trip_response(Response::BatchApplied {
+            version: 9,
+            outcomes: vec![
+                BatchOutcome::Applied {
+                    version: 8,
+                    index: 41,
+                },
+                BatchOutcome::Rejected {
+                    code: ErrorCode::Rejected,
+                    message: "delete index 99 out of range".into(),
+                },
+                BatchOutcome::Applied {
+                    version: 9,
+                    index: 12,
+                },
+            ],
+        });
+        round_trip_response(Response::BatchApplied {
+            version: 0,
+            outcomes: vec![],
         });
         round_trip_response(Response::ShuttingDown);
     }
@@ -684,6 +873,52 @@ mod tests {
         payload.extend_from_slice(&[0u8; 8]); // far too few bytes
         assert!(matches!(
             Request::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn forged_batch_counts_cannot_allocate() {
+        // A Batch claiming u32::MAX mutations in a tiny payload must fail
+        // the count/length cross-check before any Vec::with_capacity.
+        let mut payload = vec![OP_BATCH];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[MUT_DELETE]);
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_batch_bodies_are_rejected() {
+        // Unknown mutation kind byte.
+        let mut payload = vec![OP_BATCH];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&[0x7F; 9]);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::Malformed("batch mutation kind"))
+        ));
+        // Unknown outcome status byte.
+        let mut payload = vec![RE_BATCH_APPLIED];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&[0x7F; 6]);
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(ProtocolError::Malformed("batch outcome status"))
+        ));
+        // Truncated: count says two mutations, body holds one.
+        let one = Request::Batch {
+            mutations: vec![BatchMutation::Delete { index: 3 }],
+        }
+        .encode();
+        let mut two = one.clone();
+        two[1..5].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&two),
             Err(ProtocolError::Malformed(_))
         ));
     }

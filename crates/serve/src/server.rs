@@ -7,12 +7,34 @@
 //! * **Reads** (`Stat`, `Get`, `Dump`, `TopK`) answer from the current
 //!   [`Snapshot`] — one `Arc` load, no engine lock, always a complete
 //!   vector tagged with the version it was computed under.
-//! * **Mutations** (`Insert`, `Delete`) serialize through the engine's
-//!   write lock: mutate the resident rank lists, recompute the exact
-//!   vector incrementally, and publish a fresh snapshot *before* releasing
-//!   the lock — so versions published are monotone and gapless.
+//! * **Mutations** (`Insert`, `Delete`, `Batch`) go through a bounded
+//!   **coalescing queue**: a session enqueues its mutation group, then
+//!   races for the engine's write lock. Whoever wins — the *leader* —
+//!   drains every queued group and applies them all as **one**
+//!   `ResidentValuator::apply_batch` pass (one rank-list splice sweep, one
+//!   recursion, one snapshot publish), then acks each group individually
+//!   with its per-mutation receipts. The published snapshot carries the
+//!   version after the whole drain; each ack still carries the gapless
+//!   per-commit version its mutation produced, exactly as sequential
+//!   application would number it.
+//! * **Admission control**: the queue is bounded
+//!   ([`ValuationServer::set_queue_bound`], default
+//!   [`DEFAULT_QUEUE_BOUND`] pending mutations). A group that would push
+//!   the queue past its bound is refused *before* anything is enqueued
+//!   with an [`ErrorCode::Busy`] error — the daemon's state is untouched
+//!   and a retry is always safe. Bound 0 makes the daemon read-only.
 //! * **`WhatIf`** takes the engine's *read* lock (it needs the rank lists,
-//!   not the snapshot) and is therefore simply serialized against writers.
+//!   not the snapshot) and consults a version-keyed LRU
+//!   [`WhatIfCache`] first: the lookup and any
+//!   fill happen under the read lock, so the version cannot move between
+//!   them, and a hit is byte-identical to the cold evaluation it stored.
+//!
+//! Deadlock freedom of the coalescing path: a group is acked *while the
+//! leader holds the engine write lock*. A session that enqueued and then
+//! acquired the lock either finds its group still queued (it drains and
+//! acks it itself) or the queue already drained — in which case a previous
+//! leader, who necessarily held the lock before us, already sent the ack.
+//! Either way the post-unlock `recv()` cannot block forever.
 //!
 //! The session loop never panics on protocol garbage: undecodable requests
 //! get an [`ErrorCode::BadRequest`] response (the frame boundary is
@@ -22,18 +44,19 @@
 //! session. `tests/protocol_robustness.rs` drives all three.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ProtocolError, Request, Response, PROTOCOL_VERSION,
+    read_frame, write_frame, BatchMutation, BatchOutcome, ErrorCode, ProtocolError, Request,
+    Response, PROTOCOL_VERSION,
 };
-use crate::store::{Snapshot, VersionedStore};
-use knnshap_core::resident::{ResidentError, ResidentValuator};
+use crate::store::{Snapshot, VersionedStore, WhatIfCache, WhatIfStats, DEFAULT_WHATIF_CAPACITY};
+use knnshap_core::resident::{Applied, Mutation, ResidentError, ResidentValuator};
 use knnshap_datasets::ClassDataset;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 /// Where a daemon listens (and where clients connect).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,10 +81,71 @@ impl std::fmt::Display for Endpoint {
 pub trait Conn: Read + Write + Send {}
 impl<T: Read + Write + Send> Conn for T {}
 
+/// Default bound on queued-but-unapplied mutations (sum of group sizes).
+pub const DEFAULT_QUEUE_BOUND: usize = 64;
+
+/// What a leader sends back per drained group: the per-mutation receipts
+/// plus the engine version after the whole drain (== the version of the
+/// snapshot the drain published, when anything was accepted).
+type GroupAck = (Vec<Result<Applied, ResidentError>>, u64);
+
+/// A mutation group waiting to be coalesced into the next engine pass.
+struct PendingGroup {
+    muts: Vec<Mutation>,
+    ack: mpsc::Sender<GroupAck>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    groups: Vec<PendingGroup>,
+    /// Sum of queued group sizes — what the bound is enforced against.
+    depth: usize,
+}
+
+/// The bounded coalescing queue in front of the engine write lock.
+struct MutationQueue {
+    state: Mutex<QueueState>,
+    bound: AtomicUsize,
+}
+
+impl MutationQueue {
+    fn new(bound: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            bound: AtomicUsize::new(bound),
+        }
+    }
+
+    /// Admit `muts` or refuse with `(depth, bound)` for the Busy message.
+    /// Admission is all-or-nothing per group: a refused group left nothing
+    /// behind, so the client can simply retry.
+    fn enqueue(&self, muts: Vec<Mutation>) -> Result<mpsc::Receiver<GroupAck>, (usize, usize)> {
+        let bound = self.bound.load(Ordering::SeqCst);
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.depth + muts.len() > bound {
+            return Err((state.depth, bound));
+        }
+        let (tx, rx) = mpsc::channel();
+        state.depth += muts.len();
+        state.groups.push(PendingGroup { muts, ack: tx });
+        Ok(rx)
+    }
+
+    /// Take every queued group (possibly none, if an earlier leader beat
+    /// us to them). Called only while holding the engine write lock.
+    fn drain(&self) -> Vec<PendingGroup> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.depth = 0;
+        std::mem::take(&mut state.groups)
+    }
+}
+
 /// The daemon state: resident engine, published snapshots, shutdown flag.
 pub struct ValuationServer {
     engine: RwLock<ResidentValuator>,
     store: VersionedStore,
+    queue: MutationQueue,
+    whatif: Mutex<WhatIfCache>,
     shutdown: AtomicBool,
     // Immutable once loaded; served by `Stat` without touching any lock.
     n_test: u64,
@@ -116,11 +200,40 @@ impl ValuationServer {
         Ok(Arc::new(Self {
             engine: RwLock::new(engine),
             store: VersionedStore::new(initial),
+            queue: MutationQueue::new(DEFAULT_QUEUE_BOUND),
+            whatif: Mutex::new(WhatIfCache::new(DEFAULT_WHATIF_CAPACITY)),
             shutdown: AtomicBool::new(false),
             n_test: n_test as u64,
             k: k as u64,
             dim: dim as u64,
         }))
+    }
+
+    /// Replace the admission bound on queued mutations. 0 refuses every
+    /// mutation (a read-only daemon); already-queued groups still drain.
+    pub fn set_queue_bound(&self, bound: usize) {
+        self.queue.bound.store(bound, Ordering::SeqCst);
+    }
+
+    /// The current admission bound.
+    pub fn queue_bound(&self) -> usize {
+        self.queue.bound.load(Ordering::SeqCst)
+    }
+
+    /// Replace the what-if cache capacity (0 disables caching).
+    pub fn set_whatif_capacity(&self, capacity: usize) {
+        self.whatif
+            .lock()
+            .expect("what-if cache lock poisoned")
+            .set_capacity(capacity);
+    }
+
+    /// Hit/miss/occupancy counters of the what-if cache.
+    pub fn whatif_stats(&self) -> WhatIfStats {
+        self.whatif
+            .lock()
+            .expect("what-if cache lock poisoned")
+            .stats()
     }
 
     /// Has a `Shutdown` request been accepted?
@@ -189,42 +302,97 @@ impl ValuationServer {
                 }
             }
             Request::WhatIf { features, label } => {
+                // Hold the read lock across lookup, compute and fill: the
+                // version cannot move in between, so a cached answer is
+                // always from exactly the version we report.
                 let engine = self.engine.read().expect("engine lock poisoned");
+                let version = engine.version();
+                if let Some(value) = self
+                    .whatif
+                    .lock()
+                    .expect("what-if cache lock poisoned")
+                    .get(version, features, *label)
+                {
+                    return Response::Value { version, value };
+                }
                 match engine.what_if(features, *label) {
-                    Ok(value) => Response::Value {
-                        version: engine.version(),
-                        value,
-                    },
+                    Ok(value) => {
+                        self.whatif
+                            .lock()
+                            .expect("what-if cache lock poisoned")
+                            .put(version, features, *label, value);
+                        Response::Value { version, value }
+                    }
                     Err(e) => rejected_err(e),
                 }
             }
             Request::Insert { features, label } => {
-                let mut engine = self.engine.write().expect("engine lock poisoned");
-                match engine.insert(features, *label) {
-                    Ok(index) => {
-                        self.publish_from(&engine);
-                        Response::Mutated {
-                            version: engine.version(),
-                            index: index as u64,
-                        }
-                    }
-                    Err(e) => rejected_err(e),
+                match self.mutate(vec![Mutation::Insert {
+                    features: features.clone(),
+                    label: *label,
+                }]) {
+                    Err((depth, bound)) => busy(depth, bound),
+                    Ok((mut acks, _)) => match acks.pop().expect("one ack per mutation") {
+                        Ok(a) => Response::Mutated {
+                            version: a.version,
+                            index: a.index as u64,
+                        },
+                        Err(e) => rejected_err(e),
+                    },
                 }
             }
             Request::Delete { index } => {
-                let mut engine = self.engine.write().expect("engine lock poisoned");
                 if *index > usize::MAX as u64 {
                     return rejected(format!("train index {index} out of range"));
                 }
-                match engine.delete(*index as usize) {
-                    Ok(()) => {
-                        self.publish_from(&engine);
-                        Response::Mutated {
-                            version: engine.version(),
+                match self.mutate(vec![Mutation::Delete {
+                    index: *index as usize,
+                }]) {
+                    Err((depth, bound)) => busy(depth, bound),
+                    Ok((mut acks, _)) => match acks.pop().expect("one ack per mutation") {
+                        Ok(a) => Response::Mutated {
+                            version: a.version,
                             index: *index,
-                        }
-                    }
-                    Err(e) => rejected_err(e),
+                        },
+                        Err(e) => rejected_err(e),
+                    },
+                }
+            }
+            Request::Batch { mutations } => {
+                let muts: Vec<Mutation> = mutations
+                    .iter()
+                    .map(|m| match m {
+                        BatchMutation::Insert { features, label } => Mutation::Insert {
+                            features: features.clone(),
+                            label: *label,
+                        },
+                        BatchMutation::Delete { index } => Mutation::Delete {
+                            // An index beyond the platform's usize cannot
+                            // name a real point (training sets are far
+                            // below u32::MAX): clamp to a value the engine
+                            // is guaranteed to reject as out of range.
+                            index: usize::try_from(*index).unwrap_or(usize::MAX),
+                        },
+                    })
+                    .collect();
+                match self.mutate(muts) {
+                    Err((depth, bound)) => busy(depth, bound),
+                    Ok((acks, version)) => Response::BatchApplied {
+                        version,
+                        outcomes: acks
+                            .into_iter()
+                            .map(|r| match r {
+                                Ok(a) => BatchOutcome::Applied {
+                                    version: a.version,
+                                    index: a.index as u64,
+                                },
+                                Err(e) => BatchOutcome::Rejected {
+                                    code: ErrorCode::Rejected,
+                                    message: e.to_string(),
+                                },
+                            })
+                            .collect(),
+                    },
                 }
             }
             Request::TrainCsv => {
@@ -239,6 +407,52 @@ impl ValuationServer {
                 Response::ShuttingDown
             }
         }
+    }
+
+    /// The coalescing mutation path shared by `Insert`, `Delete` and
+    /// `Batch`. Admission-checks and enqueues the group, then races for
+    /// the engine write lock; the winner (leader) drains *every* queued
+    /// group, applies them as one `apply_batch` pass, publishes a single
+    /// fresh snapshot (when anything was accepted) and acks each group.
+    /// Returns this group's per-mutation receipts plus the engine version
+    /// after the drain that applied it, or `(depth, bound)` when refused.
+    fn mutate(
+        &self,
+        muts: Vec<Mutation>,
+    ) -> Result<(Vec<Result<Applied, ResidentError>>, u64), (usize, usize)> {
+        let rx = self.queue.enqueue(muts)?;
+        {
+            let mut engine = self.engine.write().expect("engine lock poisoned");
+            let mut groups = self.queue.drain();
+            if !groups.is_empty() {
+                let sizes: Vec<usize> = groups.iter().map(|g| g.muts.len()).collect();
+                let mut combined = Vec::with_capacity(sizes.iter().sum());
+                for g in &mut groups {
+                    combined.append(&mut g.muts);
+                }
+                let acks = engine.apply_batch(&combined);
+                if acks.iter().any(Result::is_ok) {
+                    // One publish for the whole drain, at the version of
+                    // its last accepted mutation. Published versions stay
+                    // monotone; the per-commit versions in the acks stay
+                    // gapless, exactly as sequential application numbers
+                    // them.
+                    self.publish_from(&engine);
+                }
+                let version = engine.version();
+                // Hand each group its slice of the receipts, in order.
+                // Sent while we still hold the engine lock — this is what
+                // makes the post-unlock recv() below deadlock-free for
+                // every waiter (see the module docs).
+                let mut rest = acks;
+                for (g, size) in groups.into_iter().zip(sizes) {
+                    let tail = rest.split_off(size);
+                    let mine = std::mem::replace(&mut rest, tail);
+                    let _ = g.ack.send((mine, version));
+                }
+            }
+        }
+        Ok(rx.recv().expect("every drained group is acked"))
     }
 
     /// Recompute + publish under the engine's write lock, so published
@@ -257,6 +471,15 @@ fn rejected(message: String) -> Response {
     Response::Error {
         code: ErrorCode::Rejected,
         message,
+    }
+}
+
+fn busy(depth: usize, bound: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::Busy,
+        message: format!(
+            "mutation queue at its admission bound ({depth} of {bound} queued); retry later"
+        ),
     }
 }
 
@@ -610,6 +833,183 @@ mod tests {
             }
             other => panic!("wrong response: {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_coalesces_with_one_publish_and_per_mutation_acks() {
+        let s = server();
+        let twin = server(); // sequential reference
+        let resp = s.handle(&Request::Batch {
+            mutations: vec![
+                BatchMutation::Insert {
+                    features: vec![0.5; 4],
+                    label: 1,
+                },
+                BatchMutation::Delete { index: 99 }, // rejected mid-batch
+                BatchMutation::Insert {
+                    features: vec![-0.25; 4],
+                    label: 0,
+                },
+                BatchMutation::Delete { index: 3 },
+            ],
+        });
+        match resp {
+            Response::BatchApplied { version, outcomes } => {
+                assert_eq!(version, 3, "three accepted commits");
+                assert_eq!(outcomes.len(), 4);
+                assert_eq!(
+                    outcomes[0],
+                    BatchOutcome::Applied {
+                        version: 1,
+                        index: 30
+                    }
+                );
+                assert!(matches!(
+                    &outcomes[1],
+                    BatchOutcome::Rejected {
+                        code: ErrorCode::Rejected,
+                        message
+                    } if message.contains("out of range")
+                ));
+                assert_eq!(
+                    outcomes[2],
+                    BatchOutcome::Applied {
+                        version: 2,
+                        index: 31
+                    }
+                );
+                assert_eq!(
+                    outcomes[3],
+                    BatchOutcome::Applied {
+                        version: 3,
+                        index: 3
+                    }
+                );
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // One snapshot, at the final version, bitwise-equal to sequential
+        // application of the accepted mutations.
+        let snap = s.snapshot();
+        assert_eq!(snap.version, 3);
+        assert!(snap.verify());
+        for req in [
+            Request::Insert {
+                features: vec![0.5; 4],
+                label: 1,
+            },
+            Request::Insert {
+                features: vec![-0.25; 4],
+                label: 0,
+            },
+            Request::Delete { index: 3 },
+        ] {
+            assert!(matches!(twin.handle(&req), Response::Mutated { .. }));
+        }
+        let seq = twin.snapshot();
+        assert_eq!(snap.values.len(), seq.values.len());
+        for i in 0..snap.values.len() {
+            assert_eq!(
+                snap.values.get(i).to_bits(),
+                seq.values.get(i).to_bits(),
+                "batched vs sequential value {i}"
+            );
+        }
+        assert_eq!(snap.labels, seq.labels);
+    }
+
+    #[test]
+    fn empty_batch_is_acked_without_publishing() {
+        let s = server();
+        match s.handle(&Request::Batch { mutations: vec![] }) {
+            Response::BatchApplied { version, outcomes } => {
+                assert_eq!(version, 0);
+                assert!(outcomes.is_empty());
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(s.snapshot().version, 0);
+    }
+
+    #[test]
+    fn queue_bound_zero_makes_the_daemon_read_only() {
+        let s = server();
+        s.set_queue_bound(0);
+        for req in [
+            Request::Insert {
+                features: vec![0.5; 4],
+                label: 1,
+            },
+            Request::Delete { index: 0 },
+            Request::Batch {
+                mutations: vec![BatchMutation::Delete { index: 0 }],
+            },
+        ] {
+            match s.handle(&req) {
+                Response::Error {
+                    code: ErrorCode::Busy,
+                    message,
+                } => assert!(message.contains("retry"), "retryable: {message}"),
+                other => panic!("expected Busy, got {other:?}"),
+            }
+        }
+        // Nothing published, nothing mutated; reads still answer.
+        assert_eq!(s.snapshot().version, 0);
+        assert!(matches!(s.handle(&Request::Dump), Response::Vector { .. }));
+        // Re-opening the queue restores writes.
+        s.set_queue_bound(DEFAULT_QUEUE_BOUND);
+        assert!(matches!(
+            s.handle(&Request::Insert {
+                features: vec![0.5; 4],
+                label: 1,
+            }),
+            Response::Mutated { version: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn whatif_cache_hits_are_bitwise_and_die_with_the_version() {
+        let s = server();
+        let ask = |srv: &ValuationServer| match srv.handle(&Request::WhatIf {
+            features: vec![0.25; 4],
+            label: 1,
+        }) {
+            Response::Value { version, value } => (version, value),
+            other => panic!("wrong response: {other:?}"),
+        };
+        let (v0, cold) = ask(&s);
+        assert_eq!(v0, 0);
+        let (_, warm) = ask(&s);
+        assert_eq!(warm.to_bits(), cold.to_bits(), "hit must be byte-equal");
+        let stats = s.whatif_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+
+        // A version bump invalidates wholesale; the recomputed answer
+        // matches a cold engine at the new version.
+        assert!(matches!(
+            s.handle(&Request::Delete { index: 7 }),
+            Response::Mutated { version: 1, .. }
+        ));
+        let (v1, fresh) = ask(&s);
+        assert_eq!(v1, 1);
+        let engine = s.engine.read().unwrap();
+        let expect = engine.what_if(&[0.25; 4], 1).unwrap();
+        assert_eq!(fresh.to_bits(), expect.to_bits());
+        let stats = s.whatif_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.version, 1);
+        // Rejected what-ifs are not cached.
+        assert!(matches!(
+            s.handle(&Request::WhatIf {
+                features: vec![1.0],
+                label: 0
+            }),
+            Response::Error {
+                code: ErrorCode::Rejected,
+                ..
+            }
+        ));
+        assert_eq!(s.whatif_stats().len, 1);
     }
 
     #[test]

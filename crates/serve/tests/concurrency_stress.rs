@@ -11,10 +11,18 @@
 //!   single pointer swap under a lock).
 //! * **Convergence** — after the writer finishes, the served vector equals
 //!   the cold batch recompute of the final dataset bit for bit.
+//!
+//! ISSUE 8 adds the **overload** scenario: with a small admission bound,
+//! writers pushed past the queue receive the typed `Busy` refusal — they
+//! never hang and never observe a torn snapshot — every refused mutation
+//! retries to an eventual commit, committed versions stay gapless, and
+//! readers keep answering throughout. A bound of zero is the deterministic
+//! limit: a read-only daemon that refuses every mutation.
 
 use knnshap_core::exact_unweighted::knn_class_shapley_with_threads;
 use knnshap_datasets::synth::blobs::{self, BlobConfig};
 use knnshap_serve::client::Client;
+use knnshap_serve::protocol::BatchMutation;
 use knnshap_serve::server::{bind, Endpoint, ValuationServer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -218,6 +226,193 @@ fn concurrent_writers_serialize_cleanly() {
     assert_eq!(stat.n_train, 30 + (WRITERS * EACH) as u64);
     let dump = c.dump().unwrap(); // checksum-verified
     assert_eq!(dump.values.len(), stat.n_train as usize);
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// Overload: a tiny admission bound under heavy concurrent write pressure.
+/// A refused writer gets the typed `Busy` response — never a hang, never a
+/// torn snapshot — and retrying eventually commits every mutation. All
+/// committed versions are gapless and unique; a reader hammering `Stat`
+/// and checksum-verified `Dump` throughout never sees a version move
+/// backwards.
+#[test]
+fn overloaded_writers_get_busy_and_retry_to_completion() {
+    let cfg = BlobConfig {
+        n: 24,
+        dim: 3,
+        n_classes: 2,
+        ..Default::default()
+    };
+    let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 3, 11));
+    let server = ValuationServer::new(train, test, 2, 1).unwrap();
+    // Two queued mutations, tops. Concurrent groups past that are refused
+    // at the door (all-or-nothing), so the writers below MUST be prepared
+    // to see Busy — that's the point.
+    server.set_queue_bound(2);
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || bound.run());
+
+    const WRITERS: usize = 4;
+    const SINGLES: usize = 4; // per writer: single-mutation requests…
+    const BATCHES: usize = 3; // …plus two-mutation Batch frames
+    const TOTAL: usize = WRITERS * (SINGLES + 2 * BATCHES);
+
+    let writers_done = Arc::new(AtomicBool::new(false));
+    let busy_seen = Arc::new(AtomicU64::new(0));
+
+    let reader = {
+        let endpoint = endpoint.clone();
+        let writers_done = Arc::clone(&writers_done);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&endpoint).unwrap();
+            let mut last = 0u64;
+            let mut observed = 0usize;
+            while !writers_done.load(Ordering::SeqCst) || observed < 4 {
+                let s = c.stat().unwrap();
+                assert!(s.version >= last, "reader went backwards under overload");
+                last = s.version;
+                let d = c.dump().unwrap(); // torn data => ChecksumMismatch
+                assert!(d.version >= last, "dump went backwards under overload");
+                last = d.version;
+                assert_eq!(d.labels.len(), d.values.len());
+                observed += 1;
+            }
+            observed
+        })
+    };
+
+    let versions: Vec<u64> = (0..WRITERS)
+        .map(|w| {
+            let endpoint = endpoint.clone();
+            let busy_seen = Arc::clone(&busy_seen);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&endpoint).unwrap();
+                let mut committed = Vec::new();
+                for i in 0..SINGLES {
+                    let f = (w * 100 + i) as f32;
+                    loop {
+                        match c.insert(&[f, -f, f], (w % 2) as u32) {
+                            Ok((version, _)) => {
+                                committed.push(version);
+                                break;
+                            }
+                            Err(e) if e.is_busy() => {
+                                busy_seen.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("writer {w}: non-Busy failure: {e}"),
+                        }
+                    }
+                }
+                for b in 0..BATCHES {
+                    let f = (w * 100 + 50 + b) as f32;
+                    // Insert + delete-index-0: both always valid (the set
+                    // only grows net, so index 0 exists), group size 2 fits
+                    // the bound — admission is the only way this can fail.
+                    let group = [
+                        BatchMutation::Insert {
+                            features: vec![f, f, -f],
+                            label: (b % 2) as u32,
+                        },
+                        BatchMutation::Delete { index: 0 },
+                    ];
+                    loop {
+                        match c.apply_batch(&group) {
+                            Ok((_, outcomes)) => {
+                                assert_eq!(outcomes.len(), 2);
+                                for o in outcomes {
+                                    match o {
+                                        knnshap_serve::protocol::BatchOutcome::Applied {
+                                            version,
+                                            ..
+                                        } => committed.push(version),
+                                        other => panic!("writer {w}: rejected: {other:?}"),
+                                    }
+                                }
+                                break;
+                            }
+                            Err(e) if e.is_busy() => {
+                                busy_seen.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("writer {w}: non-Busy failure: {e}"),
+                        }
+                    }
+                }
+                committed
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|h| h.join().expect("writer"))
+        .collect();
+    writers_done.store(true, Ordering::SeqCst);
+    assert!(reader.join().expect("reader") >= 4);
+
+    // Every refused request was retried to a commit: the TOTAL mutations
+    // hold exactly the versions 1..=TOTAL, each once — Busy refusals are
+    // true no-ops, they never consume a version.
+    let mut sorted = versions;
+    sorted.sort_unstable();
+    let expect: Vec<u64> = (1..=TOTAL as u64).collect();
+    assert_eq!(sorted, expect, "committed versions gapless despite Busy");
+
+    let mut c = Client::connect(&endpoint).unwrap();
+    let stat = c.stat().unwrap();
+    assert_eq!(stat.version, TOTAL as u64);
+    assert_eq!(
+        stat.n_train,
+        24 + (WRITERS * SINGLES) as u64 // batch insert+delete pairs net zero
+    );
+    let dump = c.dump().unwrap(); // checksum-verified final state
+    assert_eq!(dump.values.len(), stat.n_train as usize);
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// The deterministic limit of admission control: bound zero turns the
+/// daemon read-only. Every mutation — single or batched — is refused with
+/// the typed `Busy` error, nothing is ever published, and reads keep
+/// answering version 0 throughout.
+#[test]
+fn queue_bound_zero_is_a_read_only_daemon_over_sockets() {
+    let cfg = BlobConfig {
+        n: 20,
+        dim: 2,
+        n_classes: 2,
+        ..Default::default()
+    };
+    let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 3, 7));
+    let server = ValuationServer::new(train, test, 2, 1).unwrap();
+    server.set_queue_bound(0);
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || bound.run());
+
+    let mut c = Client::connect(&endpoint).unwrap();
+    let insert = c.insert(&[0.1, 0.2], 0).unwrap_err();
+    assert!(insert.is_busy(), "insert must be refused: {insert}");
+    let delete = c.delete(0).unwrap_err();
+    assert!(delete.is_busy(), "delete must be refused: {delete}");
+    let batch = c
+        .apply_batch(&[BatchMutation::Delete { index: 0 }])
+        .unwrap_err();
+    assert!(batch.is_busy(), "batch must be refused: {batch}");
+
+    // Refusals happen before anything is enqueued or applied.
+    let stat = c.stat().unwrap();
+    assert_eq!((stat.version, stat.n_train), (0, 20));
+    let dump = c.dump().unwrap();
+    assert_eq!(dump.version, 0);
+    let (_, value) = c.what_if(&[0.3, -0.3], 1).unwrap();
+    assert!(
+        value.is_finite(),
+        "reads still answer on a read-only daemon"
+    );
 
     c.shutdown().unwrap();
     daemon.join().unwrap().unwrap();
