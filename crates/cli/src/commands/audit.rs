@@ -30,6 +30,7 @@ const ALLOWED: &[&str] = &[
     "flagged",
     "seed",
     "graph",
+    "adaptive",
 ];
 
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -58,7 +59,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .k(k)
             .weight(parse_weight(args)?)
             .method(parse_method(args)?)
-            .threads(threads);
+            .threads(threads)
+            .adaptive(args.flag("adaptive"));
         if let Some(g) = &graph {
             builder = builder.graph(g);
         }

@@ -72,16 +72,34 @@ const SHARD_PLAN_ALLOWED: &[&str] = &[
     "perms",
     "shards",
     "checkpoint-chunks",
+    "auto",
 ];
 
+/// When `--auto` caps are unset, how many shards the cost model may suggest
+/// at most — one per worker of a generously sized fleet.
+const AUTO_SHARD_CAP: usize = 64;
+
 /// `knnshap shard-plan`: derive and write a job plan into `--job DIR`.
+///
+/// With `--auto`, the shard count is derived from a measured cost model
+/// instead of being required: the datasets are loaded once, two one-item
+/// chunks are timed (the first pays the lazy distance-matrix build — the
+/// per-shard overhead every worker process repeats; the second is the
+/// steady-state per-item cost), and `knnshap_core::schedule::suggest_shards`
+/// picks the largest count that still amortizes the overhead. `--shards`
+/// then acts as an optional cap. Sharding never changes results (the merge
+/// is bitwise-deterministic), so the suggestion is purely a wall-clock call.
 pub fn run_shard_plan(args: &Args) -> Result<String, CliError> {
     args.expect_only(SHARD_PLAN_ALLOWED)?;
     let job = PathBuf::from(args.require("job")?);
     args.require("train")?;
     args.require("test")?;
-    args.require("shards")?;
-    let spec = JobSpec {
+    let auto = args.flag("auto");
+    if !auto {
+        args.require("shards")?;
+    }
+    let requested = args.usize_or("shards", 0)?;
+    let mut spec = JobSpec {
         task: parse_task(args)?,
         train: absolutize(Path::new(args.require("train")?)),
         test: absolutize(Path::new(args.require("test")?)),
@@ -89,14 +107,30 @@ pub fn run_shard_plan(args: &Args) -> Result<String, CliError> {
         weight: parse_weight(args)?,
         method: parse_job_method(args)?,
         seed: args.u64_or("seed", 42)?,
-        shards: args.usize_or("shards", 0)?,
+        shards: if auto { 1 } else { requested },
         checkpoint_chunks: args.usize_or("checkpoint-chunks", 4)?,
     };
+    let mut auto_line = None;
+    if auto {
+        let probe = plan_job(&spec).map_err(CliError::Runtime)?;
+        let cap = if requested > 0 {
+            requested
+        } else {
+            AUTO_SHARD_CAP
+        };
+        let (suggested, line) = probe_shard_count(probe, cap)?;
+        spec.shards = suggested;
+        auto_line = Some(line);
+    }
     let plan = plan_job(&spec).map_err(CliError::Runtime)?;
     let dirs = JobDirs::new(&job);
     plan.save(&dirs).map_err(CliError::Runtime)?;
 
-    let mut out = format!(
+    let mut out = String::new();
+    if let Some(line) = auto_line {
+        out.push_str(&line);
+    }
+    out += &format!(
         "planned {} job {:016x}: {} training points, {} items across {} shards \
          ({} checkpoint chunks each)\n",
         plan.kind.name(),
@@ -121,6 +155,46 @@ pub fn run_shard_plan(args: &Args) -> Result<String, CliError> {
         job.display(),
     ));
     Ok(out)
+}
+
+/// Measure the `--auto` cost model on a probe plan and return the suggested
+/// shard count plus a report line. The probes are ordinary one-item chunk
+/// computations whose partials are discarded — nothing is written, so the
+/// measurement cannot perturb the job the final plan describes.
+fn probe_shard_count(probe: JobPlan, max_shards: usize) -> Result<(usize, String), CliError> {
+    use knnshap_core::sharding::ShardSpec;
+    use knnshap_runtime::dispatch::PreparedJob;
+    let total = probe.total_items as usize;
+    let t0 = std::time::Instant::now();
+    let prepared = PreparedJob::from_plan(probe).map_err(CliError::Runtime)?;
+    let load_secs = t0.elapsed().as_secs_f64();
+    // The first one-item chunk pays the lazy utility build (distance
+    // matrices) — a cost every shard-owning worker process repeats. The
+    // second reuses it and times the steady state.
+    let t1 = std::time::Instant::now();
+    prepared.compute_chunk(ShardSpec::new(0, total.max(1)), 1);
+    let first_secs = t1.elapsed().as_secs_f64();
+    let (per_item, overhead) = if total >= 2 {
+        let t2 = std::time::Instant::now();
+        prepared.compute_chunk(ShardSpec::new(1, total), 1);
+        let per = t2.elapsed().as_secs_f64();
+        (per, load_secs + (first_secs - per).max(0.0))
+    } else {
+        (first_secs, load_secs)
+    };
+    let suggested = knnshap_core::schedule::suggest_shards(per_item, overhead, total, max_shards);
+    Ok((
+        suggested,
+        format!(
+            "auto-sharding: measured {:.3} ms/item, {:.3} ms/shard overhead over {} items \
+             => {} shard(s) (cap {})\n",
+            per_item * 1e3,
+            overhead * 1e3,
+            total,
+            suggested,
+            max_shards,
+        ),
+    ))
 }
 
 const WORKER_ALLOWED: &[&str] = &["job", "threads", "worker-id", "graph"];
@@ -357,6 +431,53 @@ mod tests {
         assert_eq!(plan.spec.shards, 3);
         assert_eq!(plan.total_items, 6);
         std::fs::remove_dir_all(&job).ok();
+    }
+
+    #[test]
+    fn shard_plan_auto_derives_a_count_and_respects_the_cap() {
+        let (t, q) = csv_pair("plan-auto", 40, 8);
+        let job = job_dir("plan-auto");
+        // --auto with --shards as a cap: the suggestion may never exceed it.
+        let report = crate::run([
+            "shard-plan",
+            "--train",
+            t.to_str().unwrap(),
+            "--test",
+            q.to_str().unwrap(),
+            "--job",
+            job.to_str().unwrap(),
+            "--auto",
+            "--shards",
+            "4",
+            "--k",
+            "2",
+        ])
+        .unwrap();
+        assert!(report.contains("auto-sharding: measured"), "{report}");
+        let plan = JobPlan::load(&JobDirs::new(&job)).unwrap();
+        assert!(
+            (1..=4).contains(&plan.spec.shards),
+            "suggested {} shards",
+            plan.spec.shards
+        );
+        std::fs::remove_dir_all(&job).ok();
+
+        // --auto alone: --shards is no longer required.
+        let job2 = job_dir("plan-auto-free");
+        crate::run([
+            "shard-plan",
+            "--train",
+            t.to_str().unwrap(),
+            "--test",
+            q.to_str().unwrap(),
+            "--job",
+            job2.to_str().unwrap(),
+            "--auto",
+        ])
+        .unwrap();
+        let plan2 = JobPlan::load(&JobDirs::new(&job2)).unwrap();
+        assert!(plan2.spec.shards >= 1);
+        std::fs::remove_dir_all(&job2).ok();
     }
 
     #[test]

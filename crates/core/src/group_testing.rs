@@ -95,16 +95,9 @@ struct GtAcc {
     pool: Vec<usize>,
 }
 
-/// The shared fold of the unsharded estimator and the shard entry point:
-/// exact per-point/shared accumulators over coalition-test streams `range`.
-fn shard_sums<U: Utility + ?Sized>(
-    u: &U,
-    streams: RngStreams,
-    range: std::ops::Range<usize>,
-    threads: usize,
-) -> (ExactVec, ExactSum) {
-    let n = u.n();
-    // q(k) ∝ 1/k + 1/(N−k), cumulative for inverse-CDF sampling.
+/// `q(k) ∝ 1/k + 1/(N−k)`, cumulative for inverse-CDF sampling — shared by
+/// the fold and the cost-model probe so both draw identical coalitions.
+fn size_cdf(n: usize) -> Vec<f64> {
     let z = z_constant(n);
     let mut cdf = Vec::with_capacity(n - 1);
     let mut acc = 0.0f64;
@@ -112,32 +105,68 @@ fn shard_sums<U: Utility + ?Sized>(
         acc += (1.0 / k as f64 + 1.0 / (n - k) as f64) / z;
         cdf.push(acc);
     }
+    cdf
+}
+
+/// Draw coalition-test `t`'s `(size, shuffled pool)` and evaluate it — the
+/// per-item body of the fold, a pure function of `(u, streams, cdf, t)`.
+fn eval_test<U: Utility + ?Sized>(
+    u: &U,
+    streams: &RngStreams,
+    cdf: &[f64],
+    pool: &mut [usize],
+    t: usize,
+) -> (usize, f64) {
+    let n = pool.len();
+    let mut rng = streams.stream(t as u64);
+    let x: f64 = rng.gen();
+    let k = (cdf.partition_point(|&c| c < x) + 1).min(n - 1);
+    identity_shuffle(&mut rng, pool);
+    (k, u.eval(&pool[..k]))
+}
+
+/// The shared fold of the unsharded estimator, the shard entry point and the
+/// adaptive scheduler: exact per-point/shared accumulators over
+/// coalition-test streams `range`, tiled per `plan` (`None` ⇒ the static
+/// blocks-per-thread default). The tiling is bitwise-free: accumulators are
+/// exact, so every block partition deposits the same multiset of summands.
+fn shard_sums<U: Utility + ?Sized>(
+    u: &U,
+    streams: RngStreams,
+    range: std::ops::Range<usize>,
+    threads: usize,
+    plan: Option<crate::schedule::FanoutPlan>,
+) -> (ExactVec, ExactSum) {
+    let n = u.n();
+    let cdf = size_cdf(n);
 
     // Accumulate per-point weighted membership sums so that
     //   ŝ_i = ν(I)/N + (Z/T)·(point_i − shared)    (see module docs);
     // members of test t pick up u_t (= u_t·N/N), every point owes the
     // `u_t·k_t/N` share, tracked once as a scalar instead of N subtractions.
+    let (fold_threads, block) = match plan {
+        Some(p) => (p.threads, p.block_items),
+        None => (
+            threads,
+            crate::sharding::static_fold_block(range.len(), threads),
+        ),
+    };
     let total = std::sync::Mutex::new((ExactVec::zeros(n), ExactSum::new()));
-    crate::sharding::exact_block_fold(
+    crate::sharding::exact_block_fold_sized(
         range.len(),
-        threads,
+        fold_threads,
+        block,
         || GtAcc {
             point: ExactVec::zeros(n),
             shared: ExactSum::new(),
             pool: (0..n).collect(),
         },
         |acc, t| {
-            let t = range.start + t;
-            let mut rng = streams.stream(t as u64);
-            let x: f64 = rng.gen();
-            let k = (cdf.partition_point(|&c| c < x) + 1).min(n - 1);
-            identity_shuffle(&mut rng, &mut acc.pool);
-            let coalition = &acc.pool[..k];
-            let ut = u.eval(coalition);
+            let (k, ut) = eval_test(u, &streams, &cdf, &mut acc.pool, range.start + t);
             if ut == 0.0 {
                 return;
             }
-            for &i in coalition {
+            for &i in &acc.pool[..k] {
                 acc.point.add(i, ut);
             }
             acc.shared.add(ut * k as f64 / n as f64);
@@ -194,9 +223,74 @@ pub fn group_testing_shapley_with_threads<U: Utility + ?Sized>(
     assert!(n >= 2, "need at least two players");
     assert!(tests >= 1, "need at least one test");
     let streams = RngStreams::new(seed);
-    let (point, shared) = shard_sums(u, streams, 0..tests, threads);
+    let (point, shared) = shard_sums(u, streams, 0..tests, threads, None);
     let values = recover_values(u.grand(), tests, point.values(), shared.value());
     GroupTestingResult { values, tests }
+}
+
+/// [`group_testing_shapley_with_threads`] scheduled by the measured cost
+/// model of [`crate::schedule`]: warmup coalition tests are timed, a
+/// fan-out plan is derived (or pinned by the `KNNSHAP_SCHED_FORCE` test
+/// hook), and the fold runs on the scheduler's tiling. Bitwise-identical to
+/// the static path at every thread count — the plan only re-tiles which
+/// test streams run in which block, and the accumulators are exact.
+pub fn group_testing_shapley_adaptive<U: Utility + ?Sized>(
+    u: &U,
+    tests: usize,
+    seed: u64,
+    threads: usize,
+) -> GroupTestingResult {
+    let n = u.n();
+    assert!(n >= 2, "need at least two players");
+    assert!(tests >= 1, "need at least one test");
+    let streams = RngStreams::new(seed);
+    let model = measure_gt_model(u, &streams, tests.min(2));
+    let force = crate::schedule::forced();
+    let plan = crate::schedule::plan_fanout(&model, tests, threads, force.as_ref());
+    let (point, shared) = shard_sums(u, streams, 0..tests, plan.threads, Some(plan));
+    let values = recover_values(u.grand(), tests, point.values(), shared.value());
+    GroupTestingResult { values, tests }
+}
+
+/// Sample a [`crate::schedule::CostModel`] for the group-testing fold: time
+/// the per-block accumulator setup, `warmup` real coalition tests (streams
+/// `0..warmup`, re-run by the fold afterwards — each is a pure function of
+/// `(seed, t)`), and one accumulator merge.
+fn measure_gt_model<U: Utility + ?Sized>(
+    u: &U,
+    streams: &RngStreams,
+    warmup: usize,
+) -> crate::schedule::CostModel {
+    use std::time::Instant;
+    let n = u.n();
+    let cdf = size_cdf(n);
+
+    let fork_t = Instant::now();
+    let mut point = ExactVec::zeros(n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    let fork_secs = fork_t.elapsed().as_secs_f64();
+
+    let items_t = Instant::now();
+    for t in 0..warmup {
+        let (k, ut) = eval_test(u, streams, &cdf, &mut pool, t);
+        if ut != 0.0 {
+            for &i in &pool[..k] {
+                point.add(i, ut);
+            }
+        }
+    }
+    let per_item_secs = items_t.elapsed().as_secs_f64() / warmup.max(1) as f64;
+
+    let mut total = ExactVec::zeros(n);
+    let merge_t = Instant::now();
+    total.merge(&point);
+    let merge_secs = merge_t.elapsed().as_secs_f64();
+
+    crate::schedule::CostModel {
+        per_item_secs,
+        fork_secs,
+        merge_secs,
+    }
 }
 
 /// The job fingerprint of the group-testing family (utility content + seed).
@@ -264,7 +358,7 @@ pub fn group_testing_shapley_shard<U: Utility + ?Sized>(
     assert!(tests >= 1, "need at least one test");
     let streams = RngStreams::new(seed);
     let range = spec.range(tests);
-    let (point, shared) = shard_sums(u, streams, range.clone(), threads);
+    let (point, shared) = shard_sums(u, streams, range.clone(), threads, None);
     let mut aux = ExactVec::zeros(1);
     aux.merge_scalar(0, &shared);
     let fingerprint = group_testing_fingerprint(u, seed);

@@ -155,6 +155,94 @@ where
     total.into_inner().expect("fold poisoned")
 }
 
+/// [`run_fanout`] with a scheduler-chosen block size
+/// ([`crate::sharding::exact_block_fold_sized`]). Exact accumulation makes
+/// the tiling bitwise-free: every block size deposits the same multiset of
+/// summands into an order/grouping-invariant merge.
+fn run_fanout_tiled<W, F>(
+    n: usize,
+    range: std::ops::Range<usize>,
+    plan: crate::schedule::FanoutPlan,
+    make_worker: F,
+) -> ExactVec
+where
+    W: FnMut(usize, &mut [f64]) + Send,
+    F: Fn() -> W + Sync,
+{
+    let total = std::sync::Mutex::new(ExactVec::zeros(n));
+    crate::sharding::exact_block_fold_sized(
+        range.len(),
+        plan.threads,
+        plan.block_items,
+        || BlockAcc {
+            worker: make_worker(),
+            sums: ExactVec::zeros(n),
+            phi: vec![0.0; n],
+        },
+        |acc, t| {
+            (acc.worker)(range.start + t, &mut acc.phi);
+            acc.sums.add_dense(&acc.phi);
+        },
+        |acc| total.lock().expect("fold poisoned").merge(&acc.sums),
+    );
+    total.into_inner().expect("fold poisoned")
+}
+
+/// Sample a [`crate::schedule::CostModel`] from warmup items of the actual
+/// job: time one worker fork (plus the exact accumulator a block allocates),
+/// `warmup` permutations, and one accumulator merge. The warmup streams are
+/// re-run by the real pass afterwards — permutation `t` is a pure function
+/// of `(seed, t)`, so re-running it is free of side effects and the sampled
+/// work is thrown away.
+fn measure_mc_model<W, F>(n: usize, warmup: usize, make_worker: &F) -> crate::schedule::CostModel
+where
+    W: FnMut(usize, &mut [f64]) + Send,
+    F: Fn() -> W + Sync,
+{
+    use std::time::Instant;
+    let fork_t = Instant::now();
+    let mut worker = make_worker();
+    let mut sums = ExactVec::zeros(n);
+    let fork_secs = fork_t.elapsed().as_secs_f64();
+
+    let mut phi = vec![0.0f64; n];
+    let items_t = Instant::now();
+    for t in 0..warmup {
+        worker(t, &mut phi);
+        sums.add_dense(&phi);
+    }
+    let per_item_secs = items_t.elapsed().as_secs_f64() / warmup.max(1) as f64;
+
+    let mut total = ExactVec::zeros(n);
+    let merge_t = Instant::now();
+    total.merge(&sums);
+    let merge_secs = merge_t.elapsed().as_secs_f64();
+
+    crate::schedule::CostModel {
+        per_item_secs,
+        fork_secs,
+        merge_secs,
+    }
+}
+
+/// How many warmup permutations the adaptive entry points sample before
+/// planning. Small on purpose: the samples are re-run by the real pass.
+const MC_WARMUP: usize = 2;
+
+/// The static (non-measured) round tiling: `mc_round_size(budget)` streams
+/// per round, chunked a few permutations per fork so fork cost amortizes
+/// even without a cost model. Pure function of `(budget, threads)` — never
+/// of measured time — so the static estimators stay reproducible plans.
+fn static_round_plan(budget: usize, threads: usize) -> crate::schedule::RoundPlan {
+    let round = crate::bounds::mc_round_size(budget);
+    let workers = threads.max(1);
+    crate::schedule::RoundPlan {
+        threads: workers,
+        round,
+        chunk_perms: round.div_ceil(workers.saturating_mul(4)).max(1),
+    }
+}
+
 /// Round-path drive of both estimators (heuristic stopping and/or
 /// snapshots): `make_worker()` builds a block-local closure that fills
 /// permutation `t`'s marginal-contribution vector (one entry per training
@@ -164,7 +252,7 @@ fn drive_rounds<W, F>(
     n: usize,
     rule: StoppingRule,
     snapshot_every: Option<usize>,
-    threads: usize,
+    plan: crate::schedule::RoundPlan,
     make_worker: F,
 ) -> McResult
 where
@@ -174,27 +262,36 @@ where
     let budget = rule.budget(n);
     let threshold = rule.threshold();
 
-    // Launch `mc_round_size(budget)` streams at a time, then fold
-    // them into the running estimate in permutation order so the heuristic
-    // check and snapshots see exactly the serial per-permutation sequence.
-    let round = crate::bounds::mc_round_size(budget);
+    // Launch `plan.round` streams at a time into one flat buffer (chunks of
+    // `plan.chunk_perms` permutations per worker fork, so fork cost is paid
+    // per chunk, not per permutation), then fold them into the running
+    // estimate in permutation order so the heuristic check and snapshots see
+    // exactly the serial per-permutation sequence. Round and chunk sizes are
+    // bitwise-free: the fold order and the per-permutation stop/snapshot
+    // checks never depend on them.
+    let round = plan.round.clamp(1, budget.max(1));
+    let chunk_perms = plan.chunk_perms.clamp(1, round);
+    let threads = plan.threads.max(1);
+    let mut round_buf = vec![0.0f64; round * n];
     let mut sums = CompensatedVec::zeros(n);
     let mut snapshots = Vec::new();
     let mut t = 0usize;
     'drawing: while t < budget {
         let base = t;
         let count = round.min(budget - base);
-        // One worker per permutation: a fork's scratch (a few heaps + two
-        // n-vectors) is negligible next to the permutation's own O(N·N_test)
-        // insertion work, and per-call construction keeps this path a plain
-        // order-preserving map.
-        let phis: Vec<Vec<f64>> = knnshap_parallel::par_map(count, threads, |j| {
-            let mut phi = vec![0.0; n];
+        let buf = &mut round_buf[..count * n];
+        // `buf` is `count` permutation slots of `n` entries; a chunk size
+        // that is a multiple of `n` keeps every chunk boundary on a
+        // permutation boundary. Workers fully overwrite their slots, so no
+        // zeroing between rounds is needed.
+        knnshap_parallel::par_chunks(buf, chunk_perms * n, threads, |start, sub| {
             let mut worker = make_worker();
-            worker(base + j, &mut phi);
-            phi
+            let first = base + start / n;
+            for (j, phi) in sub.chunks_mut(n).enumerate() {
+                worker(first + j, phi);
+            }
         });
-        for phi in phis {
+        for phi in round_buf[..count * n].chunks(n) {
             let mut max_update = 0.0f64;
             for (i, &p) in phi.iter().enumerate() {
                 let old_est = if t == 0 {
@@ -273,10 +370,49 @@ pub fn mc_shapley_baseline_with_threads<U: Utility + ?Sized>(
     let nu_empty = u.eval(&[]);
     let make_worker = || baseline_worker(u, streams, nu_empty);
     if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
-        return drive_rounds(n, rule, snapshot_every, threads, make_worker);
+        let plan = static_round_plan(rule.budget(n), threads);
+        return drive_rounds(n, rule, snapshot_every, plan, make_worker);
     }
     let budget = rule.budget(n);
     let sums = run_fanout(n, 0..budget, threads, make_worker);
+    McResult {
+        values: crate::sharding::finalize_mean(&sums, budget as u64),
+        permutations: budget,
+        snapshots: Vec::new(),
+    }
+}
+
+/// [`mc_shapley_baseline_with_threads`] scheduled by the measured cost
+/// model of [`crate::schedule`]: warmup permutations are timed, a plan is
+/// derived (or pinned by the `KNNSHAP_SCHED_FORCE` test hook), and the run
+/// proceeds on the scheduler's tiling. Output is **bitwise-identical** to
+/// the static path at every thread count and under every forced schedule —
+/// the plan only re-tiles which permutations run in which block/round (see
+/// the [`crate::schedule`] docs); `tests/schedule_determinism.rs` enforces
+/// it.
+pub fn mc_shapley_baseline_adaptive<U: Utility + ?Sized>(
+    u: &U,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+    threads: usize,
+) -> McResult {
+    let n = u.n();
+    let budget = rule.budget(n);
+    if budget == 0 {
+        return mc_shapley_baseline_with_threads(u, rule, seed, snapshot_every, threads);
+    }
+    let streams = RngStreams::new(seed);
+    let nu_empty = u.eval(&[]);
+    let make_worker = || baseline_worker(u, streams, nu_empty);
+    let model = measure_mc_model(n, MC_WARMUP.min(budget), &make_worker);
+    let force = crate::schedule::forced();
+    if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
+        let plan = crate::schedule::plan_rounds(&model, budget, threads, force.as_ref());
+        return drive_rounds(n, rule, snapshot_every, plan, make_worker);
+    }
+    let plan = crate::schedule::plan_fanout(&model, budget, threads, force.as_ref());
+    let sums = run_fanout_tiled(n, 0..budget, plan, make_worker);
     McResult {
         values: crate::sharding::finalize_mean(&sums, budget as u64),
         permutations: budget,
@@ -428,6 +564,19 @@ pub struct IncKnnUtility {
     per_test: Vec<f64>,
     /// Current total (mean over tests).
     total: f64,
+    /// Reusable recompute buffers. Before this scratch, every K-set change
+    /// allocated three fresh vectors (sorted members, distances, weights) —
+    /// ~3·K·log N allocations per permutation, which serialized parallel MC
+    /// on the allocator (the `BENCH_mc.json` thread-scaling stall).
+    scratch: IncScratch,
+}
+
+/// The per-utility recompute buffers of [`IncKnnUtility::recompute_one`].
+#[derive(Default)]
+struct IncScratch {
+    members: Vec<(f32, u32)>,
+    dists: Vec<f32>,
+    weights: Vec<f64>,
 }
 
 enum IncTask {
@@ -449,6 +598,7 @@ impl IncKnnUtility {
             heaps: (0..n_test).map(|_| KnnHeap::new(k)).collect(),
             per_test: vec![0.0; n_test],
             total: 0.0,
+            scratch: IncScratch::default(),
         }
     }
 
@@ -636,19 +786,32 @@ impl IncKnnUtility {
         self.total = 0.0;
     }
 
-    /// Recompute one test point's utility contribution from its heap.
-    fn recompute(&self, j: usize) -> f64 {
-        let heap = &self.heaps[j];
-        let members = heap.sorted();
-        let dists: Vec<f32> = members.iter().map(|&(d, _)| d).collect();
-        let w = self.shared.weight.weights(&dists, self.shared.k);
-        match &self.shared.task {
+    /// Recompute one test point's utility contribution from its heap. All
+    /// buffers come from `scratch` (no per-change allocation — this runs
+    /// ~K·log N times per permutation); the arithmetic order is identical
+    /// to the historical allocate-per-call version, so the bits are too.
+    fn recompute_one(
+        shared: &IncShared,
+        heap: &KnnHeap,
+        j: usize,
+        scratch: &mut IncScratch,
+    ) -> f64 {
+        heap.sorted_into(&mut scratch.members);
+        scratch.dists.clear();
+        scratch
+            .dists
+            .extend(scratch.members.iter().map(|&(d, _)| d));
+        shared
+            .weight
+            .weights_into(&scratch.dists, shared.k, &mut scratch.weights);
+        let (members, w) = (&scratch.members, &scratch.weights);
+        match &shared.task {
             IncTask::Class {
                 labels,
                 test_labels,
             } => members
                 .iter()
-                .zip(&w)
+                .zip(w)
                 .filter(|(&(_, i), _)| labels[i as usize] == test_labels[j])
                 .map(|(_, &wk)| wk)
                 .sum(),
@@ -661,7 +824,7 @@ impl IncKnnUtility {
                 }
                 let pred: f64 = members
                     .iter()
-                    .zip(&w)
+                    .zip(w)
                     .map(|(&(_, i), &wk)| wk * targets[i as usize])
                     .sum();
                 let e = pred - test_targets[j];
@@ -673,11 +836,12 @@ impl IncKnnUtility {
     /// Insert training point `i`; `Some(total)` iff any K-NN set changed.
     pub fn insert(&mut self, i: usize) -> Option<f64> {
         let mut changed = false;
-        for j in 0..self.n_test() {
+        let n_test = self.n_test();
+        for j in 0..n_test {
             let d = self.shared.dist.row(j)[i];
             if self.heaps[j].insert(d, i as u32).changed() {
-                let nu = self.recompute(j);
-                self.total += (nu - self.per_test[j]) / self.n_test() as f64;
+                let nu = Self::recompute_one(&self.shared, &self.heaps[j], j, &mut self.scratch);
+                self.total += (nu - self.per_test[j]) / n_test as f64;
                 self.per_test[j] = nu;
                 changed = true;
             }
@@ -737,10 +901,44 @@ pub fn mc_shapley_improved_with_threads(
     let streams = RngStreams::new(seed);
     let make_worker = || improved_worker(u, streams);
     if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
-        return drive_rounds(n, rule, snapshot_every, threads, make_worker);
+        let plan = static_round_plan(rule.budget(n), threads);
+        return drive_rounds(n, rule, snapshot_every, plan, make_worker);
     }
     let budget = rule.budget(n);
     let sums = run_fanout(n, 0..budget, threads, make_worker);
+    McResult {
+        values: crate::sharding::finalize_mean(&sums, budget as u64),
+        permutations: budget,
+        snapshots: Vec::new(),
+    }
+}
+
+/// [`mc_shapley_improved_with_threads`] scheduled by the measured cost model
+/// (see [`mc_shapley_baseline_adaptive`] — same contract: the plan is
+/// derived from warmup timings or pinned by `KNNSHAP_SCHED_FORCE`, and the
+/// output is bitwise-identical to the static path at every thread count).
+pub fn mc_shapley_improved_adaptive(
+    u: &IncKnnUtility,
+    rule: StoppingRule,
+    seed: u64,
+    snapshot_every: Option<usize>,
+    threads: usize,
+) -> McResult {
+    let n = u.n();
+    let budget = rule.budget(n);
+    if budget == 0 {
+        return mc_shapley_improved_with_threads(u, rule, seed, snapshot_every, threads);
+    }
+    let streams = RngStreams::new(seed);
+    let make_worker = || improved_worker(u, streams);
+    let model = measure_mc_model(n, MC_WARMUP.min(budget), &make_worker);
+    let force = crate::schedule::forced();
+    if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
+        let plan = crate::schedule::plan_rounds(&model, budget, threads, force.as_ref());
+        return drive_rounds(n, rule, snapshot_every, plan, make_worker);
+    }
+    let plan = crate::schedule::plan_fanout(&model, budget, threads, force.as_ref());
+    let sums = run_fanout_tiled(n, 0..budget, plan, make_worker);
     McResult {
         values: crate::sharding::finalize_mean(&sums, budget as u64),
         permutations: budget,

@@ -135,6 +135,7 @@ pub struct KnnShapley<'a> {
     method: Method,
     threads: usize,
     graph: Option<&'a KnnGraph>,
+    adaptive: bool,
 }
 
 impl<'a> KnnShapley<'a> {
@@ -150,6 +151,7 @@ impl<'a> KnnShapley<'a> {
             method: Method::Exact,
             threads: knnshap_parallel::current_threads(),
             graph: None,
+            adaptive: false,
         }
     }
 
@@ -171,6 +173,16 @@ impl<'a> KnnShapley<'a> {
 
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Schedule the budget-driven methods (Monte Carlo, truncated) by the
+    /// measured cost model of [`crate::schedule`] instead of the static
+    /// heuristics. Bitwise-identical output either way — the scheduler only
+    /// re-tiles which items run in which block/round; the closed-form
+    /// methods ignore the flag.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -266,6 +278,13 @@ impl<'a> KnnShapley<'a> {
                         g,
                         self.threads,
                     ),
+                    None if self.adaptive => crate::truncated::truncated_class_shapley_adaptive(
+                        self.train,
+                        self.test,
+                        self.k,
+                        eps,
+                        self.threads,
+                    ),
                     None => crate::truncated::truncated_class_shapley_with_threads(
                         self.train,
                         self.test,
@@ -358,8 +377,11 @@ impl<'a> KnnShapley<'a> {
                         self.weight,
                     ),
                 };
-                let res =
-                    crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads);
+                let res = if self.adaptive {
+                    crate::mc::mc_shapley_baseline_adaptive(&u, rule, seed, None, self.threads)
+                } else {
+                    crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads)
+                };
                 Ok(Valuation {
                     values: res.values,
                     permutations: Some(res.permutations),
@@ -378,13 +400,17 @@ impl<'a> KnnShapley<'a> {
                         IncKnnUtility::classification(self.train, self.test, self.k, self.weight)
                     }
                 };
-                let res = crate::mc::mc_shapley_improved_with_threads(
-                    &inc,
-                    rule,
-                    seed,
-                    None,
-                    self.threads,
-                );
+                let res = if self.adaptive {
+                    crate::mc::mc_shapley_improved_adaptive(&inc, rule, seed, None, self.threads)
+                } else {
+                    crate::mc::mc_shapley_improved_with_threads(
+                        &inc,
+                        rule,
+                        seed,
+                        None,
+                        self.threads,
+                    )
+                };
                 Ok(Valuation {
                     values: res.values,
                     permutations: Some(res.permutations),
@@ -470,6 +496,7 @@ pub struct RegShapley<'a> {
     method: RegMethod,
     threads: usize,
     graph: Option<&'a KnnGraph>,
+    adaptive: bool,
 }
 
 impl<'a> RegShapley<'a> {
@@ -484,6 +511,7 @@ impl<'a> RegShapley<'a> {
             method: RegMethod::Exact,
             threads: knnshap_parallel::current_threads(),
             graph: None,
+            adaptive: false,
         }
     }
 
@@ -505,6 +533,13 @@ impl<'a> RegShapley<'a> {
 
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Schedule the Monte Carlo methods by the measured cost model (see
+    /// [`KnnShapley::adaptive`]). Bitwise-identical output either way.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -601,8 +636,11 @@ impl<'a> RegShapley<'a> {
                         self.weight,
                     ),
                 };
-                let res =
-                    crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads);
+                let res = if self.adaptive {
+                    crate::mc::mc_shapley_baseline_adaptive(&u, rule, seed, None, self.threads)
+                } else {
+                    crate::mc::mc_shapley_baseline_with_threads(&u, rule, seed, None, self.threads)
+                };
                 Ok(Valuation {
                     values: res.values,
                     permutations: Some(res.permutations),
@@ -619,13 +657,17 @@ impl<'a> RegShapley<'a> {
                     ),
                     None => IncKnnUtility::regression(self.train, self.test, self.k, self.weight),
                 };
-                let res = crate::mc::mc_shapley_improved_with_threads(
-                    &inc,
-                    rule,
-                    seed,
-                    None,
-                    self.threads,
-                );
+                let res = if self.adaptive {
+                    crate::mc::mc_shapley_improved_adaptive(&inc, rule, seed, None, self.threads)
+                } else {
+                    crate::mc::mc_shapley_improved_with_threads(
+                        &inc,
+                        rule,
+                        seed,
+                        None,
+                        self.threads,
+                    )
+                };
                 Ok(Valuation {
                     values: res.values,
                     permutations: Some(res.permutations),

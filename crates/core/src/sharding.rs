@@ -508,18 +508,45 @@ where
     S: Fn(&mut A, usize) + Sync,
     F: Fn(A) + Sync,
 {
-    if count == 0 {
-        return;
-    }
-    // Bitwise-free choice: the accumulators are exact, so the partition
-    // (like the fold order) cannot move a bit — pick it purely for cost.
-    // One block per serial fold; a few per worker otherwise, capped.
+    let block = static_fold_block(count, threads);
+    exact_block_fold_sized(count, threads, block, make, step, fold);
+}
+
+/// The static (non-measured) block size of [`exact_block_fold`]: one block
+/// per serial fold; a few per worker otherwise, capped at [`FOLD_BLOCKS`].
+/// Bitwise-free choice — the accumulators are exact, so the partition (like
+/// the fold order) cannot move a bit; it is picked purely for cost.
+pub(crate) fn static_fold_block(count: usize, threads: usize) -> usize {
     let target = if threads <= 1 {
         1
     } else {
         FOLD_BLOCKS.min(threads.saturating_mul(FOLD_BLOCKS_PER_THREAD))
     };
-    let block = count.div_ceil(target).max(1);
+    count.div_ceil(target).max(1)
+}
+
+/// [`exact_block_fold`] with a caller-chosen block size — the entry point of
+/// the measured scheduler ([`crate::schedule`]), which picks `block` so one
+/// block's compute amortizes the accumulator setup (`make`) and merge
+/// (`fold`) it pays. The partition is still bitwise-free: exact accumulators
+/// make every tiling of `0..count` deposit the same multiset of summands.
+pub(crate) fn exact_block_fold_sized<A, M, S, F>(
+    count: usize,
+    threads: usize,
+    block: usize,
+    make: M,
+    step: S,
+    fold: F,
+) where
+    A: Send,
+    M: Fn() -> A + Sync,
+    S: Fn(&mut A, usize) + Sync,
+    F: Fn(A) + Sync,
+{
+    if count == 0 {
+        return;
+    }
+    let block = block.clamp(1, count);
     let blocks = count.div_ceil(block);
     knnshap_parallel::par_map(blocks, threads, |b| {
         let lo = b * block;
@@ -548,6 +575,30 @@ where
     exact_block_fold(
         range.len(),
         threads,
+        || ExactVec::zeros(n_train),
+        |acc, j| fill(range.start + j, acc),
+        |acc| total.lock().expect("fold poisoned").merge(&acc),
+    );
+    total.into_inner().expect("fold poisoned")
+}
+
+/// [`exact_sums_over`] with a caller-chosen block size (see
+/// [`exact_block_fold_sized`]) — same bits, scheduler-picked tiling.
+pub(crate) fn exact_sums_over_sized<F>(
+    n_train: usize,
+    range: std::ops::Range<usize>,
+    threads: usize,
+    block: usize,
+    fill: F,
+) -> ExactVec
+where
+    F: Fn(usize, &mut ExactVec) + Sync,
+{
+    let total = std::sync::Mutex::new(ExactVec::zeros(n_train));
+    exact_block_fold_sized(
+        range.len(),
+        threads,
+        block,
         || ExactVec::zeros(n_train),
         |acc, j| fill(range.start + j, acc),
         |acc| total.lock().expect("fold poisoned").merge(&acc),

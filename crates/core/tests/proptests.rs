@@ -188,4 +188,30 @@ proptest! {
             prop_assert_eq!(a.get(i).to_bits(), b.get(i).to_bits());
         }
     }
+
+    /// `bounds::mc_round_size` invariants over the whole budget range the
+    /// schedulers feed it (ISSUE 9 satellite): a round is never zero, never
+    /// exceeds the remaining budget, and growing the budget never shrinks
+    /// the round — so the static round path can always make progress and a
+    /// larger run never degenerates into smaller rounds.
+    #[test]
+    fn mc_round_size_never_zero_never_over_budget(budget in 0usize..2_000_000) {
+        let r = knnshap_core::bounds::mc_round_size(budget);
+        prop_assert!(r >= 1, "budget={budget}: round size 0");
+        prop_assert!(r <= budget.max(1), "budget={budget}: round {r} exceeds budget");
+    }
+
+    #[test]
+    fn mc_round_size_monotone_in_budget(
+        budget in 1usize..1_000_000,
+        extra in 0usize..1_000_000,
+    ) {
+        let r0 = knnshap_core::bounds::mc_round_size(budget);
+        let r1 = knnshap_core::bounds::mc_round_size(budget + extra);
+        prop_assert!(
+            r1 >= r0,
+            "budget {budget}->{}: round shrank {r0}->{r1}",
+            budget + extra
+        );
+    }
 }

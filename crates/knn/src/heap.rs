@@ -101,9 +101,18 @@ impl KnnHeap {
 
     /// Contents sorted ascending by distance.
     pub fn sorted(&self) -> Vec<(f32, u32)> {
-        let mut v = self.items.clone();
-        v.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN dist"));
+        let mut v = Vec::new();
+        self.sorted_into(&mut v);
         v
+    }
+
+    /// [`sorted`](Self::sorted) into a caller-owned buffer (cleared first) —
+    /// the allocation-free variant the MC hot loop reuses across K-set
+    /// changes. Same comparator, same ordering, same bits.
+    pub fn sorted_into(&self, out: &mut Vec<(f32, u32)>) {
+        out.clear();
+        out.extend_from_slice(&self.items);
+        out.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN dist"));
     }
 
     /// Remove all contents, keeping capacity (workhorse reuse between

@@ -39,18 +39,35 @@ impl WeightFn {
     /// list length: the paper's unweighted utility (eq. 5) divides by `K` even
     /// when `|S| < K`, and weighted KNN must degenerate to it exactly.
     pub fn weights(&self, dists: &[f32], k: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.weights_into(dists, k, &mut out);
+        out
+    }
+
+    /// [`weights`](Self::weights) into a caller-owned buffer (cleared first)
+    /// — the allocation-free variant the MC hot loop reuses across K-set
+    /// changes. The arithmetic (raw weights in list order, sequential sum,
+    /// per-element divide, the uniform and underflow fallbacks) is identical
+    /// to `weights`, so the results are bitwise-equal.
+    pub fn weights_into(&self, dists: &[f32], k: usize, out: &mut Vec<f64>) {
         assert!(k >= dists.len(), "more neighbors than capacity");
+        out.clear();
         match *self {
-            WeightFn::Uniform => vec![1.0 / k as f64; dists.len()],
+            WeightFn::Uniform => out.resize(dists.len(), 1.0 / k as f64),
             _ => {
-                let raw: Vec<f64> = dists.iter().map(|&d| self.raw(d)).collect();
-                let total: f64 = raw.iter().sum();
+                out.extend(dists.iter().map(|&d| self.raw(d)));
+                let total: f64 = out.iter().sum();
                 if total <= 0.0 {
                     // All weights underflowed (e.g. huge beta): fall back to uniform
                     // over the retrieved set to preserve a valid distribution.
-                    return vec![1.0 / dists.len().max(1) as f64; dists.len()];
+                    let uniform = 1.0 / dists.len().max(1) as f64;
+                    out.clear();
+                    out.resize(dists.len(), uniform);
+                    return;
                 }
-                raw.into_iter().map(|w| w / total).collect()
+                for w in out.iter_mut() {
+                    *w /= total;
+                }
             }
         }
     }

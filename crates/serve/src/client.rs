@@ -98,6 +98,83 @@ pub struct Dump {
     pub values: Vec<f64>,
 }
 
+/// Retry policy for [`ClientError::Busy`] refusals: capped exponential
+/// backoff with **deterministic** jitter.
+///
+/// A `Busy` answer is admission control refusing a mutation *before*
+/// touching any state, so retrying is always safe; the only question is
+/// when. The ideal delay doubles per attempt (`base`, `2·base`, `4·base`,
+/// …) up to `cap`; the actual delay is drawn from `[ideal/2, ideal]` by a
+/// jitter that is a pure function of `(seed, attempt)` — so a fleet of
+/// clients seeded differently decorrelates (no thundering herd), while any
+/// single schedule replays exactly, which keeps retry behavior testable
+/// without clocks ([`Backoff::delay`] is pure; nothing here sleeps except
+/// [`Client::retry_busy`]).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: std::time::Duration,
+    cap: std::time::Duration,
+    max_attempts: usize,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A policy that tries `max_attempts` times in total, waiting between
+    /// attempts per the doubling-and-jitter rule. `max_attempts` is clamped
+    /// to at least 1 (the initial try).
+    pub fn new(
+        base: std::time::Duration,
+        cap: std::time::Duration,
+        max_attempts: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            base,
+            cap,
+            max_attempts: max_attempts.max(1),
+            seed,
+        }
+    }
+
+    /// How many times the operation is attempted in total.
+    pub fn max_attempts(&self) -> usize {
+        self.max_attempts
+    }
+
+    /// The delay before retry number `attempt` (0-based: `delay(0)` follows
+    /// the first refusal). Pure — same `(policy, attempt)` in, same
+    /// duration out — so tests can assert the whole schedule without
+    /// sleeping or reading a clock.
+    pub fn delay(&self, attempt: usize) -> std::time::Duration {
+        let base = self.base.as_nanos().min(u64::MAX as u128) as u64;
+        if base == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let cap = (self.cap.as_nanos().min(u64::MAX as u128) as u64).max(base);
+        // Saturating doubling: once the shift would overflow u64 the ideal
+        // delay is past any sane cap anyway.
+        let shift = attempt.min(63) as u32;
+        let ideal = if shift >= base.leading_zeros() {
+            cap
+        } else {
+            (base << shift).min(cap)
+        };
+        // Deterministic jitter in [ideal/2, ideal]: splitmix64 of the
+        // (seed, attempt) pair — no RNG state, no global entropy.
+        let half = ideal / 2;
+        let jitter = splitmix64(self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        std::time::Duration::from_nanos(half + jitter % (ideal - half + 1))
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed pure hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A blocking protocol client over any [`Conn`].
 pub struct Client {
     conn: Box<dyn Conn>,
@@ -274,11 +351,131 @@ impl Client {
             other => Err(unexpected("ShuttingDown", other)),
         }
     }
+
+    /// Run `op`, retrying [`ClientError::Busy`] refusals per `backoff`
+    /// (sleeping the deterministic [`Backoff::delay`] between attempts; a
+    /// zero delay yields the CPU instead). Any other error — and the
+    /// `Busy` of the final attempt — is returned as-is. Safe for mutations
+    /// because a `Busy` refusal is guaranteed to have applied nothing.
+    pub fn retry_busy<T>(
+        &mut self,
+        backoff: &Backoff,
+        mut op: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0usize;
+        loop {
+            match op(self) {
+                Err(e) if e.is_busy() && attempt + 1 < backoff.max_attempts() => {
+                    let d = backoff.delay(attempt);
+                    if d.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(d);
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// [`Client::insert`] with automatic `Busy` retry per `backoff`.
+    pub fn insert_retrying(
+        &mut self,
+        features: &[f32],
+        label: u32,
+        backoff: &Backoff,
+    ) -> Result<(u64, u64), ClientError> {
+        self.retry_busy(backoff, |c| c.insert(features, label))
+    }
+
+    /// [`Client::delete`] with automatic `Busy` retry per `backoff`.
+    pub fn delete_retrying(
+        &mut self,
+        index: u64,
+        backoff: &Backoff,
+    ) -> Result<(u64, u64), ClientError> {
+        self.retry_busy(backoff, |c| c.delete(index))
+    }
+
+    /// [`Client::apply_batch`] with automatic `Busy` retry per `backoff`.
+    /// The all-or-nothing admission contract makes this sound: a refused
+    /// group applied none of its mutations, so resubmitting the same group
+    /// can never double-apply.
+    pub fn apply_batch_retrying(
+        &mut self,
+        mutations: &[BatchMutation],
+        backoff: &Backoff,
+    ) -> Result<(u64, Vec<BatchOutcome>), ClientError> {
+        self.retry_busy(backoff, |c| c.apply_batch(mutations))
+    }
 }
 
 fn unexpected(expected: &'static str, got: Response) -> ClientError {
     ClientError::Unexpected {
         expected,
         got: format!("{got:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Backoff;
+    use std::time::Duration;
+
+    // All sleep-free: Backoff::delay is pure, so the whole schedule is
+    // asserted without a clock (the satellite's "no wall-clock assertions"
+    // rule — same discipline as the scheduler's cost-model tests).
+
+    #[test]
+    fn delay_is_deterministic_and_jittered_within_the_exponential_envelope() {
+        let b = Backoff::new(Duration::from_millis(1), Duration::from_millis(100), 10, 42);
+        for attempt in 0..20 {
+            let d = b.delay(attempt);
+            let ideal = Duration::from_millis(1)
+                .saturating_mul(1u32 << attempt.min(20))
+                .min(Duration::from_millis(100));
+            assert!(d >= ideal / 2, "attempt {attempt}: {d:?} < {:?}", ideal / 2);
+            assert!(d <= ideal, "attempt {attempt}: {d:?} > {ideal:?}");
+            // Pure function: replaying the policy replays the schedule.
+            assert_eq!(d, b.delay(attempt));
+        }
+    }
+
+    #[test]
+    fn delay_caps_and_never_overflows() {
+        let b = Backoff::new(Duration::from_secs(1), Duration::from_secs(8), 100, 7);
+        for attempt in [0usize, 5, 63, 64, 1000, usize::MAX] {
+            let d = b.delay(attempt);
+            assert!(d <= Duration::from_secs(8), "attempt {attempt}: {d:?}");
+            assert!(d >= Duration::from_millis(500), "attempt {attempt}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_base_means_yield_only_retries() {
+        let b = Backoff::new(Duration::ZERO, Duration::from_secs(1), 5, 3);
+        for attempt in 0..10 {
+            assert_eq!(b.delay(attempt), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_the_schedules() {
+        // The whole point of jitter: two clients with different seeds must
+        // not collide on every retry tick. (Equality on *some* attempt is
+        // fine; equality on all of them would mean the jitter is dead.)
+        let a = Backoff::new(Duration::from_millis(3), Duration::from_secs(1), 10, 1);
+        let b = Backoff::new(Duration::from_millis(3), Duration::from_secs(1), 10, 2);
+        let differs = (0..10).any(|i| a.delay(i) != b.delay(i));
+        assert!(differs, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn max_attempts_clamps_to_one() {
+        assert_eq!(
+            Backoff::new(Duration::ZERO, Duration::ZERO, 0, 0).max_attempts(),
+            1
+        );
     }
 }

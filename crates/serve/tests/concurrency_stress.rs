@@ -374,6 +374,172 @@ fn overloaded_writers_get_busy_and_retry_to_completion() {
     daemon.join().unwrap().unwrap();
 }
 
+/// Admission bound **one** — the tightest bound that still admits work —
+/// with every writer on the client's built-in `Busy` auto-retry
+/// (`Backoff`: capped exponential, deterministic jitter) instead of a
+/// hand-rolled loop. At bound 1 at most one mutation group is in the queue
+/// at a time, so four concurrent writers hammer the refusal path
+/// constantly; the auto-retry must carry every refused group to an
+/// eventual commit. Proof obligations: the committed versions are exactly
+/// `1..=TOTAL` (gapless and unique — a refused group never consumes a
+/// version, a retried group commits exactly once), the final dataset size
+/// matches, and a concurrent reader never observes a torn or regressing
+/// snapshot.
+#[test]
+fn bound_one_overload_auto_retry_commits_every_group() {
+    let cfg = BlobConfig {
+        n: 24,
+        dim: 3,
+        n_classes: 2,
+        ..Default::default()
+    };
+    let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 3, 13));
+    let server = ValuationServer::new(train, test, 2, 1).unwrap();
+    server.set_queue_bound(1);
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || bound.run());
+
+    const WRITERS: usize = 4;
+    const SINGLES: usize = 4; // per writer: auto-retried single mutations…
+    const BATCHES: usize = 3; // …plus one-mutation Batch groups (bound 1!)
+    const TOTAL: usize = WRITERS * (SINGLES + BATCHES);
+
+    let writers_done = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let endpoint = endpoint.clone();
+        let writers_done = Arc::clone(&writers_done);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&endpoint).unwrap();
+            let mut last = 0u64;
+            let mut observed = 0usize;
+            while !writers_done.load(Ordering::SeqCst) || observed < 4 {
+                let s = c.stat().unwrap();
+                assert!(s.version >= last, "reader went backwards at bound 1");
+                last = s.version;
+                let d = c.dump().unwrap(); // torn data => ChecksumMismatch
+                assert!(d.version >= last, "dump went backwards at bound 1");
+                last = d.version;
+                observed += 1;
+            }
+            observed
+        })
+    };
+
+    let versions: Vec<u64> = (0..WRITERS)
+        .map(|w| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&endpoint).unwrap();
+                // Tiny real delays so the test exercises the sleeping path,
+                // distinct seeds so the writers' schedules decorrelate.
+                // Unbounded attempts: at bound 1 liveness comes from the
+                // engine draining the queue, and every refusal is a no-op.
+                let backoff = knnshap_serve::client::Backoff::new(
+                    std::time::Duration::from_micros(50),
+                    std::time::Duration::from_millis(2),
+                    usize::MAX,
+                    w as u64,
+                );
+                let mut committed = Vec::new();
+                for i in 0..SINGLES {
+                    let f = (w * 100 + i) as f32;
+                    let (version, _) = c
+                        .insert_retrying(&[f, -f, f], (w % 2) as u32, &backoff)
+                        .expect("auto-retry must end in a commit");
+                    committed.push(version);
+                }
+                for b in 0..BATCHES {
+                    let f = (w * 100 + 50 + b) as f32;
+                    let group = [BatchMutation::Insert {
+                        features: vec![f, f, -f],
+                        label: (b % 2) as u32,
+                    }];
+                    let (_, outcomes) = c
+                        .apply_batch_retrying(&group, &backoff)
+                        .expect("auto-retry must end in a commit");
+                    assert_eq!(outcomes.len(), 1);
+                    match &outcomes[0] {
+                        knnshap_serve::protocol::BatchOutcome::Applied { version, .. } => {
+                            committed.push(*version)
+                        }
+                        other => panic!("writer {w}: rejected: {other:?}"),
+                    }
+                }
+                committed
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|h| h.join().expect("writer"))
+        .collect();
+    writers_done.store(true, Ordering::SeqCst);
+    assert!(reader.join().expect("reader") >= 4);
+
+    let mut sorted = versions;
+    sorted.sort_unstable();
+    let expect: Vec<u64> = (1..=TOTAL as u64).collect();
+    assert_eq!(
+        sorted, expect,
+        "every refused group was retried to exactly one commit"
+    );
+
+    let mut c = Client::connect(&endpoint).unwrap();
+    let stat = c.stat().unwrap();
+    assert_eq!(stat.version, TOTAL as u64);
+    assert_eq!(stat.n_train, 24 + TOTAL as u64); // all inserts, no deletes
+    let dump = c.dump().unwrap(); // checksum-verified final state
+    assert_eq!(dump.values.len(), stat.n_train as usize);
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// The auto-retry's give-up path, pinned deterministically: against a
+/// bound-zero (read-only) daemon every attempt is refused, so a
+/// `max_attempts = 3` policy makes exactly 3 attempts and surfaces the
+/// final `Busy` — it neither hangs nor masks the refusal as success.
+#[test]
+fn auto_retry_gives_up_with_busy_after_max_attempts() {
+    let cfg = BlobConfig {
+        n: 16,
+        dim: 2,
+        n_classes: 2,
+        ..Default::default()
+    };
+    let (train, test) = (blobs::generate(&cfg), blobs::queries(&cfg, 2, 3));
+    let server = ValuationServer::new(train, test, 2, 1).unwrap();
+    server.set_queue_bound(0);
+    let bound = bind(server, &Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let endpoint = bound.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || bound.run());
+
+    let mut c = Client::connect(&endpoint).unwrap();
+    let backoff = knnshap_serve::client::Backoff::new(
+        std::time::Duration::ZERO, // yield-only: no real sleeping in tests
+        std::time::Duration::ZERO,
+        3,
+        0,
+    );
+    let mut attempts = 0usize;
+    let err = c
+        .retry_busy(&backoff, |c| {
+            attempts += 1;
+            c.insert(&[0.1, 0.2], 0)
+        })
+        .unwrap_err();
+    assert!(err.is_busy(), "final error must be the Busy refusal: {err}");
+    assert_eq!(attempts, 3, "exactly max_attempts tries");
+
+    // Nothing committed anywhere along the way.
+    let stat = c.stat().unwrap();
+    assert_eq!((stat.version, stat.n_train), (0, 16));
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
 /// The deterministic limit of admission control: bound zero turns the
 /// daemon read-only. Every mutation — single or batched — is refused with
 /// the typed `Busy` error, nothing is ever published, and reads keep
