@@ -36,6 +36,8 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    knnshap_bench::telemetry::enable();
+    let probe = knnshap_bench::telemetry::Probe::start();
     let n = env_usize("KNNSHAP_BENCH_N", 1_000_000);
     let n_test = env_usize("KNNSHAP_BENCH_QUERIES", 8);
     let threads = env_usize("KNNSHAP_BENCH_THREADS", 1);
@@ -123,7 +125,12 @@ fn main() {
          \"graph_build_seconds\": {build_secs:.6},\n    \
          \"graph_backed_seconds\": {graph_secs:.6},\n    \
          \"speedup_per_run\": {e2e_speedup:.3},\n    \
-         \"breakeven_runs\": {breakeven},\n    \"bitwise_identical\": true\n  }}\n}}\n"
+         \"breakeven_runs\": {breakeven},\n    \"bitwise_identical\": true\n  }},\n  \
+         \"telemetry\": {{ {} }}\n}}\n",
+        probe
+            .finish()
+            .json_fields(naive_secs + blocked_secs + brute_secs + build_secs + graph_secs)
+            .trim_start_matches(", ")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_graph.json");
     std::fs::write(out, &json).expect("write BENCH_graph.json");

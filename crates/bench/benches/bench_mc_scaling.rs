@@ -39,6 +39,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    knnshap_bench::telemetry::enable();
     let n = env_usize("KNNSHAP_BENCH_N", 2_000);
     let perms = env_usize("KNNSHAP_BENCH_PERMS", 256);
     let k = 5usize;
@@ -68,7 +69,9 @@ fn main() {
     let mut best_multi_speedup: Option<f64> = None;
     for (mode, adaptive) in [("static", false), ("adaptive", true)] {
         for threads in [1usize, 2, 4, 8] {
+            let probe = knnshap_bench::telemetry::Probe::start();
             let (secs, values) = run(adaptive, threads);
+            let delta = probe.finish();
             match &serial_values {
                 None => serial_values = Some(values),
                 Some(reference) => {
@@ -97,7 +100,8 @@ fn main() {
             );
             rows.push(format!(
                 "    {{ \"mode\": \"{mode}\", \"threads\": {threads}, \"seconds\": {secs:.6}, \
-                 \"perms_per_sec\": {tput:.3}, \"speedup\": {speedup:.3} }}"
+                 \"perms_per_sec\": {tput:.3}, \"speedup\": {speedup:.3}{} }}",
+                delta.json_fields(secs)
             ));
         }
     }

@@ -22,6 +22,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    knnshap_bench::telemetry::enable();
     let n = env_usize("KNNSHAP_BENCH_N", 2_000);
     let tasks = env_usize("KNNSHAP_BENCH_TASKS", 16);
     let perms = env_usize("KNNSHAP_BENCH_PERMS", 8);
@@ -50,16 +51,23 @@ fn main() {
     let mut rows = Vec::new();
     let mut serial_secs = None;
     for threads in [1usize, 2, 4, 8] {
+        let probe = knnshap_bench::telemetry::Probe::start();
         let (secs, total) = run_batch(threads);
+        let delta = probe.finish();
         assert!(
             (total - warm_total).abs() < 1e-9,
             "thread count changed the estimate: {total} vs {warm_total}"
         );
         let serial = *serial_secs.get_or_insert(secs);
         let speedup = serial / secs;
-        println!("threads = {threads}: {secs:.3} s  (speedup ×{speedup:.2})");
+        println!(
+            "threads = {threads}: {secs:.3} s  (speedup ×{speedup:.2}, \
+             pool {:.0}% utilized)",
+            100.0 * delta.pool_utilization()
+        );
         rows.push(format!(
-            "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \"speedup\": {speedup:.3} }}"
+            "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \"speedup\": {speedup:.3}{} }}",
+            delta.json_fields(secs)
         ));
     }
 

@@ -66,6 +66,8 @@ fn assert_bitwise(a: &ShapleyValues, b: &ShapleyValues, step: usize) {
 }
 
 fn main() {
+    knnshap_bench::telemetry::enable();
+    let probe = knnshap_bench::telemetry::Probe::start();
     let batched_mode = std::env::args().any(|a| a == "--batched");
     let n = env_usize("KNNSHAP_BENCH_N", 100_000);
     let mutations = env_usize("KNNSHAP_BENCH_MUTATIONS", 16);
@@ -247,7 +249,12 @@ fn main() {
          \"batch_size\": {batch_size},\n  \
          \"batched_seconds\": {batch_secs_json},\n  \
          \"batch_speedup\": {batch_speedup_json},\n  \
-         \"bitwise_identical_steps\": {mutations}\n}}\n"
+         \"bitwise_identical_steps\": {mutations},\n  \
+         \"telemetry\": {{ {} }}\n}}\n",
+        probe
+            .finish()
+            .json_fields(load_secs + incr_secs + cold_secs)
+            .trim_start_matches(", ")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out, &json).expect("write BENCH_serve.json");

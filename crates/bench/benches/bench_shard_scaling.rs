@@ -30,6 +30,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    knnshap_bench::telemetry::enable();
     let n = env_usize("KNNSHAP_BENCH_N", 2_000);
     let perms = env_usize("KNNSHAP_BENCH_PERMS", 256);
     let k = 5usize;
@@ -53,6 +54,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
+        let probe = knnshap_bench::telemetry::Probe::start();
         // Compute each shard serially, through the wire format — what a
         // fleet of single-core workers would do, minus the network.
         let mut shard_secs = Vec::new();
@@ -94,7 +96,8 @@ fn main() {
             "    {{ \"shards\": {shards}, \"slowest_shard_seconds\": {max_shard:.6}, \
              \"sum_shard_seconds\": {sum_shards:.6}, \"merge_seconds\": {merge_secs:.6}, \
              \"fleet_wall_seconds\": {wall:.6}, \"speedup_vs_unsharded\": {speedup:.3}, \
-             \"shard_file_bytes\": {total_bytes} }}"
+             \"shard_file_bytes\": {total_bytes}{} }}",
+            probe.finish().json_fields(sum_shards + merge_secs)
         ));
     }
 

@@ -75,6 +75,10 @@ fn parse_cli() -> Cli {
 }
 
 fn main() {
+    // Battery-wide counter snapshot (ISSUE 10): metrics on for the whole
+    // run; `summarize` prints the totals. Telemetry never feeds back into
+    // an estimator, so the reports are identical either way.
+    knnshap_bench::telemetry::enable();
     let cli = parse_cli();
     let experiments = experiments();
 
@@ -173,4 +177,7 @@ fn summarize(timings: &[(String, f64, bool)], wall: f64) {
     let total: f64 = timings.iter().map(|(_, s, _)| s).sum();
     println!("- total compute: {total:.1}s");
     println!("- wall clock: {wall:.1}s");
+    // In fan-out mode the children did the computing, so this section shows
+    // only the parent's counters; the sequential battery shows everything.
+    println!("\n{}", knnshap_bench::telemetry::summary_section(wall));
 }

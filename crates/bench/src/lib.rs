@@ -19,6 +19,7 @@
 //! asserts the bitwise thread-count-invariance contract first).
 
 pub mod experiments;
+pub mod telemetry;
 pub mod util;
 
 /// A named experiment regenerator: `(name, run)` as dispatched by `run_all`

@@ -261,6 +261,7 @@ const RUN_JOB_ALLOWED: &[&str] = &[
     "out",
     "revenue",
     "base-fee",
+    "watch",
 ];
 
 /// `knnshap run-job`: supervise a local fleet to completion and report.
@@ -292,6 +293,20 @@ pub fn run_run_job(args: &Args) -> Result<String, CliError> {
         worker_args.push(graph.to_string());
     }
 
+    // `--watch` streams live progress lines from a side thread while the
+    // supervisor works. The watcher only tails events.jsonl (read-only), so
+    // it cannot perturb the job; the stop flag covers the failure path,
+    // where no job_done event would ever release it.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = if args.flag("watch") {
+        let (dirs, plan, stop) = (JobDirs::new(&job), plan.clone(), stop.clone());
+        Some(std::thread::spawn(move || {
+            super::watch::stream_progress(&dirs, &plan, Duration::from_millis(200), &stop);
+        }))
+    } else {
+        None
+    };
+
     let started = std::time::Instant::now();
     let outcome = run_job(
         &dirs,
@@ -306,8 +321,12 @@ pub fn run_run_job(args: &Args) -> Result<String, CliError> {
                 args: worker_args,
             },
         },
-    )
-    .map_err(CliError::Runtime)?;
+    );
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(h) = watcher {
+        h.join().ok();
+    }
+    let outcome = outcome.map_err(CliError::Runtime)?;
     let secs = started.elapsed().as_secs_f64();
 
     let mut out = format!(

@@ -8,6 +8,7 @@ pub mod serve;
 pub mod shard;
 pub mod synth;
 pub mod value;
+pub mod watch;
 
 use crate::args::Args;
 use crate::CliError;

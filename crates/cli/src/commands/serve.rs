@@ -83,6 +83,37 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
     server.set_queue_bound(args.usize_or("queue-bound", DEFAULT_QUEUE_BOUND)?);
     server.set_whatif_capacity(args.usize_or("whatif-cache", DEFAULT_WHATIF_CAPACITY)?);
     let stat = server.handle(&knnshap_serve::Request::Stat);
+
+    // With `KNNSHAP_METRICS=PATH` in the environment, a side thread appends
+    // one JSONL metrics snapshot (the obs event schema — same validator as
+    // the log) per second until shutdown, plus a final line so short-lived
+    // daemons still leave a record. Strictly write-only: served values are
+    // bitwise-identical with and without the recorder.
+    let recorder = knnshap_obs::metrics_path().map(|path| {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let append = |line: String| {
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| writeln!(f, "{line}"));
+            };
+            while !server.shutting_down() {
+                append(server.metrics_jsonl_line());
+                // Nap in short steps so shutdown is never held up by a
+                // full snapshot period.
+                for _ in 0..10 {
+                    if server.shutting_down() {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+            append(server.metrics_jsonl_line());
+        })
+    });
+
     let bound = bind(server, &endpoint).map_err(|e| CliError::Serve(e.to_string()))?;
 
     // The daemon announces readiness on stdout *before* blocking in the
@@ -104,7 +135,13 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
         std::io::stdout().flush().ok();
     }
 
+    // On an accept-loop error the shutdown flag may never rise, so the
+    // recorder is only joined on the clean path (the process is about to
+    // exit either way — an unjoined recorder cannot outlive it).
     bound.run().map_err(|e| CliError::Serve(e.to_string()))?;
+    if let Some(h) = recorder {
+        h.join().ok();
+    }
     Ok("knnshap serve: shut down cleanly".to_string())
 }
 
@@ -207,13 +244,39 @@ pub fn run_client(args: &Args) -> Result<String, CliError> {
                 batch => run_script(&mut client, &text, batch),
             }
         }
+        "metrics" => {
+            let m = client.metrics().map_err(serve_err)?;
+            Ok(format!(
+                "version {} | protocol {} | uptime {:.1} s | requests {}\n\
+                 queue: {} pending / bound {}\n\
+                 what-if cache: {} hits, {} misses, {} evictions, {} resident\n\
+                 latency: {} timed, mean {:.1} us, max {} us\n\
+                 batches: {} drained, mean {:.1} mutations, max {}",
+                m.version,
+                m.protocol,
+                m.uptime_secs,
+                m.requests,
+                m.queue_depth,
+                m.queue_bound,
+                m.whatif_hits,
+                m.whatif_misses,
+                m.whatif_evictions,
+                m.whatif_len,
+                m.latency_micros.count,
+                m.latency_micros.mean(),
+                m.latency_micros.max,
+                m.batch_sizes.count,
+                m.batch_sizes.mean(),
+                m.batch_sizes.max,
+            ))
+        }
         "shutdown" => {
             client.shutdown().map_err(serve_err)?;
             Ok("daemon is shutting down".to_string())
         }
         other => Err(CliError::Invalid(format!(
             "unknown --op '{other}' (stat, get, dump, top, bottom, what-if, insert, \
-             delete, train-csv, script, shutdown)"
+             delete, train-csv, script, metrics, shutdown)"
         ))),
     }
 }
@@ -479,6 +542,11 @@ mod tests {
 
         let out = run_client(&client_args(&endpoint, &["--op", "top", "--count", "3"])).unwrap();
         assert!(out.contains("3 most valuable"), "{out}");
+
+        let out = run_client(&client_args(&endpoint, &["--op", "metrics"])).unwrap();
+        assert!(out.contains("protocol 3"), "{out}");
+        assert!(out.contains("what-if cache:"), "{out}");
+        assert!(out.contains("queue: 0 pending"), "{out}");
 
         run_client(&client_args(&endpoint, &["--op", "shutdown"])).unwrap();
         daemon.join().unwrap().unwrap();

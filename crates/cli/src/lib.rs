@@ -51,7 +51,7 @@ impl std::fmt::Display for CliError {
                 write!(
                     f,
                     "unknown command '{c}' (try: value, audit, contrast, synth, build-graph, \
-                     shard, merge, shard-plan, run-job, worker, serve, client)"
+                     shard, merge, shard-plan, run-job, watch, worker, serve, client)"
                 )
             }
             CliError::Io(e) => write!(f, "{e}"),
@@ -143,6 +143,12 @@ COMMANDS
             --job DIR [--workers 2] [--threads N] [--lease-ttl 30]
             [--max-spawns N] [--top 10] [--out FILE] [--graph FILE]
             [--revenue A --base-fee B]
+            [--watch]                    (stream live shard x chunk progress
+                                          lines while the fleet runs)
+  watch     follow a job directory's event stream (events.jsonl) from any
+            process sharing its path: one progress line per change, exits
+            when the job merges (docs/observability.md)
+            --job DIR [--poll MS] [--timeout SECS]
   worker    one fleet member: claim shards from a job directory (lease
             files), compute with checkpoints, publish, exit when nothing is
             claimable. Run any number, on any machines sharing the path
@@ -155,7 +161,7 @@ COMMANDS
             [--k 1] [--threads N] [--graph FILE]
   client    one-shot client for a running daemon
             (--addr HOST:PORT | --socket PATH) --op stat|get|dump|top|
-            bottom|what-if|insert|delete|train-csv|script|shutdown
+            bottom|what-if|insert|delete|train-csv|script|metrics|shutdown
             [--index I] [--count N] [--point F1,F2,...] [--label L]
             [--script FILE] [--out FILE]
   contrast  estimate relative contrast C_K* and the LSH feasibility report
@@ -188,6 +194,7 @@ where
         "shard-plan" => commands::job::run_shard_plan(&args),
         "worker" => commands::job::run_worker_cmd(&args),
         "run-job" => commands::job::run_run_job(&args),
+        "watch" => commands::watch::run_watch(&args),
         "serve" => commands::serve::run_serve(&args),
         "client" => commands::serve::run_client(&args),
         "help" | "-h" => Ok(USAGE.to_string()),

@@ -2,13 +2,29 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match knnshap_cli::run(argv) {
+    let result = knnshap_cli::run(argv);
+    // `KNNSHAP_METRICS=PATH`: append one final counter snapshot for the
+    // whole invocation (JSONL, one line per dump) and drain any buffered
+    // log events before the process exits.
+    if let Some(path) = knnshap_obs::metrics_path() {
+        knnshap_obs::dump_metrics(&path).ok();
+    }
+    knnshap_obs::flush();
+    match result {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", knnshap_cli::USAGE);
+            // The full usage text only helps when the command line itself
+            // was wrong; operational failures (timeouts, IO, daemon errors)
+            // get the one-line message alone.
+            match e {
+                knnshap_cli::CliError::Args(_) | knnshap_cli::CliError::UnknownCommand(_) => {
+                    eprintln!("error: {e}\n\n{}", knnshap_cli::USAGE)
+                }
+                _ => eprintln!("error: {e}"),
+            }
             ExitCode::FAILURE
         }
     }

@@ -52,6 +52,35 @@ use knnshap_numerics::exact::ExactVec;
 use knnshap_numerics::sampling::{identity_shuffle, RngStreams};
 use std::sync::Arc;
 
+// Telemetry (write-only; see `knnshap_obs` crate docs — nothing below feeds
+// back into the estimate). `mc.perms` counts permutation streams consumed
+// across every MC drive; `mc.rounds` counts round-path fold boundaries;
+// the `sched.*` gauges expose the last measured cost model so operators can
+// see what the adaptive planner saw.
+static MC_PERMS: knnshap_obs::Counter = knnshap_obs::Counter::new("mc.perms");
+static MC_ROUNDS: knnshap_obs::Counter = knnshap_obs::Counter::new("mc.rounds");
+static SCHED_PER_ITEM: knnshap_obs::Gauge = knnshap_obs::Gauge::new("sched.per_item_secs");
+static SCHED_FORK: knnshap_obs::Gauge = knnshap_obs::Gauge::new("sched.fork_secs");
+static SCHED_MERGE: knnshap_obs::Gauge = knnshap_obs::Gauge::new("sched.merge_secs");
+
+/// Record a measured [`crate::schedule::CostModel`] into the `sched.*`
+/// gauges and the event log (adaptive entry points only).
+fn record_model(model: &crate::schedule::CostModel) {
+    SCHED_PER_ITEM.set(model.per_item_secs);
+    SCHED_FORK.set(model.fork_secs);
+    SCHED_MERGE.set(model.merge_secs);
+    knnshap_obs::emit(
+        knnshap_obs::Level::Info,
+        "mc",
+        "cost_model",
+        &[
+            ("per_item_secs", model.per_item_secs.into()),
+            ("fork_secs", model.fork_secs.into()),
+            ("merge_secs", model.merge_secs.into()),
+        ],
+    );
+}
+
 /// When to stop drawing permutations.
 #[derive(Debug, Clone, Copy)]
 pub enum StoppingRule {
@@ -152,6 +181,7 @@ where
         },
         |acc| total.lock().expect("fold poisoned").merge(&acc.sums),
     );
+    MC_PERMS.add(range.len() as u64);
     total.into_inner().expect("fold poisoned")
 }
 
@@ -185,6 +215,7 @@ where
         },
         |acc| total.lock().expect("fold poisoned").merge(&acc.sums),
     );
+    MC_PERMS.add(range.len() as u64);
     total.into_inner().expect("fold poisoned")
 }
 
@@ -291,6 +322,17 @@ where
                 worker(first + j, phi);
             }
         });
+        MC_ROUNDS.incr();
+        knnshap_obs::emit(
+            knnshap_obs::Level::Debug,
+            "mc",
+            "round",
+            &[
+                ("first", base.into()),
+                ("perms", count.into()),
+                ("budget", budget.into()),
+            ],
+        );
         for phi in round_buf[..count * n].chunks(n) {
             let mut max_update = 0.0f64;
             for (i, &p) in phi.iter().enumerate() {
@@ -317,6 +359,8 @@ where
             }
         }
     }
+    MC_PERMS.add(t as u64);
+    knnshap_obs::flush();
     let scale = 1.0 / t.max(1) as f64;
     let values: Vec<f64> = (0..n).map(|i| sums.value(i) * scale).collect();
     McResult {
@@ -406,6 +450,7 @@ pub fn mc_shapley_baseline_adaptive<U: Utility + ?Sized>(
     let nu_empty = u.eval(&[]);
     let make_worker = || baseline_worker(u, streams, nu_empty);
     let model = measure_mc_model(n, MC_WARMUP.min(budget), &make_worker);
+    record_model(&model);
     let force = crate::schedule::forced();
     if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
         let plan = crate::schedule::plan_rounds(&model, budget, threads, force.as_ref());
@@ -932,6 +977,7 @@ pub fn mc_shapley_improved_adaptive(
     let streams = RngStreams::new(seed);
     let make_worker = || improved_worker(u, streams);
     let model = measure_mc_model(n, MC_WARMUP.min(budget), &make_worker);
+    record_model(&model);
     let force = crate::schedule::forced();
     if matches!(rule, StoppingRule::Heuristic { .. }) || snapshot_every.is_some() {
         let plan = crate::schedule::plan_rounds(&model, budget, threads, force.as_ref());

@@ -1,0 +1,278 @@
+//! Structured JSONL event emission through per-thread buffers.
+//!
+//! [`emit`] renders the event into a thread-local buffer — no locks, no
+//! cross-thread synchronization the instrumented code could come to depend
+//! on — and [`flush`] drains the calling thread's buffer to the process
+//! sink at fold boundaries (a buffer that outgrows [`BUFFER_LINES`] drains
+//! itself, and a thread's buffer drains on thread exit). The sink is
+//! stderr by default, a file when `KNNSHAP_LOG=level:path` asks for one,
+//! or an in-memory capture for tests.
+
+use crate::json::{escape, fmt_f64};
+use crate::Level;
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Lines a thread buffers before draining on its own.
+pub const BUFFER_LINES: usize = 64;
+
+/// One event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+fn push_field(out: &mut String, key: &str, v: &FieldValue) {
+    out.push_str(&format!(",\"{}\":", escape(key)));
+    match v {
+        FieldValue::U64(n) => out.push_str(&n.to_string()),
+        FieldValue::I64(n) => out.push_str(&n.to_string()),
+        FieldValue::F64(n) => out.push_str(&fmt_f64(*n)),
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        FieldValue::Str(s) => out.push_str(&format!("\"{}\"", escape(s))),
+    }
+}
+
+/// Render one event line (no trailing newline). Shared with callers that
+/// write their own streams (the runtime's job-directory event log).
+pub fn render_line(
+    level: Level,
+    target: &str,
+    name: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut line = String::with_capacity(96);
+    line.push_str(&format!(
+        "{{\"ts\":{},\"lvl\":\"{}\",\"target\":\"{}\",\"ev\":\"{}\"",
+        fmt_f64(crate::now_secs()),
+        level.as_str(),
+        escape(target),
+        escape(name),
+    ));
+    for (k, v) in fields {
+        push_field(&mut line, k, v);
+    }
+    line.push('}');
+    line
+}
+
+enum SinkTarget {
+    Stderr,
+    File(std::fs::File),
+    Capture(Vec<String>),
+}
+
+static SINK: Mutex<Option<SinkTarget>> = Mutex::new(None);
+
+fn with_sink<R>(f: impl FnOnce(&mut SinkTarget) -> R) -> R {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert(SinkTarget::Stderr))
+}
+
+/// Route events to `path` (append). Called by env init for
+/// `KNNSHAP_LOG=level:path`.
+pub(crate) fn set_file_sink(path: std::path::PathBuf) {
+    if let Ok(f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(SinkTarget::File(f));
+    }
+}
+
+/// Route events into an in-memory buffer readable via [`take_captured`]
+/// (tests and the determinism battery).
+pub fn set_capture_sink() {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(SinkTarget::Capture(Vec::new()));
+}
+
+/// Drain the capture sink. Empty unless [`set_capture_sink`] is active.
+pub fn take_captured() -> Vec<String> {
+    with_sink(|s| match s {
+        SinkTarget::Capture(lines) => std::mem::take(lines),
+        _ => Vec::new(),
+    })
+}
+
+fn drain_to_sink(lines: &mut Vec<String>) {
+    if lines.is_empty() {
+        return;
+    }
+    with_sink(|sink| match sink {
+        SinkTarget::Capture(out) => out.append(lines),
+        SinkTarget::File(f) => {
+            let mut buf = String::new();
+            for l in lines.drain(..) {
+                buf.push_str(&l);
+                buf.push('\n');
+            }
+            let _ = f.write_all(buf.as_bytes());
+        }
+        SinkTarget::Stderr => {
+            let mut buf = String::new();
+            for l in lines.drain(..) {
+                buf.push_str(&l);
+                buf.push('\n');
+            }
+            let _ = std::io::stderr().write_all(buf.as_bytes());
+        }
+    });
+}
+
+/// The per-thread buffer; drains any leftovers when the thread exits.
+struct ThreadBuf(RefCell<Vec<String>>);
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        drain_to_sink(&mut self.0.borrow_mut());
+    }
+}
+
+thread_local! {
+    static BUF: ThreadBuf = const { ThreadBuf(RefCell::new(Vec::new())) };
+}
+
+/// Emit one structured event. A no-op (one atomic load) unless
+/// `KNNSHAP_LOG` enables `level`.
+pub fn emit(level: Level, target: &str, name: &str, fields: &[(&str, FieldValue)]) {
+    if !crate::log_enabled(level) {
+        return;
+    }
+    let line = render_line(level, target, name, fields);
+    let _ = BUF.try_with(|b| {
+        let mut buf = b.0.borrow_mut();
+        buf.push(line);
+        if buf.len() >= BUFFER_LINES {
+            drain_to_sink(&mut buf);
+        }
+    });
+}
+
+/// Drain the calling thread's event buffer to the sink. Instrumented code
+/// calls this at fold boundaries (end of a pool run, end of an estimator
+/// round) so events become visible without any mid-fold locking.
+pub fn flush() {
+    let _ = BUF.try_with(|b| drain_to_sink(&mut b.0.borrow_mut()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_event_line;
+
+    #[test]
+    fn disabled_emit_is_a_no_op() {
+        let _g = crate::test_lock();
+        crate::set_log(None);
+        set_capture_sink();
+        emit(Level::Info, "t", "nothing", &[]);
+        flush();
+        assert!(take_captured().is_empty());
+    }
+
+    #[test]
+    fn emitted_lines_validate_against_the_schema() {
+        let _g = crate::test_lock();
+        crate::set_log(Some(Level::Debug));
+        set_capture_sink();
+        emit(
+            Level::Debug,
+            "pool",
+            "steal",
+            &[
+                ("victim", 3usize.into()),
+                ("ratio", 0.5.into()),
+                ("note", "a\"b".into()),
+                ("ok", true.into()),
+            ],
+        );
+        emit(Level::Info, "mc", "round", &[("t", 128usize.into())]);
+        flush();
+        crate::set_log(None);
+        let lines = take_captured();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            validate_event_line(l).unwrap();
+        }
+        assert!(lines[0].contains("\"ev\":\"steal\""));
+        assert!(lines[0].contains("\"note\":\"a\\\"b\""));
+    }
+
+    #[test]
+    fn info_level_suppresses_debug_events() {
+        let _g = crate::test_lock();
+        crate::set_log(Some(Level::Info));
+        set_capture_sink();
+        emit(Level::Debug, "t", "hidden", &[]);
+        emit(Level::Info, "t", "shown", &[]);
+        flush();
+        crate::set_log(None);
+        let lines = take_captured();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("shown"));
+    }
+
+    #[test]
+    fn buffers_self_drain_past_the_cap_and_on_thread_exit() {
+        let _g = crate::test_lock();
+        crate::set_log(Some(Level::Debug));
+        set_capture_sink();
+        // A worker thread that never calls flush(): its buffer must drain
+        // once past BUFFER_LINES and again when the thread exits.
+        std::thread::spawn(|| {
+            for i in 0..BUFFER_LINES + 5 {
+                emit(Level::Debug, "t", "spin", &[("i", i.into())]);
+            }
+        })
+        .join()
+        .unwrap();
+        crate::set_log(None);
+        let lines = take_captured();
+        assert_eq!(lines.len(), BUFFER_LINES + 5);
+        for l in &lines {
+            validate_event_line(l).unwrap();
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Minimal JSON: escaping and number formatting for the writers, and a
+//! small recursive-descent parser for validating emitted JSONL (the
+//! workspace has no serde — telemetry must stay dependency-free).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(kv) => Some(kv),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding between JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (non-finite values have no JSON
+/// representation and degrade to 0 — telemetry must never emit unparseable
+/// lines).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    // `{}` on a whole float prints without a decimal point; keep it — JSON
+    // accepts integer literals as numbers.
+    s
+}
+
+/// Parse one JSON document. Numbers are f64; objects preserve key order.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => Ok(Value::Str(parse_string(b, i)?)),
+        Some(b't') => parse_lit(b, i, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, i, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, i, "null", Value::Null),
+        Some(_) => parse_number(b, i),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at {i}"))
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    let start = *i;
+    if matches!(b.get(*i), Some(b'-')) {
+        *i += 1;
+    }
+    while matches!(b.get(*i), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number '{text}' at {start}"))
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .ok_or_else(|| "short \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at {i}")),
+                }
+                *i += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&b[*i..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    *i += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if matches!(b.get(*i), Some(b']')) {
+        *i += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at {i}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    *i += 1; // '{'
+    let mut kv = Vec::new();
+    skip_ws(b, i);
+    if matches!(b.get(*i), Some(b'}')) {
+        *i += 1;
+        return Ok(Value::Obj(kv));
+    }
+    loop {
+        skip_ws(b, i);
+        if !matches!(b.get(*i), Some(b'"')) {
+            return Err(format!("expected object key at {i}"));
+        }
+        let key = parse_string(b, i)?;
+        skip_ws(b, i);
+        if !matches!(b.get(*i), Some(b':')) {
+            return Err(format!("expected ':' at {i}"));
+        }
+        *i += 1;
+        let val = parse_value(b, i)?;
+        kv.push((key, val));
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Value::Obj(kv));
+            }
+            _ => return Err(format!("expected ',' or '}}' at {i}")),
+        }
+    }
+}
+
+/// Validate one emitted event line against the crate's schema (see the
+/// crate docs): a JSON object whose reserved keys `ts` (number), `lvl`
+/// (`"info"`/`"debug"`), `target` (string) and `ev` (string) are present,
+/// and whose remaining values are scalars.
+pub fn validate_event_line(line: &str) -> Result<(), String> {
+    let v = parse(line)?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "event line is not a JSON object".to_string())?;
+    v.get("ts")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "missing numeric 'ts'".to_string())?;
+    let lvl = v
+        .get("lvl")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string 'lvl'".to_string())?;
+    if lvl != "info" && lvl != "debug" {
+        return Err(format!("bad lvl '{lvl}'"));
+    }
+    v.get("target")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string 'target'".to_string())?;
+    v.get("ev")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string 'ev'".to_string())?;
+    let mut seen = Vec::with_capacity(obj.len());
+    for (k, val) in obj {
+        if seen.contains(&k) {
+            return Err(format!("duplicate key '{k}'"));
+        }
+        seen.push(k);
+        if matches!(val, Value::Arr(_) | Value::Obj(_)) {
+            return Err(format!("field '{k}' is not a scalar"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        let v = parse(r#"{"a":[1,2,{"b":"c"}],"d":false}"#).unwrap();
+        assert_eq!(v.get("d"), Some(&Value::Bool(false)));
+        match v.get("a") {
+            Some(Value::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote\" slash\\ nl\n tab\t ctl\u{1} unicode é";
+        let line = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&line).unwrap(), Value::Str(nasty.to_string()));
+    }
+
+    #[test]
+    fn fmt_f64_never_produces_unparseable_numbers() {
+        for v in [0.0, -1.5, 1e300, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = fmt_f64(v);
+            assert!(parse(&s).is_ok(), "{v} -> {s}");
+        }
+    }
+
+    #[test]
+    fn validates_the_event_schema() {
+        validate_event_line(r#"{"ts":1.5,"lvl":"debug","target":"pool","ev":"steal","n":3}"#)
+            .unwrap();
+        for bad in [
+            r#"{"lvl":"debug","target":"pool","ev":"steal"}"#, // no ts
+            r#"{"ts":1,"lvl":"loud","target":"pool","ev":"x"}"#, // bad level
+            r#"{"ts":1,"lvl":"info","target":"pool"}"#,        // no ev
+            r#"{"ts":1,"lvl":"info","target":"pool","ev":"x","deep":{"a":1}}"#, // nested
+            r#"{"ts":1,"lvl":"info","target":"pool","ev":"x","ts":2}"#, // duplicate
+            r#"[1,2,3]"#,
+        ] {
+            assert!(validate_event_line(bad).is_err(), "{bad}");
+        }
+    }
+}

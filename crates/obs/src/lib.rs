@@ -1,0 +1,245 @@
+//! # knnshap_obs — structured telemetry that cannot move a bit
+//!
+//! Every layer of the workspace promises bitwise-deterministic output: the
+//! merged/parallel/resumed/served vector is byte-identical to the serial
+//! unsharded run. Telemetry therefore has one hard design constraint before
+//! any feature: **observing a run must never change it**. This crate holds
+//! that line structurally:
+//!
+//! * nothing here feeds back into computation — counters, histograms and
+//!   events are write-only from the instrumented code's point of view;
+//! * everything is **off by default** and gated behind one relaxed atomic
+//!   load, so the disabled hot path costs a branch and nothing else;
+//! * event emission buffers into **per-thread buffers** (no locks, no
+//!   cross-thread ordering the instrumented code could accidentally rely
+//!   on), drained to the sink at fold boundaries via [`flush`];
+//! * the sink is stderr or a file — never stdout, which belongs to reports
+//!   whose bytes are under test.
+//!
+//! `tests/obs_determinism.rs` (workspace root) enforces the contract the
+//! hard way: estimator/shard/serve suites re-run with telemetry fully
+//! enabled and byte-compare against telemetry-off output at 1 and 8
+//! threads.
+//!
+//! ## Env switches
+//!
+//! | variable | values | effect |
+//! |---|---|---|
+//! | `KNNSHAP_LOG` | `off` (default), `info`, `debug`, `LEVEL:PATH` | JSONL event log to stderr, or to `PATH` |
+//! | `KNNSHAP_METRICS` | unset/`0` (default), `1`, `PATH` | enable counters/gauges/histograms; with `PATH`, [`dump_metrics`] appends snapshots there |
+//!
+//! ## Event schema
+//!
+//! One JSON object per line. Reserved keys, always present:
+//! `ts` (f64 seconds since the Unix epoch), `lvl` (`"info"`/`"debug"`),
+//! `target` (the subsystem, e.g. `"pool"`), `ev` (the event name). All
+//! remaining keys are event-specific scalars (number/string/bool).
+//! [`json::validate_event_line`] checks exactly this shape.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+
+pub use event::{emit, flush, set_capture_sink, take_captured, FieldValue};
+pub use metrics::{
+    snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, SpanGuard,
+};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Event severity. `Info` is operator-facing milestones; `Debug` adds
+/// per-round/per-chunk progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Info,
+    Debug,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+const FLAG_METRICS: u8 = 1 << 0;
+const FLAG_LOG_INFO: u8 = 1 << 1;
+const FLAG_LOG_DEBUG: u8 = 1 << 2;
+
+static STATE: AtomicU8 = AtomicU8::new(0);
+static INIT: Once = Once::new();
+
+/// Where `KNNSHAP_METRICS=PATH` asked snapshots to go (None: env gave a
+/// boolean or nothing).
+static METRICS_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+fn init_from_env() {
+    let mut flags = 0u8;
+    let mut metrics_path = None;
+    if let Ok(v) = std::env::var("KNNSHAP_METRICS") {
+        let v = v.trim();
+        if !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off")) {
+            flags |= FLAG_METRICS;
+            if v != "1" && !v.eq_ignore_ascii_case("on") {
+                metrics_path = Some(PathBuf::from(v));
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("KNNSHAP_LOG") {
+        let v = v.trim();
+        let (level, path) = match v.split_once(':') {
+            Some((l, p)) if !p.is_empty() => (l, Some(PathBuf::from(p))),
+            _ => (v, None),
+        };
+        match level.to_ascii_lowercase().as_str() {
+            "info" => flags |= FLAG_LOG_INFO,
+            "debug" | "trace" => flags |= FLAG_LOG_INFO | FLAG_LOG_DEBUG,
+            _ => {}
+        }
+        if flags & FLAG_LOG_INFO != 0 {
+            if let Some(p) = path {
+                event::set_file_sink(p);
+            }
+        }
+    }
+    let _ = METRICS_PATH.set(metrics_path);
+    STATE.store(flags, Ordering::Release);
+}
+
+#[inline]
+fn state() -> u8 {
+    INIT.call_once(init_from_env);
+    STATE.load(Ordering::Relaxed)
+}
+
+/// Is the metrics registry live? One relaxed atomic load; every counter /
+/// gauge / histogram / span operation early-returns on `false`.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    state() & FLAG_METRICS != 0
+}
+
+/// Would an event at `level` be emitted?
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    let s = state();
+    match level {
+        Level::Info => s & FLAG_LOG_INFO != 0,
+        Level::Debug => s & FLAG_LOG_DEBUG != 0,
+    }
+}
+
+/// Programmatically enable/disable the metrics registry (benches and the
+/// determinism battery; production uses `KNNSHAP_METRICS`).
+pub fn set_metrics(enabled: bool) {
+    INIT.call_once(init_from_env);
+    if enabled {
+        STATE.fetch_or(FLAG_METRICS, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!FLAG_METRICS, Ordering::Relaxed);
+    }
+}
+
+/// Programmatically set the event-log level (`None` = off).
+pub fn set_log(level: Option<Level>) {
+    INIT.call_once(init_from_env);
+    let flags = match level {
+        None => 0,
+        Some(Level::Info) => FLAG_LOG_INFO,
+        Some(Level::Debug) => FLAG_LOG_INFO | FLAG_LOG_DEBUG,
+    };
+    let keep = STATE.load(Ordering::Relaxed) & FLAG_METRICS;
+    STATE.store(keep | flags, Ordering::Relaxed);
+}
+
+/// `KNNSHAP_METRICS=PATH`'s path, if any — where [`dump_metrics`] appends.
+pub fn metrics_path() -> Option<PathBuf> {
+    INIT.call_once(init_from_env);
+    METRICS_PATH.get().cloned().flatten()
+}
+
+/// Append one JSONL snapshot of every registered metric to `path`. Called
+/// by long-running surfaces (CLI exit, serve-daemon snapshot loop) when
+/// `KNNSHAP_METRICS` names a file.
+pub fn dump_metrics(path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write;
+    static DUMP_LOCK: Mutex<()> = Mutex::new(());
+    let _g = DUMP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut line = snapshot().to_json();
+    line.push('\n');
+    f.write_all(line.as_bytes())
+}
+
+/// Wall-clock seconds since the Unix epoch, as the `ts` field of every
+/// event. Telemetry-only — nothing downstream of a computation reads it.
+pub fn now_secs() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// Tests toggle the process-global switches; serialize them so the default
+/// multi-threaded test harness can't interleave toggles.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_fully_off() {
+        let _g = crate::test_lock();
+        // The test binary runs without the env vars (CI never sets them for
+        // plain `cargo test`); everything must read disabled.
+        if std::env::var("KNNSHAP_METRICS").is_err() && std::env::var("KNNSHAP_LOG").is_err() {
+            set_metrics(false);
+            set_log(None);
+            assert!(!metrics_enabled());
+            assert!(!log_enabled(Level::Info));
+            assert!(!log_enabled(Level::Debug));
+        }
+    }
+
+    #[test]
+    fn programmatic_switches_toggle_both_axes() {
+        let _g = crate::test_lock();
+        set_metrics(true);
+        assert!(metrics_enabled());
+        set_metrics(false);
+        assert!(!metrics_enabled());
+
+        set_log(Some(Level::Info));
+        assert!(log_enabled(Level::Info) && !log_enabled(Level::Debug));
+        set_log(Some(Level::Debug));
+        assert!(log_enabled(Level::Info) && log_enabled(Level::Debug));
+        set_log(None);
+        assert!(!log_enabled(Level::Info));
+    }
+
+    #[test]
+    fn dump_metrics_appends_one_json_line_per_call() {
+        let p = std::env::temp_dir().join(format!("knnshap-obs-dump-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        dump_metrics(&p).unwrap();
+        dump_metrics(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            json::parse(line).unwrap();
+        }
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,412 @@
+//! Monotonic counters, gauges, power-of-two histograms and span timers
+//! behind a global registry.
+//!
+//! Call sites own `static` instruments (`static STEALS: Counter =
+//! Counter::new("pool.steals")`); the first recorded sample registers the
+//! instrument into the process-wide registry, so [`snapshot`] sees exactly
+//! the instruments that were ever touched while metrics were enabled. Every
+//! mutation is a relaxed atomic — cheap, lock-free, and invisible to the
+//! computation being measured.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonic counter. `add` is a no-op unless metrics are enabled.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&COUNTERS).push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an `f64` (bit-cast into an atomic u64).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            bits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&GAUGES).push(self);
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets. Bucket 0 holds the value 0; bucket `b`
+/// (1 ≤ b < BUCKETS−1) holds `[2^(b−1), 2^b)`; the last bucket is the
+/// overflow tail.
+pub const BUCKETS: usize = 32;
+
+/// A lock-free histogram over `u64` samples (latencies in µs, batch sizes…):
+/// power-of-two buckets plus exact count/sum/min/max.
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    registered: AtomicBool,
+}
+
+const fn zero_buckets() -> [AtomicU64; BUCKETS] {
+    const Z: AtomicU64 = AtomicU64::new(0);
+    [Z; BUCKETS]
+}
+
+/// Which bucket a sample lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: zero_buckets(),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&HISTOGRAMS).push(self);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Time a span and record its duration in microseconds. The guard
+    /// carries no timer at all when metrics are disabled.
+    pub fn span(&'static self) -> SpanGuard {
+        SpanGuard {
+            hist: self,
+            start: crate::metrics_enabled().then(std::time::Instant::now),
+        }
+    }
+
+    pub fn read(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// RAII span timer; dropping records elapsed µs into its histogram.
+pub struct SpanGuard {
+    hist: &'static Histogram,
+    start: Option<std::time::Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything the registry knows, in registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// One JSON object: `{"ts":…,"counters":{…},"gauges":{…},"histograms":{…}}`.
+    pub fn to_json(&self) -> String {
+        use crate::json::escape;
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"ts\":{}",
+            crate::json::fmt_f64(crate::now_secs())
+        ));
+        s.push_str(",\"counters\":{");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{v}", escape(n)));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape(n), crate::json::fmt_f64(*v)));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                escape(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Read every registered instrument. Instruments never touched while
+/// metrics were enabled are absent (they never registered).
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: lock(&COUNTERS)
+            .iter()
+            .map(|c| (c.name.to_string(), c.get()))
+            .collect(),
+        gauges: lock(&GAUGES)
+            .iter()
+            .map(|g| (g.name.to_string(), g.get()))
+            .collect(),
+        histograms: lock(&HISTOGRAMS).iter().map(|h| h.read()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instruments_record_nothing_and_stay_unregistered() {
+        let _g = crate::test_lock();
+        static C: Counter = Counter::new("test.disabled.counter");
+        static H: Histogram = Histogram::new("test.disabled.hist");
+        crate::set_metrics(false);
+        C.add(5);
+        H.record(9);
+        drop(H.span());
+        assert_eq!(C.get(), 0);
+        assert_eq!(H.read().count, 0);
+        assert!(snapshot().counter("test.disabled.counter").is_none());
+    }
+
+    #[test]
+    fn enabled_counter_accumulates_and_snapshots() {
+        let _g = crate::test_lock();
+        static C: Counter = Counter::new("test.counter");
+        crate::set_metrics(true);
+        C.add(3);
+        C.incr();
+        assert_eq!(C.get(), 4);
+        assert_eq!(snapshot().counter("test.counter"), Some(4));
+        crate::set_metrics(false);
+        C.add(100); // ignored again once disabled
+        assert_eq!(C.get(), 4);
+    }
+
+    #[test]
+    fn gauge_holds_last_f64() {
+        let _g = crate::test_lock();
+        static G: Gauge = Gauge::new("test.gauge");
+        crate::set_metrics(true);
+        G.set(1.25);
+        G.set(-2.5);
+        assert_eq!(G.get(), -2.5);
+        assert_eq!(snapshot().gauge("test.gauge"), Some(-2.5));
+        crate::set_metrics(false);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_powers_of_two() {
+        let _g = crate::test_lock();
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Exhaustive bucket invariant: bucket b>0 starts at 2^(b-1).
+        for b in 1..BUCKETS - 1 {
+            assert_eq!(bucket_index(1u64 << (b - 1)), b);
+            assert_eq!(bucket_index((1u64 << b) - 1), b);
+        }
+
+        static H: Histogram = Histogram::new("test.hist");
+        crate::set_metrics(true);
+        for v in [0u64, 1, 3, 100, 100] {
+            H.record(v);
+        }
+        let s = H.read();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 204);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        assert!((s.mean() - 40.8).abs() < 1e-12);
+        crate::set_metrics(false);
+    }
+
+    #[test]
+    fn span_records_a_duration() {
+        let _g = crate::test_lock();
+        static H: Histogram = Histogram::new("test.span");
+        crate::set_metrics(true);
+        {
+            let _g = H.span();
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(H.read().count, 1);
+        crate::set_metrics(false);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_parseable_json() {
+        let _g = crate::test_lock();
+        static C: Counter = Counter::new("test.json.counter");
+        static G: Gauge = Gauge::new("test.json.gauge");
+        static H: Histogram = Histogram::new("test.json.hist");
+        crate::set_metrics(true);
+        C.incr();
+        G.set(0.5);
+        H.record(7);
+        let js = snapshot().to_json();
+        crate::set_metrics(false);
+        let v = crate::json::parse(&js).expect("snapshot JSON parses");
+        let obj = v.as_object().unwrap();
+        assert!(obj.iter().any(|(k, _)| k == "counters"));
+        assert!(obj.iter().any(|(k, _)| k == "histograms"));
+    }
+}

@@ -26,6 +26,20 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+// Telemetry instruments (no-ops unless `KNNSHAP_METRICS`/`KNNSHAP_LOG`
+// enable them — `knnshap_obs` is write-only from here, so the counters can
+// observe scheduling without being able to influence it). Utilization is
+// derived downstream as `pool.busy_micros / pool.capacity_micros`:
+// capacity accrues `workers × wall` per region, busy accrues actual
+// block-execution time.
+static POOL_STEALS: knnshap_obs::Counter = knnshap_obs::Counter::new("pool.steals");
+static POOL_BLOCKS: knnshap_obs::Counter = knnshap_obs::Counter::new("pool.blocks");
+static POOL_REGIONS: knnshap_obs::Counter = knnshap_obs::Counter::new("pool.regions");
+static POOL_BUSY_MICROS: knnshap_obs::Counter = knnshap_obs::Counter::new("pool.busy_micros");
+static POOL_CAPACITY_MICROS: knnshap_obs::Counter =
+    knnshap_obs::Counter::new("pool.capacity_micros");
+static POOL_QUEUE_DEPTH: knnshap_obs::Gauge = knnshap_obs::Gauge::new("pool.queue_depth");
+
 /// A contiguous run of item indices `[start, end)` — the unit of scheduling
 /// and of reduction. Block boundaries are a function of the item count
 /// alone, never of the thread count, which is what makes
@@ -137,6 +151,7 @@ impl Region {
         for off in 1..n {
             let stolen = self.deques[(slot + off) % n].lock().unwrap().pop_back();
             if stolen.is_some() {
+                POOL_STEALS.incr();
                 return stolen;
             }
         }
@@ -148,6 +163,8 @@ impl Region {
     fn participate(&self, slot: usize) {
         while let Some(block) = self.pop_or_steal(slot) {
             if !self.panicked.load(Ordering::Acquire) {
+                POOL_BLOCKS.incr();
+                let timer = knnshap_obs::metrics_enabled().then(std::time::Instant::now);
                 // SAFETY: we hold an unexecuted block, so the submitting
                 // caller is still inside `run_blocks` and the closure is
                 // alive.
@@ -158,6 +175,9 @@ impl Region {
                     if first.is_none() {
                         *first = Some(payload);
                     }
+                }
+                if let Some(t) = timer {
+                    POOL_BUSY_MICROS.add(t.elapsed().as_micros() as u64);
                 }
             }
             if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -271,11 +291,28 @@ impl ThreadPool {
         }
         let cap = threads.max(1).min(self.threads).min(blocks.len());
         if cap <= 1 || self.workers.is_empty() {
+            POOL_BLOCKS.add(blocks.len() as u64);
+            let timer = knnshap_obs::metrics_enabled().then(std::time::Instant::now);
             for b in blocks {
                 func(b);
             }
+            if let Some(t) = timer {
+                // Serial execution: one worker, fully busy.
+                let us = t.elapsed().as_micros() as u64;
+                POOL_BUSY_MICROS.add(us);
+                POOL_CAPACITY_MICROS.add(us);
+            }
             return;
         }
+        POOL_REGIONS.incr();
+        POOL_QUEUE_DEPTH.set(blocks.len() as f64);
+        knnshap_obs::emit(
+            knnshap_obs::Level::Debug,
+            "pool",
+            "region",
+            &[("blocks", blocks.len().into()), ("workers", cap.into())],
+        );
+        let region_timer = knnshap_obs::metrics_enabled().then(std::time::Instant::now);
         // SAFETY: lifetime erasure of the borrowed closure. Every
         // dereference of the pointer is confined to this call — we help
         // until `pending == 0` and only then return, and participants never
@@ -304,6 +341,12 @@ impl ThreadPool {
             .lock()
             .unwrap()
             .retain(|r| !Arc::ptr_eq(r, &region));
+        if let Some(t) = region_timer {
+            POOL_CAPACITY_MICROS.add((t.elapsed().as_micros() as u64).saturating_mul(cap as u64));
+        }
+        // Fold boundary: the region is fully reduced, so drain this thread's
+        // event buffer (no-op when logging is off).
+        knnshap_obs::flush();
         let payload = region.panic.lock().unwrap().take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -527,6 +570,27 @@ mod tests {
             }
         }
         assert!(stolen, "no work was stolen in any attempt");
+    }
+
+    #[test]
+    fn telemetry_counts_work_without_changing_results() {
+        let pool = ThreadPool::new(4);
+        let off: Vec<u64> = pool
+            .par_map(257, 4, |i| (i as f64).sqrt())
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        knnshap_obs::set_metrics(true);
+        let before = knnshap_obs::snapshot().counter("pool.blocks").unwrap_or(0);
+        let on: Vec<u64> = pool
+            .par_map(257, 4, |i| (i as f64).sqrt())
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let after = knnshap_obs::snapshot().counter("pool.blocks").unwrap_or(0);
+        knnshap_obs::set_metrics(false);
+        assert!(after > before, "enabled run must count blocks");
+        assert_eq!(off, on, "telemetry must not move a bit");
     }
 
     #[test]

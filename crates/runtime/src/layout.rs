@@ -67,6 +67,11 @@ impl JobDirs {
         self.leases_dir().join(format!("s{i}.lease"))
     }
 
+    /// Append-only orchestration event stream (see [`crate::progress`]).
+    pub fn events_path(&self) -> PathBuf {
+        self.root.join("events.jsonl")
+    }
+
     /// Create the directory tree (idempotent).
     pub fn create(&self) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.root)?;

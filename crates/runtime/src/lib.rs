@@ -88,6 +88,7 @@
 pub mod dispatch;
 pub mod fleet;
 pub mod layout;
+pub mod progress;
 pub mod queue;
 pub mod spec;
 pub mod supervisor;

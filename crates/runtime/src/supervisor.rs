@@ -126,6 +126,10 @@ pub fn run_job(dirs: &JobDirs, opts: SupervisorOptions) -> Result<JobOutcome, Jo
     let mut reassigned = 0usize;
     let mut failures = 0usize;
     let mut handles: Vec<Handle> = Vec::new();
+    // Wait on the event stream instead of busy-polling: in-process workers
+    // wake us the instant they claim/checkpoint/publish; `opts.poll` bounds
+    // the wait for out-of-process workers (see crate::progress).
+    let mut seen_gen = crate::progress::generation();
 
     let spawn = |seq: usize| -> Result<Handle, JobError> {
         match &opts.launcher {
@@ -166,9 +170,12 @@ pub fn run_job(dirs: &JobDirs, opts: SupervisorOptions) -> Result<JobOutcome, Jo
         if missing.is_empty() {
             break;
         }
-        reassigned += queue::expire_stale(dirs, shards, opts.lease_ttl)
-            .map_err(|e| crate::io_err(dirs.root(), e))?
-            .len();
+        let expired = queue::expire_stale(dirs, shards, opts.lease_ttl)
+            .map_err(|e| crate::io_err(dirs.root(), e))?;
+        for &shard in &expired {
+            crate::progress::append_event(dirs, "reassign", &[("shard", shard.into())]);
+        }
+        reassigned += expired.len();
 
         // A shard is claimable iff unfinished and unleased. Keep the worker
         // pool at strength while claimable work exists; when everything
@@ -191,17 +198,22 @@ pub fn run_job(dirs: &JobDirs, opts: SupervisorOptions) -> Result<JobOutcome, Jo
                     break;
                 }
                 handles.push(spawn(spawned)?);
+                crate::progress::append_event(
+                    dirs,
+                    "spawn",
+                    &[("seq", spawned.into()), ("workers", workers.into())],
+                );
                 spawned += 1;
             }
         }
-        std::thread::sleep(opts.poll);
+        seen_gen = crate::progress::wait_for_event(seen_gen, opts.poll);
     }
 
     // All shards are published; workers exit on their own once nothing is
     // claimable. Reap them before merging so the accounting is complete.
     for mut h in handles.drain(..) {
         while h.is_running() {
-            std::thread::sleep(opts.poll);
+            seen_gen = crate::progress::wait_for_event(seen_gen, opts.poll);
         }
         if !h.reap() {
             failures += 1;
@@ -209,6 +221,15 @@ pub fn run_job(dirs: &JobDirs, opts: SupervisorOptions) -> Result<JobOutcome, Jo
     }
 
     let merged = merge_job(dirs, &plan)?;
+    crate::progress::append_event(
+        dirs,
+        "job_done",
+        &[
+            ("shards", shards.into()),
+            ("spawned", spawned.into()),
+            ("reassigned", reassigned.into()),
+        ],
+    );
     Ok(JobOutcome {
         values: merged.values,
         items: merged.items,

@@ -117,6 +117,14 @@ pub fn run_worker(dirs: &JobDirs, mut opts: WorkerOptions) -> Result<WorkerRepor
                 continue;
             }
             claimed_any = true;
+            crate::progress::append_event(
+                dirs,
+                "claim",
+                &[
+                    ("shard", i.into()),
+                    ("worker", opts.worker_id.as_str().into()),
+                ],
+            );
             compute_shard(
                 dirs,
                 &prepared,
@@ -129,6 +137,14 @@ pub fn run_worker(dirs: &JobDirs, mut opts: WorkerOptions) -> Result<WorkerRepor
             queue::clear_checkpoint(dirs, i);
             lease.release().ok(); // already expired? fine — shard is published
             report.completed.push(i);
+            crate::progress::append_event(
+                dirs,
+                "shard_done",
+                &[
+                    ("shard", i.into()),
+                    ("worker", opts.worker_id.as_str().into()),
+                ],
+            );
         }
         if !claimed_any {
             // Everything is published or leased out; a worker that waited
@@ -189,6 +205,16 @@ fn compute_shard(
         }
         let a = acc.as_ref().expect("accumulated above");
         queue::write_checkpoint(dirs, i, a).map_err(|e| io_err(&dirs.checkpoint_path(i), e))?;
+        crate::progress::append_event(
+            dirs,
+            "chunk",
+            &[
+                ("shard", i.into()),
+                ("chunk", c.into()),
+                ("chunks", chunks.into()),
+                ("item_hi", (a.meta.item_hi as usize).into()),
+            ],
+        );
         if crash(fault, FaultPoint::AfterCheckpoint { shard: i, chunk: c }) {
             return Err(JobError::Crashed(format!(
                 "injected fault after checkpointing chunk {c} of shard {i}"

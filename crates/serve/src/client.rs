@@ -8,8 +8,8 @@
 //! [`ClientError::ChecksumMismatch`] instead of silent bad data.
 
 use crate::protocol::{
-    read_frame, write_frame, BatchMutation, BatchOutcome, ErrorCode, ProtocolError, Request,
-    Response,
+    read_frame, write_frame, BatchMutation, BatchOutcome, ErrorCode, MetricsHistogram,
+    ProtocolError, Request, Response,
 };
 use crate::server::{Conn, Endpoint};
 use crate::store::Snapshot;
@@ -96,6 +96,23 @@ pub struct Dump {
     pub version: u64,
     pub labels: Vec<u32>,
     pub values: Vec<f64>,
+}
+
+/// The daemon's operational telemetry, as reported by `Metrics` (v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsInfo {
+    pub protocol: u32,
+    pub version: u64,
+    pub uptime_secs: f64,
+    pub requests: u64,
+    pub queue_depth: u64,
+    pub queue_bound: u64,
+    pub whatif_hits: u64,
+    pub whatif_misses: u64,
+    pub whatif_evictions: u64,
+    pub whatif_len: u64,
+    pub latency_micros: MetricsHistogram,
+    pub batch_sizes: MetricsHistogram,
 }
 
 /// Retry policy for [`ClientError::Busy`] refusals: capped exponential
@@ -341,6 +358,41 @@ impl Client {
         match self.request(&Request::TrainCsv)? {
             Response::TrainCsv { version, csv } => Ok((version, csv)),
             other => Err(unexpected("TrainCsv", other)),
+        }
+    }
+
+    /// The daemon's operational telemetry (protocol v3). Read-only on the
+    /// daemon side — asking never perturbs a served value.
+    pub fn metrics(&mut self) -> Result<MetricsInfo, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics {
+                protocol,
+                version,
+                uptime_secs,
+                requests,
+                queue_depth,
+                queue_bound,
+                whatif_hits,
+                whatif_misses,
+                whatif_evictions,
+                whatif_len,
+                latency_micros,
+                batch_sizes,
+            } => Ok(MetricsInfo {
+                protocol,
+                version,
+                uptime_secs,
+                requests,
+                queue_depth,
+                queue_bound,
+                whatif_hits,
+                whatif_misses,
+                whatif_evictions,
+                whatif_len,
+                latency_micros,
+                batch_sizes,
+            }),
+            other => Err(unexpected("Metrics", other)),
         }
     }
 

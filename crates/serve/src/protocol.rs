@@ -7,7 +7,7 @@
 //! payload = tag byte  ||  little-endian body
 //! ```
 //!
-//! Request tags are `0x01..=0x0A`, response tags `0x81..=0x89` (high bit
+//! Request tags are `0x01..=0x0B`, response tags `0x81..=0x8A` (high bit
 //! set), so a stream position can never be mistaken for the other
 //! direction. The length prefix is capped at [`MAX_FRAME`]; a prefix above
 //! the cap is rejected *before* any allocation, so a corrupt or hostile
@@ -25,6 +25,11 @@
 //!   so a v1 client works against a v2 daemon as long as it avoids the new
 //!   opcode; `Stat` echoes the daemon's protocol version so clients can
 //!   detect skew before relying on v2 frames.
+//! * **v3** — strict superset of v2: adds [`Request::Metrics`] (`0x0B`)
+//!   and [`Response::Metrics`] (`0x8A`), the daemon's operational
+//!   telemetry (uptime, request count, latency and batch-size histograms,
+//!   mutation-queue depth, what-if cache counters). Read-only: asking for
+//!   metrics never touches the engine lock or any served value.
 //!
 //! Decoding is strict: every body must parse to exactly its declared
 //! length — trailing bytes, short bodies and unknown tags are
@@ -40,9 +45,10 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME: u32 = 1 << 26;
 
 /// Protocol version, echoed in `Stat` so clients can detect skew.
-/// v2 = v1 plus `Batch`/`BatchApplied` frames and the `Busy` error code;
-/// see the version history in the module docs.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3 = v2 plus the `Metrics`/`Metrics` frame pair; v2 = v1 plus
+/// `Batch`/`BatchApplied` and the `Busy` error code; see the version
+/// history in the module docs.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // Request tags.
 const OP_STAT: u8 = 0x01;
@@ -55,6 +61,7 @@ const OP_DELETE: u8 = 0x07;
 const OP_TRAIN_CSV: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
 const OP_BATCH: u8 = 0x0A; // v2
+const OP_METRICS: u8 = 0x0B; // v3
 
 // Response tags.
 const RE_STAT: u8 = 0x81;
@@ -66,6 +73,7 @@ const RE_TRAIN_CSV: u8 = 0x86;
 const RE_ERROR: u8 = 0x87;
 const RE_SHUTTING_DOWN: u8 = 0x88;
 const RE_BATCH_APPLIED: u8 = 0x89; // v2
+const RE_METRICS: u8 = 0x8A; // v3
 
 // Per-mutation kind bytes inside a `Batch` body.
 const MUT_INSERT: u8 = 0x00;
@@ -174,6 +182,35 @@ pub enum BatchOutcome {
     Rejected { code: ErrorCode, message: String },
 }
 
+/// A histogram summary inside a [`Response::Metrics`] body. Buckets are
+/// the power-of-two scheme of `knnshap_obs`: bucket 0 counts zero-valued
+/// samples, bucket `b ≥ 1` counts samples in `[2^(b−1), 2^b)` (the last
+/// bucket absorbs everything larger).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when `count == 0`).
+    pub min: u64,
+    /// Largest sample (0 when `count == 0`).
+    pub max: u64,
+    /// Power-of-two bucket counts (see above).
+    pub buckets: Vec<u64>,
+}
+
+impl MetricsHistogram {
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -197,6 +234,10 @@ pub enum Request {
     Batch { mutations: Vec<BatchMutation> },
     /// The current training set as CSV text (features…,label per row).
     TrainCsv,
+    /// The daemon's operational telemetry (uptime, request latency,
+    /// batch sizes, queue depth, what-if cache counters). Read-only:
+    /// never touches the engine lock. (v3)
+    Metrics,
     /// Stop accepting connections and exit the accept loop.
     Shutdown,
 }
@@ -249,6 +290,30 @@ pub enum Response {
     BatchApplied {
         version: u64,
         outcomes: Vec<BatchOutcome>,
+    },
+    /// The daemon's operational telemetry. (v3)
+    Metrics {
+        /// Protocol version (same as `Stat` reports).
+        protocol: u32,
+        /// Current dataset version (of the published snapshot).
+        version: u64,
+        /// Seconds since the daemon loaded its dataset.
+        uptime_secs: f64,
+        /// Requests dispatched over the daemon's lifetime.
+        requests: u64,
+        /// Mutations currently queued behind the engine write lock.
+        queue_depth: u64,
+        /// The admission bound those mutations are checked against.
+        queue_bound: u64,
+        /// What-if cache counters (see `WhatIfStats`).
+        whatif_hits: u64,
+        whatif_misses: u64,
+        whatif_evictions: u64,
+        whatif_len: u64,
+        /// Per-request dispatch latency in microseconds.
+        latency_micros: MetricsHistogram,
+        /// Coalesced mutation-batch sizes (mutations per engine pass).
+        batch_sizes: MetricsHistogram,
     },
     Error {
         code: ErrorCode,
@@ -380,6 +445,35 @@ fn put_features(out: &mut Vec<u8>, features: &[f32]) {
     }
 }
 
+fn put_histogram(out: &mut Vec<u8>, h: &MetricsHistogram) {
+    for v in [h.count, h.sum, h.min, h.max] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+    for b in &h.buckets {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
+
+fn take_histogram(r: &mut Reader<'_>) -> Result<MetricsHistogram, ProtocolError> {
+    let count = r.u64("histogram count")?;
+    let sum = r.u64("histogram sum")?;
+    let min = r.u64("histogram min")?;
+    let max = r.u64("histogram max")?;
+    let n = r.counted(8, "histogram buckets")?;
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(r.u64("histogram buckets")?);
+    }
+    Ok(MetricsHistogram {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
+    })
+}
+
 fn take_features(r: &mut Reader<'_>) -> Result<Vec<f32>, ProtocolError> {
     let n = r.counted(4, "feature vector")?;
     let mut out = Vec::with_capacity(n);
@@ -438,6 +532,7 @@ impl Request {
                 }
             }
             Request::TrainCsv => out.push(OP_TRAIN_CSV),
+            Request::Metrics => out.push(OP_METRICS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
         }
         out
@@ -499,6 +594,7 @@ impl Request {
                 Request::Batch { mutations }
             }
             OP_TRAIN_CSV => Request::TrainCsv,
+            OP_METRICS => Request::Metrics,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtocolError::UnknownOpcode(other)),
         };
@@ -593,6 +689,39 @@ impl Response {
                             out.extend_from_slice(message.as_bytes());
                         }
                     }
+                }
+            }
+            Response::Metrics {
+                protocol,
+                version,
+                uptime_secs,
+                requests,
+                queue_depth,
+                queue_bound,
+                whatif_hits,
+                whatif_misses,
+                whatif_evictions,
+                whatif_len,
+                latency_micros,
+                batch_sizes,
+            } => {
+                out.push(RE_METRICS);
+                out.extend_from_slice(&protocol.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&uptime_secs.to_bits().to_le_bytes());
+                for v in [
+                    requests,
+                    queue_depth,
+                    queue_bound,
+                    whatif_hits,
+                    whatif_misses,
+                    whatif_evictions,
+                    whatif_len,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                for h in [latency_micros, batch_sizes] {
+                    put_histogram(&mut out, h);
                 }
             }
             Response::ShuttingDown => out.push(RE_SHUTTING_DOWN),
@@ -691,6 +820,20 @@ impl Response {
                 }
                 Response::BatchApplied { version, outcomes }
             }
+            RE_METRICS => Response::Metrics {
+                protocol: r.u32("metrics protocol")?,
+                version: r.u64("metrics version")?,
+                uptime_secs: r.f64("metrics uptime")?,
+                requests: r.u64("metrics requests")?,
+                queue_depth: r.u64("metrics queue depth")?,
+                queue_bound: r.u64("metrics queue bound")?,
+                whatif_hits: r.u64("metrics what-if hits")?,
+                whatif_misses: r.u64("metrics what-if misses")?,
+                whatif_evictions: r.u64("metrics what-if evictions")?,
+                whatif_len: r.u64("metrics what-if len")?,
+                latency_micros: take_histogram(&mut r)?,
+                batch_sizes: take_histogram(&mut r)?,
+            },
             RE_SHUTTING_DOWN => Response::ShuttingDown,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
@@ -750,7 +893,54 @@ mod tests {
             ],
         });
         round_trip_request(Request::TrainCsv);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        round_trip_response(Response::Metrics {
+            protocol: PROTOCOL_VERSION,
+            version: 7,
+            uptime_secs: 12.5,
+            requests: 400,
+            queue_depth: 3,
+            queue_bound: 64,
+            whatif_hits: 10,
+            whatif_misses: 4,
+            whatif_evictions: 1,
+            whatif_len: 3,
+            latency_micros: MetricsHistogram {
+                count: 400,
+                sum: 123_456,
+                min: 2,
+                max: 9_000,
+                buckets: vec![0, 1, 2, 3],
+            },
+            batch_sizes: MetricsHistogram {
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+                buckets: vec![],
+            },
+        });
+    }
+
+    #[test]
+    fn forged_histogram_counts_cannot_allocate() {
+        // A Metrics body claiming u32::MAX buckets in a short payload must
+        // fail the count/length cross-check before any allocation.
+        let mut payload = vec![RE_METRICS];
+        payload.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 8 * 9]); // version..whatif_len + f64
+        payload.extend_from_slice(&[0u8; 8 * 4]); // count/sum/min/max
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // forged buckets
+        payload.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -44,8 +44,8 @@
 //! session. `tests/protocol_robustness.rs` drives all three.
 
 use crate::protocol::{
-    read_frame, write_frame, BatchMutation, BatchOutcome, ErrorCode, ProtocolError, Request,
-    Response, PROTOCOL_VERSION,
+    read_frame, write_frame, BatchMutation, BatchOutcome, ErrorCode, MetricsHistogram,
+    ProtocolError, Request, Response, PROTOCOL_VERSION,
 };
 use crate::store::{Snapshot, VersionedStore, WhatIfCache, WhatIfStats, DEFAULT_WHATIF_CAPACITY};
 use knnshap_core::resident::{Applied, Mutation, ResidentError, ResidentValuator};
@@ -55,8 +55,9 @@ use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Where a daemon listens (and where clients connect).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,6 +139,84 @@ impl MutationQueue {
         state.depth = 0;
         std::mem::take(&mut state.groups)
     }
+
+    /// Mutations currently queued (telemetry only — the value may be stale
+    /// the instant the lock drops).
+    fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").depth
+    }
+}
+
+/// A lock-free histogram in the power-of-two bucket scheme of
+/// `knnshap_obs` (bucket 0 counts zeros, bucket `b` counts
+/// `[2^(b−1), 2^b)`). Per-server — unlike the process-global registry of
+/// `knnshap_obs`, two in-process daemons never share these — and always
+/// on, because [`Request::Metrics`] is part of the wire contract, not an
+/// opt-in diagnostic. The cost per sample is five relaxed atomic ops.
+struct LocalHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; knnshap_obs::metrics::BUCKETS],
+}
+
+impl LocalHistogram {
+    fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const Z: AtomicU64 = AtomicU64::new(0);
+        Self {
+            count: Z,
+            sum: Z,
+            min: AtomicU64::new(u64::MAX),
+            max: Z,
+            buckets: [Z; knnshap_obs::metrics::BUCKETS],
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[knnshap_obs::metrics::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_wire(&self) -> MetricsHistogram {
+        MetricsHistogram {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// The daemon's always-on operational counters, served by
+/// [`Request::Metrics`] and snapshotted to JSONL by the CLI's metrics
+/// loop. Write-only from the request paths' point of view — nothing here
+/// feeds back into a served value.
+struct ServerMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    latency_micros: LocalHistogram,
+    batch_sizes: LocalHistogram,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            latency_micros: LocalHistogram::new(),
+            batch_sizes: LocalHistogram::new(),
+        }
+    }
 }
 
 /// The daemon state: resident engine, published snapshots, shutdown flag.
@@ -146,6 +225,7 @@ pub struct ValuationServer {
     store: VersionedStore,
     queue: MutationQueue,
     whatif: Mutex<WhatIfCache>,
+    metrics: ServerMetrics,
     shutdown: AtomicBool,
     // Immutable once loaded; served by `Stat` without touching any lock.
     n_test: u64,
@@ -202,6 +282,7 @@ impl ValuationServer {
             store: VersionedStore::new(initial),
             queue: MutationQueue::new(DEFAULT_QUEUE_BOUND),
             whatif: Mutex::new(WhatIfCache::new(DEFAULT_WHATIF_CAPACITY)),
+            metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
             n_test: n_test as u64,
             k: k as u64,
@@ -249,7 +330,19 @@ impl ValuationServer {
     /// Dispatch one request to one response. Pure with respect to the
     /// transport — the session loop, the in-process tests and the CLI all
     /// route through here, so socket and non-socket behavior can't drift.
+    /// Every call is counted and timed into the daemon's [`Request::Metrics`]
+    /// surface; the accounting is write-only and never alters a response.
     pub fn handle(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = self.dispatch(req);
+        self.metrics
+            .latency_micros
+            .record(start.elapsed().as_micros() as u64);
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
         match req {
             Request::Stat => {
                 let s = self.store.load();
@@ -402,11 +495,79 @@ impl ValuationServer {
                     csv: train_to_csv(engine.train()),
                 }
             }
+            Request::Metrics => self.metrics_response(),
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Response::ShuttingDown
             }
         }
+    }
+
+    /// The daemon's operational telemetry as a [`Response::Metrics`].
+    /// Reads the snapshot pointer and the queue/cache mutexes — never the
+    /// engine lock, so metrics stay answerable while a mutation drains.
+    pub fn metrics_response(&self) -> Response {
+        let s = self.store.load();
+        let w = self.whatif_stats();
+        Response::Metrics {
+            protocol: PROTOCOL_VERSION,
+            version: s.version,
+            uptime_secs: self.metrics.started.elapsed().as_secs_f64(),
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+            queue_bound: self.queue_bound() as u64,
+            whatif_hits: w.hits,
+            whatif_misses: w.misses,
+            whatif_evictions: w.evictions,
+            whatif_len: w.len as u64,
+            latency_micros: self.metrics.latency_micros.to_wire(),
+            batch_sizes: self.metrics.batch_sizes.to_wire(),
+        }
+    }
+
+    /// One JSONL line of the daemon's metrics, in the event schema of
+    /// `knnshap_obs::json::validate_event_line` (the CLI's periodic
+    /// snapshot loop appends these when `KNNSHAP_METRICS` names a file).
+    pub fn metrics_jsonl_line(&self) -> String {
+        let Response::Metrics {
+            version,
+            uptime_secs,
+            requests,
+            queue_depth,
+            queue_bound,
+            whatif_hits,
+            whatif_misses,
+            whatif_evictions,
+            whatif_len,
+            latency_micros,
+            batch_sizes,
+            ..
+        } = self.metrics_response()
+        else {
+            unreachable!("metrics_response always returns Response::Metrics")
+        };
+        knnshap_obs::event::render_line(
+            knnshap_obs::Level::Info,
+            "serve",
+            "metrics",
+            &[
+                ("version", version.into()),
+                ("uptime_secs", uptime_secs.into()),
+                ("requests", requests.into()),
+                ("queue_depth", queue_depth.into()),
+                ("queue_bound", queue_bound.into()),
+                ("whatif_hits", whatif_hits.into()),
+                ("whatif_misses", whatif_misses.into()),
+                ("whatif_evictions", whatif_evictions.into()),
+                ("whatif_len", whatif_len.into()),
+                ("latency_count", latency_micros.count.into()),
+                ("latency_mean_micros", latency_micros.mean().into()),
+                ("latency_max_micros", latency_micros.max.into()),
+                ("batch_count", batch_sizes.count.into()),
+                ("batch_mean_size", batch_sizes.mean().into()),
+                ("batch_max_size", batch_sizes.max.into()),
+            ],
+        )
     }
 
     /// The coalescing mutation path shared by `Insert`, `Delete` and
@@ -430,6 +591,16 @@ impl ValuationServer {
                 for g in &mut groups {
                     combined.append(&mut g.muts);
                 }
+                self.metrics.batch_sizes.record(combined.len() as u64);
+                knnshap_obs::emit(
+                    knnshap_obs::Level::Debug,
+                    "serve",
+                    "drain",
+                    &[
+                        ("groups", groups.len().into()),
+                        ("mutations", combined.len().into()),
+                    ],
+                );
                 let acks = engine.apply_batch(&combined);
                 if acks.iter().any(Result::is_ok) {
                     // One publish for the whole drain, at the version of
@@ -1010,6 +1181,75 @@ mod tests {
             }
         ));
         assert_eq!(s.whatif_stats().len, 1);
+    }
+
+    #[test]
+    fn metrics_count_requests_and_batch_sizes_without_touching_values() {
+        let s = server();
+        let before = s.snapshot();
+        // Generate traffic: reads, a what-if pair (miss + hit), one batch.
+        assert!(matches!(s.handle(&Request::Stat), Response::Stat { .. }));
+        assert!(matches!(s.handle(&Request::Dump), Response::Vector { .. }));
+        for _ in 0..2 {
+            s.handle(&Request::WhatIf {
+                features: vec![0.25; 4],
+                label: 1,
+            });
+        }
+        s.handle(&Request::Batch {
+            mutations: vec![
+                BatchMutation::Insert {
+                    features: vec![0.5; 4],
+                    label: 1,
+                },
+                BatchMutation::Delete { index: 30 },
+            ],
+        });
+        match s.handle(&Request::Metrics) {
+            Response::Metrics {
+                protocol,
+                version,
+                requests,
+                queue_depth,
+                queue_bound,
+                whatif_hits,
+                whatif_misses,
+                latency_micros,
+                batch_sizes,
+                ..
+            } => {
+                assert_eq!(protocol, PROTOCOL_VERSION);
+                assert_eq!(version, 2, "insert + delete committed");
+                assert_eq!(requests, 6, "5 prior requests + this Metrics one");
+                assert_eq!(queue_depth, 0, "nothing queued at rest");
+                assert_eq!(queue_bound, DEFAULT_QUEUE_BOUND as u64);
+                assert_eq!((whatif_hits, whatif_misses), (1, 1));
+                assert_eq!(latency_micros.count, 5, "timed before this request");
+                assert_eq!(
+                    latency_micros.buckets.iter().sum::<u64>(),
+                    latency_micros.count
+                );
+                assert_eq!((batch_sizes.count, batch_sizes.sum), (1, 2));
+                assert_eq!((batch_sizes.min, batch_sizes.max), (2, 2));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Asking for metrics changed no served value.
+        let after = s.snapshot();
+        assert_eq!(after.version, 2);
+        assert!(after.verify());
+        drop((before, after));
+    }
+
+    #[test]
+    fn metrics_jsonl_line_is_schema_valid() {
+        let s = server();
+        s.handle(&Request::Stat);
+        let line = s.metrics_jsonl_line();
+        knnshap_obs::json::validate_event_line(&line).unwrap();
+        let v = knnshap_obs::json::parse(&line).unwrap();
+        assert_eq!(v.get("ev").and_then(|x| x.as_str()), Some("metrics"));
+        assert_eq!(v.get("requests").and_then(|x| x.as_f64()), Some(1.0));
     }
 
     #[test]

@@ -123,6 +123,9 @@ type WhatIfKey = (Vec<u32>, u32);
 pub struct WhatIfStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries evicted to make room (LRU pressure; wholesale version
+    /// invalidations are *not* counted — they discard, not evict).
+    pub evictions: u64,
     /// Entries currently cached (all from the same dataset version).
     pub len: usize,
     /// The dataset version the cached entries belong to.
@@ -149,6 +152,7 @@ pub struct WhatIfCache {
     map: HashMap<WhatIfKey, (f64, u64)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl WhatIfCache {
@@ -162,6 +166,7 @@ impl WhatIfCache {
             map: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -213,6 +218,7 @@ impl WhatIfCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&evict);
+                self.evictions += 1;
             }
         }
         self.tick += 1;
@@ -230,6 +236,7 @@ impl WhatIfCache {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map");
             self.map.remove(&evict);
+            self.evictions += 1;
         }
     }
 
@@ -237,6 +244,7 @@ impl WhatIfCache {
         WhatIfStats {
             hits: self.hits,
             misses: self.misses,
+            evictions: self.evictions,
             len: self.map.len(),
             version: self.version,
         }
@@ -326,9 +334,14 @@ mod tests {
         assert_eq!(c.get(0, &[2.0], 0), None);
         assert_eq!(c.get(0, &[1.0], 0), Some(1.0));
         assert_eq!(c.get(0, &[3.0], 0), Some(3.0));
+        assert_eq!(c.stats().evictions, 1);
         c.set_capacity(1); // shrink: keeps only the most recent
         assert_eq!(c.get(0, &[1.0], 0), None);
         assert_eq!(c.get(0, &[3.0], 0), Some(3.0));
+        assert_eq!(c.stats().evictions, 2, "shrink evictions are counted");
+        // A version roll discards wholesale — not an eviction.
+        assert_eq!(c.get(9, &[3.0], 0), None);
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]

@@ -83,3 +83,9 @@ pub use knnshap_runtime as runtime;
 
 /// Comparator models (logistic regression) and retraining utilities.
 pub use knnshap_ml as ml;
+
+/// Structured telemetry: counters/gauges/histograms and the JSONL event
+/// stream (`KNNSHAP_LOG`, `KNNSHAP_METRICS`). Write-only by construction —
+/// `tests/obs_determinism.rs` byte-compares telemetry-on against
+/// telemetry-off runs (`docs/observability.md`).
+pub use knnshap_obs as obs;
